@@ -1,0 +1,103 @@
+// Ablation: what does each feedback mechanism contribute? (§3.5)
+//
+// Torpedo combines code-coverage gating (program level) with the resource
+// oracle score (batch level). This bench runs the same campaign three ways:
+//   combined       — the full TORPEDO algorithm
+//   coverage-only  — mutations accepted unconditionally (no oracle score)
+//   resource-only  — no coverage gating of batch membership
+// and reports how often rounds were flagged as adversarial, the first
+// flagged round, and the best oracle score reached.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/seeds.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace torpedo;
+
+namespace {
+
+struct ModeResult {
+  int rounds = 0;
+  int flagged_rounds = 0;
+  int first_flagged = -1;
+  double best_score = 0;
+  std::uint64_t executions = 0;
+};
+
+ModeResult run_mode(bool use_resource, bool use_coverage) {
+  core::CampaignConfig config;
+  config.round_duration = 2 * kSecond;
+  config.batches = 4;
+  config.fuzzer.cycle_out_rounds = 8;
+  config.fuzzer.use_resource_score = use_resource;
+  config.fuzzer.use_coverage = use_coverage;
+  core::Campaign campaign(config);
+
+  // Seeds one mutation away from adversarial behaviour: valid sockets whose
+  // family/protocol flips into the modprobe path, and small fallocates whose
+  // length can blow past RLIMIT_FSIZE.
+  std::vector<prog::Program> seeds;
+  for (int i = 0; i < 6; ++i) {
+    seeds.push_back(*prog::Program::parse(
+        "r0 = socket$inet(0x2, 0x2, 0x0)\n"
+        "shutdown(r0, 0x1)\n"));
+    seeds.push_back(*prog::Program::parse(
+        "r0 = creat('abl_f', 0x1a4)\n"
+        "fallocate(r0, 0x0, 0x0, 0x100000)\n"));
+    seeds.push_back(*core::named_seed("kcmp-pair"));
+  }
+  campaign.load_seeds(std::move(seeds));
+
+  ModeResult result;
+  for (int b = 0; b < config.batches; ++b) {
+    const core::BatchResult batch = campaign.run_one_batch();
+    result.best_score = std::max(result.best_score, batch.best_score);
+  }
+  result.executions = campaign.fuzzer().total_executions();
+  const auto& log = campaign.observer().log();
+  result.rounds = static_cast<int>(log.size());
+  for (const observer::RoundResult& rr : log) {
+    if (campaign.cpu_oracle().flag(rr.observation).empty()) continue;
+    ++result.flagged_rounds;
+    if (result.first_flagged < 0) result.first_flagged = rr.round;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: feedback mechanisms (§3.5)",
+      "coverage gating x resource scoring, same seeds & budget");
+
+  const struct {
+    const char* name;
+    bool resource;
+    bool coverage;
+  } modes[] = {
+      {"combined (TORPEDO)", true, true},
+      {"coverage-only", false, true},
+      {"resource-only", true, false},
+  };
+
+  TextTable table({"mode", "rounds", "flagged rounds", "first flagged",
+                   "best score", "executions"});
+  for (const auto& mode : modes) {
+    const ModeResult r = run_mode(mode.resource, mode.coverage);
+    table.add_row({mode.name, std::to_string(r.rounds),
+                   std::to_string(r.flagged_rounds),
+                   r.first_flagged < 0 ? "never"
+                                       : std::to_string(r.first_flagged),
+                   format("%.1f", r.best_score),
+                   std::to_string(r.executions)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts(
+      "\nexpected shape: the combined mode reaches adversarial mutants at\n"
+      "least as reliably as either ablated mode; coverage-only drifts\n"
+      "without retaining adversarial mutants.");
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace torpedo::bench {
+
+std::string utilization_table(const observer::Observation& obs) {
+  TextTable table({"CORE", "BUSY", "TOTAL", "PERCENT", "USER", "NICE",
+                   "SYSTEM", "IDLE", "IO WAIT", "IRQ", "SOFTIRQ", "STEAL",
+                   "GUEST", "GUEST NICE"});
+  auto row = [&](const observer::CoreUsage& usage, const std::string& label) {
+    table.add_row(
+        {label, std::to_string(usage.busy()), std::to_string(usage.total()),
+         format("%.2f", usage.percent()),
+         std::to_string(usage[sim::CpuCategory::kUser]),
+         std::to_string(usage[sim::CpuCategory::kNice]),
+         std::to_string(usage[sim::CpuCategory::kSystem]),
+         std::to_string(usage[sim::CpuCategory::kIdle]),
+         std::to_string(usage[sim::CpuCategory::kIoWait]),
+         std::to_string(usage[sim::CpuCategory::kIrq]),
+         std::to_string(usage[sim::CpuCategory::kSoftirq]),
+         std::to_string(usage[sim::CpuCategory::kSteal]),
+         std::to_string(usage[sim::CpuCategory::kGuest]),
+         std::to_string(usage[sim::CpuCategory::kGuestNice])});
+  };
+  for (const observer::CoreUsage& usage : obs.cores)
+    row(usage, "cpu" + std::to_string(usage.core));
+  row(obs.aggregate, "CPU");
+  return table.to_string();
+}
+
+std::string findings_table(const core::CampaignReport& report) {
+  // Group findings by cause like the paper's rows ({sync, fsync} -> one
+  // "IO buffer flushes" row), unioning syscalls and symptoms.
+  struct Row {
+    std::vector<std::string> syscalls;
+    std::vector<std::string> symptoms;
+    bool is_new = false;
+  };
+  std::vector<std::pair<std::string, Row>> rows;
+  auto row_for = [&](const std::string& cause) -> Row& {
+    for (auto& [c, row] : rows)
+      if (c == cause) return row;
+    rows.emplace_back(cause, Row{});
+    return rows.back().second;
+  };
+  auto merge = [](std::vector<std::string>& into, const std::string& value) {
+    if (std::find(into.begin(), into.end(), value) == into.end())
+      into.push_back(value);
+  };
+  for (const core::Finding& f : report.findings) {
+    Row& row = row_for(f.cause);
+    for (const std::string& s : f.syscalls) merge(row.syscalls, s);
+    for (const oracle::Violation& v : f.violations)
+      merge(row.symptoms, v.heuristic);
+    row.is_new = row.is_new || f.is_new;
+  }
+
+  TextTable table({"syscall(s)", "Symptoms", "Cause", "New?"});
+  for (const auto& [cause, row] : rows) {
+    std::string names, symptoms;
+    for (const std::string& s : row.syscalls)
+      names += (names.empty() ? "" : ", ") + s;
+    for (const std::string& s : row.symptoms)
+      symptoms += (symptoms.empty() ? "" : "; ") + s;
+    table.add_row({names, symptoms, cause, row.is_new ? "yes" : "reconfirm"});
+  }
+  if (report.findings.empty()) table.add_row({"(none)", "-", "-", "-"});
+  return table.to_string();
+}
+
+std::string crashes_table(const core::CampaignReport& report) {
+  TextTable table({"syscall(s)", "Symptoms", "Cause", "New?"});
+  for (const core::CrashFinding& crash : report.crashes) {
+    // Collect the distinct syscalls of the crashing program.
+    std::string names;
+    std::vector<std::string> seen;
+    for (const prog::Call& call : crash.program.calls()) {
+      if (std::find(seen.begin(), seen.end(), call.desc->name) != seen.end())
+        continue;
+      seen.push_back(call.desc->name);
+    }
+    // Table 4.3 lists only the culpable call; open(2) dominates.
+    const bool has_open =
+        std::find(seen.begin(), seen.end(), "open") != seen.end();
+    names = has_open ? "open" : (seen.empty() ? "?" : seen.front());
+    table.add_row({names, "container crash",
+                   crash.message.substr(0, 60), "likely"});
+  }
+  if (report.crashes.empty()) table.add_row({"(none)", "-", "-", "-"});
+  return table.to_string();
+}
+
+std::string program_listing(const std::vector<prog::Program>& programs) {
+  std::string out;
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    out += "program " + std::to_string(i) + "\n";
+    out += programs[i].serialize();
+    out += "\n";
+  }
+  return out;
+}
+
+void print_header(const char* table, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("TORPEDO reproduction — %s\n", table);
+  std::printf("%s\n", description);
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace torpedo::bench

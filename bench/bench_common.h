@@ -1,0 +1,29 @@
+// Shared helpers for the table-reproduction benches: the appendix-style
+// per-core utilization table and the Table-4.2/4.3-style findings tables.
+#pragma once
+
+#include <string>
+
+#include "core/campaign.h"
+#include "observer/observation.h"
+
+namespace torpedo::bench {
+
+// Renders one observed round exactly like the paper's Appendix A tables:
+// CORE | BUSY | TOTAL | PERCENT | USER | NICE | SYSTEM | IDLE | IO WAIT |
+// IRQ | SOFTIRQ | STEAL | GUEST | GUEST NICE.
+std::string utilization_table(const observer::Observation& obs);
+
+// Renders findings like Table 4.2: syscall(s) | Symptoms | Cause | New?.
+std::string findings_table(const core::CampaignReport& report);
+
+// Renders crashes like Table 4.3: syscall(s) | Symptoms | Cause | New?.
+std::string crashes_table(const core::CampaignReport& report);
+
+// Prints the programs of a round in the paper's "program N" style.
+std::string program_listing(const std::vector<prog::Program>& programs);
+
+// Standard bench header.
+void print_header(const char* table, const char* description);
+
+}  // namespace torpedo::bench

@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot framework
+// paths — program generation/mutation, (de)serialization, syscall dispatch,
+// oracle evaluation, procfs round trips, and a full observer round.
+#include <benchmark/benchmark.h>
+
+#include "core/campaign.h"
+#include "core/seeds.h"
+#include "kernel/procfs.h"
+#include "kernel/syscalls.h"
+#include "prog/generate.h"
+#include "prog/mutate.h"
+
+using namespace torpedo;
+
+namespace {
+
+void BM_GenerateProgram(benchmark::State& state) {
+  prog::Generator gen{Rng(42)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate());
+  }
+}
+BENCHMARK(BM_GenerateProgram);
+
+void BM_MutateProgram(benchmark::State& state) {
+  prog::Generator gen{Rng(42)};
+  prog::Mutator mutator(gen);
+  std::vector<prog::Program> corpus;
+  for (int i = 0; i < 16; ++i) corpus.push_back(gen.generate());
+  prog::Program p = gen.generate();
+  for (auto _ : state) {
+    mutator.mutate(p, corpus);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_MutateProgram);
+
+void BM_SerializeProgram(benchmark::State& state) {
+  const prog::Program p = *core::named_seed("appendix-a1-prog1");
+  for (auto _ : state) benchmark::DoNotOptimize(p.serialize());
+}
+BENCHMARK(BM_SerializeProgram);
+
+void BM_ParseProgram(benchmark::State& state) {
+  const std::string text = core::named_seed("appendix-a1-prog1")->serialize();
+  for (auto _ : state) benchmark::DoNotOptimize(prog::Program::parse(text));
+}
+BENCHMARK(BM_ParseProgram);
+
+void BM_ProgramHash(benchmark::State& state) {
+  const prog::Program p = *core::named_seed("appendix-a1-prog1");
+  for (auto _ : state) benchmark::DoNotOptimize(p.hash());
+}
+BENCHMARK(BM_ProgramHash);
+
+void BM_SyscallDispatch(benchmark::State& state) {
+  kernel::KernelConfig cfg;
+  kernel::SimKernel kernel(cfg);
+  auto& hierarchy = kernel.host().cgroups();
+  auto& group = hierarchy.create(hierarchy.root(), "bm");
+  sim::Task& task = kernel.host().spawn({.name = "bm", .group = &group});
+  kernel::Process& proc = kernel.create_process("bm", &group, task.id());
+  kernel::SysReq req{kernel::Sysno::kGetpid, {}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.do_syscall(proc, req));
+  }
+}
+BENCHMARK(BM_SyscallDispatch);
+
+void BM_ProcStatRoundTrip(benchmark::State& state) {
+  kernel::KernelConfig cfg;
+  kernel::SimKernel kernel(cfg);
+  kernel.host().run_for(kSecond);
+  for (auto _ : state) {
+    auto parsed = kernel::parse_proc_stat(kernel::render_proc_stat(kernel.host()));
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ProcStatRoundTrip);
+
+void BM_CpuOracleFlag(benchmark::State& state) {
+  core::CampaignConfig config;
+  config.round_duration = kSecond;
+  core::Campaign campaign(config);
+  const std::vector<prog::Program> programs = {
+      *core::named_seed("appendix-a1-prog0"),
+      *core::named_seed("appendix-a1-prog1"),
+      *core::named_seed("appendix-a1-prog2")};
+  const observer::RoundResult& rr = campaign.observer().run_round(programs);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(campaign.cpu_oracle().flag(rr.observation));
+}
+BENCHMARK(BM_CpuOracleFlag);
+
+// One full observed round: 1 simulated second across 12 cores, 3 executors,
+// hundreds of thousands of simulated syscalls.
+void BM_ObserverRound(benchmark::State& state) {
+  core::CampaignConfig config;
+  config.round_duration = kSecond;
+  core::Campaign campaign(config);
+  const std::vector<prog::Program> programs = {
+      *core::named_seed("appendix-a1-prog0"),
+      *core::named_seed("appendix-a1-prog1"),
+      *core::named_seed("appendix-a1-prog2")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(campaign.observer().run_round(programs));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObserverRound)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

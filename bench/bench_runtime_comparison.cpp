@@ -1,0 +1,101 @@
+// Extension bench (§5.2 "Testing Additional Environments"): the same
+// baseline workload across all four runtime designs the paper discusses —
+// native (runC, crun), sandboxed (gVisor), and virtualized (Kata) — plus
+// whether each host-side adversarial path is reachable.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/seeds.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace torpedo;
+
+namespace {
+
+struct RuntimeRow {
+  double fuzz_busy_pct = 0;
+  double total_pct = 0;
+  std::uint64_t executions = 0;
+  Nanos startup = 0;
+  bool modprobe_reachable = false;
+  bool coredump_reachable = false;
+  bool sync_flush_reachable = false;
+};
+
+RuntimeRow run(runtime::RuntimeKind rt) {
+  core::CampaignConfig config;
+  config.runtime = rt;
+  config.round_duration = 3 * kSecond;
+  core::Campaign campaign(config);
+  RuntimeRow row;
+  row.startup = campaign.engine().runtime(rt).startup_cost();
+
+  const std::vector<prog::Program> baseline = {
+      *core::named_seed("appendix-a1-prog0"),
+      *core::named_seed("gvisor-prog2"),
+      *core::named_seed("appendix-a1-prog2"),
+  };
+  const observer::RoundResult& base = campaign.observer().run_round(baseline);
+  double busy = 0;
+  for (int core : base.observation.fuzz_cores)
+    busy += base.observation.core_usage(core)->percent();
+  row.fuzz_busy_pct = busy / 3.0;
+  row.total_pct = base.observation.total_utilization();
+  for (const exec::RunStats& s : base.stats) row.executions += s.executions;
+
+  // Probe the three host-side deferral paths with the known seeds.
+  const std::vector<prog::Program> probes = {
+      *core::named_seed("socket-modprobe"),
+      *core::named_seed("rt-sigreturn"),
+      *core::named_seed("sync"),
+  };
+  campaign.observer().run_round(probes);
+  row.modprobe_reachable = campaign.kernel().modprobe_execs() > 0;
+  row.coredump_reachable = campaign.kernel().coredumps() > 0;
+  // A handful of flushes suffices: next to the coredump probe's dirty
+  // flood, each sync(2) flush moves the full dirty cap and takes ~0.6 s.
+  row.sync_flush_reachable =
+      campaign.kernel().trace().count(kernel::TraceKind::kIoFlush, 0,
+                                      campaign.kernel().host().now()) >= 3;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension: runtime comparison (§5.2)",
+      "baseline utilization + adversarial-path reachability per runtime");
+
+  TextTable table({"runtime", "design", "startup", "fuzz-core busy",
+                   "total util", "executions/round", "modprobe?", "coredump?",
+                   "sync flush?"});
+  const struct {
+    runtime::RuntimeKind kind;
+    const char* design;
+  } rows[] = {
+      {runtime::RuntimeKind::kRunc, "native"},
+      {runtime::RuntimeKind::kCrun, "native"},
+      {runtime::RuntimeKind::kGvisor, "sandboxed"},
+      {runtime::RuntimeKind::kKata, "virtualized"},
+  };
+  for (const auto& r : rows) {
+    const RuntimeRow row = run(r.kind);
+    table.add_row({std::string(runtime::runtime_name(r.kind)), r.design,
+                   format("%lld ms", static_cast<long long>(
+                                         row.startup / kMillisecond)),
+                   format("%.1f%%", row.fuzz_busy_pct),
+                   format("%.1f%%", row.total_pct),
+                   std::to_string(row.executions),
+                   row.modprobe_reachable ? "REACHABLE" : "blocked",
+                   row.coredump_reachable ? "REACHABLE" : "blocked",
+                   row.sync_flush_reachable ? "REACHABLE" : "blocked"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts(
+      "\nexpected shape: native runtimes expose every host deferral path;\n"
+      "sandboxed/virtualized runtimes suppress all three at the cost of\n"
+      "startup time and per-call overhead.");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Table 4.1: "TORPEDO CPU Oracle Heuristics" — the four
+// heuristics, their configured thresholds, and the values calibrated from a
+// baseline round (the paper tunes these against known-vulnerability seeds,
+// §4.1).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/seeds.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace torpedo;
+
+int main() {
+  bench::print_header("Table 4.1", "TORPEDO CPU oracle heuristics");
+
+  core::CampaignConfig config;
+  core::Campaign campaign(config);
+
+  // Calibration: a clean baseline round, then one known-vulnerable round.
+  const std::vector<prog::Program> baseline = {
+      *core::named_seed("appendix-a1-prog0"),
+      *core::named_seed("appendix-a1-prog1"),
+      *core::named_seed("appendix-a1-prog2"),
+  };
+  const observer::RoundResult& base = campaign.observer().run_round(baseline);
+
+  double fuzz_min = 100.0, idle_max = 0.0, sysproc_max = 0.0;
+  for (const observer::CoreUsage& core : base.observation.cores) {
+    if (base.observation.is_fuzz_core(core.core))
+      fuzz_min = std::min(fuzz_min, core.percent());
+    else if (core.core != base.observation.side_band_core)
+      idle_max = std::max(idle_max, core.percent());
+  }
+  for (const observer::ProcSample& p : base.observation.processes)
+    if (oracle::is_system_process(p.name))
+      sysproc_max = std::max(sysproc_max, p.cpu_percent);
+
+  const oracle::CpuOracleConfig& oc = campaign.cpu_oracle().config();
+  TextTable table({"heuristic", "notes", "threshold", "baseline value"});
+  table.add_row({"fuzzing core CPU utilization", "expect above some threshold",
+                 format("%.0f%%", oc.fuzz_core_min_busy * 100),
+                 format("min %.1f%%", fuzz_min)});
+  table.add_row({"idle core CPU utilization", "expect below some threshold",
+                 format("%.0f%%", oc.idle_core_max_busy * 100),
+                 format("max %.1f%%", idle_max)});
+  table.add_row({"total CPU utilization", "expect below some threshold",
+                 format("caps+%.1f%%/core", oc.noise_headroom_per_core * 100),
+                 format("%.1f%%", base.observation.total_utilization())});
+  table.add_row({"system process CPU utilization",
+                 "expect below some threshold",
+                 format("%.0f%% of a core", oc.sysproc_max_percent),
+                 format("max %.1f%%", sysproc_max)});
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // Sanity: the heuristics fire on a known-vulnerable seed.
+  std::puts("\nvalidation against a known vulnerability (socket-modprobe):");
+  const std::vector<prog::Program> vuln = {
+      *core::named_seed("socket-modprobe"),
+      *core::named_seed("kcmp-pair"),
+      *core::named_seed("appendix-a1-prog2"),
+  };
+  const observer::RoundResult& bad = campaign.observer().run_round(vuln);
+  for (const auto& v : campaign.cpu_oracle().flag(bad.observation))
+    std::printf("  flagged: %s\n", v.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Table 4.2: "Collected Results from runC Tests".
+//
+// Runs a full fuzzing campaign with the paper's §4.2 parameters (3 executor
+// threads, 5-second rounds, 2.5% equivalence band, 1pp significance,
+// 15-round cycle-out) over a Moonshine-like seed corpus, then prints the
+// flagged / minimized / classified findings in the paper's table layout.
+//
+// Expected rows (by cause):
+//   sync, fsync          -> triggering IO buffer flushes        (reconfirm)
+//   rt_sigreturn, rseq   -> coredump via SIGSEGV                (reconfirm)
+//   fallocate, ftruncate -> coredump via SIGXFSZ                (reconfirm)
+//   socket               -> repeated kernel modprobe            (NEW)
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/seeds.h"
+
+using namespace torpedo;
+
+int main(int argc, char** argv) {
+  bench::print_header("Table 4.2", "Collected results from runC tests");
+
+  core::CampaignConfig config;  // paper defaults
+  config.num_seeds = 24;
+  config.batches = 8;
+  // Shorter campaigns for smoke runs: bench_table_4_2 --quick
+  if (argc > 1 && std::string(argv[1]) == "--quick") {
+    config.batches = 3;
+    config.num_seeds = 9;
+    config.round_duration = 2 * kSecond;
+    config.fuzzer.cycle_out_rounds = 4;
+  }
+
+  core::Campaign campaign(config);
+  campaign.load_default_seeds();
+  const core::CampaignReport report = campaign.run();
+
+  std::printf(
+      "campaign: %d batches, %d rounds, %llu program executions, corpus %zu\n"
+      "denylisted blocking syscalls:",
+      report.batches, report.rounds,
+      static_cast<unsigned long long>(report.executions), report.corpus_size);
+  for (const std::string& d : report.denylist) std::printf(" %s", d.c_str());
+  std::printf("\n\n");
+
+  std::fputs(bench::findings_table(report).c_str(), stdout);
+
+  std::puts("\nminimized adversarial programs:");
+  for (const core::Finding& f : report.findings) {
+    std::printf("-- %s (%s) --\n%s", f.syscall_list().c_str(),
+                f.cause.c_str(), f.serialized.c_str());
+  }
+
+  std::printf(
+      "\npaper reference rows: {sync,fsync | IO flush}, {rt_sigreturn | "
+      "SIGSEGV dump},\n  {rseq | SIGSEGV dump}, {fallocate,ftruncate | "
+      "SIGXFSZ dump}, {socket | modprobe, NEW}\n");
+  return 0;
+}

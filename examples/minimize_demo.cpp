@@ -1,0 +1,68 @@
+// Tool-assisted minimization (Algorithm 3) walkthrough.
+//
+// Starts from a bloated adversarial program (the Table A.3 audit/modprobe
+// workload buried in unrelated calls), confirms it violates the CPU oracle,
+// then strips it to the minimal call sequence that still produces the same
+// violations — demonstrating both the oracle-guided removal and the
+// resource-chain preservation the paper describes (§4.1.3).
+#include <cstdio>
+
+#include "core/campaign.h"
+#include "core/classify.h"
+#include "core/minimize.h"
+#include "core/seeds.h"
+
+using namespace torpedo;
+
+int main() {
+  core::CampaignConfig config;
+  config.round_duration = 2 * kSecond;
+  core::Campaign campaign(config);
+
+  // The A.1.3 program padded with junk a fuzzer would accumulate.
+  auto bloated = prog::Program::parse(
+      "r0 = getpid()\n"
+      "mmap(0x7f0000000000, 0x1000, 0x3, 0x32, 0xffffffffffffffff, 0x0)\n"
+      "r1 = socket$netlink(0x10, 0x3, 0x9)\n"
+      "uname('')\n"
+      "socketpair(0x4, 0x3, 0x7, '')\n"
+      "umask(0x12)\n"
+      "sendto(r1, 'testing audit system', 0x24, 0x0, '', 0xc)\n"
+      "sched_yield()\n");
+  if (!bloated) {
+    std::puts("internal error: seed failed to parse");
+    return 1;
+  }
+
+  std::printf("original program (%zu calls):\n%s\n", bloated->size(),
+              bloated->serialize().c_str());
+
+  core::SingleRunner runner(campaign.observer(), campaign.cpu_oracle());
+  const auto before = runner.violations(*bloated);
+  std::puts("oracle violations of the original:");
+  for (const auto& v : before) std::printf("  %s\n", v.to_string().c_str());
+  if (before.empty()) {
+    std::puts("  (none — nothing to minimize)");
+    return 0;
+  }
+
+  const prog::Program minimized = core::minimize(*bloated, runner);
+  std::printf("\nminimized program (%zu calls, %d confirmation rounds):\n%s\n",
+              minimized.size(), runner.rounds_used(),
+              minimized.serialize().c_str());
+
+  const auto after = runner.violations(minimized);
+  std::puts("oracle violations of the minimized program:");
+  for (const auto& v : after) std::printf("  %s\n", v.to_string().c_str());
+  std::printf("violation sets match: %s\n",
+              core::same_violations(before, after) ? "yes" : "NO");
+
+  core::CauseClassifier classifier(campaign.kernel());
+  const observer::Observation& window = runner.last_round().observation;
+  std::printf("classified cause: %s\n",
+              classifier
+                  .classify(window.window_start, window.window_end,
+                            runner.last_round().stats[0])
+                  .c_str());
+  return 0;
+}

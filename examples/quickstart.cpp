@@ -1,0 +1,81 @@
+// Quickstart: run the three Appendix A.1.1 programs in runC containers for
+// one observed round and print a Table-A.1-style utilization breakdown.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/campaign.h"
+#include "core/seeds.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace torpedo;
+
+int main() {
+  // The paper's §4.2 setup: 12 hardware threads, 3 fuzzing containers pinned
+  // to cores 0-2, each limited to 1 CPU, 5-second rounds.
+  core::CampaignConfig config;
+  config.runtime = runtime::RuntimeKind::kRunc;
+  core::Campaign campaign(config);
+
+  const std::vector<prog::Program> programs = {
+      *core::named_seed("appendix-a1-prog0"),
+      *core::named_seed("appendix-a1-prog1"),
+      *core::named_seed("appendix-a1-prog2"),
+  };
+
+  std::puts("Programs under test:");
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    std::printf("-- program %zu --\n%s", i, programs[i].serialize().c_str());
+  }
+
+  const observer::RoundResult& round = campaign.observer().run_round(programs);
+  const observer::Observation& obs = round.observation;
+
+  TextTable table({"CORE", "BUSY", "TOTAL", "PERCENT", "USER", "NICE",
+                   "SYSTEM", "IDLE", "IO WAIT", "IRQ", "SOFTIRQ"});
+  auto row = [&](const observer::CoreUsage& usage, const std::string& label) {
+    table.add_row({label, std::to_string(usage.busy()),
+                   std::to_string(usage.total()),
+                   format("%.2f", usage.percent()),
+                   std::to_string(usage[sim::CpuCategory::kUser]),
+                   std::to_string(usage[sim::CpuCategory::kNice]),
+                   std::to_string(usage[sim::CpuCategory::kSystem]),
+                   std::to_string(usage[sim::CpuCategory::kIdle]),
+                   std::to_string(usage[sim::CpuCategory::kIoWait]),
+                   std::to_string(usage[sim::CpuCategory::kIrq]),
+                   std::to_string(usage[sim::CpuCategory::kSoftirq])});
+  };
+  for (const observer::CoreUsage& usage : obs.cores)
+    row(usage, "cpu" + std::to_string(usage.core));
+  row(obs.aggregate, "CPU");
+  std::printf("\n%s\n", table.to_string().c_str());
+
+  std::puts("Executor stats:");
+  for (std::size_t i = 0; i < round.stats.size(); ++i) {
+    const exec::RunStats& s = round.stats[i];
+    std::printf(
+        "  executor %zu: %llu executions, avg %.1f us, signal %zu, "
+        "fatal signals %llu\n",
+        i, static_cast<unsigned long long>(s.executions),
+        static_cast<double>(s.avg_execution_time) / 1000.0, s.signal.size(),
+        static_cast<unsigned long long>(s.fatal_signals));
+  }
+
+  std::puts("\nTop (long-lived processes only):");
+  for (const observer::ProcSample& p : obs.processes) {
+    if (p.cpu_percent < 0.2) continue;
+    std::printf("  %-22s %6.2f%%  %s\n", p.name.c_str(), p.cpu_percent,
+                p.cgroup.c_str());
+  }
+
+  std::printf("\nOracle score (total CPU utilization): %.2f%%\n",
+              campaign.cpu_oracle().score(obs));
+  for (const auto& v : campaign.cpu_oracle().flag(obs))
+    std::printf("  CPU violation: %s\n", v.to_string().c_str());
+  for (const auto& v : campaign.io_oracle().flag(obs))
+    std::printf("  IO violation: %s\n", v.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,192 @@
+#include "cgroup/cgroup.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace torpedo::cgroup {
+
+Cgroup::Cgroup(std::string name, Cgroup* parent)
+    : name_(std::move(name)), parent_(parent) {}
+
+std::string Cgroup::path() const {
+  if (is_root()) return "/";
+  std::string p = parent_->path();
+  if (p.back() != '/') p += '/';
+  p += name_;
+  return p;
+}
+
+CpuSet Cgroup::effective_cpuset() const {
+  CpuSet inherited =
+      parent_ ? parent_->effective_cpuset() : CpuSet::all(64);
+  if (cpuset_.empty()) return inherited;
+  return cpuset_.intersect(inherited);
+}
+
+void Cgroup::charge_cpu(Nanos ns) {
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) g->cpu_.usage += ns;
+}
+
+void Cgroup::refresh_window(Nanos now) {
+  if (cpu_.quota == CpuController::kNoQuota) return;
+  if (now < cpu_.window_start + cpu_.period) return;
+  const std::uint64_t periods_passed = static_cast<std::uint64_t>(
+      (now - cpu_.window_start) / cpu_.period);
+  cpu_.window_start += static_cast<Nanos>(periods_passed) * cpu_.period;
+  cpu_.window_usage = 0;
+  cpu_.nr_periods += periods_passed;
+}
+
+Nanos Cgroup::cpu_runtime_available(Nanos now, Nanos want) {
+  TORPEDO_CHECK(want >= 0);
+  Nanos allowed = want;
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) {
+    if (g->cpu_.quota == CpuController::kNoQuota) continue;
+    g->refresh_window(now);
+    const Nanos remaining = std::max<Nanos>(
+        0, g->cpu_.quota - g->cpu_.window_usage);
+    // Never run past the end of the current window: the quota refills there.
+    const Nanos to_window_end = g->cpu_.window_start + g->cpu_.period - now;
+    allowed = std::min(allowed, std::min(remaining, to_window_end));
+  }
+  return std::max<Nanos>(0, allowed);
+}
+
+void Cgroup::consume_cpu(Nanos now, Nanos ns) {
+  TORPEDO_CHECK(ns >= 0);
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) {
+    g->cpu_.usage += ns;
+    if (g->cpu_.quota == CpuController::kNoQuota) continue;
+    g->refresh_window(now);
+    g->cpu_.window_usage += ns;
+    if (g->cpu_.window_usage >= g->cpu_.quota) g->cpu_.nr_throttled++;
+  }
+}
+
+Nanos Cgroup::next_refill(Nanos now) const {
+  Nanos refill = now;
+  for (const Cgroup* g = this; g != nullptr; g = g->parent_) {
+    if (g->cpu_.quota == CpuController::kNoQuota) continue;
+    // Window state may be stale; compute the window containing `now`.
+    Nanos start = g->cpu_.window_start;
+    if (now >= start + g->cpu_.period) {
+      const std::int64_t periods = (now - start) / g->cpu_.period;
+      start += periods * g->cpu_.period;
+      // A rolled-over window has a fresh quota; no wait needed from it.
+      continue;
+    }
+    if (g->cpu_.window_usage >= g->cpu_.quota)
+      refill = std::max(refill, start + g->cpu_.period);
+  }
+  return refill;
+}
+
+bool Cgroup::charge_memory(std::int64_t bytes) {
+  TORPEDO_CHECK(bytes >= 0);
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) {
+    if (g->memory_.limit_bytes != MemoryController::kNoLimit &&
+        g->memory_.usage_bytes + bytes > g->memory_.limit_bytes) {
+      g->memory_.failcnt++;
+      return false;
+    }
+  }
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) {
+    g->memory_.usage_bytes += bytes;
+    g->memory_.max_usage_bytes =
+        std::max(g->memory_.max_usage_bytes, g->memory_.usage_bytes);
+  }
+  return true;
+}
+
+void Cgroup::uncharge_memory(std::int64_t bytes) {
+  TORPEDO_CHECK(bytes >= 0);
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) {
+    g->memory_.usage_bytes = std::max<std::int64_t>(
+        0, g->memory_.usage_bytes - bytes);
+  }
+}
+
+void Cgroup::charge_blkio_read(std::uint64_t bytes) {
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) {
+    g->blkio_.bytes_read += bytes;
+    g->blkio_.ios++;
+  }
+}
+
+void Cgroup::charge_blkio_write(std::uint64_t bytes) {
+  for (Cgroup* g = this; g != nullptr; g = g->parent_) {
+    g->blkio_.bytes_written += bytes;
+    g->blkio_.ios++;
+  }
+}
+
+Hierarchy::Hierarchy(int num_cores) : num_cores_(num_cores) {
+  TORPEDO_CHECK(num_cores > 0 && num_cores <= 64);
+  root_ = std::unique_ptr<Cgroup>(new Cgroup("", nullptr));
+  root_->set_cpuset(CpuSet::all(num_cores));
+}
+
+Cgroup& Hierarchy::create(Cgroup& parent, const std::string& name) {
+  TORPEDO_CHECK_MSG(!name.empty() && name.find('/') == std::string::npos,
+                    "cgroup name must be a single non-empty path segment");
+  for (Cgroup* child : parent.children_view_)
+    TORPEDO_CHECK_MSG(child->name() != name, "duplicate cgroup name");
+  auto group = std::unique_ptr<Cgroup>(new Cgroup(name, &parent));
+  Cgroup* raw = group.get();
+  parent.children_.push_back(std::move(group));
+  parent.children_view_.push_back(raw);
+  return *raw;
+}
+
+Cgroup* Hierarchy::find(const std::string& path) {
+  if (path.empty() || path[0] != '/') return nullptr;
+  Cgroup* cur = root_.get();
+  std::size_t pos = 1;
+  while (pos < path.size()) {
+    std::size_t next = path.find('/', pos);
+    if (next == std::string::npos) next = path.size();
+    const std::string_view segment(path.data() + pos, next - pos);
+    Cgroup* found = nullptr;
+    for (Cgroup* child : cur->children_view_) {
+      if (child->name() == segment) {
+        found = child;
+        break;
+      }
+    }
+    if (!found) return nullptr;
+    cur = found;
+    pos = next + 1;
+  }
+  return cur;
+}
+
+void Hierarchy::remove(Cgroup& group) {
+  TORPEDO_CHECK_MSG(!group.is_root(), "cannot remove root cgroup");
+  TORPEDO_CHECK_MSG(group.children_view_.empty(),
+                    "cannot remove cgroup with children");
+  Cgroup* parent = group.parent();
+  auto& view = parent->children_view_;
+  view.erase(std::find(view.begin(), view.end(), &group));
+  auto& owned = parent->children_;
+  owned.erase(std::find_if(owned.begin(), owned.end(),
+                           [&](const auto& p) { return p.get() == &group; }));
+}
+
+std::vector<std::pair<std::string, Nanos>> Hierarchy::cpu_usage_by_group()
+    const {
+  std::vector<std::pair<std::string, Nanos>> out;
+  // Depth-first, explicit stack to avoid recursion limits on deep trees.
+  std::vector<const Cgroup*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Cgroup* g = stack.back();
+    stack.pop_back();
+    out.emplace_back(g->path(), g->cpu().usage);
+    const auto& kids = g->children();
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it)
+      stack.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace torpedo::cgroup

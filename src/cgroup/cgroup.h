@@ -1,0 +1,142 @@
+// Control groups: hierarchical resource accounting and limiting.
+//
+// This models the subset of cgroup-v1 behaviour containers rely on (Table 2.1
+// of the paper): the cpu controller (shares + CFS bandwidth quota), cpuset,
+// memory, and blkio. Crucially it also models the accounting *gap* the paper
+// exploits: work executed by kernel threads (kworkers, usermodehelper
+// children, ksoftirqd) and system daemons lands in the root cgroup or a
+// daemon cgroup, never in the originating container's group. The simulator
+// routes every nanosecond of CPU through Cgroup::charge_cpu, so "out of
+// band" utilization is exactly the utilization missing from the container
+// group when compared against per-core counters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cgroup/cpuset.h"
+#include "util/time.h"
+
+namespace torpedo::cgroup {
+
+// CFS bandwidth control state for one group (cpu.cfs_quota_us semantics).
+struct CpuController {
+  std::uint64_t shares = 1024;
+  // Quota per period; kNoQuota means unlimited.
+  static constexpr Nanos kNoQuota = -1;
+  Nanos quota = kNoQuota;
+  Nanos period = 100 * kMillisecond;
+
+  // Accounting.
+  Nanos usage = 0;  // total charged CPU time, ever
+
+  // Bandwidth-window state.
+  Nanos window_start = 0;
+  Nanos window_usage = 0;
+  std::uint64_t nr_periods = 0;
+  std::uint64_t nr_throttled = 0;
+};
+
+struct MemoryController {
+  static constexpr std::int64_t kNoLimit = -1;
+  std::int64_t limit_bytes = kNoLimit;
+  std::int64_t usage_bytes = 0;
+  std::int64_t max_usage_bytes = 0;
+  std::uint64_t failcnt = 0;
+};
+
+struct BlkioController {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t ios = 0;
+};
+
+class Hierarchy;
+
+class Cgroup {
+ public:
+  Cgroup(const Cgroup&) = delete;
+  Cgroup& operator=(const Cgroup&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::string path() const;
+  Cgroup* parent() const { return parent_; }
+  bool is_root() const { return parent_ == nullptr; }
+
+  CpuController& cpu() { return cpu_; }
+  const CpuController& cpu() const { return cpu_; }
+  MemoryController& memory() { return memory_; }
+  const MemoryController& memory() const { return memory_; }
+  BlkioController& blkio() { return blkio_; }
+  const BlkioController& blkio() const { return blkio_; }
+
+  // Effective cpuset: own set intersected with all ancestors'. An empty own
+  // set means "inherit".
+  void set_cpuset(const CpuSet& cpus) { cpuset_ = cpus; }
+  CpuSet effective_cpuset() const;
+
+  // Charge `ns` of CPU time to this group and all ancestors.
+  void charge_cpu(Nanos ns);
+
+  // CFS bandwidth: how much of `want` this group (considering ancestors) may
+  // run starting at `now` before hitting its quota. Returns 0 if throttled.
+  Nanos cpu_runtime_available(Nanos now, Nanos want);
+
+  // Consume bandwidth (call after the time actually ran). Also charges usage.
+  void consume_cpu(Nanos now, Nanos ns);
+
+  // Time at which the nearest exhausted ancestor's bandwidth window refills.
+  Nanos next_refill(Nanos now) const;
+
+  bool charge_memory(std::int64_t bytes);  // false (and failcnt++) on limit
+  void uncharge_memory(std::int64_t bytes);
+
+  void charge_blkio_read(std::uint64_t bytes);
+  void charge_blkio_write(std::uint64_t bytes);
+
+  const std::vector<Cgroup*>& children() const { return children_view_; }
+
+ private:
+  friend class Hierarchy;
+  Cgroup(std::string name, Cgroup* parent);
+
+  // Rolls the bandwidth window forward to the period containing `now`.
+  void refresh_window(Nanos now);
+
+  std::string name_;
+  Cgroup* parent_ = nullptr;
+  std::vector<std::unique_ptr<Cgroup>> children_;
+  std::vector<Cgroup*> children_view_;
+
+  CpuSet cpuset_;  // empty == inherit
+  CpuController cpu_;
+  MemoryController memory_;
+  BlkioController blkio_;
+};
+
+// Owns the tree. The root group defines no restrictions, like the kernel's.
+class Hierarchy {
+ public:
+  explicit Hierarchy(int num_cores);
+
+  Cgroup& root() { return *root_; }
+  const Cgroup& root() const { return *root_; }
+
+  Cgroup& create(Cgroup& parent, const std::string& name);
+  // Finds by absolute path ("/docker/<id>"); nullptr if absent.
+  Cgroup* find(const std::string& path);
+  void remove(Cgroup& group);  // group must have no children
+
+  int num_cores() const { return num_cores_; }
+
+  // cgtop-style flat listing of (path, cpu usage ns), depth-first.
+  std::vector<std::pair<std::string, Nanos>> cpu_usage_by_group() const;
+
+ private:
+  int num_cores_;
+  std::unique_ptr<Cgroup> root_;
+};
+
+}  // namespace torpedo::cgroup

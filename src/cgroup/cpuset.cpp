@@ -1,0 +1,110 @@
+#include "cgroup/cpuset.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace torpedo::cgroup {
+
+CpuSet CpuSet::all(int num_cores) {
+  TORPEDO_CHECK(num_cores >= 0 && num_cores <= 64);
+  CpuSet s;
+  if (num_cores == 64)
+    s.mask_ = ~0ULL;
+  else
+    s.mask_ = (1ULL << num_cores) - 1;
+  return s;
+}
+
+CpuSet CpuSet::single(int core) {
+  CpuSet s;
+  s.add(core);
+  return s;
+}
+
+CpuSet CpuSet::of(std::initializer_list<int> cores) {
+  CpuSet s;
+  for (int c : cores) s.add(c);
+  return s;
+}
+
+std::optional<CpuSet> CpuSet::parse(std::string_view spec) {
+  CpuSet out;
+  if (trim(spec).empty()) return std::nullopt;
+  for (auto part : split(spec, ',')) {
+    part = trim(part);
+    auto dash = part.find('-');
+    if (dash == std::string_view::npos) {
+      auto v = parse_u64(part);
+      if (!v || *v >= 64) return std::nullopt;
+      out.add(static_cast<int>(*v));
+    } else {
+      auto lo = parse_u64(trim(part.substr(0, dash)));
+      auto hi = parse_u64(trim(part.substr(dash + 1)));
+      if (!lo || !hi || *lo > *hi || *hi >= 64) return std::nullopt;
+      for (std::uint64_t c = *lo; c <= *hi; ++c)
+        out.add(static_cast<int>(c));
+    }
+  }
+  return out;
+}
+
+void CpuSet::add(int core) {
+  TORPEDO_CHECK(core >= 0 && core < 64);
+  mask_ |= 1ULL << core;
+}
+
+void CpuSet::remove(int core) {
+  TORPEDO_CHECK(core >= 0 && core < 64);
+  mask_ &= ~(1ULL << core);
+}
+
+bool CpuSet::contains(int core) const {
+  if (core < 0 || core >= 64) return false;
+  return (mask_ >> core) & 1;
+}
+
+int CpuSet::count() const { return __builtin_popcountll(mask_); }
+
+int CpuSet::first() const {
+  if (mask_ == 0) return -1;
+  return __builtin_ctzll(mask_);
+}
+
+std::vector<int> CpuSet::cores() const {
+  std::vector<int> out;
+  for (int c = 0; c < 64; ++c)
+    if (contains(c)) out.push_back(c);
+  return out;
+}
+
+std::string CpuSet::to_string() const {
+  std::string out;
+  int run_start = -1;
+  auto flush = [&](int run_end) {
+    if (run_start < 0) return;
+    if (!out.empty()) out += ',';
+    out += std::to_string(run_start);
+    if (run_end > run_start) {
+      out += '-';
+      out += std::to_string(run_end);
+    }
+    run_start = -1;
+  };
+  for (int c = 0; c < 64; ++c) {
+    if (contains(c)) {
+      if (run_start < 0) run_start = c;
+    } else if (run_start >= 0) {
+      flush(c - 1);
+    }
+  }
+  flush(63);
+  return out;
+}
+
+CpuSet CpuSet::intersect(const CpuSet& other) const {
+  CpuSet s;
+  s.mask_ = mask_ & other.mask_;
+  return s;
+}
+
+}  // namespace torpedo::cgroup

@@ -1,0 +1,46 @@
+// CPU set: which physical cores a task/cgroup may be scheduled on.
+//
+// Mirrors the cpuset cgroup controller and Docker's --cpuset-cpus list syntax
+// ("0-2,7"). The simulated host has at most 64 logical cores, which covers
+// the paper's 12-thread testbed with room to spare.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace torpedo::cgroup {
+
+class CpuSet {
+ public:
+  CpuSet() = default;
+
+  static CpuSet all(int num_cores);
+  static CpuSet single(int core);
+  static CpuSet of(std::initializer_list<int> cores);
+
+  // Parses Docker's --cpuset-cpus syntax, e.g. "0-2,7". Returns nullopt on
+  // malformed input.
+  static std::optional<CpuSet> parse(std::string_view spec);
+
+  void add(int core);
+  void remove(int core);
+  bool contains(int core) const;
+  bool empty() const { return mask_ == 0; }
+  int count() const;
+  int first() const;  // lowest set core, -1 if empty
+
+  std::vector<int> cores() const;
+  std::string to_string() const;  // canonical "0-2,7" form
+
+  CpuSet intersect(const CpuSet& other) const;
+
+  friend bool operator==(const CpuSet&, const CpuSet&) = default;
+
+ private:
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace torpedo::cgroup

@@ -1,0 +1,298 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/seeds.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace torpedo::core {
+
+Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
+  TORPEDO_CHECK(config_.num_executors > 0);
+  config_.kernel.host.seed ^= config_.seed;
+  kernel_ = std::make_unique<kernel::SimKernel>(config_.kernel);
+  if (config_.install_noise)
+    sim::install_noise(kernel_->host(), config_.noise);
+
+  runtime::EngineConfig engine_config;
+  engine_config.ldisc_core =
+      std::min(config_.num_executors, kernel_->host().num_cores() - 1);
+  engine_config.seed = config_.seed;
+  engine_ = std::make_unique<runtime::Engine>(*kernel_, engine_config);
+
+  for (int i = 0; i < config_.num_executors; ++i) {
+    runtime::ContainerSpec spec;
+    spec.name = "fuzz" + std::to_string(i);
+    spec.runtime = config_.runtime;
+    spec.cpus = config_.cpus_per_container;
+    spec.memory_bytes = config_.memory_bytes_per_container;
+    if (config_.pin_executors) spec.cpuset_cpus = std::to_string(i);
+    executors_.push_back(
+        std::make_unique<exec::Executor>(*engine_, spec, config_.exec));
+  }
+
+  std::vector<exec::Executor*> raw;
+  for (const auto& e : executors_) raw.push_back(e.get());
+  observer::ObserverConfig obs_config = config_.observer;
+  obs_config.round_duration = config_.round_duration;
+  obs_config.side_band_core = engine_config.ldisc_core;
+  observer_ =
+      std::make_unique<observer::Observer>(*kernel_, std::move(raw), obs_config);
+
+  cpu_oracle_ = std::make_unique<oracle::CpuOracle>(config_.cpu_oracle);
+  io_oracle_ = std::make_unique<oracle::IoOracle>(config_.io_oracle);
+  memory_oracle_ = std::make_unique<oracle::MemoryOracle>();
+
+  generator_ =
+      std::make_unique<prog::Generator>(Rng(config_.seed), config_.gen);
+  mutator_ = std::make_unique<prog::Mutator>(*generator_, config_.mutate);
+  fuzzer_ = std::make_unique<TorpedoFuzzer>(*observer_, *cpu_oracle_,
+                                            *generator_, *mutator_, corpus_,
+                                            config_.fuzzer);
+
+  // Let the container setup helpers and daemons settle before measuring.
+  observer_->warm_up(kSecond);
+}
+
+Campaign::~Campaign() = default;
+
+void Campaign::load_default_seeds() {
+  load_seeds(moonshine_seeds(config_.num_seeds, config_.seed));
+}
+
+void Campaign::load_seeds(std::vector<prog::Program> seeds) {
+  for (prog::Program& p : seeds) fuzzer_->add_seed(std::move(p));
+}
+
+BatchResult Campaign::run_one_batch() {
+  ++batches_run_;
+  return fuzzer_->run_batch();
+}
+
+CampaignReport Campaign::run() {
+  if (fuzzer_->pending() == 0) load_default_seeds();
+  for (int b = 0; b < config_.batches; ++b) {
+    const BatchResult result = run_one_batch();
+    TORPEDO_LOG(LogLevel::kInfo,
+                "batch %d: rounds=%d baseline=%.1f best=%.1f improvements=%d",
+                b, result.rounds, result.baseline_score, result.best_score,
+                result.improvements);
+  }
+  return finalize();
+}
+
+namespace {
+
+// Flags with every oracle at once (symptoms should include IO-wait and
+// memory violations even when the CPU oracle is the score source).
+class UnionOracle final : public oracle::Oracle {
+ public:
+  UnionOracle(oracle::CpuOracle& cpu, oracle::IoOracle& io,
+              oracle::MemoryOracle& memory)
+      : cpu_(cpu), io_(io), memory_(memory) {}
+  std::string_view name() const override { return "union"; }
+  double score(const observer::Observation& obs) const override {
+    return cpu_.score(obs);
+  }
+  std::vector<oracle::Violation> flag(
+      const observer::Observation& obs) const override {
+    std::vector<oracle::Violation> out = cpu_.flag(obs);
+    for (auto& v : io_.flag(obs)) out.push_back(std::move(v));
+    for (auto& v : memory_.flag(obs)) out.push_back(std::move(v));
+    return out;
+  }
+
+ private:
+  oracle::CpuOracle& cpu_;
+  oracle::IoOracle& io_;
+  oracle::MemoryOracle& memory_;
+};
+
+}  // namespace
+
+CampaignReport Campaign::finalize() {
+  CampaignReport report;
+  report.batches = batches_run_;
+  report.denylist = fuzzer_->denylist();
+
+  // ---- flag scan over the round log (§3.6.1) ------------------------------
+  const std::deque<observer::RoundResult>& log = observer_->log();
+  const std::size_t scanned_rounds = log.size();
+  report.rounds = static_cast<int>(scanned_rounds);
+  report.executions = fuzzer_->total_executions();
+  report.corpus_size = corpus_.size();
+
+  struct Suspect {
+    prog::Program program;
+    int round;
+    std::size_t severity = 0;  // violations in the source round
+  };
+  std::vector<Suspect> suspects;
+  std::vector<Suspect> crash_suspects;
+  std::unordered_set<std::uint64_t> seen;
+  // Mutants of one program share their syscall-name set; confirming a few
+  // representatives per set keeps the budget for genuinely distinct shapes.
+  std::unordered_map<std::string, int> shape_counts;
+  auto shape_key = [](const prog::Program& p) {
+    std::vector<std::string> names;
+    for (const prog::Call& call : p.calls()) names.push_back(call.desc->name);
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    std::string key;
+    for (const std::string& n : names) key += n + ",";
+    return key;
+  };
+
+  UnionOracle union_oracle(*cpu_oracle_, *io_oracle_, *memory_oracle_);
+  for (std::size_t r = 0; r < scanned_rounds; ++r) {
+    const observer::RoundResult& rr = log[r];
+    const std::vector<oracle::Violation> violations =
+        union_oracle.flag(rr.observation);
+    // Attribute: a low fuzz core points at the executor pinned there; any
+    // host-wide violation implicates the whole batch.
+    std::vector<bool> implicated(rr.programs.size(), false);
+    for (const oracle::Violation& v : violations) {
+      bool matched = false;
+      if (v.heuristic == "fuzz-core-utilization-low") {
+        for (std::size_t i = 0; i < rr.programs.size(); ++i) {
+          const int core = static_cast<int>(i);  // executors pinned 0..n-1
+          if (v.subject == "cpu" + std::to_string(core)) {
+            implicated[i] = true;
+            matched = true;
+          }
+        }
+      }
+      if (!matched)
+        for (std::size_t i = 0; i < rr.programs.size(); ++i)
+          implicated[i] = true;
+    }
+    for (std::size_t i = 0; i < rr.programs.size(); ++i) {
+      const prog::Program& p = rr.programs[i];
+      if (i < rr.stats.size() && rr.stats[i].crashed) {
+        if (seen.insert(p.hash() ^ 0xC4A54ULL).second)
+          crash_suspects.push_back({p, rr.round});
+        continue;
+      }
+      if (implicated[i] && seen.insert(p.hash()).second &&
+          shape_counts[shape_key(p)]++ < 3)
+        suspects.push_back({p, rr.round, violations.size()});
+    }
+  }
+  // Interleave across shapes so one prolific mutant family can't starve the
+  // confirmation budget: order shape groups by their best severity, then
+  // take one suspect per group round-robin.
+  {
+    std::vector<std::pair<std::string, std::vector<Suspect>>> groups;
+    for (Suspect& s : suspects) {
+      const std::string key = shape_key(s.program);
+      auto it = std::find_if(groups.begin(), groups.end(),
+                             [&](const auto& g) { return g.first == key; });
+      if (it == groups.end()) {
+        groups.emplace_back(key, std::vector<Suspect>{});
+        it = groups.end() - 1;
+      }
+      it->second.push_back(std::move(s));
+    }
+    std::stable_sort(groups.begin(), groups.end(),
+                     [](const auto& a, const auto& b) {
+                       auto best = [](const std::vector<Suspect>& v) {
+                         std::size_t m = 0;
+                         for (const Suspect& s : v)
+                           m = std::max(m, s.severity);
+                         return m;
+                       };
+                       return best(a.second) > best(b.second);
+                     });
+    suspects.clear();
+    for (std::size_t pass = 0;; ++pass) {
+      bool any = false;
+      for (auto& [key, group] : groups) {
+        if (pass < group.size()) {
+          suspects.push_back(std::move(group[pass]));
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
+  }
+
+  // ---- confirmation + minimization + classification ------------------------
+  SingleRunner runner(*observer_, union_oracle);
+  CauseClassifier classifier(*kernel_);
+  std::unordered_set<std::string> dedup;
+
+  std::size_t confirmations = 0;
+  for (const Suspect& suspect : suspects) {
+    if (confirmations >= config_.max_confirmations) break;
+    ++confirmations;
+
+    std::vector<oracle::Violation> violations =
+        runner.violations(suspect.program);
+    if (violations.empty()) continue;  // innocent batch member
+
+    // A program that merely blocks all round leaves its own core quiet and
+    // nothing else; the paper treats these as "thoroughly uninteresting"
+    // (denylist bait), not findings.
+    const bool blocked_only =
+        runner.last_round().stats[0].executions <= 3 &&
+        std::all_of(violations.begin(), violations.end(),
+                    [](const oracle::Violation& v) {
+                      return v.heuristic == "fuzz-core-utilization-low";
+                    });
+    if (blocked_only) continue;
+
+    SingleRunner confirm_runner(*observer_, union_oracle);
+    prog::Program minimized = minimize(suspect.program, confirm_runner);
+
+    // Classification window: rerun the minimized program once.
+    std::vector<oracle::Violation> final_violations =
+        confirm_runner.violations(minimized);
+    if (final_violations.empty()) final_violations = violations;
+    const observer::Observation& window =
+        confirm_runner.last_round().observation;
+    const exec::RunStats& stats = confirm_runner.last_round().stats[0];
+
+    Finding finding;
+    finding.program = minimized;
+    finding.serialized = minimized.serialize();
+    for (const prog::Call& call : minimized.calls()) {
+      if (std::find(finding.syscalls.begin(), finding.syscalls.end(),
+                    call.desc->name) == finding.syscalls.end())
+        finding.syscalls.push_back(call.desc->name);
+    }
+    finding.violations = final_violations;
+    finding.symptoms = summarize_symptoms(final_violations);
+    finding.cause = classifier.classify(window.window_start,
+                                        window.window_end, stats);
+    finding.is_new = CauseClassifier::is_new_cause(finding.cause);
+    finding.source_round = suspect.round;
+
+    const std::string key = finding.syscall_list() + "|" + finding.cause;
+    if (dedup.insert(key).second) report.findings.push_back(std::move(finding));
+  }
+
+  // ---- runtime crash reports ------------------------------------------------
+  std::unordered_set<std::string> crash_dedup;
+  for (const Suspect& suspect : crash_suspects) {
+    CrashFinding crash;
+    crash.program = suspect.program;
+    crash.serialized = suspect.program.serialize();
+    crash.source_round = suspect.round;
+    // Reproduce in a fresh container: one confirmation round.
+    (void)runner.violations(suspect.program);
+    const observer::RoundResult& rr = runner.last_round();
+    crash.reproduced = rr.any_crash;
+    crash.message = rr.stats.empty() ? "" : rr.stats[0].crash_message;
+    if (crash.message.empty()) crash.message = "container crashed";
+    // The paper reports distinct *bugs*, not every mutant that trips the
+    // same one: dedup by panic message.
+    if (crash_dedup.insert(crash.message).second)
+      report.crashes.push_back(std::move(crash));
+  }
+
+  return report;
+}
+
+}  // namespace torpedo::core

@@ -1,0 +1,109 @@
+// Campaign: the top-level public API.
+//
+// Builds the whole stack — simulated host, kernel, engine, one pinned
+// container per fuzzing thread, observer, oracles, fuzzer — from a single
+// config (the paper's §4.2 experimental setup is the default), runs batches
+// of seeds through the fuzzing loop, then post-processes the round log:
+// flag scan (§3.6.1), single-program confirmation, Algorithm-3 minimization,
+// and trace-based cause classification (§4.1.4).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/fuzzer.h"
+#include "core/minimize.h"
+#include "exec/executor.h"
+#include "feedback/corpus.h"
+#include "kernel/kernel.h"
+#include "observer/observer.h"
+#include "oracle/oracle.h"
+#include "runtime/engine.h"
+#include "sim/noise.h"
+
+namespace torpedo::core {
+
+struct CampaignConfig {
+  // --- §4.2 experimental setup defaults ---
+  runtime::RuntimeKind runtime = runtime::RuntimeKind::kRunc;
+  int num_executors = 3;              // "3 parallel threads"
+  Nanos round_duration = 5 * kSecond; // "5 second rounds"
+  double cpus_per_container = 1.0;    // --cpus
+  bool pin_executors = true;          // --cpuset-cpus 0 / 1 / 2
+  std::int64_t memory_bytes_per_container = -1;  // -m; -1 == unlimited
+  std::size_t num_seeds = 40;         // "groups ranging in size from 10 to 40"
+  int batches = 8;
+  std::uint64_t seed = 0x7095ED0;
+
+  // Post-processing limits.
+  std::size_t max_confirmations = 48;
+
+  bool install_noise = true;
+  sim::NoiseConfig noise;
+  kernel::KernelConfig kernel;
+  FuzzerConfig fuzzer;
+  exec::ExecConfig exec;
+  prog::GenConfig gen;
+  prog::MutateConfig mutate;
+  oracle::CpuOracleConfig cpu_oracle;
+  oracle::IoOracleConfig io_oracle;
+  observer::ObserverConfig observer;  // round_duration is overridden
+};
+
+struct CampaignReport {
+  std::vector<Finding> findings;
+  std::vector<CrashFinding> crashes;
+  int batches = 0;
+  int rounds = 0;
+  std::uint64_t executions = 0;
+  std::size_t corpus_size = 0;
+  std::vector<std::string> denylist;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config = {});
+  ~Campaign();
+
+  Campaign(const Campaign&) = delete;
+  Campaign& operator=(const Campaign&) = delete;
+
+  // Load the default Moonshine-like corpus (config.num_seeds) or custom
+  // seeds; then run() fuzzes `config.batches` batches and post-processes.
+  void load_default_seeds();
+  void load_seeds(std::vector<prog::Program> seeds);
+  CampaignReport run();
+
+  // Finer-grained control (benches use these).
+  BatchResult run_one_batch();
+  CampaignReport finalize();
+
+  // Component access.
+  kernel::SimKernel& kernel() { return *kernel_; }
+  runtime::Engine& engine() { return *engine_; }
+  observer::Observer& observer() { return *observer_; }
+  oracle::CpuOracle& cpu_oracle() { return *cpu_oracle_; }
+  oracle::IoOracle& io_oracle() { return *io_oracle_; }
+  TorpedoFuzzer& fuzzer() { return *fuzzer_; }
+  feedback::Corpus& corpus() { return corpus_; }
+  exec::Executor& executor(std::size_t i) { return *executors_[i]; }
+  const CampaignConfig& config() const { return config_; }
+
+ private:
+  CampaignConfig config_;
+  std::unique_ptr<kernel::SimKernel> kernel_;
+  std::unique_ptr<runtime::Engine> engine_;
+  std::vector<std::unique_ptr<exec::Executor>> executors_;
+  std::unique_ptr<observer::Observer> observer_;
+  std::unique_ptr<oracle::CpuOracle> cpu_oracle_;
+  std::unique_ptr<oracle::IoOracle> io_oracle_;
+  std::unique_ptr<oracle::MemoryOracle> memory_oracle_;
+  std::unique_ptr<prog::Generator> generator_;
+  std::unique_ptr<prog::Mutator> mutator_;
+  feedback::Corpus corpus_;
+  std::unique_ptr<TorpedoFuzzer> fuzzer_;
+  int batches_run_ = 0;
+};
+
+}  // namespace torpedo::core

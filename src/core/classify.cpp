@@ -1,0 +1,67 @@
+#include "core/classify.h"
+
+#include <algorithm>
+
+#include "kernel/signals.h"
+#include "util/strings.h"
+
+namespace torpedo::core {
+
+std::string Finding::syscall_list() const {
+  std::string out;
+  for (const std::string& s : syscalls) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+std::string CauseClassifier::classify(Nanos from, Nanos to,
+                                      const exec::RunStats& stats) const {
+  const kernel::KernelTrace& trace = kernel_.trace();
+  const std::size_t modprobes =
+      trace.count(kernel::TraceKind::kModprobe, from, to);
+  const std::size_t coredumps =
+      trace.count(kernel::TraceKind::kCoredump, from, to);
+  const std::size_t flushes =
+      trace.count(kernel::TraceKind::kIoFlush, from, to);
+  const std::size_t audits = trace.count(kernel::TraceKind::kAudit, from, to);
+  const std::size_t net =
+      trace.count(kernel::TraceKind::kNetSoftirq, from, to);
+
+  // Priority order: the most specific usermodehelper patterns first.
+  if (modprobes >= 10) return "repeated kernel modprobe";
+  if (coredumps >= 5) {
+    std::string sig = stats.last_fatal_signal != 0
+                          ? std::string(kernel::signal_name(
+                                stats.last_fatal_signal))
+                          : "fatal signal";
+    return "coredump via " + sig;
+  }
+  if (flushes >= 20) return "triggering IO buffer flushes";
+  if (audits >= 100) return "audit daemon workload (kauditd/journald)";
+  if (net >= 1000) return "softirq packet processing";
+  return "unclassified kernel interaction";
+}
+
+bool CauseClassifier::is_new_cause(const std::string& cause) {
+  // Table 4.2: sync/coredump rows reconfirm [21]; the modprobe storm is new.
+  return cause == "repeated kernel modprobe";
+}
+
+std::string summarize_symptoms(const std::vector<oracle::Violation>& v) {
+  std::vector<std::string> parts;
+  for (const oracle::Violation& violation : v) {
+    if (std::find(parts.begin(), parts.end(), violation.heuristic) ==
+        parts.end())
+      parts.push_back(violation.heuristic);
+  }
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += "; ";
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace torpedo::core

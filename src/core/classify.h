@@ -1,0 +1,61 @@
+// Confirmation & cause classification (§4.1.4).
+//
+// The paper confirms flagged programs by re-running them under an ftrace
+// (trace-cmd) session and "searching for some of the patterns identified in
+// [21]". Our kernel's event trace records exactly those deferral patterns,
+// so classification is a count over the confirmation window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "kernel/kernel.h"
+#include "oracle/oracle.h"
+#include "prog/program.h"
+
+namespace torpedo::core {
+
+// One row of Table 4.2 / 4.3.
+struct Finding {
+  prog::Program program;  // minimized
+  std::string serialized;
+  std::vector<std::string> syscalls;  // distinct call names, program order
+  std::vector<oracle::Violation> violations;
+  std::string symptoms;  // condensed violation summary
+  std::string cause;     // classified kernel interaction
+  bool is_new = false;   // previously undocumented (Table 4.2 "New?" column)
+  int source_round = -1;
+
+  std::string syscall_list() const;  // "sync, fsync"
+};
+
+struct CrashFinding {
+  prog::Program program;
+  std::string serialized;
+  std::string message;
+  bool reproduced = false;
+  int source_round = -1;
+};
+
+class CauseClassifier {
+ public:
+  explicit CauseClassifier(kernel::SimKernel& kernel) : kernel_(kernel) {}
+
+  // Classifies the dominant deferral pattern in [from, to); `stats` supplies
+  // signal/err detail (e.g. which fatal signal the coredumps came from).
+  std::string classify(Nanos from, Nanos to,
+                       const exec::RunStats& stats) const;
+
+  // The Table-4.2 "New?" policy: everything except the modprobe pattern
+  // reconfirms Gao et al.; the modprobe storm is the paper's new result.
+  static bool is_new_cause(const std::string& cause);
+
+ private:
+  kernel::SimKernel& kernel_;
+};
+
+// Condenses violations into the "Symptoms" column text.
+std::string summarize_symptoms(const std::vector<oracle::Violation>& v);
+
+}  // namespace torpedo::core

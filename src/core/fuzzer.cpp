@@ -1,0 +1,184 @@
+#include "core/fuzzer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace torpedo::core {
+
+TorpedoFuzzer::TorpedoFuzzer(observer::Observer& observer,
+                             oracle::Oracle& oracle,
+                             prog::Generator& generator,
+                             prog::Mutator& mutator, feedback::Corpus& corpus,
+                             FuzzerConfig config)
+    : observer_(observer),
+      oracle_(oracle),
+      generator_(generator),
+      mutator_(mutator),
+      corpus_(corpus),
+      config_(config) {}
+
+void TorpedoFuzzer::add_seed(prog::Program program) {
+  program.filter_calls(denylist_);
+  if (!program.empty()) queue_.push_back(std::move(program));
+}
+
+bool TorpedoFuzzer::equivalent(double a, double b) const {
+  const double base = std::max(std::abs(a), std::abs(b));
+  if (base == 0) return true;
+  return std::abs(a - b) <= base * config_.equivalence_band_pct / 100.0;
+}
+
+void TorpedoFuzzer::learn_denylist(const prog::Program& program,
+                                   const exec::RunStats& stats) {
+  if (!config_.auto_denylist) return;
+  if (stats.executions > config_.blocked_execution_threshold) return;
+  if (stats.crashed) return;
+  // The round was spent blocked: denylist this program's known-blocking
+  // calls so neither generation nor future seeds repeat the mistake.
+  for (const prog::Call& call : program.calls()) {
+    if (!call.desc->blocks) continue;
+    if (std::find(denylist_.begin(), denylist_.end(), call.desc->name) !=
+        denylist_.end())
+      continue;
+    TORPEDO_LOG(LogLevel::kInfo, "denylisting blocking syscall %s",
+                call.desc->name.c_str());
+    denylist_.push_back(call.desc->name);
+  }
+  generator_.set_denylist(denylist_);
+}
+
+std::vector<prog::Program> TorpedoFuzzer::next_batch() {
+  const std::size_t n = observer_.executor_count();
+  std::vector<prog::Program> batch;
+  while (batch.size() < n && !queue_.empty()) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  while (batch.size() < n) batch.push_back(generator_.generate());
+  return batch;
+}
+
+BatchResult TorpedoFuzzer::run_batch() {
+  BatchResult result;
+  std::vector<prog::Program> current = next_batch();
+  const std::size_t n = current.size();
+
+  auto run = [&](const std::vector<prog::Program>& programs)
+      -> const observer::RoundResult& {
+    const observer::RoundResult& rr = observer_.run_round(programs);
+    result.rounds++;
+    result.round_numbers.push_back(rr.round);
+    result.saw_crash = result.saw_crash || rr.any_crash;
+    for (const exec::RunStats& s : rr.stats) total_executions_ += s.executions;
+    return rr;
+  };
+
+  // --- candidate stage: one run, gate on new coverage ------------------------
+  const observer::RoundResult& cand = run(current);
+  std::vector<feedback::SignalSet> cand_signal(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cand_signal[i] = cand.stats[i].signal;
+    learn_denylist(current[i], cand.stats[i]);
+  }
+
+  // --- triage stage: rerun to verify the coverage reproduces -----------------
+  if (config_.verify_triage) {
+    const observer::RoundResult& tri = run(current);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Keep only signal seen in both runs (syzkaller's flaky-coverage
+      // filter).
+      feedback::SignalSet stable;
+      for (std::uint64_t e : cand_signal[i].elements())
+        if (tri.stats[i].signal.contains(e)) stable.add(e);
+      cand_signal[i] = std::move(stable);
+    }
+  }
+
+  // Replace programs contributing no new coverage with fresh generations
+  // ("uninteresting candidate programs are ... removed from the work queue
+  // before they are fuzzed").
+  for (std::size_t i = 0; config_.use_coverage && i < n; ++i) {
+    if (corpus_.novelty(cand_signal[i]) == 0 && !corpus_.empty()) {
+      current[i] = queue_.empty() ? generator_.generate()
+                                  : std::move(queue_.front());
+      if (!queue_.empty()) queue_.pop_front();
+    }
+  }
+
+  // --- batch loop: mutate <-> confirm(shuffle) -------------------------------
+  const observer::RoundResult& base = run(current);
+  double best = oracle_.score(base.observation);
+  result.baseline_score = best;
+  std::vector<double> best_program_scores(n, best);
+
+  int no_improvement = 0;
+  while (no_improvement < config_.cycle_out_rounds) {
+    // Mutate every program in the batch.
+    std::vector<prog::Program> mutated = current;
+    for (prog::Program& p : mutated)
+      mutator_.mutate(p, corpus_.programs());
+
+    const observer::RoundResult& mut = run(mutated);
+    const double score = oracle_.score(mut.observation);
+    for (std::size_t i = 0; i < n; ++i)
+      learn_denylist(mutated[i], mut.stats[i]);
+
+    if (!config_.use_resource_score) {
+      // Resource-blind ablation: accept every mutation unconditionally.
+      current = std::move(mutated);
+      ++no_improvement;
+      continue;
+    }
+
+    const bool improved =
+        score >= best + config_.significance_points && !equivalent(score, best);
+    if (!improved) {
+      ++no_improvement;
+      continue;
+    }
+
+    if (!config_.confirm_shuffle) {
+      // Shuffle-confirm disabled (ablation): trust the raw score.
+      current = std::move(mutated);
+      best = score;
+      result.improvements++;
+      no_improvement = 0;
+      continue;
+    }
+
+    // Confirm as "shuffle": same programs, rotated across executors (and
+    // therefore cores) so a noise spike pinned to one core can't fake an
+    // improvement (§3.5.2).
+    std::vector<prog::Program> shuffled(mutated.size());
+    for (std::size_t i = 0; i < mutated.size(); ++i)
+      shuffled[(i + 1) % mutated.size()] = mutated[i];
+    const observer::RoundResult& confirm = run(shuffled);
+    const double confirm_score = oracle_.score(confirm.observation);
+
+    if (confirm_score >= best + config_.significance_points ||
+        equivalent(confirm_score, score)) {
+      current = std::move(mutated);
+      best = std::max(score, confirm_score);
+      result.improvements++;
+      no_improvement = 0;
+    } else {
+      result.rejected_confirms++;
+      ++no_improvement;
+    }
+  }
+
+  // --- retire the batch into the corpus --------------------------------------
+  const observer::RoundResult& last = observer_.log().back();
+  for (std::size_t i = 0; i < n && i < last.stats.size(); ++i) {
+    corpus_.add(current[i], last.stats[i].signal, best);
+  }
+
+  result.best_score = best;
+  result.final_programs = std::move(current);
+  return result;
+}
+
+}  // namespace torpedo::core

@@ -1,0 +1,99 @@
+// The TORPEDO fuzzing loop: syzkaller's program lifecycle split into two
+// state machines (Figure 3.3).
+//
+// Program-level: candidate -> triage -> batch member -> corpus / discarded.
+// Batch-level:   mutate <-> shuffle(confirm) -> exhausted.
+//
+// Code coverage gates individual programs (a candidate that contributes no
+// new fallback-coverage signal is rejected before it wastes mutation
+// rounds); the oracle score steers the batch (§3.5: "Code coverage is
+// incorporated at the individual program level, and resource utilization at
+// the 'set of programs' level").
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "feedback/corpus.h"
+#include "observer/observer.h"
+#include "oracle/oracle.h"
+#include "prog/generate.h"
+#include "prog/mutate.h"
+
+namespace torpedo::core {
+
+struct FuzzerConfig {
+  // Score handling (§4.2): utilizations within the band are equivalent;
+  // improvements must exceed the significance to matter.
+  double equivalence_band_pct = 2.5;  // relative, percent of baseline
+  double significance_points = 1.0;   // absolute percentage points
+  int cycle_out_rounds = 15;          // rounds without improvement
+
+  // Candidate triage: rerun to verify new coverage before accepting.
+  bool verify_triage = true;
+  // Gate batch membership on new coverage at all (ablation: coverage-blind).
+  bool use_coverage = true;
+  // Confirm improvements with a shuffled re-run (ablation: §3.5.2's
+  // noise-rejection mechanism).
+  bool confirm_shuffle = true;
+  // Use the oracle score to accept mutations at all (ablation:
+  // resource-blind — mutations accumulate unconditionally).
+  bool use_resource_score = true;
+
+  // Auto-denylist: a program stuck blocking (near-zero executions) gets its
+  // blocking syscalls denylisted, as the paper did by hand for pause/
+  // nanosleep/poll/recv (§4.1.2).
+  bool auto_denylist = true;
+  std::uint64_t blocked_execution_threshold = 3;
+};
+
+// What happened to one batch.
+struct BatchResult {
+  int rounds = 0;
+  double baseline_score = 0;
+  double best_score = 0;
+  int improvements = 0;        // confirmed score steps
+  int rejected_confirms = 0;   // mutations that failed the shuffle confirm
+  std::vector<prog::Program> final_programs;
+  std::vector<int> round_numbers;  // observer round indices this batch used
+  bool saw_crash = false;
+};
+
+class TorpedoFuzzer {
+ public:
+  TorpedoFuzzer(observer::Observer& observer, oracle::Oracle& oracle,
+                prog::Generator& generator, prog::Mutator& mutator,
+                feedback::Corpus& corpus, FuzzerConfig config = {});
+
+  // Seed ingestion workflow (§1.2 item 4).
+  void add_seed(prog::Program program);
+  std::size_t pending() const { return queue_.size(); }
+
+  // Drives one batch of n programs (n == executor count) through candidate
+  // evaluation, triage, and the mutate/confirm loop to exhaustion.
+  BatchResult run_batch();
+
+  const std::vector<std::string>& denylist() const { return denylist_; }
+  std::uint64_t total_executions() const { return total_executions_; }
+
+ private:
+  std::vector<prog::Program> next_batch();
+  // True if the two scores are within the equivalence band.
+  bool equivalent(double a, double b) const;
+  void learn_denylist(const prog::Program& program,
+                      const exec::RunStats& stats);
+
+  observer::Observer& observer_;
+  oracle::Oracle& oracle_;
+  prog::Generator& generator_;
+  prog::Mutator& mutator_;
+  feedback::Corpus& corpus_;
+  FuzzerConfig config_;
+
+  std::deque<prog::Program> queue_;
+  std::vector<std::string> denylist_;
+  std::uint64_t total_executions_ = 0;
+};
+
+}  // namespace torpedo::core

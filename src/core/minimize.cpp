@@ -1,0 +1,104 @@
+#include "core/minimize.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace torpedo::core {
+
+namespace {
+
+prog::Program make_idle_program() {
+  // nanosleep(forever): blocks to the round deadline, contributing nothing.
+  const prog::SyscallDesc* desc =
+      prog::SyscallTable::instance().by_name("nanosleep");
+  TORPEDO_CHECK(desc != nullptr);
+  prog::Call call;
+  call.desc = desc;
+  call.args = {prog::ArgValue::lit(100'000'000'000ULL),
+               prog::ArgValue::text("")};
+  return prog::Program({call});
+}
+
+}  // namespace
+
+SingleRunner::SingleRunner(observer::Observer& observer,
+                           oracle::Oracle& oracle)
+    : observer_(observer), oracle_(oracle), idle_(make_idle_program()) {}
+
+std::vector<oracle::Violation> SingleRunner::violations(
+    const prog::Program& program) {
+  std::vector<prog::Program> slots(observer_.executor_count(), idle_);
+  TORPEDO_CHECK(!slots.empty());
+  slots[0] = program;
+  // Let daemon backlog from the previous confirmation round (journald
+  // catch-up, helper stragglers) drain so it can't be attributed to this
+  // program.
+  observer_.warm_up(kSecond);
+  const observer::RoundResult& rr = observer_.run_round(slots);
+  ++rounds_used_;
+  std::vector<oracle::Violation> raw = oracle_.flag(rr.observation);
+  // Executors 1..n ran the idle program on purpose; their quiet fuzz cores
+  // are not evidence against the program under test.
+  const int active_core =
+      observer_.executor(0).container().group().effective_cpuset().first();
+  const std::string active = "cpu" + std::to_string(active_core);
+  std::vector<oracle::Violation> out;
+  for (oracle::Violation& v : raw) {
+    if (v.heuristic == "fuzz-core-utilization-low" && v.subject != active)
+      continue;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+const observer::RoundResult& SingleRunner::last_round() const {
+  TORPEDO_CHECK(!observer_.log().empty());
+  return observer_.log().back();
+}
+
+bool same_violations(const std::vector<oracle::Violation>& a,
+                     const std::vector<oracle::Violation>& b) {
+  auto names = [](const std::vector<oracle::Violation>& v) {
+    std::vector<std::string> out;
+    out.reserve(v.size());
+    for (const oracle::Violation& violation : v)
+      out.push_back(violation.heuristic);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+  return names(a) == names(b);
+}
+
+prog::Program minimize(const prog::Program& program, SingleRunner& runner) {
+  const std::vector<oracle::Violation> reference =
+      runner.violations(program);
+  if (reference.empty()) return program;  // nothing to preserve
+
+  prog::Program current = program;
+  // Back-to-front so indices into the remaining prefix stay stable.
+  for (int i = static_cast<int>(current.size()) - 1; i >= 0; --i) {
+    if (current.size() <= 1) break;
+    prog::Program trial = current;
+    trial.calls().erase(trial.calls().begin() + i);
+    // Removing a producer re-binds or degrades dependent references; that is
+    // exactly the paper's caveat that "potentially unnecessary calls must be
+    // preserved to pass information to a later call" — if the rebind changes
+    // behaviour, the violation set changes and we put the call back.
+    for (prog::Call& call : trial.calls())
+      for (prog::ArgValue& value : call.args)
+        if (value.kind == prog::ArgValue::Kind::kResult) {
+          if (value.result_of == i)
+            value.result_of = -1;
+          else if (value.result_of > i)
+            --value.result_of;
+        }
+    trial.fixup();
+    if (same_violations(reference, runner.violations(trial)))
+      current = std::move(trial);
+  }
+  return current;
+}
+
+}  // namespace torpedo::core

@@ -1,0 +1,45 @@
+// Oracle-guided minimization (Algorithm 3) and single-program confirmation.
+//
+// "We systematically remove calls from the program until we obtain the
+// smallest set of calls that result in the originally observed oracle
+// violations." Confirmation isolates one program per round: the program
+// under test runs on executor 0 while the others run an idle (blocking)
+// program, so the observed violations are attributable.
+#pragma once
+
+#include <vector>
+
+#include "observer/observer.h"
+#include "oracle/oracle.h"
+#include "prog/program.h"
+
+namespace torpedo::core {
+
+// Runs one program at a time through the observer (other executors idle).
+class SingleRunner {
+ public:
+  SingleRunner(observer::Observer& observer, oracle::Oracle& oracle);
+
+  // One round with `program` on slot 0; returns the oracle violations.
+  std::vector<oracle::Violation> violations(const prog::Program& program);
+
+  const observer::RoundResult& last_round() const;
+  int rounds_used() const { return rounds_used_; }
+
+ private:
+  observer::Observer& observer_;
+  oracle::Oracle& oracle_;
+  prog::Program idle_;
+  int rounds_used_ = 0;
+};
+
+// True when the two violation lists report the same set of heuristics
+// (subjects may legally move between cores run-to-run).
+bool same_violations(const std::vector<oracle::Violation>& a,
+                     const std::vector<oracle::Violation>& b);
+
+// Algorithm 3: remove calls one at a time, keeping each removal only if the
+// violation set is unchanged.
+prog::Program minimize(const prog::Program& program, SingleRunner& runner);
+
+}  // namespace torpedo::core

@@ -1,0 +1,363 @@
+#include "core/seeds.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace torpedo::core {
+
+namespace {
+
+using prog::ArgValue;
+using prog::Call;
+using prog::Program;
+using prog::SyscallTable;
+
+Call call(const char* name, std::vector<ArgValue> args) {
+  const prog::SyscallDesc* desc = SyscallTable::instance().by_name(name);
+  TORPEDO_CHECK_MSG(desc != nullptr, std::string("unknown syscall: ") + name);
+  TORPEDO_CHECK_MSG(args.size() == desc->args.size(),
+                    std::string("arg count mismatch for ") + name);
+  Call c;
+  c.desc = desc;
+  c.args = std::move(args);
+  return c;
+}
+
+ArgValue lit(std::uint64_t v) { return ArgValue::lit(v); }
+ArgValue str(const char* s) { return ArgValue::text(s); }
+ArgValue ref(int i) { return ArgValue::result(i); }
+
+Program finish(std::vector<Call> calls) {
+  Program p(std::move(calls));
+  p.fixup();
+  TORPEDO_CHECK(p.valid());
+  return p;
+}
+
+// The standard mmap prologue syzkaller programs carry.
+Call mmap_prologue() {
+  return call("mmap", {lit(0x7f0000000000), lit(0x1000), lit(0x3), lit(0x32),
+                       lit(0xffffffffffffffff), lit(0)});
+}
+
+const char* kEloopPath =
+    "test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/"
+    "test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/"
+    "test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/"
+    "test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/"
+    "test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/"
+    "test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/"
+    "test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/"
+    "test_eloop";
+
+}  // namespace
+
+std::optional<prog::Program> named_seed(const std::string& name) {
+  // --- Appendix A.1.1: baseline programs under runC -------------------------
+  if (name == "appendix-a1-prog0") {
+    return finish({
+        mmap_prologue(),
+        call("creat", {str("mntpoint/tmp"), lit(0x124)}),
+    });
+  }
+  if (name == "appendix-a1-prog1") {
+    return finish({
+        call("inotify_init", {}),                              // r0
+        call("ioctl", {ref(0), lit(0x80087601), str("")}),     // FS_IOC_GETVERSION
+        call("alarm", {lit(0x4)}),
+        call("open", {str("/proc/sys/fs/mqueue/msg_max"), lit(0x2), lit(0)}),
+        call("lseek", {ref(3), lit(0xfffffffffffffffb), lit(0x1)}),
+        call("lseek", {ref(3), lit(0), lit(0)}),
+        call("read", {ref(3), str(""), lit(0x7)}),
+        call("write", {ref(3), str("47530"), lit(0x6)}),
+        call("ioctl", {ref(3), lit(0xc02064a5), str("")}),     // DRM_..SETGAMMA
+    });
+  }
+  if (name == "appendix-a1-prog2") {
+    return finish({
+        mmap_prologue(),
+        call("getrlimit", {lit(0x3e8), str("")}),
+    });
+  }
+
+  // --- Appendix A.1.2: the sync(2) adversarial batch ------------------------
+  if (name == "sync") {
+    return finish({call("sync", {})});
+  }
+  if (name == "kcmp-pair") {
+    return finish({
+        call("getpid", {}),
+        call("kcmp", {lit(0x1586), ref(0), lit(0x9), lit(0), lit(0)}),
+    });
+  }
+  if (name == "readlink-eloop") {
+    return finish({
+        mmap_prologue(),
+        call("readlink", {str(kEloopPath), str(""), lit(0)}),
+    });
+  }
+
+  // --- Appendix A.1.3: the OOB netlink-audit program ------------------------
+  if (name == "audit-oob") {
+    return finish({
+        call("socket$netlink", {lit(0x10), lit(0x3), lit(0x9)}),  // r0
+        call("socketpair", {lit(0x4), lit(0x3), lit(0x7), str("")}),
+        call("sendto", {ref(0), str("testing audit system"), lit(0x24),
+                        lit(0), str(""), lit(0xc)}),
+    });
+  }
+
+  // --- Appendix A.2.1: gVisor baseline programs ------------------------------
+  if (name == "gvisor-prog0") {
+    return finish({
+        mmap_prologue(),
+        call("chmod", {str("testdir_1"), lit(0x1ff)}),
+    });
+  }
+  if (name == "gvisor-prog1") {
+    return finish({call("setuid", {lit(0xfffe)})});
+  }
+  if (name == "gvisor-prog2") {
+    return finish({
+        mmap_prologue(),
+        call("creat", {str("getxattr01testfile"), lit(0x1a4)}),
+        call("setxattr", {str("getxattr01testfile"),
+                          str("system.posix_acl_access"),
+                          str("this is a test value"), lit(0x15), lit(0x1)}),
+        call("getxattr", {str("getxattr01testfile"),
+                          str("system.posix_acl_access"), str(""), lit(0)}),
+        call("getxattr", {str("getxattr01testfile"),
+                          str("system.posix_acl_access"), str(""), lit(0)}),
+        call("getxattr", {str("getxattr01testfile"),
+                          str("system.posix_acl_access"), str(""), lit(0x15)}),
+    });
+  }
+
+  // --- Appendix A.2.2: the crash-causing open(2) ------------------------------
+  if (name == "gvisor-open-crash") {
+    return finish({
+        call("open", {str("/lib/x86_64-linux-gnu/libc.so.6"), lit(0x680002),
+                      lit(0x20)}),
+    });
+  }
+
+  // --- §4.1 known-vulnerability recreations (Gao et al.) ----------------------
+  if (name == "fallocate-sigxfsz") {
+    return finish({
+        call("creat", {str("bigfile"), lit(0x1a4)}),  // r0
+        call("fallocate", {ref(0), lit(0), lit(0), lit(0x4000000000000000)}),
+    });
+  }
+  if (name == "ftruncate-sigxfsz") {
+    return finish({
+        call("creat", {str("bigfile2"), lit(0x1a4)}),
+        call("ftruncate", {ref(0), lit(0x7000000000000000)}),
+    });
+  }
+  if (name == "rt-sigreturn") {
+    return finish({call("rt_sigreturn", {})});
+  }
+  if (name == "rseq-invalid") {
+    return finish({
+        call("rseq", {lit(0x7f0000000001), lit(0x20), lit(0), lit(0x53053053)}),
+    });
+  }
+  if (name == "socket-modprobe") {
+    return finish({
+        call("socket", {lit(0x4), lit(0x3), lit(0x9)}),  // AF_IPX: no module
+    });
+  }
+  if (name == "setuid-audit") {
+    // Credential-change flood: every call is audited, so kauditd/journald do
+    // the containerized process's work in their own cgroups.
+    return finish({call("setuid", {lit(0xfffe)})});
+  }
+  if (name == "mmap-thrash") {
+    // Memory-oracle target (§5.1): hammers the container's -m limit.
+    std::vector<Call> calls;
+    for (int i = 0; i < 6; ++i)
+      calls.push_back(call("mmap", {lit(0x7f0000000000), lit(0x1000000),
+                                    lit(0x3), lit(0x32),
+                                    lit(0xffffffffffffffff), lit(0)}));
+    return finish(std::move(calls));
+  }
+  if (name == "fsync-flood") {
+    return finish({
+        call("creat", {str("journal0"), lit(0x1a4)}),  // r0
+        call("write", {ref(0), str("this is a test value"), lit(0x4000)}),
+        call("fsync", {ref(0)}),
+    });
+  }
+
+  return std::nullopt;
+}
+
+std::vector<std::string> named_seed_names() {
+  return {
+      "appendix-a1-prog0", "appendix-a1-prog1", "appendix-a1-prog2",
+      "sync",              "kcmp-pair",         "readlink-eloop",
+      "audit-oob",         "gvisor-prog0",      "gvisor-prog1",
+      "gvisor-prog2",      "gvisor-open-crash", "fallocate-sigxfsz",
+      "ftruncate-sigxfsz", "rt-sigreturn",      "rseq-invalid",
+      "socket-modprobe",   "setuid-audit",      "fsync-flood",
+      "mmap-thrash",
+  };
+}
+
+namespace {
+
+// Builds one interface-coherent random sequence (what Moonshine's distilled
+// traces look like: a resource created, exercised, and released).
+Program interface_seed(Rng& rng, int family) {
+  std::vector<Call> calls;
+  auto maybe_prologue = [&] {
+    if (rng.chance(1, 2)) calls.push_back(mmap_prologue());
+  };
+  const int base = static_cast<int>(calls.size());
+  (void)base;
+
+  switch (family) {
+    case 0: {  // regular file IO
+      maybe_prologue();
+      const int fd = static_cast<int>(calls.size());
+      const std::string path = "seedfile_" + std::to_string(rng.below(32));
+      calls.push_back(call("creat", {ArgValue::text(path), lit(0x1a4)}));
+      const int ops = 1 + static_cast<int>(rng.below(4));
+      for (int i = 0; i < ops; ++i) {
+        switch (rng.below(5)) {
+          case 0:
+            calls.push_back(call("write", {ref(fd), str("this is a test value"),
+                                           lit(0x1000 << rng.below(4))}));
+            break;
+          case 1:
+            calls.push_back(call("lseek", {ref(fd), lit(rng.below(4096)),
+                                           lit(rng.below(3))}));
+            break;
+          case 2:
+            calls.push_back(call("read", {ref(fd), str(""), lit(0x1000)}));
+            break;
+          case 3:
+            calls.push_back(call("fstat", {ref(fd), str("")}));
+            break;
+          default:
+            calls.push_back(call("flock", {ref(fd), lit(2)}));
+            break;
+        }
+      }
+      if (rng.chance(1, 2)) calls.push_back(call("close", {ref(fd)}));
+      break;
+    }
+    case 1: {  // path operations
+      maybe_prologue();
+      const std::string dir = "seeddir_" + std::to_string(rng.below(16));
+      calls.push_back(call("mkdir", {ArgValue::text(dir), lit(0x1c0)}));
+      calls.push_back(call("access", {ArgValue::text(dir), lit(4)}));
+      calls.push_back(
+          call("chmod", {ArgValue::text(dir), lit(rng.below(0x1ff))}));
+      if (rng.chance(1, 3))
+        calls.push_back(call("stat", {ArgValue::text(dir), str("")}));
+      break;
+    }
+    case 2: {  // sockets
+      const std::uint64_t fams[] = {1, 2, 10, 16};
+      const int sock = static_cast<int>(calls.size());
+      calls.push_back(call("socket", {lit(fams[rng.below(4)]),
+                                      lit(1 + rng.below(3)),
+                                      lit(rng.chance(1, 3) ? rng.below(20)
+                                                           : 0)}));
+      if (rng.chance(2, 3))
+        calls.push_back(call("setsockopt", {ref(sock), lit(1), lit(2),
+                                            str(""), lit(4)}));
+      if (rng.chance(1, 2))
+        calls.push_back(call("sendto", {ref(sock), str("payload"), lit(0x20),
+                                        lit(0), str(""), lit(0x10)}));
+      if (rng.chance(1, 2))
+        calls.push_back(call("shutdown", {ref(sock), lit(rng.below(3))}));
+      break;
+    }
+    case 3: {  // xattrs
+      maybe_prologue();
+      const std::string path = "xattrfile_" + std::to_string(rng.below(16));
+      calls.push_back(call("creat", {ArgValue::text(path), lit(0x1a4)}));
+      calls.push_back(call("setxattr",
+                           {ArgValue::text(path), str("user.test"),
+                            str("this is a test value"), lit(0x15), lit(0)}));
+      calls.push_back(call("getxattr", {ArgValue::text(path), str("user.test"),
+                                        str(""), lit(rng.chance(1, 2) ? 0 : 0x15)}));
+      break;
+    }
+    case 4: {  // memory
+      calls.push_back(call("mmap", {lit(0x7f0000000000),
+                                    lit(0x1000 << rng.below(6)), lit(0x3),
+                                    lit(0x32), lit(0xffffffffffffffff),
+                                    lit(0)}));
+      if (rng.chance(1, 2))
+        calls.push_back(call("madvise",
+                             {lit(0x7f0000000000), lit(0x1000), lit(4)}));
+      if (rng.chance(1, 2))
+        calls.push_back(call("munmap", {lit(0x7f0000000000), lit(0x1000)}));
+      break;
+    }
+    case 5: {  // process info
+      calls.push_back(call("getpid", {}));
+      const int ops = 1 + static_cast<int>(rng.below(3));
+      for (int i = 0; i < ops; ++i) {
+        switch (rng.below(4)) {
+          case 0:
+            calls.push_back(call("getrlimit", {lit(rng.below(16)), str("")}));
+            break;
+          case 1:
+            calls.push_back(call("umask", {lit(022)}));
+            break;
+          case 2:
+            calls.push_back(call("sysinfo", {str("")}));
+            break;
+          default:
+            calls.push_back(call("uname", {str("")}));
+            break;
+        }
+      }
+      break;
+    }
+    case 6: {  // inotify / event fds
+      const int ifd = static_cast<int>(calls.size());
+      calls.push_back(call("inotify_init", {}));
+      calls.push_back(call("inotify_add_watch",
+                           {ref(ifd), str("testdir_1"), lit(0x2)}));
+      if (rng.chance(1, 2)) calls.push_back(call("epoll_create1", {lit(0)}));
+      break;
+    }
+    default: {  // mixed file + signal probing
+      maybe_prologue();
+      const int fd = static_cast<int>(calls.size());
+      calls.push_back(call("open", {str("/etc/passwd"), lit(0), lit(0)}));
+      calls.push_back(call("read", {ref(fd), str(""), lit(0x200)}));
+      if (rng.chance(1, 3)) calls.push_back(call("alarm", {lit(0x4)}));
+      calls.push_back(call("close", {ref(fd)}));
+      break;
+    }
+  }
+  return finish(std::move(calls));
+}
+
+}  // namespace
+
+std::vector<prog::Program> moonshine_seeds(std::size_t count,
+                                           std::uint64_t seed) {
+  std::vector<prog::Program> out;
+  for (const std::string& name : named_seed_names()) {
+    if (out.size() >= count) return out;
+    // gVisor-specific crash seed excluded: campaigns should *discover* it.
+    if (name == "gvisor-open-crash") continue;
+    out.push_back(*named_seed(name));
+  }
+  Rng rng(seed);
+  while (out.size() < count) {
+    out.push_back(interface_seed(rng, static_cast<int>(out.size() % 8)));
+  }
+  return out;
+}
+
+}  // namespace torpedo::core

@@ -1,0 +1,126 @@
+#include "core/workdir.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace torpedo::core {
+
+namespace fs = std::filesystem;
+
+std::size_t write_seed_files(const fs::path& dir,
+                             const std::vector<prog::Program>& seeds) {
+  fs::create_directories(dir);
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const fs::path file = dir / format("seed-%03zu.prog", i);
+    std::ofstream out(file);
+    if (!out) continue;
+    out << seeds[i].serialize();
+    ++written;
+  }
+  return written;
+}
+
+std::vector<prog::Program> load_seed_files(const fs::path& dir,
+                                           std::vector<std::string>* errors) {
+  std::vector<prog::Program> seeds;
+  if (!fs::exists(dir)) return seeds;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file() && entry.path().extension() == ".prog")
+      files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto program = prog::Program::parse(buffer.str());
+    if (program && !program->empty()) {
+      seeds.push_back(std::move(*program));
+    } else if (errors) {
+      errors->push_back(file.string() + ": parse error");
+    }
+  }
+  return seeds;
+}
+
+void save_corpus(const fs::path& file, const feedback::Corpus& corpus) {
+  if (file.has_parent_path()) fs::create_directories(file.parent_path());
+  std::ofstream out(file);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const feedback::CorpusEntry& entry = corpus.entry(i);
+    out << format("# score=%.4f signal=%zu\n", entry.best_score,
+                  entry.signal.size());
+    out << entry.program.serialize() << "\n";
+  }
+}
+
+std::size_t load_corpus(const fs::path& file, feedback::Corpus& corpus) {
+  std::ifstream in(file);
+  if (!in) return 0;
+  std::size_t loaded = 0;
+  std::string line;
+  double score = 0;
+  std::string block;
+  auto flush = [&] {
+    if (block.empty()) return;
+    auto program = prog::Program::parse(block);
+    if (program && !program->empty()) {
+      // Coverage signal is execution-derived; start empty and let the next
+      // campaign re-learn it.
+      if (corpus.add(std::move(*program), feedback::SignalSet{}, score))
+        ++loaded;
+    }
+    block.clear();
+    score = 0;
+  };
+  while (std::getline(in, line)) {
+    if (starts_with(line, "# score=")) {
+      flush();
+      const auto fields = split_ws(line);
+      for (const auto field : fields) {
+        if (starts_with(field, "score=")) {
+          score = std::atof(std::string(field.substr(6)).c_str());
+        }
+      }
+      continue;
+    }
+    if (trim(line).empty()) {
+      flush();
+      continue;
+    }
+    block += std::string(line) + "\n";
+  }
+  flush();
+  return loaded;
+}
+
+void save_report(const fs::path& file, const CampaignReport& report) {
+  if (file.has_parent_path()) fs::create_directories(file.parent_path());
+  std::ofstream out(file);
+  out << format(
+      "# TORPEDO campaign report\n# batches=%d rounds=%d executions=%llu "
+      "corpus=%zu\n\n",
+      report.batches, report.rounds,
+      static_cast<unsigned long long>(report.executions), report.corpus_size);
+  for (const Finding& f : report.findings) {
+    out << "== finding: " << f.syscall_list() << " ==\n";
+    out << "cause: " << f.cause << (f.is_new ? " (new)" : " (reconfirm)")
+        << "\n";
+    out << "symptoms: " << f.symptoms << "\n";
+    for (const oracle::Violation& v : f.violations)
+      out << "violation: " << v.to_string() << "\n";
+    out << f.serialized << "\n";
+  }
+  for (const CrashFinding& crash : report.crashes) {
+    out << "== crash ==\n";
+    out << "message: " << crash.message << "\n";
+    out << "reproduced: " << (crash.reproduced ? "yes" : "no") << "\n";
+    out << crash.serialized << "\n";
+  }
+}
+
+}  // namespace torpedo::core

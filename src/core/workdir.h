@@ -1,0 +1,53 @@
+// Campaign workdir persistence.
+//
+// syz-manager keeps its corpus and crash reports in a working directory so
+// campaigns can be stopped, inspected, and resumed; Torpedo inherits that
+// workflow (§2.6.2, and §1.2's "Adding Seed Ingestion" contribution). This
+// module serializes seed files, the corpus, and findings reports using the
+// program text format, so artifacts are human-readable and diffable.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/classify.h"
+#include "feedback/corpus.h"
+#include "prog/program.h"
+
+namespace torpedo::core {
+
+// --- seed files ---------------------------------------------------------------
+
+// Writes one program per file ("seed-NNN.prog") under `dir`.
+// Returns the number written.
+std::size_t write_seed_files(const std::filesystem::path& dir,
+                             const std::vector<prog::Program>& seeds);
+
+// Loads every "*.prog" file under `dir` (sorted by name). Files that fail to
+// parse are skipped and reported in `errors` when non-null.
+std::vector<prog::Program> load_seed_files(
+    const std::filesystem::path& dir,
+    std::vector<std::string>* errors = nullptr);
+
+// --- corpus -------------------------------------------------------------------
+
+// Serializes the corpus to a single text file: for each entry a header line
+// ("# score=<best> signal=<n>") followed by the program text and a blank
+// line.
+void save_corpus(const std::filesystem::path& file,
+                 const feedback::Corpus& corpus);
+
+// Reads a corpus file back; entries that fail to parse are skipped. Scores
+// round-trip; the coverage signal is re-learned by running the programs.
+std::size_t load_corpus(const std::filesystem::path& file,
+                        feedback::Corpus& corpus);
+
+// --- findings -----------------------------------------------------------------
+
+// Human-readable findings report (one block per finding + crash).
+void save_report(const std::filesystem::path& file,
+                 const CampaignReport& report);
+
+}  // namespace torpedo::core

@@ -1,0 +1,242 @@
+#include "exec/executor.h"
+
+#include "util/check.h"
+
+namespace torpedo::exec {
+
+struct Executor::State {
+  enum class Phase { kIdle, kPrimed, kRunning, kCrashed };
+
+  Phase phase = Phase::kIdle;
+  prog::Program program;
+  Nanos stop_time = 0;
+  RunStats stats;
+  ExecConfig config;
+  runtime::Engine* engine = nullptr;
+  runtime::Container* container = nullptr;
+  bool setup_paid = false;
+  std::uint64_t iter_in_round = 0;
+  Rng rng{0xE8EC};
+
+  kernel::SysReq lower(const prog::Call& call,
+                       const std::vector<std::int64_t>& results) const {
+    kernel::SysReq req;
+    req.nr = call.desc->nr;
+    for (const prog::ArgValue& value : call.args) {
+      switch (value.kind) {
+        case prog::ArgValue::Kind::kLiteral:
+          req.args.push_back(kernel::SysArg::num(value.literal));
+          break;
+        case prog::ArgValue::Kind::kString:
+          req.args.push_back(kernel::SysArg::text(value.str));
+          break;
+        case prog::ArgValue::Kind::kResult: {
+          const std::int64_t r =
+              value.result_of >= 0 &&
+                      static_cast<std::size_t>(value.result_of) <
+                          results.size()
+                  ? results[static_cast<std::size_t>(value.result_of)]
+                  : -1;
+          req.args.push_back(
+              kernel::SysArg::num(static_cast<std::uint64_t>(r)));
+          break;
+        }
+      }
+    }
+    return req;
+  }
+
+  void finalize_round(sim::Host& host) {
+    (void)host;
+    const std::uint64_t pending =
+        iter_in_round % config.stream_every;
+    if (pending > 0 && container)
+      engine->stream_output(*container, pending * config.bytes_per_result);
+    phase = Phase::kIdle;
+  }
+
+  // Expands one program iteration into segments. Returns false when the
+  // container runtime crashed (phase moves to kCrashed).
+  bool run_one_iteration(sim::Host& host, sim::Task& task) {
+    kernel::Process* proc = container->process();
+    TORPEDO_CHECK_MSG(proc != nullptr, "running executor without a process");
+    kernel::SimKernel& kernel = engine->kernel();
+    kernel.reset_process(*proc);
+    proc->block_deadline = stop_time;
+
+    stats.executions++;
+    iter_in_round++;
+    const bool collide =
+        config.collide_every > 0 &&
+        iter_in_round % static_cast<std::uint64_t>(config.collide_every) == 0;
+    const runtime::ExecContext ctx{.collider = collide};
+
+    const Nanos now = host.now();
+    Nanos iter_time = config.iteration_user;
+    task.push(sim::Segment::user(config.iteration_user));
+
+    std::vector<std::int64_t> results(program.size(), -1);
+    stats.call_signal.resize(program.size());
+    stats.last_iteration.clear();
+
+    for (std::size_t i = 0; i < program.size(); ++i) {
+      const prog::Call& call = program.calls()[i];
+      const kernel::SysReq req = lower(call, results);
+      runtime::ExecOutcome outcome =
+          container->runtime().execute(*proc, req, ctx);
+      const kernel::SysResult& r = outcome.res;
+
+      if (outcome.runtime_crashed) {
+        stats.crashed = true;
+        stats.crash_message = outcome.crash_message;
+        phase = Phase::kCrashed;
+        if (r.user_ns > 0) task.push(sim::Segment::user(r.user_ns));
+        return false;
+      }
+
+      results[i] = r.ret;
+      const std::uint64_t sig = feedback::fallback_signal(req.nr, r.err);
+      stats.signal.add(sig);
+      stats.call_signal[i].add(sig);
+      stats.last_iteration.push_back({req.nr, r.ret, r.err});
+
+      iter_time += r.user_ns + r.sys_ns;
+      if (r.user_ns > 0) task.push(sim::Segment::user(r.user_ns));
+      if (r.sys_ns > 0) task.push(sim::Segment::system(r.sys_ns));
+      if (r.block_until > now) {
+        task.push(sim::Segment::block_until(r.block_until, r.block_io));
+        iter_time += r.block_hint >= 0 ? r.block_hint : r.block_until - now;
+      }
+
+      if (r.fatal_signal != 0) {
+        // The program process died; the entrypoint forks a fresh one.
+        stats.fatal_signals++;
+        stats.last_fatal_signal = r.fatal_signal;
+        task.push(sim::Segment::user(config.respawn_user));
+        task.push(sim::Segment::system(config.respawn_sys));
+        iter_time += config.respawn_user + config.respawn_sys;
+        break;
+      }
+    }
+
+    // Minor-fault / scheduler breath.
+    if (config.iteration_block_chance > 0 &&
+        rng.uniform() < config.iteration_block_chance) {
+      task.push(sim::Segment::block_until(now + iter_time +
+                                          config.iteration_block));
+      iter_time += config.iteration_block;
+    }
+
+    stats.total_execution_time += iter_time;
+    stats.avg_execution_time =
+        stats.total_execution_time / static_cast<Nanos>(stats.executions);
+
+    if (iter_in_round % config.stream_every == 0)
+      engine->stream_output(*container,
+                            config.stream_every * config.bytes_per_result);
+    return true;
+  }
+};
+
+sim::Supplier Executor::make_supplier() {
+  std::shared_ptr<State> state = state_;
+  return [state](sim::Host& host, sim::Task& task) {
+    State& st = *state;
+    switch (st.phase) {
+      case State::Phase::kIdle:
+      case State::Phase::kPrimed:
+      case State::Phase::kCrashed:
+        // Latched: wait for the observer's release (or a restart).
+        task.push(sim::Segment::block_wake());
+        return true;
+      case State::Phase::kRunning:
+        break;
+    }
+
+    const Nanos now = host.now();
+    // Algorithm 1: stop when the *predicted* completion of one more
+    // iteration would overrun the stop timestamp.
+    if (now >= st.stop_time ||
+        now + st.stats.avg_execution_time > st.stop_time) {
+      st.finalize_round(host);
+      task.push(sim::Segment::block_wake());
+      return true;
+    }
+    if (!st.setup_paid) {
+      st.setup_paid = true;
+      task.push(sim::Segment::user(st.config.ipc_setup));
+      task.push(sim::Segment::system(st.config.ipc_setup / 2));
+      return true;
+    }
+    if (!st.run_one_iteration(host, task)) {
+      // Runtime crash: stay alive but dormant until the owner restarts the
+      // container (killing this task from inside its own supplier is UB).
+      task.push(sim::Segment::block_wake());
+    }
+    return true;
+  };
+}
+
+Executor::Executor(runtime::Engine& engine, runtime::ContainerSpec spec,
+                   ExecConfig config)
+    : engine_(engine), config_(config), state_(std::make_shared<State>()) {
+  state_->config = config_;
+  state_->engine = &engine_;
+  container_ = &engine_.run(spec, make_supplier());
+  state_->container = container_;
+  state_->rng.reseed(config_.seed ^ (container_->id() * 0x9E3779B97F4A7C15ULL));
+}
+
+void Executor::prime(prog::Program program, Nanos stop_time) {
+  TORPEDO_CHECK_MSG(state_->phase == State::Phase::kIdle,
+                    "prime() requires an idle executor");
+  state_->program = std::move(program);
+  state_->stop_time = stop_time;
+  state_->stats = RunStats{};
+  state_->setup_paid = false;
+  state_->iter_in_round = 0;
+  state_->phase = State::Phase::kPrimed;
+}
+
+void Executor::start() {
+  TORPEDO_CHECK_MSG(state_->phase == State::Phase::kPrimed,
+                    "start() requires a primed executor");
+  state_->phase = State::Phase::kRunning;
+  if (sim::Task* t = engine_.kernel().host().find_task(container_->task()))
+    engine_.kernel().host().wake(*t);
+}
+
+bool Executor::idle() const { return state_->phase == State::Phase::kIdle; }
+bool Executor::crashed() const {
+  return state_->phase == State::Phase::kCrashed;
+}
+bool Executor::running() const {
+  return state_->phase == State::Phase::kRunning ||
+         state_->phase == State::Phase::kPrimed;
+}
+
+const RunStats& Executor::stats() const { return state_->stats; }
+
+RunStats Executor::take_stats() {
+  RunStats out = std::move(state_->stats);
+  state_->stats = RunStats{};
+  return out;
+}
+
+void Executor::interrupt() {
+  if (state_->phase != State::Phase::kRunning) return;
+  state_->stop_time = std::min(state_->stop_time,
+                               engine_.kernel().host().now());
+  if (sim::Task* t = engine_.kernel().host().find_task(container_->task()))
+    engine_.kernel().host().wake(*t);
+}
+
+void Executor::restart() {
+  TORPEDO_CHECK_MSG(state_->phase == State::Phase::kCrashed,
+                    "restart() is only valid after a crash");
+  engine_.mark_crashed(*container_, state_->stats.crash_message);
+  state_->phase = State::Phase::kIdle;
+  engine_.restart(*container_, make_supplier());
+}
+
+}  // namespace torpedo::exec

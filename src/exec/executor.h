@@ -1,0 +1,102 @@
+// The in-container executor.
+//
+// Models the syz-executor + entrypoint binary Torpedo packages into each
+// container image (§3.3): it receives a serialized program over IPC, loops
+// it until the observer's stop timestamp using Algorithm 1 (LoopUntilTime,
+// with the average-execution-time lookahead), collects the fallback coverage
+// signal per call, and streams results back through the engine (which is
+// what produces the LDISC softirq side-band).
+//
+// The two-stage latching of Algorithm 2 maps to prime() (distribute program
+// + stop time, executor latches ready) and start() (release).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "feedback/signal.h"
+#include "prog/program.h"
+#include "runtime/engine.h"
+
+namespace torpedo::exec {
+
+struct ExecConfig {
+  Nanos iteration_user = 6 * kMicrosecond;   // loop + marshal overhead
+  Nanos ipc_setup = 60 * kMicrosecond;       // per-round latch/deserialize
+  Nanos respawn_user = 90 * kMicrosecond;    // re-fork after a fatal signal
+  Nanos respawn_sys = 140 * kMicrosecond;
+  // Occasional off-CPU breath (minor faults, scheduler churn): what keeps a
+  // pinned fuzzing core at ~85% rather than 100% busy, as in Table A.1.
+  double iteration_block_chance = 0.08;
+  Nanos iteration_block = 90 * kMicrosecond;
+  int collide_every = 11;          // every Nth iteration runs "collided";
+                                   // 0 disables collider mode
+  std::uint64_t stream_every = 256;       // iterations per output flush
+  std::uint64_t bytes_per_result = 32;
+  std::uint64_t seed = 0xE8EC;
+};
+
+struct CallRecord {
+  int nr = 0;
+  std::int64_t ret = 0;
+  int err = 0;
+};
+
+// Everything one round of execution produced (Algorithm 1's outputs plus
+// coverage and crash state).
+struct RunStats {
+  std::uint64_t executions = 0;
+  Nanos total_execution_time = 0;
+  Nanos avg_execution_time = 0;
+  feedback::SignalSet signal;                     // union over iterations
+  std::vector<feedback::SignalSet> call_signal;   // per call index
+  std::vector<CallRecord> last_iteration;
+  std::uint64_t fatal_signals = 0;  // iterations that died to a signal
+  int last_fatal_signal = 0;
+  bool crashed = false;             // the *container runtime* died
+  std::string crash_message;
+};
+
+class Executor {
+ public:
+  Executor(runtime::Engine& engine, runtime::ContainerSpec spec,
+           ExecConfig config = {});
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Stage 1 of the latch: hand the executor its program and stop timestamp.
+  void prime(prog::Program program, Nanos stop_time);
+  // Stage 2: release. The entrypoint begins executing at the current
+  // simulated instant, so all executors' windows align.
+  void start();
+
+  bool idle() const;     // round finished (or never started)
+  bool crashed() const;  // container runtime died this round
+  bool running() const;
+
+  const RunStats& stats() const;
+  RunStats take_stats();
+
+  runtime::Container& container() { return *container_; }
+
+  // After a crash: tear down and boot a fresh container (same spec/cgroup).
+  void restart();
+
+  // Program timeout: wake the entrypoint out of any blocking call and make
+  // the next loop check terminate the round (syzkaller kills overrunning
+  // programs the same way).
+  void interrupt();
+
+ private:
+  struct State;
+  sim::Supplier make_supplier();
+
+  runtime::Engine& engine_;
+  ExecConfig config_;
+  std::shared_ptr<State> state_;
+  runtime::Container* container_ = nullptr;
+};
+
+}  // namespace torpedo::exec

@@ -1,0 +1,26 @@
+#include "feedback/corpus.h"
+
+namespace torpedo::feedback {
+
+bool Corpus::add(prog::Program program, const SignalSet& signal,
+                 double score) {
+  coverage_.merge(signal);
+  const std::uint64_t h = program.hash();
+  auto it = by_hash_.find(h);
+  if (it != by_hash_.end()) {
+    CorpusEntry& entry = entries_[it->second];
+    entry.signal.merge(signal);
+    if (score > entry.best_score) entry.best_score = score;
+    return false;
+  }
+  by_hash_[h] = entries_.size();
+  CorpusEntry entry;
+  entry.program = program;
+  entry.signal = signal;
+  entry.best_score = score;
+  entries_.push_back(std::move(entry));
+  programs_.push_back(std::move(program));
+  return true;
+}
+
+}  // namespace torpedo::feedback

@@ -1,0 +1,52 @@
+// The program corpus: the manager-side collection of interesting programs.
+//
+// Entries are deduplicated by content hash; each remembers the coverage
+// signal it contributed and the best oracle score it ever achieved (the
+// paper keeps "only the set of mutated workloads that generated the most
+// adversarial resource usage", §3.5.2).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "feedback/signal.h"
+#include "prog/program.h"
+
+namespace torpedo::feedback {
+
+struct CorpusEntry {
+  prog::Program program;
+  SignalSet signal;
+  double best_score = 0;
+};
+
+class Corpus {
+ public:
+  // Adds (or refreshes) an entry. Returns true if the program was new.
+  bool add(prog::Program program, const SignalSet& signal, double score);
+
+  // Global coverage accumulated across all added programs.
+  const SignalSet& coverage() const { return coverage_; }
+  // Convenience: would this signal contribute anything new?
+  std::size_t novelty(const SignalSet& signal) const {
+    return coverage_.novelty(signal);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const CorpusEntry& entry(std::size_t i) const { return entries_[i]; }
+  std::span<const CorpusEntry> entries() const { return entries_; }
+
+  // Splice-donor view: just the programs.
+  const std::vector<prog::Program>& programs() const { return programs_; }
+
+ private:
+  std::vector<CorpusEntry> entries_;
+  std::vector<prog::Program> programs_;  // parallel to entries_
+  std::unordered_map<std::uint64_t, std::size_t> by_hash_;
+  SignalSet coverage_;
+};
+
+}  // namespace torpedo::feedback

@@ -1,0 +1,63 @@
+// Coverage signal.
+//
+// Kernel line coverage (kcov) is unavailable under gVisor, and the paper
+// disables it everywhere for parity (§3.1.2, §4.2): "SYZKALLER computes a
+// 'coverage' signal by computing the unique XOR of the syscall number and
+// return code". fallback_signal is exactly that computation; SignalSet is
+// the dedup container the fuzzer and corpus share.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace torpedo::feedback {
+
+// One signal element for an executed call.
+constexpr std::uint64_t fallback_signal(int sysno, int err) {
+  std::uint64_t v = static_cast<std::uint64_t>(sysno) ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(err))
+                     << 16);
+  // Finalize (splitmix64 tail) so near-identical inputs spread out.
+  v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  v = (v ^ (v >> 27)) * 0x94D049BB133111EBULL;
+  return v ^ (v >> 31);
+}
+
+class SignalSet {
+ public:
+  // Returns true if the element was new.
+  bool add(std::uint64_t element) { return elements_.insert(element).second; }
+
+  bool contains(std::uint64_t element) const {
+    return elements_.contains(element);
+  }
+
+  // Merges `other` in; returns how many elements were new.
+  std::size_t merge(const SignalSet& other) {
+    std::size_t added = 0;
+    for (std::uint64_t e : other.elements_)
+      if (elements_.insert(e).second) ++added;
+    return added;
+  }
+
+  // How many of `other`'s elements are NOT already in this set.
+  std::size_t novelty(const SignalSet& other) const {
+    std::size_t n = 0;
+    for (std::uint64_t e : other.elements_)
+      if (!elements_.contains(e)) ++n;
+    return n;
+  }
+
+  std::size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  void clear() { elements_.clear(); }
+
+  const std::unordered_set<std::uint64_t>& elements() const {
+    return elements_;
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> elements_;
+};
+
+}  // namespace torpedo::feedback

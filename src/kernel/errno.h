@@ -1,0 +1,88 @@
+// Errno values (Linux x86-64 numbering) used by the simulated kernel.
+//
+// The numeric values matter: the paper's socket(2) finding keys on errno
+// {93, 94, 97}, and the fallback coverage signal mixes errno into the hash.
+#pragma once
+
+#include <string_view>
+
+namespace torpedo::kernel {
+
+enum Errno : int {
+  kOk = 0,
+  EPERM_ = 1,
+  ENOENT_ = 2,
+  ESRCH_ = 3,
+  EINTR_ = 4,
+  EIO_ = 5,
+  EBADF_ = 9,
+  EAGAIN_ = 11,
+  ENOMEM_ = 12,
+  EACCES_ = 13,
+  EFAULT_ = 14,
+  EBUSY_ = 16,
+  EEXIST_ = 17,
+  ENOTDIR_ = 20,
+  EISDIR_ = 21,
+  EINVAL_ = 22,
+  ENFILE_ = 23,
+  EMFILE_ = 24,
+  ENOTTY_ = 25,
+  EFBIG_ = 27,
+  ENOSPC_ = 28,
+  ESPIPE_ = 29,
+  ERANGE_ = 34,
+  ENAMETOOLONG_ = 36,
+  ENOSYS_ = 38,
+  ELOOP_ = 40,
+  ENODATA_ = 61,
+  EPROTONOSUPPORT_ = 93,
+  ESOCKTNOSUPPORT_ = 94,
+  EOPNOTSUPP_ = 95,
+  EAFNOSUPPORT_ = 97,
+  EADDRINUSE_ = 98,
+  ENOTCONN_ = 107,
+  ETIMEDOUT_ = 110,
+};
+
+constexpr std::string_view errno_name(int err) {
+  switch (err) {
+    case kOk: return "OK";
+    case EPERM_: return "EPERM";
+    case ENOENT_: return "ENOENT";
+    case ESRCH_: return "ESRCH";
+    case EINTR_: return "EINTR";
+    case EIO_: return "EIO";
+    case EBADF_: return "EBADF";
+    case EAGAIN_: return "EAGAIN";
+    case ENOMEM_: return "ENOMEM";
+    case EACCES_: return "EACCES";
+    case EFAULT_: return "EFAULT";
+    case EBUSY_: return "EBUSY";
+    case EEXIST_: return "EEXIST";
+    case ENOTDIR_: return "ENOTDIR";
+    case EISDIR_: return "EISDIR";
+    case EINVAL_: return "EINVAL";
+    case ENFILE_: return "ENFILE";
+    case EMFILE_: return "EMFILE";
+    case ENOTTY_: return "ENOTTY";
+    case EFBIG_: return "EFBIG";
+    case ENOSPC_: return "ENOSPC";
+    case ESPIPE_: return "ESPIPE";
+    case ERANGE_: return "ERANGE";
+    case ENAMETOOLONG_: return "ENAMETOOLONG";
+    case ENOSYS_: return "ENOSYS";
+    case ELOOP_: return "ELOOP";
+    case ENODATA_: return "ENODATA";
+    case EPROTONOSUPPORT_: return "EPROTONOSUPPORT";
+    case ESOCKTNOSUPPORT_: return "ESOCKTNOSUPPORT";
+    case EOPNOTSUPP_: return "EOPNOTSUPP";
+    case EAFNOSUPPORT_: return "EAFNOSUPPORT";
+    case EADDRINUSE_: return "EADDRINUSE";
+    case ENOTCONN_: return "ENOTCONN";
+    case ETIMEDOUT_: return "ETIMEDOUT";
+    default: return "E?";
+  }
+}
+
+}  // namespace torpedo::kernel

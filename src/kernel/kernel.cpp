@@ -1,0 +1,1002 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+
+#include "kernel/errno.h"
+#include "kernel/signals.h"
+#include "kernel/syscalls.h"
+#include "util/check.h"
+
+namespace torpedo::kernel {
+
+namespace {
+
+// Socket address families (linux/socket.h numbering).
+constexpr int kAfMax = 45;
+constexpr bool family_loaded(int family) {
+  switch (family) {
+    case 1:   // AF_UNIX
+    case 2:   // AF_INET
+    case 10:  // AF_INET6
+    case 16:  // AF_NETLINK
+    case 17:  // AF_PACKET
+      return true;
+    default:
+      return false;
+  }
+}
+constexpr int kNetlinkAudit = 9;
+
+constexpr std::uint64_t kSockTypeMask = 0xF;
+constexpr bool sock_type_valid(int type) { return type >= 1 && type <= 6; }
+
+}  // namespace
+
+SimKernel::SimKernel(KernelConfig config)
+    : config_(config),
+      host_(std::make_unique<sim::Host>(config.host)),
+      cost_rng_(config.host.seed ^ 0xC057C057C057ULL) {
+  if (config_.install_services)
+    services_ = std::make_unique<SystemServices>(*this, config_.services);
+}
+
+SimKernel::~SimKernel() = default;
+
+Nanos SimKernel::jitter(Nanos base) {
+  if (base <= 0) return base;
+  // Deterministic +/-15%.
+  const double f = 0.85 + 0.30 * cost_rng_.uniform();
+  return static_cast<Nanos>(static_cast<double>(base) * f);
+}
+
+Process& SimKernel::create_process(std::string name, cgroup::Cgroup* group,
+                                   sim::TaskId task) {
+  const std::uint64_t pid = task;  // pid == backing task id
+  auto proc = std::make_unique<Process>(pid, std::move(name), group, task);
+  Process& ref = *proc;
+  processes_[pid] = std::move(proc);
+  return ref;
+}
+
+void SimKernel::destroy_process(Process& proc) {
+  reset_process(proc);
+  processes_.erase(proc.pid());
+}
+
+void SimKernel::reset_process(Process& proc) {
+  proc.close_all_fds();
+  if (proc.mapped_bytes > 0 && proc.group())
+    proc.group()->uncharge_memory(static_cast<std::int64_t>(proc.mapped_bytes));
+  proc.mapped_bytes = 0;
+  proc.pending_fatal = 0;
+  proc.in_signal_context = false;
+  proc.alarm_at = 0;
+}
+
+Process* SimKernel::find_process(std::uint64_t pid) {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+void SimKernel::request_module(Process& proc, const std::string& module) {
+  ++modprobe_execs_;
+  const Nanos now = host_->now();
+  trace_.record({.time = now,
+                 .kind = TraceKind::kUsermodeHelper,
+                 .pid = proc.pid(),
+                 .detail = "/sbin/modprobe " + module});
+  trace_.record({.time = now,
+                 .kind = TraceKind::kModprobe,
+                 .pid = proc.pid(),
+                 .detail = module});
+
+  // The helper runs in the root cgroup with no core restriction: its CPU is
+  // out-of-band relative to the requesting container.
+  sim::Host* host = host_.get();
+  const sim::TaskId caller = proc.task();
+  sim::Task& helper = host->spawn({
+      .name = "modprobe",
+      .kind = sim::TaskKind::kHelper,
+      .group = &host->cgroups().root(),
+      .affinity = cgroup::CpuSet::all(host->num_cores()),
+      .supplier = nullptr,
+  });
+  helper.push(sim::Segment::system(jitter(config_.costs.modprobe_sys)));
+  helper.push(sim::Segment::user(jitter(config_.costs.modprobe_user)));
+  sim::Segment done = sim::Segment::system(0);
+  done.on_complete = [host, caller] {
+    if (sim::Task* t = host->find_task(caller)) host->wake(*t);
+  };
+  helper.push(std::move(done));
+}
+
+void SimKernel::deliver_fatal_signal(Process& proc, int sig) {
+  proc.pending_fatal = sig;
+  if (!signal_dumps_core(sig)) return;
+  if (!proc.host_coredumps) return;  // sandboxed runtime handles it internally
+  ++coredumps_;
+  const Nanos now = host_->now();
+  trace_.record({.time = now,
+                 .kind = TraceKind::kCoredump,
+                 .pid = proc.pid(),
+                 .detail = std::string(signal_name(sig))});
+  trace_.record({.time = now,
+                 .kind = TraceKind::kUsermodeHelper,
+                 .pid = proc.pid(),
+                 .detail = "core_pattern helper"});
+
+  // do_coredump() pipes the core through a root-cgroup usermodehelper child
+  // (the |/usr/share/apport/... pattern). The child's CPU and IO are charged
+  // to nobody the container pays for — up to 200x amplification in Gao et al.
+  sim::Task& helper = host_->spawn({
+      .name = "core-helper",
+      .kind = sim::TaskKind::kHelper,
+      .group = &host_->cgroups().root(),
+      .affinity = cgroup::CpuSet::all(host_->num_cores()),
+      .supplier = nullptr,
+  });
+  helper.push(sim::Segment::system(jitter(config_.costs.coredump_helper_sys)));
+  helper.push(sim::Segment::user(jitter(config_.costs.coredump_helper_user)));
+  vfs_.dirty(config_.costs.coredump_bytes);
+}
+
+SysResult SimKernel::do_syscall(Process& proc, const SysReq& req) {
+  SysResult res;
+  const Nanos now = host_->now();
+
+  // Pending SIGALRM fires at the next syscall boundary.
+  if (proc.alarm_at != 0 && now >= proc.alarm_at) {
+    proc.alarm_at = 0;
+    deliver_fatal_signal(proc, SIGALRM_);
+    res.err = EINTR_;
+    res.ret = -EINTR_;
+    res.fatal_signal = SIGALRM_;
+    res.sys_ns = jitter(config_.costs.trivial);
+    return res;
+  }
+
+  res.sys_ns = jitter(config_.costs.entry);
+  res.user_ns = 600;  // libc wrapper overhead
+
+  auto fail = [&](int err) {
+    res.err = err;
+    res.ret = -err;
+    return res;
+  };
+  auto ok = [&](std::int64_t ret = 0) {
+    res.err = 0;
+    res.ret = ret;
+    return res;
+  };
+  auto fatal = [&](int sig) {
+    deliver_fatal_signal(proc, sig);
+    res.fatal_signal = sig;
+    res.err = EINTR_;
+    res.ret = -EINTR_;
+    // do_coredump() writes the dump in the dying task's kernel context
+    // before handing it to the usermodehelper pipe.
+    if (signal_dumps_core(sig) && proc.host_coredumps)
+      res.sys_ns += jitter(config_.costs.coredump_caller_sys);
+    return res;
+  };
+  auto deadline = [&](Nanos want) {
+    const Nanos cap = proc.block_deadline > 0 ? proc.block_deadline
+                                              : now + config_.costs.nanosleep_cap;
+    return std::min(now + want, std::max(cap, now));
+  };
+
+  switch (req.nr) {
+    case kGetpid:
+      res.sys_ns = jitter(config_.costs.trivial);
+      return ok(static_cast<std::int64_t>(proc.pid()));
+    case kGetuid:
+    case kGeteuid:
+      res.sys_ns = jitter(config_.costs.trivial);
+      return ok(static_cast<std::int64_t>(proc.uid));
+    case kUname:
+    case kSysinfo:
+    case kTimes:
+    case kGetcwd:
+    case kClockGettime:
+    case kTimeOfDay:
+    case kSchedYield:
+      res.sys_ns = jitter(config_.costs.trivial);
+      return ok();
+    case kUmask: {
+      const std::uint64_t old = proc.umask;
+      proc.umask = req.val(0) & 0777;
+      res.sys_ns = jitter(config_.costs.trivial);
+      return ok(static_cast<std::int64_t>(old));
+    }
+
+    case kOpen:
+      return sys_file_open(proc, req, /*creat=*/false);
+    case kCreat:
+      return sys_file_open(proc, req, /*creat=*/true);
+
+    case kClose: {
+      const int err = proc.close_fd(static_cast<int>(req.val(0)));
+      return err ? fail(err) : ok();
+    }
+
+    case kDup:
+    case kDup3: {
+      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
+      if (!fd) return fail(EBADF_);
+      const int nfd = proc.install_fd(*fd);
+      if (nfd < 0) return fail(-nfd);
+      return ok(nfd);
+    }
+
+    case kRead:
+      return sys_read_write(proc, req, /*write=*/false);
+    case kWrite:
+      return sys_read_write(proc, req, /*write=*/true);
+
+    case kLseek: {
+      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
+      if (!fd) return fail(EBADF_);
+      if (fd->kind == FdKind::kSocket || fd->kind == FdKind::kPipe)
+        return fail(ESPIPE_);
+      const std::int64_t offset = static_cast<std::int64_t>(req.val(1));
+      const std::uint64_t whence = req.val(2);
+      std::int64_t base = 0;
+      if (whence == 0)
+        base = 0;  // SEEK_SET
+      else if (whence == 1)
+        base = static_cast<std::int64_t>(fd->offset);  // SEEK_CUR
+      else if (whence == 2)
+        base = fd->inode ? static_cast<std::int64_t>(fd->inode->size) : 0;
+      else
+        return fail(EINVAL_);
+      const std::int64_t target = base + offset;
+      if (target < 0) return fail(EINVAL_);
+      fd->offset = static_cast<std::uint64_t>(target);
+      return ok(target);
+    }
+
+    case kStat:
+    case kAccess: {
+      res.sys_ns += jitter(config_.costs.path_sys);
+      LookupResult lr = vfs_.lookup(req.str(0));
+      res.sys_ns += lr.follows * config_.costs.symlink_step;
+      if (!lr.inode) return fail(lr.error);
+      return ok();
+    }
+
+    case kFstat: {
+      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
+      if (!fd) return fail(EBADF_);
+      return ok();
+    }
+
+    case kReadlink: {
+      res.sys_ns += jitter(config_.costs.path_sys);
+      const std::string& path = req.str(0);
+      // readlink does NOT follow the final component, but does resolve the
+      // directory prefix. A chain of looping directory components burns the
+      // symlink budget.
+      LookupResult lr = vfs_.lookup(path);
+      res.sys_ns += lr.follows * config_.costs.symlink_step;
+      if (!lr.inode) {
+        if (lr.error == ELOOP_) return fail(ELOOP_);
+        return fail(lr.error);
+      }
+      if (lr.inode->kind != InodeKind::kSymlink) return fail(EINVAL_);
+      return ok(static_cast<std::int64_t>(lr.inode->symlink_target.size()));
+    }
+
+    case kChmod: {
+      res.sys_ns += jitter(config_.costs.path_sys);
+      LookupResult lr = vfs_.lookup(req.str(0));
+      res.sys_ns += lr.follows * config_.costs.symlink_step;
+      if (!lr.inode) return fail(lr.error);
+      lr.inode->mode = static_cast<std::uint32_t>(req.val(1)) & 07777;
+      return ok();
+    }
+
+    case kMkdir: {
+      res.sys_ns += jitter(config_.costs.path_sys);
+      const int err = vfs_.mkdir(req.str(0),
+                                 static_cast<std::uint32_t>(req.val(1)));
+      return err ? fail(err) : ok();
+    }
+
+    case kUnlink: {
+      res.sys_ns += jitter(config_.costs.path_sys);
+      const int err = vfs_.remove(req.str(0));
+      return err ? fail(err) : ok();
+    }
+
+    case kRename: {
+      res.sys_ns += jitter(config_.costs.path_sys);
+      LookupResult lr = vfs_.lookup(req.str(0));
+      if (!lr.inode) return fail(lr.error);
+      // Simplified: rename re-creates the target and drops the source.
+      Inode* out = nullptr;
+      vfs_.create(req.str(1), lr.inode->mode, &out);
+      if (out) out->size = lr.inode->size;
+      vfs_.remove(req.str(0));
+      return ok();
+    }
+
+    case kMmap:
+      return sys_mmap(proc, req);
+    case kMunmap: {
+      const std::uint64_t len = req.val(1);
+      if (len == 0) return fail(EINVAL_);
+      const std::uint64_t release = std::min(len, proc.mapped_bytes);
+      if (release > 0 && proc.group())
+        proc.group()->uncharge_memory(static_cast<std::int64_t>(release));
+      proc.mapped_bytes -= release;
+      res.sys_ns += jitter(config_.costs.mmap_sys / 2);
+      return ok();
+    }
+    case kMsync:
+    case kMadvise:
+      res.sys_ns += jitter(config_.costs.trivial * 2);
+      return ok();
+
+    case kSocket:
+      return sys_socket(proc, req, /*pair=*/false);
+    case kSocketpair:
+      return sys_socket(proc, req, /*pair=*/true);
+    case kSendto:
+      return sys_sendto(proc, req);
+
+    case kRecvfrom: {
+      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
+      if (!fd) return fail(EBADF_);
+      if (fd->kind != FdKind::kSocket) return fail(ENOTCONN_);
+      // Nothing ever arrives; block until the deadline then EAGAIN. These
+      // calls are "thoroughly uninteresting" (§4.1.2) and end up denylisted.
+      res.block_until = deadline(config_.costs.nanosleep_cap);
+      return fail(EAGAIN_);
+    }
+
+    case kConnect:
+    case kBind:
+    case kListen:
+    case kShutdown:
+    case kSetsockopt:
+    case kGetsockopt: {
+      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
+      if (!fd) return fail(EBADF_);
+      if (fd->kind != FdKind::kSocket) return fail(ENOTCONN_);
+      res.sys_ns += jitter(config_.costs.socket_sys / 2);
+      if (req.nr == kConnect) return fail(ETIMEDOUT_);
+      return ok();
+    }
+
+    case kSync:
+      return sys_sync(proc, -1, /*whole_system=*/true);
+    case kSyncfs: {
+      if (!proc.fd(static_cast<int>(req.val(0)))) return fail(EBADF_);
+      return sys_sync(proc, static_cast<int>(req.val(0)),
+                      /*whole_system=*/true);
+    }
+    case kFsync:
+    case kFdatasync: {
+      if (!proc.fd(static_cast<int>(req.val(0)))) return fail(EBADF_);
+      return sys_sync(proc, static_cast<int>(req.val(0)),
+                      /*whole_system=*/false);
+    }
+
+    case kFallocate:
+      return sys_size_change(proc, req, /*fallocate=*/true);
+    case kFtruncate:
+      return sys_size_change(proc, req, /*fallocate=*/false);
+
+    case kRtSigreturn:
+      // Outside a signal handler the restored context is garbage: SIGSEGV,
+      // whose default action dumps core (the paper's §4.3 "any usage" row).
+      res.sys_ns += jitter(config_.costs.trivial * 2);
+      if (!proc.in_signal_context) return fatal(SIGSEGV_);
+      proc.in_signal_context = false;
+      return ok();
+
+    case kRseq: {
+      // rseq(ptr, len, flags, sig): misaligned ptr or bad len/flags kill the
+      // caller with SIGSEGV on registration (matches the paper's finding).
+      const std::uint64_t ptr = req.val(0);
+      const std::uint64_t len = req.val(1);
+      const std::uint64_t flags = req.val(2);
+      res.sys_ns += jitter(config_.costs.trivial * 2);
+      if (flags != 0 && flags != 1) return fail(EINVAL_);
+      if ((ptr & 0x1F) != 0 || len != 32) return fatal(SIGSEGV_);
+      return ok();
+    }
+
+    case kKill:
+    case kTgkill: {
+      const std::uint64_t target = req.val(0);
+      const int sig = static_cast<int>(req.nr == kTgkill ? req.val(2)
+                                                         : req.val(1));
+      if (sig < 0 || sig > 64) return fail(EINVAL_);
+      if (target != proc.pid()) return fail(ESRCH_);  // PID-namespaced
+      if (sig == 0) return ok();
+      if (signal_is_fatal(sig)) return fatal(sig);
+      return ok();
+    }
+
+    case kExit:
+    case kExitGroup:
+      // Voluntary exit: no dump; the executor restarts the program process.
+      proc.pending_fatal = SIGKILL_;
+      res.fatal_signal = SIGKILL_;
+      return ok();
+
+    case kAlarm: {
+      const std::uint64_t secs = req.val(0);
+      const Nanos previous = proc.alarm_at;
+      proc.alarm_at = secs == 0 ? 0 : now + static_cast<Nanos>(secs) * kSecond;
+      res.sys_ns = jitter(config_.costs.trivial);
+      const Nanos remaining =
+          previous > now ? (previous - now + kSecond - 1) / kSecond : 0;
+      return ok(remaining);
+    }
+
+    case kPause:
+      res.block_until = deadline(kSecond * 3600);
+      return fail(EINTR_);
+
+    case kNanosleep: {
+      const Nanos want = static_cast<Nanos>(req.val(0));
+      res.block_until = deadline(std::max<Nanos>(want, kMicrosecond));
+      return ok();
+    }
+
+    case kPoll: {
+      const Nanos timeout_ms = static_cast<Nanos>(req.val(2));
+      res.block_until = deadline(timeout_ms * kMillisecond);
+      return ok(0);
+    }
+
+    case kGetrlimit: {
+      const std::uint64_t which = req.val(0);
+      if (which >= kNumRlimits) return fail(EINVAL_);
+      res.sys_ns = jitter(config_.costs.trivial);
+      return ok();
+    }
+    case kSetrlimit: {
+      const std::uint64_t which = req.val(0);
+      if (which >= kNumRlimits) return fail(EINVAL_);
+      proc.set_rlimit(static_cast<int>(which), req.val(1));
+      return ok();
+    }
+
+    case kSetuid: {
+      proc.uid = req.val(0);
+      // Credential changes are audited; the audit daemons do the work in
+      // their own cgroups (§2.4.3 "deferring work to other process cgroups").
+      if (services_ && proc.host_audit)
+        services_->audit_event(proc.pid(), "syscall=setuid");
+      res.sys_ns += jitter(config_.costs.trivial * 2);
+      return ok();
+    }
+    case kPrctl:
+      res.sys_ns = jitter(config_.costs.trivial);
+      return ok();
+
+    case kSetxattr:
+      return sys_xattr(proc, req, /*set=*/true);
+    case kGetxattr:
+      return sys_xattr(proc, req, /*set=*/false);
+
+    case kIoctl: {
+      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
+      if (!fd) return fail(EBADF_);
+      res.sys_ns += jitter(config_.costs.trivial * 3);
+      return fail(ENOTTY_);  // no simulated device implements ioctls
+    }
+
+    case kFcntl: {
+      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
+      if (!fd) return fail(EBADF_);
+      return ok(0);
+    }
+    case kFlock: {
+      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
+      if (!fd) return fail(EBADF_);
+      return ok();
+    }
+
+    case kInotifyInit: {
+      const int fd = proc.install_fd({.kind = FdKind::kInotify});
+      if (fd < 0) return fail(-fd);
+      return ok(fd);
+    }
+    case kInotifyAddWatch: {
+      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
+      if (!fd) return fail(EBADF_);
+      if (fd->kind != FdKind::kInotify) return fail(EINVAL_);
+      LookupResult lr = vfs_.lookup(req.str(1));
+      if (!lr.inode) return fail(lr.error);
+      return ok(1);
+    }
+
+    case kPipe: {
+      const int r = proc.install_fd({.kind = FdKind::kPipe});
+      if (r < 0) return fail(-r);
+      const int w = proc.install_fd({.kind = FdKind::kPipe});
+      if (w < 0) return fail(-w);
+      return ok(0);
+    }
+
+    case kEpollCreate1: {
+      const int fd = proc.install_fd({.kind = FdKind::kEpoll});
+      if (fd < 0) return fail(-fd);
+      return ok(fd);
+    }
+    case kEventfd2: {
+      const int fd = proc.install_fd({.kind = FdKind::kEventfd});
+      if (fd < 0) return fail(-fd);
+      return ok(fd);
+    }
+    case kMemfdCreate: {
+      const int fd = proc.install_fd({.kind = FdKind::kMemfd});
+      if (fd < 0) return fail(-fd);
+      return ok(fd);
+    }
+    case kMqOpen: {
+      const int fd = proc.install_fd({.kind = FdKind::kMqueue});
+      if (fd < 0) return fail(-fd);
+      return ok(fd);
+    }
+
+    case kKcmp: {
+      const std::uint64_t pid1 = req.val(0);
+      const std::uint64_t pid2 = req.val(1);
+      const std::uint64_t type = req.val(2);
+      if (type > 7) return fail(EINVAL_);
+      if (pid1 != proc.pid() && !processes_.contains(pid1))
+        return fail(ESRCH_);
+      if (pid2 != proc.pid() && !processes_.contains(pid2))
+        return fail(ESRCH_);
+      return ok(0);
+    }
+
+    default:
+      res.sys_ns = jitter(config_.costs.trivial);
+      return fail(ENOSYS_);
+  }
+}
+
+SysResult SimKernel::sys_file_open(Process& proc, const SysReq& req,
+                                   bool creat) {
+  SysResult res;
+  res.sys_ns = jitter(config_.costs.entry) + jitter(config_.costs.open_sys);
+  res.user_ns = 600;
+  const std::string& path = req.str(0);
+  const std::uint64_t flags = creat ? 0x241 /*O_WRONLY|O_CREAT|O_TRUNC*/
+                                    : req.val(1);
+  const std::uint64_t mode = creat ? req.val(1) : req.val(2);
+
+  Inode* inode = nullptr;
+  LookupResult lr = vfs_.lookup(path);
+  res.sys_ns += lr.follows * config_.costs.symlink_step;
+  if (lr.inode) {
+    inode = lr.inode;
+    if (creat || (flags & 0x200) /*O_TRUNC*/) inode->size = 0;
+  } else if (lr.error == ELOOP_) {
+    res.err = ELOOP_;
+    res.ret = -ELOOP_;
+    return res;
+  } else if (creat || (flags & 0x40) /*O_CREAT*/) {
+    const int err = vfs_.create(path, static_cast<std::uint32_t>(mode), &inode);
+    if (err) {
+      res.err = err;
+      res.ret = -err;
+      return res;
+    }
+  } else {
+    res.err = lr.error;
+    res.ret = -lr.error;
+    return res;
+  }
+
+  // Occasional cold-cache stall.
+  if (cost_rng_.uniform() < config_.costs.open_block_chance) {
+    res.block_until = host_->now() + jitter(config_.costs.open_block);
+    res.block_io = true;
+  }
+
+  const int fd = proc.install_fd(
+      {.kind = FdKind::kFile, .inode = inode, .offset = 0, .flags = flags});
+  if (fd < 0) {
+    res.err = -fd;
+    res.ret = fd;
+    return res;
+  }
+  res.ret = fd;
+  return res;
+}
+
+SysResult SimKernel::sys_read_write(Process& proc, const SysReq& req,
+                                    bool write) {
+  SysResult res;
+  res.sys_ns = jitter(config_.costs.entry);
+  res.user_ns = 600;
+  FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
+  if (!fd) {
+    res.err = EBADF_;
+    res.ret = -EBADF_;
+    return res;
+  }
+  const std::uint64_t count = req.val(2);
+  res.sys_ns += jitter(config_.costs.rw_sys) +
+                static_cast<Nanos>(count / 1024) * config_.costs.rw_per_kb;
+
+  if (fd->kind == FdKind::kSocket) {
+    res.err = ENOTCONN_;
+    res.ret = -ENOTCONN_;
+    return res;
+  }
+  if (fd->kind != FdKind::kFile || !fd->inode) {
+    // pipes/eventfds: treat as short ok transfer
+    res.ret = static_cast<std::int64_t>(std::min<std::uint64_t>(count, 4096));
+    return res;
+  }
+
+  Inode* inode = fd->inode;
+  if (write) {
+    if (inode->kind == InodeKind::kProcFile) {
+      inode->contents = req.str(1);
+      res.ret = static_cast<std::int64_t>(count ? count : req.str(1).size());
+      return res;
+    }
+    // RLIMIT_FSIZE enforcement: exceeding it raises SIGXFSZ (core dump set).
+    const std::uint64_t limit = proc.rlimit(RLIMIT_FSIZE_);
+    if (limit != kRlimInfinity && fd->offset + count > limit) {
+      deliver_fatal_signal(proc, SIGXFSZ_);
+      res.fatal_signal = SIGXFSZ_;
+      if (proc.host_coredumps)
+        res.sys_ns += jitter(config_.costs.coredump_caller_sys);
+      res.err = EFBIG_;
+      res.ret = -EFBIG_;
+      return res;
+    }
+    // Buffered write: dirty pages now, device later. The blkio controller
+    // never sees this IO — the gap sync(2) exploits.
+    vfs_.dirty(count);
+    inode->size = std::max(inode->size, fd->offset + count);
+    fd->offset += count;
+    // Writers stall while a sync(2) flush holds the superblock.
+    if (flush_in_flight_until_ > host_->now()) {
+      res.block_until = flush_in_flight_until_;
+      res.block_io = true;
+    }
+    res.ret = static_cast<std::int64_t>(count);
+    return res;
+  }
+
+  // read
+  std::uint64_t avail = 0;
+  if (inode->kind == InodeKind::kProcFile) {
+    avail = inode->contents.size() > fd->offset
+                ? inode->contents.size() - fd->offset
+                : 0;
+  } else if (inode->kind == InodeKind::kCharDev) {
+    avail = count;
+  } else {
+    avail = inode->size > fd->offset ? inode->size - fd->offset : 0;
+  }
+  const std::uint64_t n = std::min(avail, count);
+  fd->offset += n;
+  res.ret = static_cast<std::int64_t>(n);
+  return res;
+}
+
+SysResult SimKernel::sys_socket(Process& proc, const SysReq& req, bool pair) {
+  SysResult res;
+  res.sys_ns = jitter(config_.costs.entry) + jitter(config_.costs.socket_sys);
+  res.user_ns = 600;
+  const int family = static_cast<int>(req.val(0));
+  const int raw_type = static_cast<int>(req.val(1));
+  const int type = raw_type & static_cast<int>(kSockTypeMask);
+  const int protocol = static_cast<int>(req.val(2));
+
+  auto fail_with_modprobe = [&](int err, const std::string& module) {
+    if (!proc.modprobe_on_missing) {
+      // Sandboxed netstack: the request never reaches the host kernel.
+      res.err = err;
+      res.ret = -err;
+      return res;
+    }
+    // request_module() has no negative-result cache: *every* failing request
+    // re-execs modprobe — the paper's new runC finding (§4.3.3).
+    request_module(proc, module);
+    // The caller blocks until the helper exits (request_module is
+    // synchronous); the helper's completion wakes it early.
+    const Nanos cap = proc.block_deadline > 0
+                          ? proc.block_deadline
+                          : host_->now() + 50 * kMillisecond;
+    res.block_until = std::max(cap, host_->now());
+    // The helper's exit wakes the caller well before the deadline; tell the
+    // executor's Algorithm-1 accounting what to actually expect.
+    res.block_hint =
+        2 * (config_.costs.modprobe_sys + config_.costs.modprobe_user);
+    res.err = err;
+    res.ret = -err;
+    return res;
+  };
+
+  if (family < 0 || family >= kAfMax) {
+    // Invalid family: rejected before the module path.
+    res.err = EAFNOSUPPORT_;
+    res.ret = -EAFNOSUPPORT_;
+    return res;
+  }
+  if (!family_loaded(family))
+    return fail_with_modprobe(EAFNOSUPPORT_,
+                              "net-pf-" + std::to_string(family));
+  if (!sock_type_valid(type))
+    return fail_with_modprobe(ESOCKTNOSUPPORT_,
+                              "net-pf-" + std::to_string(family) + "-type-" +
+                                  std::to_string(type));
+
+  bool proto_ok = false;
+  switch (family) {
+    case 1:  // AF_UNIX
+    case 17:
+      proto_ok = protocol == 0;
+      break;
+    case 2:   // AF_INET
+    case 10:  // AF_INET6
+      proto_ok = protocol == 0 || protocol == 1 || protocol == 6 ||
+                 protocol == 17;
+      break;
+    case 16:  // AF_NETLINK
+      proto_ok = protocol >= 0 && protocol <= 22;
+      break;
+    default:
+      proto_ok = protocol == 0;
+  }
+  if (!proto_ok)
+    return fail_with_modprobe(EPROTONOSUPPORT_,
+                              "net-pf-" + std::to_string(family) + "-proto-" +
+                                  std::to_string(protocol));
+
+  FileDesc desc{.kind = FdKind::kSocket,
+                .family = family,
+                .type = type,
+                .protocol = protocol};
+  const int fd = proc.install_fd(desc);
+  if (fd < 0) {
+    res.err = -fd;
+    res.ret = fd;
+    return res;
+  }
+  if (pair) {
+    const int fd2 = proc.install_fd(desc);
+    if (fd2 < 0) {
+      proc.close_fd(fd);
+      res.err = -fd2;
+      res.ret = fd2;
+      return res;
+    }
+    res.ret = 0;
+    return res;
+  }
+  res.ret = fd;
+  return res;
+}
+
+SysResult SimKernel::sys_sendto(Process& proc, const SysReq& req) {
+  SysResult res;
+  res.sys_ns = jitter(config_.costs.entry) + jitter(config_.costs.sendto_sys);
+  res.user_ns = 600;
+  FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
+  if (!fd) {
+    res.err = EBADF_;
+    res.ret = -EBADF_;
+    return res;
+  }
+  if (fd->kind != FdKind::kSocket) {
+    res.err = ENOTCONN_;
+    res.ret = -ENOTCONN_;
+    return res;
+  }
+  const std::uint64_t len = req.val(2);
+
+  if (fd->family == 16 && fd->protocol == kNetlinkAudit) {
+    // Writing to the audit netlink socket generates audit records that
+    // kauditd/journald process in their own cgroups (Table A.3's program).
+    // Sandboxed runtimes terminate netlink in the sentry's netstack.
+    if (services_ && proc.host_audit)
+      services_->audit_event(proc.pid(), "netlink-audit len=" +
+                                             std::to_string(len));
+    res.ret = static_cast<std::int64_t>(len);
+    return res;
+  }
+  if (fd->family == 2 || fd->family == 10) {
+    if (fd->type == 1 /*SOCK_STREAM*/) {
+      res.err = ENOTCONN_;
+      res.ret = -ENOTCONN_;
+      return res;
+    }
+    // Datagram tx: rx processing happens in softirq context on the
+    // receiving core — time charged to no container (IRON's motivation).
+    if (sim::Task* t = host_->find_task(proc.task())) {
+      const int rx_core = (t->core() + 1) % host_->num_cores();
+      host_->raise_softirq(rx_core, jitter(config_.costs.net_softirq));
+      trace_.record({.time = host_->now(),
+                     .kind = TraceKind::kNetSoftirq,
+                     .pid = proc.pid(),
+                     .detail = "len=" + std::to_string(len)});
+    }
+    res.ret = static_cast<std::int64_t>(len);
+    return res;
+  }
+  // unix/packet/other netlink: local delivery, cheap.
+  res.ret = static_cast<std::int64_t>(len);
+  return res;
+}
+
+SysResult SimKernel::sys_sync(Process& proc, int /*fd*/, bool whole_system) {
+  SysResult res;
+  res.user_ns = 600;
+  const Nanos now = host_->now();
+
+  std::uint64_t flush_bytes = 0;
+  if (whole_system) {
+    flush_bytes = vfs_.take_dirty();
+    res.sys_ns = jitter(config_.costs.entry) +
+                 jitter(config_.costs.sync_caller_sys);
+  } else {
+    flush_bytes = vfs_.consume_dirty(1 << 20);
+    res.sys_ns = jitter(config_.costs.entry) +
+                 jitter(config_.costs.sync_caller_sys / 4);
+  }
+
+  trace_.record({.time = now,
+                 .kind = TraceKind::kIoFlush,
+                 .pid = proc.pid(),
+                 .detail = (whole_system ? "sync bytes=" : "fsync bytes=") +
+                           std::to_string(flush_bytes)});
+
+  // Writeback bookkeeping runs on a kworker in the root cgroup: CPU the
+  // caller is never charged for.
+  const Nanos wb_cpu = std::max<Nanos>(
+      20 * kMicrosecond,
+      static_cast<Nanos>(flush_bytes >> 20) * config_.costs.writeback_sys_per_mb);
+  sim::WorkItem wb;
+  wb.name = "writeback";
+  wb.system_time = jitter(wb_cpu);
+  host_->schedule_work(std::move(wb));
+
+  // The device-side flush: journal barriers give it a floor even when the
+  // dirty set is small. The transfer is serialized behind whatever the
+  // device is already doing.
+  const Nanos floor = whole_system ? config_.costs.sync_floor
+                                   : config_.costs.sync_floor / 4;
+  const Nanos transfer =
+      std::max(floor, disk_transfer_time(flush_bytes));
+  const Nanos done = host_->disk().occupy(now, transfer);
+
+  if (whole_system) flush_in_flight_until_ = std::max(flush_in_flight_until_, done);
+
+  // sync(2) waits for completion; the wait is IO wait.
+  res.block_until = done;
+  res.block_io = true;
+  res.ret = 0;
+  return res;
+}
+
+SysResult SimKernel::sys_size_change(Process& proc, const SysReq& req,
+                                     bool fallocate) {
+  SysResult res;
+  res.sys_ns = jitter(config_.costs.entry) + jitter(config_.costs.fallocate_sys);
+  res.user_ns = 600;
+  FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
+  if (!fd) {
+    res.err = EBADF_;
+    res.ret = -EBADF_;
+    return res;
+  }
+  if (fd->kind != FdKind::kFile || !fd->inode) {
+    res.err = EINVAL_;
+    res.ret = -EINVAL_;
+    return res;
+  }
+
+  std::uint64_t target = 0;
+  if (fallocate) {
+    const std::uint64_t offset = req.val(2);
+    const std::uint64_t len = req.val(3);
+    if (len == 0) {
+      res.err = EINVAL_;
+      res.ret = -EINVAL_;
+      return res;
+    }
+    target = offset + len;
+    if (target < offset) target = ~0ULL;  // overflow saturates
+  } else {
+    target = req.val(1);
+  }
+
+  const std::uint64_t limit = proc.rlimit(RLIMIT_FSIZE_);
+  if (limit != kRlimInfinity && target > limit) {
+    // Growing a file past RLIMIT_FSIZE delivers SIGXFSZ; the default action
+    // terminates with a core dump (§4.3.2).
+    deliver_fatal_signal(proc, SIGXFSZ_);
+    res.fatal_signal = SIGXFSZ_;
+    if (proc.host_coredumps)
+      res.sys_ns += jitter(config_.costs.coredump_caller_sys);
+    res.err = EFBIG_;
+    res.ret = -EFBIG_;
+    return res;
+  }
+  fd->inode->size = std::max(fd->inode->size, target);
+  return res;
+}
+
+SysResult SimKernel::sys_mmap(Process& proc, const SysReq& req) {
+  SysResult res;
+  res.sys_ns = jitter(config_.costs.entry) + jitter(config_.costs.mmap_sys);
+  res.user_ns = 600;
+  const std::uint64_t len = req.val(1);
+  if (len == 0) {
+    res.err = EINVAL_;
+    res.ret = -EINVAL_;
+    return res;
+  }
+  if (len > (1ULL << 46)) {
+    res.err = ENOMEM_;
+    res.ret = -ENOMEM_;
+    return res;
+  }
+  if (proc.group() &&
+      !proc.group()->charge_memory(static_cast<std::int64_t>(len))) {
+    res.err = ENOMEM_;
+    res.ret = -ENOMEM_;
+    return res;
+  }
+  proc.mapped_bytes += len;
+  res.ret = 0x7f0000000000;
+  return res;
+}
+
+SysResult SimKernel::sys_xattr(Process& proc, const SysReq& req, bool set) {
+  (void)proc;
+  SysResult res;
+  res.sys_ns = jitter(config_.costs.entry) + jitter(config_.costs.xattr_sys);
+  res.user_ns = 600;
+  LookupResult lr = vfs_.lookup(req.str(0));
+  res.sys_ns += lr.follows * config_.costs.symlink_step;
+  if (!lr.inode) {
+    res.err = lr.error;
+    res.ret = -lr.error;
+    return res;
+  }
+  const std::string& name = req.str(1);
+  if (set) {
+    lr.inode->xattrs[name] = req.str(2);
+    res.ret = 0;
+    return res;
+  }
+  auto it = lr.inode->xattrs.find(name);
+  if (it == lr.inode->xattrs.end()) {
+    res.err = ENODATA_;
+    res.ret = -ENODATA_;
+    return res;
+  }
+  const std::uint64_t size = req.val(3);
+  if (size == 0) {
+    res.ret = static_cast<std::int64_t>(it->second.size());
+    return res;
+  }
+  if (size < it->second.size()) {
+    res.err = ERANGE_;
+    res.ret = -ERANGE_;
+    return res;
+  }
+  res.ret = static_cast<std::int64_t>(it->second.size());
+  return res;
+}
+
+Nanos SimKernel::disk_transfer_time(std::uint64_t bytes) const {
+  return host_->disk().transfer_time(bytes);
+}
+
+}  // namespace torpedo::kernel

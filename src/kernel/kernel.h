@@ -1,0 +1,182 @@
+// SimKernel: the syscall surface of the simulated host.
+//
+// Translates each system call into (a) simulated CPU/blocking costs for the
+// caller, (b) state changes in the VFS / fd tables / cgroups, and (c) the
+// side effects that make workloads adversarial: writeback deferral on
+// sync(2), coredumps through the usermodehelper API on fatal signals,
+// *uncached* modprobe execs on unsupported socket families, and audit
+// records fanned out to the audit daemons.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/process.h"
+#include "kernel/services.h"
+#include "kernel/trace.h"
+#include "kernel/vfs.h"
+#include "sim/host.h"
+#include "util/time.h"
+
+namespace torpedo::kernel {
+
+// Cost model (all values are means; the kernel applies deterministic +/-15%
+// jitter from its own RNG stream).
+struct KernelCosts {
+  Nanos entry = 3'000;                    // syscall entry/exit
+  Nanos trivial = 1'500;                    // getpid & friends
+  Nanos open_sys = 18'000;
+  double open_block_chance = 0.05;        // cold dentry/readahead stall
+  Nanos open_block = 50 * kMicrosecond;
+  Nanos rw_sys = 14'000;
+  Nanos rw_per_kb = 350;
+  Nanos mmap_sys = 22'000;
+  Nanos socket_sys = 26'000;
+  Nanos xattr_sys = 16'000;
+  Nanos path_sys = 14'000;                 // stat/chmod/access/readlink base
+  Nanos symlink_step = 3'500;             // per symlink traversal (ELOOP walk)
+
+  // sync(2): caller-side superblock walk + device flush occupancy.
+  Nanos sync_caller_sys = 350 * kMicrosecond;
+  Nanos sync_floor = 1'200 * kMicrosecond;  // flush floor even with no dirty
+  Nanos writeback_sys_per_mb = 600 * kMicrosecond;
+
+  // usermodehelper children (root cgroup, unconstrained cores).
+  Nanos modprobe_user = 1'300 * kMicrosecond;
+  Nanos modprobe_sys = 900 * kMicrosecond;
+  Nanos coredump_caller_sys = 550 * kMicrosecond;  // dump write in task ctx
+  Nanos coredump_helper_sys = 400 * kMicrosecond;
+  Nanos coredump_helper_user = 2'600 * kMicrosecond;
+  std::uint64_t coredump_bytes = 2 << 20;
+
+  Nanos fallocate_sys = 28'000;
+  Nanos nanosleep_cap = 100 * kMillisecond;
+  Nanos sendto_sys = 20'000;
+  Nanos net_softirq = 12'000;             // rx processing per packet
+};
+
+struct KernelConfig {
+  sim::HostConfig host;
+  KernelCosts costs;
+  ServiceConfig services;
+  bool install_services = true;
+};
+
+// One argument of a syscall request: a number or a string (paths, buffers).
+struct SysArg {
+  std::uint64_t val = 0;
+  std::string str;
+  bool is_str = false;
+
+  static SysArg num(std::uint64_t v) {
+    SysArg a;
+    a.val = v;
+    return a;
+  }
+  static SysArg text(std::string s) {
+    return {.val = 0, .str = std::move(s), .is_str = true};
+  }
+};
+
+struct SysReq {
+  int nr = 0;
+  std::vector<SysArg> args;
+
+  std::uint64_t val(std::size_t i) const {
+    return i < args.size() ? args[i].val : 0;
+  }
+  const std::string& str(std::size_t i) const {
+    static const std::string kEmpty;
+    return i < args.size() && args[i].is_str ? args[i].str : kEmpty;
+  }
+};
+
+struct SysResult {
+  std::int64_t ret = 0;   // raw return value (fd, count, ...); 0 on error
+  int err = 0;            // errno; 0 == success
+  Nanos user_ns = 0;      // caller user time (libc wrapper side)
+  Nanos sys_ns = 0;       // caller kernel time (charged to its cgroup)
+  Nanos block_until = 0;  // absolute wall deadline; 0 == no block
+  bool block_io = false;  // block counts as iowait
+  // Expected block duration for throughput accounting when block_until is a
+  // conservative deadline with an early wake (request_module). -1 == use
+  // block_until - now.
+  Nanos block_hint = -1;
+  int fatal_signal = 0;   // nonzero: caller was killed by this signal
+};
+
+class SimKernel {
+ public:
+  explicit SimKernel(KernelConfig config = {});
+  ~SimKernel();
+
+  SimKernel(const SimKernel&) = delete;
+  SimKernel& operator=(const SimKernel&) = delete;
+
+  sim::Host& host() { return *host_; }
+  const sim::Host& host() const { return *host_; }
+  Vfs& vfs() { return vfs_; }
+  KernelTrace& trace() { return trace_; }
+  SystemServices& services() { return *services_; }
+  const KernelCosts& costs() const { return config_.costs; }
+
+  // --- processes -----------------------------------------------------------
+
+  Process& create_process(std::string name, cgroup::Cgroup* group,
+                          sim::TaskId task);
+  void destroy_process(Process& proc);
+  // Close fds, release memory charges, clear signal state (between program
+  // iterations).
+  void reset_process(Process& proc);
+  Process* find_process(std::uint64_t pid);
+
+  // --- the syscall interface ------------------------------------------------
+
+  SysResult do_syscall(Process& proc, const SysReq& req);
+
+  // --- paths shared with the runtime layer ----------------------------------
+
+  // Fatal-signal delivery: records the coredump trace and, when the signal's
+  // default action dumps core, spawns the core_pattern usermodehelper.
+  void deliver_fatal_signal(Process& proc, int sig);
+
+  // request_module(): spawns a modprobe helper in the root cgroup and
+  // returns; the caller should block until `wake_pid`'s task is woken (the
+  // helper's exit wakes it). No negative caching — each call re-execs.
+  void request_module(Process& proc, const std::string& module);
+
+  std::uint64_t modprobe_execs() const { return modprobe_execs_; }
+  std::uint64_t coredumps() const { return coredumps_; }
+
+ private:
+  Nanos jitter(Nanos base);
+  Nanos disk_transfer_time(std::uint64_t bytes) const;
+
+  SysResult sys_file_open(Process& proc, const SysReq& req, bool creat);
+  SysResult sys_read_write(Process& proc, const SysReq& req, bool write);
+  SysResult sys_socket(Process& proc, const SysReq& req, bool pair);
+  SysResult sys_sendto(Process& proc, const SysReq& req);
+  SysResult sys_sync(Process& proc, int fd, bool whole_system);
+  SysResult sys_size_change(Process& proc, const SysReq& req, bool fallocate);
+  SysResult sys_mmap(Process& proc, const SysReq& req);
+  SysResult sys_xattr(Process& proc, const SysReq& req, bool set);
+
+  KernelConfig config_;
+  std::unique_ptr<sim::Host> host_;
+  Vfs vfs_;
+  KernelTrace trace_;
+  std::unique_ptr<SystemServices> services_;
+  Rng cost_rng_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Process>> processes_;
+
+  // sync(2) exclusion: writers stall while a flush is in flight.
+  Nanos flush_in_flight_until_ = 0;
+
+  std::uint64_t modprobe_execs_ = 0;
+  std::uint64_t coredumps_ = 0;
+};
+
+}  // namespace torpedo::kernel

@@ -1,0 +1,30 @@
+#include "kernel/process.h"
+
+#include "kernel/errno.h"
+
+namespace torpedo::kernel {
+
+int Process::install_fd(FileDesc desc) {
+  if (fds_.size() >= rlimit(RLIMIT_NOFILE_)) return -EMFILE_;
+  int candidate = 3;
+  for (const auto& [n, _] : fds_) {
+    if (n > candidate) break;
+    if (n == candidate) ++candidate;
+  }
+  fds_[candidate] = desc;
+  return candidate;
+}
+
+FileDesc* Process::fd(int n) {
+  auto it = fds_.find(n);
+  return it == fds_.end() ? nullptr : &it->second;
+}
+
+int Process::close_fd(int n) {
+  auto it = fds_.find(n);
+  if (it == fds_.end()) return EBADF_;
+  fds_.erase(it);
+  return 0;
+}
+
+}  // namespace torpedo::kernel

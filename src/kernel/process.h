@@ -1,0 +1,115 @@
+// Kernel-side process state: file descriptors, rlimits, signal state.
+//
+// One Process is bound to one simulated task. The executor resets the
+// process between program iterations (syzkaller's EnableCloseFDs behaviour),
+// so each iteration starts from a clean descriptor table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cgroup/cgroup.h"
+#include "kernel/vfs.h"
+#include "sim/task.h"
+#include "util/time.h"
+
+namespace torpedo::kernel {
+
+enum class FdKind {
+  kFile,
+  kSocket,
+  kPipe,
+  kInotify,
+  kEpoll,
+  kEventfd,
+  kMemfd,
+  kMqueue,
+};
+
+struct FileDesc {
+  FdKind kind = FdKind::kFile;
+  Inode* inode = nullptr;  // kFile only; VFS owns it
+  std::uint64_t offset = 0;
+  std::uint64_t flags = 0;
+  // kSocket:
+  int family = 0;
+  int type = 0;
+  int protocol = 0;
+};
+
+enum Rlimit : int {
+  RLIMIT_CPU_ = 0,
+  RLIMIT_FSIZE_ = 1,
+  RLIMIT_DATA_ = 2,
+  RLIMIT_NOFILE_ = 7,
+  kNumRlimits = 16,
+};
+
+inline constexpr std::uint64_t kRlimInfinity = ~0ULL;
+
+class Process {
+ public:
+  Process(std::uint64_t pid, std::string name, cgroup::Cgroup* group,
+          sim::TaskId task)
+      : pid_(pid), name_(std::move(name)), cgroup_(group), task_(task) {
+    rlimits_[RLIMIT_FSIZE_] = 1ULL << 30;  // container default: 1 GiB
+    rlimits_[RLIMIT_NOFILE_] = 1024;
+  }
+
+  std::uint64_t pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  cgroup::Cgroup* group() const { return cgroup_; }
+  sim::TaskId task() const { return task_; }
+
+  // --- descriptor table ---
+  int install_fd(FileDesc desc);  // lowest free fd >= 3, or -EMFILE
+  FileDesc* fd(int n);
+  int close_fd(int n);  // errno
+  void close_all_fds() { fds_.clear(); }
+  std::size_t open_fd_count() const { return fds_.size(); }
+
+  // --- rlimits ---
+  std::uint64_t rlimit(int which) const {
+    return (which >= 0 && which < kNumRlimits) ? rlimits_[which]
+                                               : kRlimInfinity;
+  }
+  void set_rlimit(int which, std::uint64_t value) {
+    if (which >= 0 && which < kNumRlimits) rlimits_[which] = value;
+  }
+
+  // --- signals / lifetime ---
+  bool in_signal_context = false;  // true while running a handler
+  int pending_fatal = 0;           // signal that killed the process
+  Nanos alarm_at = 0;              // pending SIGALRM deadline; 0 = unset
+  std::uint64_t umask = 022;
+  std::uint64_t uid = 0;
+
+  // --- memory ---
+  std::uint64_t mapped_bytes = 0;
+
+  // Deadline for blocking syscalls (set by the executor to the round stop
+  // time so a blocked program can't outlive its measurement window).
+  Nanos block_deadline = 0;
+
+  // Runtime-controlled behaviour. Native runtimes (runC/crun) leave both
+  // true; sandboxed/virtualized runtimes (gVisor/Kata) service these paths
+  // inside the sandbox, so the host-side effects never happen.
+  bool host_coredumps = true;       // fatal signals reach do_coredump()
+  bool modprobe_on_missing = true;  // socket() may exec /sbin/modprobe
+  bool host_audit = true;           // privileged calls emit host audit records
+
+ private:
+  std::uint64_t pid_;
+  std::string name_;
+  cgroup::Cgroup* cgroup_;
+  sim::TaskId task_;
+  std::map<int, FileDesc> fds_;
+  std::uint64_t rlimits_[kNumRlimits] = {
+      kRlimInfinity, kRlimInfinity, kRlimInfinity, kRlimInfinity,
+      kRlimInfinity, kRlimInfinity, kRlimInfinity, kRlimInfinity,
+      kRlimInfinity, kRlimInfinity, kRlimInfinity, kRlimInfinity,
+      kRlimInfinity, kRlimInfinity, kRlimInfinity, kRlimInfinity};
+};
+
+}  // namespace torpedo::kernel

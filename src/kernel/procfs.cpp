@@ -1,0 +1,65 @@
+#include "kernel/procfs.h"
+
+#include "util/strings.h"
+
+namespace torpedo::kernel {
+
+namespace {
+
+void append_row(std::string& out, const std::string& label,
+                const sim::CoreTimes& times) {
+  out += label;
+  for (int i = 0; i < sim::kNumCpuCategories; ++i) {
+    out += ' ';
+    out += std::to_string(nanos_to_jiffies(times.ns[static_cast<std::size_t>(i)]));
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+std::string render_proc_stat(const sim::Host& host) {
+  std::string out;
+  append_row(out, "cpu ", host.aggregate_times());
+  for (int c = 0; c < host.num_cores(); ++c)
+    append_row(out, "cpu" + std::to_string(c), host.core_times(c));
+  // Trailer lines a real /proc/stat carries; the parser skips them.
+  out += "intr 0\nctxt 0\nbtime 0\nprocesses " +
+         std::to_string(host.tasks_spawned()) + "\n";
+  return out;
+}
+
+std::optional<ProcStat> parse_proc_stat(const std::string& text) {
+  ProcStat stat;
+  bool saw_aggregate = false;
+  for (std::string_view line : split(text, '\n')) {
+    if (!starts_with(line, "cpu")) continue;
+    auto fields = split_ws(line);
+    if (fields.empty() || fields.size() < 1 + sim::kNumCpuCategories)
+      return std::nullopt;
+    ProcStatRow row;
+    std::string_view label = fields[0];
+    if (label == "cpu") {
+      row.core = -1;
+    } else {
+      auto n = parse_u64(label.substr(3));
+      if (!n) return std::nullopt;
+      row.core = static_cast<int>(*n);
+    }
+    for (int i = 0; i < sim::kNumCpuCategories; ++i) {
+      auto v = parse_i64(fields[static_cast<std::size_t>(i) + 1]);
+      if (!v) return std::nullopt;
+      row.jiffies[static_cast<std::size_t>(i)] = *v;
+    }
+    if (row.core < 0) {
+      stat.aggregate = row;
+      saw_aggregate = true;
+    } else {
+      stat.cores.push_back(row);
+    }
+  }
+  if (!saw_aggregate && stat.cores.empty()) return std::nullopt;
+  return stat;
+}
+
+}  // namespace torpedo::kernel

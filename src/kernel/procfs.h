@@ -1,0 +1,46 @@
+// /proc/stat rendering and parsing.
+//
+// The Torpedo observer collects per-core utilization "by sampling the
+// contents of /proc/stat at two different intervals and computing the
+// difference" (Appendix A). To exercise the same code path, the simulated
+// kernel renders a textual /proc/stat in the real format (jiffies, USER_HZ =
+// 100) and the observer parses it back.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/core_times.h"
+#include "sim/host.h"
+
+namespace torpedo::kernel {
+
+// One parsed "cpuN ..." row, in jiffies.
+struct ProcStatRow {
+  int core = -1;  // -1 == the aggregate "cpu" row
+  std::array<std::int64_t, sim::kNumCpuCategories> jiffies{};
+
+  std::int64_t total() const {
+    std::int64_t t = 0;
+    for (auto v : jiffies) t += v;
+    return t;
+  }
+  std::int64_t busy() const {
+    return total() - jiffies[static_cast<int>(sim::CpuCategory::kIdle)] -
+           jiffies[static_cast<int>(sim::CpuCategory::kIoWait)];
+  }
+};
+
+struct ProcStat {
+  ProcStatRow aggregate;
+  std::vector<ProcStatRow> cores;
+};
+
+// Renders the host's counters as /proc/stat text.
+std::string render_proc_stat(const sim::Host& host);
+
+// Parses /proc/stat text; nullopt on malformed input.
+std::optional<ProcStat> parse_proc_stat(const std::string& text);
+
+}  // namespace torpedo::kernel

@@ -1,0 +1,138 @@
+#include "kernel/services.h"
+
+#include "kernel/kernel.h"
+#include "util/check.h"
+
+namespace torpedo::kernel {
+
+SystemServices::SystemServices(SimKernel& kernel, ServiceConfig config)
+    : kernel_(kernel), config_(config) {
+  sim::Host& host = kernel_.host();
+  TORPEDO_CHECK(config_.journald_core < host.num_cores());
+  TORPEDO_CHECK(config_.dockerd_core < host.num_cores());
+
+  auto& hierarchy = host.cgroups();
+  system_slice_ = &hierarchy.create(hierarchy.root(), "system.slice");
+  docker_slice_ = &hierarchy.create(hierarchy.root(), "docker");
+
+  kauditd_queue_ = std::make_shared<std::deque<DaemonWork>>();
+  journald_queue_ = std::make_shared<std::deque<DaemonWork>>();
+  dockerd_queue_ = std::make_shared<std::deque<DaemonWork>>();
+  containerd_queue_ = std::make_shared<std::deque<DaemonWork>>();
+
+  // kauditd is a kernel thread (root cgroup); the rest live in their own
+  // service cgroups like a systemd host.
+  kauditd_ = spawn_daemon("kauditd", nullptr, config_.kauditd_core,
+                          kauditd_queue_, /*periodic_logging=*/false);
+  journald_ =
+      spawn_daemon("systemd-journal",
+                   &hierarchy.create(*system_slice_, "systemd-journald"),
+                   config_.journald_core, journald_queue_,
+                   /*periodic_logging=*/true);
+  dockerd_ = spawn_daemon("dockerd",
+                          &hierarchy.create(*system_slice_, "docker.service"),
+                          config_.dockerd_core, dockerd_queue_,
+                          /*periodic_logging=*/true);
+  containerd_ = spawn_daemon(
+      "containerd", &hierarchy.create(*system_slice_, "containerd.service"),
+      config_.containerd_core, containerd_queue_, /*periodic_logging=*/false);
+}
+
+sim::TaskId SystemServices::spawn_daemon(
+    const std::string& name, cgroup::Cgroup* group, int core,
+    std::shared_ptr<std::deque<DaemonWork>> queue, bool periodic_logging) {
+  SimKernel* kernel = &kernel_;
+  const ServiceConfig cfg = config_;
+  // Periodic timers are per-daemon state captured by the supplier.
+  auto next_log = std::make_shared<Nanos>(cfg.log_period);
+  auto next_fsync = std::make_shared<Nanos>(cfg.fsync_period);
+
+  sim::Task& task = kernel_.host().spawn({
+      .name = name,
+      .kind = sim::TaskKind::kDaemon,
+      .group = group,
+      .affinity = cgroup::CpuSet::single(core),
+      .supplier =
+          [kernel, cfg, queue, periodic_logging, next_log, next_fsync](
+              sim::Host& host, sim::Task& task_ref) {
+            if (!queue->empty()) {
+              DaemonWork work = queue->front();
+              queue->pop_front();
+              if (work.user > 0) task_ref.push(sim::Segment::user(work.user));
+              if (work.sys > 0) task_ref.push(sim::Segment::system(work.sys));
+              if (work.write_bytes > 0)
+                kernel->vfs().dirty(work.write_bytes);
+              if (work.fsync) {
+                const Nanos done =
+                    host.disk().submit(host.now(), work.write_bytes);
+                task_ref.push(
+                    sim::Segment::block_until(done, /*io_wait=*/true));
+              }
+              return true;
+            }
+            if (periodic_logging && host.now() >= *next_log) {
+              *next_log = host.now() + cfg.log_period;
+              // Produce a log chunk: small CPU, buffered write.
+              task_ref.push(sim::Segment::user(20 * kMicrosecond));
+              task_ref.push(sim::Segment::system(15 * kMicrosecond));
+              kernel->vfs().dirty(cfg.log_bytes);
+              if (host.now() >= *next_fsync) {
+                *next_fsync = host.now() + cfg.fsync_period;
+                // Flush our own journal segment; queue behind any sync(2)
+                // flood currently occupying the device.
+                const std::uint64_t flush = cfg.log_bytes * 4;
+                const Nanos done = host.disk().submit(host.now(), flush);
+                task_ref.push(sim::Segment::system(25 * kMicrosecond));
+                task_ref.push(
+                    sim::Segment::block_until(done, /*io_wait=*/true));
+              }
+              return true;
+            }
+            // Sleep until the next periodic tick (or a work-queue wake).
+            const Nanos tick = periodic_logging
+                                   ? std::min(*next_log, *next_fsync)
+                                   : host.now() + 250 * kMillisecond;
+            task_ref.push(sim::Segment::block_until(
+                std::max(tick, host.now() + kMillisecond)));
+            return true;
+          },
+  });
+  return task.id();
+}
+
+void SystemServices::audit_event(std::uint64_t pid, const std::string& detail) {
+  if (journald_queue_->size() >= config_.audit_queue_limit) {
+    ++audit_suppressed_;  // journald rate limiting kicked in
+    return;
+  }
+  ++audit_events_;
+  kernel_.trace().record({.time = kernel_.host().now(),
+                          .kind = TraceKind::kAudit,
+                          .pid = pid,
+                          .detail = detail});
+  kauditd_queue_->push_back({.user = 0, .sys = config_.kauditd_sys});
+  journald_queue_->push_back({.user = config_.journald_user,
+                              .sys = config_.journald_sys,
+                              .write_bytes = config_.journal_bytes});
+  if (sim::Task* t = kernel_.host().find_task(kauditd_)) kernel_.host().wake(*t);
+  if (sim::Task* t = kernel_.host().find_task(journald_)) kernel_.host().wake(*t);
+}
+
+void SystemServices::ldisc_stream(int core, std::uint64_t bytes,
+                                  std::uint64_t pid) {
+  // Data flushed to the LDISC layer of the TTY subsystem through work queues
+  // (Gao et al., observed by the paper as a framework side effect): softirq
+  // time on the receiving core plus a little dockerd CPU.
+  const Nanos softirq = static_cast<Nanos>(bytes) * 110;  // ~110ns/byte
+  kernel_.host().raise_softirq(core, softirq);
+  kernel_.trace().record({.time = kernel_.host().now(),
+                          .kind = TraceKind::kLdiscFlush,
+                          .pid = pid,
+                          .detail = "bytes=" + std::to_string(bytes)});
+  dockerd_queue_->push_back(
+      {.user = 15 * kMicrosecond, .sys = 10 * kMicrosecond,
+       .write_bytes = bytes / 4});
+  if (sim::Task* t = kernel_.host().find_task(dockerd_)) kernel_.host().wake(*t);
+}
+
+}  // namespace torpedo::kernel

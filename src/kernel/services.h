@@ -1,0 +1,109 @@
+// Host system services: the audit pipeline, journald, and the Docker
+// daemons.
+//
+// These are the "other process cgroups" work can be deferred to (§2.4.3 of
+// the paper): the kernel audit subsystem (kauditd -> journald) performs work
+// on behalf of containerized processes but charges it to its own cgroup, and
+// dockerd/containerd stream container output through the TTY LDISC layer,
+// producing the persistent softirq side-band the paper observes on the first
+// core after the fuzzing set.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "cgroup/cgroup.h"
+#include "kernel/trace.h"
+#include "sim/host.h"
+
+namespace torpedo::kernel {
+
+struct ServiceConfig {
+  // Core placement mirrors the paper's testbed: system daemons cluster on
+  // the last cores, away from the fuzzing cpusets.
+  int journald_core = 6;
+  int kauditd_core = 6;
+  int dockerd_core = 7;
+  int containerd_core = 7;
+
+  // Background log production (keeps the page cache dirty so sync(2) has
+  // something to flush, like a real host).
+  Nanos log_period = 25 * kMillisecond;
+  std::uint64_t log_bytes = 96 << 10;
+  Nanos fsync_period = 120 * kMillisecond;
+
+  // journald rate limiting: records beyond this backlog are suppressed
+  // ("Suppressed N messages"), bounding how long a flood can echo.
+  std::size_t audit_queue_limit = 2000;
+
+  // Per-audit-event costs.
+  Nanos kauditd_sys = 35 * kMicrosecond;
+  Nanos journald_user = 60 * kMicrosecond;
+  Nanos journald_sys = 25 * kMicrosecond;
+  std::uint64_t journal_bytes = 512;
+};
+
+// Work pushed to a daemon by the kernel.
+struct DaemonWork {
+  Nanos user = 0;
+  Nanos sys = 0;
+  std::uint64_t write_bytes = 0;
+  bool fsync = false;
+};
+
+class SimKernel;
+
+class SystemServices {
+ public:
+  SystemServices(SimKernel& kernel, ServiceConfig config);
+
+  SystemServices(const SystemServices&) = delete;
+  SystemServices& operator=(const SystemServices&) = delete;
+
+  // Emit an audit record on behalf of `pid`: queues work to kauditd and
+  // journald and records a trace event. The cost lands in the daemons'
+  // cgroups, not the caller's — the accounting gap.
+  void audit_event(std::uint64_t pid, const std::string& detail);
+
+  // dockerd-side cost of streaming container output; the LDISC flush runs in
+  // softirq context on `core`.
+  void ldisc_stream(int core, std::uint64_t bytes, std::uint64_t pid);
+
+  cgroup::Cgroup& system_slice() { return *system_slice_; }
+  cgroup::Cgroup& docker_slice() { return *docker_slice_; }
+
+  sim::TaskId kauditd() const { return kauditd_; }
+  sim::TaskId journald() const { return journald_; }
+  sim::TaskId dockerd() const { return dockerd_; }
+  sim::TaskId containerd() const { return containerd_; }
+
+  std::uint64_t audit_events() const { return audit_events_; }
+  std::uint64_t audit_suppressed() const { return audit_suppressed_; }
+
+ private:
+  sim::TaskId spawn_daemon(const std::string& name, cgroup::Cgroup* group,
+                           int core,
+                           std::shared_ptr<std::deque<DaemonWork>> queue,
+                           bool periodic_logging);
+
+  SimKernel& kernel_;
+  ServiceConfig config_;
+  cgroup::Cgroup* system_slice_ = nullptr;
+  cgroup::Cgroup* docker_slice_ = nullptr;
+
+  std::shared_ptr<std::deque<DaemonWork>> kauditd_queue_;
+  std::shared_ptr<std::deque<DaemonWork>> journald_queue_;
+  std::shared_ptr<std::deque<DaemonWork>> dockerd_queue_;
+  std::shared_ptr<std::deque<DaemonWork>> containerd_queue_;
+
+  sim::TaskId kauditd_ = 0;
+  sim::TaskId journald_ = 0;
+  sim::TaskId dockerd_ = 0;
+  sim::TaskId containerd_ = 0;
+
+  std::uint64_t audit_events_ = 0;
+  std::uint64_t audit_suppressed_ = 0;
+};
+
+}  // namespace torpedo::kernel

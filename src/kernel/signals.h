@@ -1,0 +1,92 @@
+// Signal numbers and default dispositions.
+//
+// The paper's fallocate(2) finding (§4.3.2) generalizes to *every* signal
+// whose default action is terminate-with-coredump: SIGABRT/SIGIOT, SIGBUS,
+// SIGFPE, SIGILL, SIGSEGV, SIGQUIT, SIGSYS/SIGUNUSED, SIGTRAP, SIGXCPU and
+// SIGXFSZ. That exact set is encoded here and checked by tests.
+#pragma once
+
+#include <string_view>
+
+namespace torpedo::kernel {
+
+enum Signal : int {
+  SIGHUP_ = 1,
+  SIGINT_ = 2,
+  SIGQUIT_ = 3,
+  SIGILL_ = 4,
+  SIGTRAP_ = 5,
+  SIGABRT_ = 6,  // == SIGIOT
+  SIGBUS_ = 7,
+  SIGFPE_ = 8,
+  SIGKILL_ = 9,
+  SIGUSR1_ = 10,
+  SIGSEGV_ = 11,
+  SIGUSR2_ = 12,
+  SIGPIPE_ = 13,
+  SIGALRM_ = 14,
+  SIGTERM_ = 15,
+  SIGCHLD_ = 17,
+  SIGCONT_ = 18,
+  SIGSTOP_ = 19,
+  SIGXCPU_ = 24,
+  SIGXFSZ_ = 25,
+  SIGSYS_ = 31,  // == SIGUNUSED
+};
+
+// Default action is terminate + core dump.
+constexpr bool signal_dumps_core(int sig) {
+  switch (sig) {
+    case SIGABRT_:
+    case SIGBUS_:
+    case SIGFPE_:
+    case SIGILL_:
+    case SIGSEGV_:
+    case SIGQUIT_:
+    case SIGSYS_:
+    case SIGTRAP_:
+    case SIGXCPU_:
+    case SIGXFSZ_:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Default action terminates the process (with or without a dump).
+constexpr bool signal_is_fatal(int sig) {
+  switch (sig) {
+    case SIGCHLD_:
+    case SIGCONT_:
+    case SIGSTOP_:
+    case SIGUSR1_:
+    case SIGUSR2_:
+      return false;
+    default:
+      return sig >= 1 && sig <= 31;
+  }
+}
+
+constexpr std::string_view signal_name(int sig) {
+  switch (sig) {
+    case SIGHUP_: return "SIGHUP";
+    case SIGINT_: return "SIGINT";
+    case SIGQUIT_: return "SIGQUIT";
+    case SIGILL_: return "SIGILL";
+    case SIGTRAP_: return "SIGTRAP";
+    case SIGABRT_: return "SIGABRT";
+    case SIGBUS_: return "SIGBUS";
+    case SIGFPE_: return "SIGFPE";
+    case SIGKILL_: return "SIGKILL";
+    case SIGSEGV_: return "SIGSEGV";
+    case SIGPIPE_: return "SIGPIPE";
+    case SIGALRM_: return "SIGALRM";
+    case SIGTERM_: return "SIGTERM";
+    case SIGXCPU_: return "SIGXCPU";
+    case SIGXFSZ_: return "SIGXFSZ";
+    case SIGSYS_: return "SIGSYS";
+    default: return "SIG?";
+  }
+}
+
+}  // namespace torpedo::kernel

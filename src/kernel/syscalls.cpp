@@ -1,0 +1,109 @@
+#include "kernel/syscalls.h"
+
+#include <array>
+#include <utility>
+
+namespace torpedo::kernel {
+
+namespace {
+constexpr std::array<std::pair<int, std::string_view>, 70> kNames{{
+    {kRead, "read"},
+    {kWrite, "write"},
+    {kOpen, "open"},
+    {kClose, "close"},
+    {kStat, "stat"},
+    {kFstat, "fstat"},
+    {kPoll, "poll"},
+    {kLseek, "lseek"},
+    {kMmap, "mmap"},
+    {kMunmap, "munmap"},
+    {kRtSigreturn, "rt_sigreturn"},
+    {kIoctl, "ioctl"},
+    {kAccess, "access"},
+    {kPipe, "pipe"},
+    {kSchedYield, "sched_yield"},
+    {kMsync, "msync"},
+    {kMadvise, "madvise"},
+    {kDup, "dup"},
+    {kPause, "pause"},
+    {kNanosleep, "nanosleep"},
+    {kAlarm, "alarm"},
+    {kGetpid, "getpid"},
+    {kSocket, "socket"},
+    {kConnect, "connect"},
+    {kSendto, "sendto"},
+    {kRecvfrom, "recvfrom"},
+    {kShutdown, "shutdown"},
+    {kBind, "bind"},
+    {kListen, "listen"},
+    {kSocketpair, "socketpair"},
+    {kSetsockopt, "setsockopt"},
+    {kGetsockopt, "getsockopt"},
+    {kExit, "exit"},
+    {kKill, "kill"},
+    {kUname, "uname"},
+    {kFcntl, "fcntl"},
+    {kFlock, "flock"},
+    {kFsync, "fsync"},
+    {kFdatasync, "fdatasync"},
+    {kFtruncate, "ftruncate"},
+    {kGetcwd, "getcwd"},
+    {kChdir, "chdir"},
+    {kRename, "rename"},
+    {kMkdir, "mkdir"},
+    {kCreat, "creat"},
+    {kUnlink, "unlink"},
+    {kReadlink, "readlink"},
+    {kChmod, "chmod"},
+    {kUmask, "umask"},
+    {kGetrlimit, "getrlimit"},
+    {kSysinfo, "sysinfo"},
+    {kTimes, "times"},
+    {kGetuid, "getuid"},
+    {kGeteuid, "geteuid"},
+    {kSetuid, "setuid"},
+    {kPrctl, "prctl"},
+    {kSetrlimit, "setrlimit"},
+    {kSync, "sync"},
+    {kSetxattr, "setxattr"},
+    {kGetxattr, "getxattr"},
+    {kTimeOfDay, "gettimeofday"},
+    {kClockGettime, "clock_gettime"},
+    {kExitGroup, "exit_group"},
+    {kTgkill, "tgkill"},
+    {kMqOpen, "mq_open"},
+    {kInotifyInit, "inotify_init"},
+    {kInotifyAddWatch, "inotify_add_watch"},
+    {kFallocate, "fallocate"},
+    {kEventfd2, "eventfd2"},
+    {kEpollCreate1, "epoll_create1"},
+}};
+// Entries that don't fit the array above.
+constexpr std::array<std::pair<int, std::string_view>, 7> kMoreNames{{
+    {kDup3, "dup3"},
+    {kSyncfs, "syncfs"},
+    {kKcmp, "kcmp"},
+    {kMemfdCreate, "memfd_create"},
+    {kRseq, "rseq"},
+    {kSocketpair, "socketpair"},
+    {kEventfd2, "eventfd2"},
+}};
+}  // namespace
+
+std::string_view sysno_name(int nr) {
+  for (const auto& [no, name] : kNames)
+    if (no == nr) return name;
+  for (const auto& [no, name] : kMoreNames)
+    if (no == nr) return name;
+  return "unknown";
+}
+
+std::optional<int> sysno_from_name(std::string_view name) {
+  for (const auto& [no, n] : kNames)
+    if (n == name) return no;
+  for (const auto& [no, n] : kMoreNames)
+    if (n == name) return no;
+  return std::nullopt;
+}
+
+}  // namespace torpedo::kernel

@@ -1,0 +1,86 @@
+// ftrace-style kernel event trace.
+//
+// The paper's confirmation workflow (§4.1.4) runs flagged programs under
+// `trace-cmd` and searches the kernel function graph for the deferral
+// patterns of Gao et al. This trace is our equivalent: the kernel records one
+// event per deferral-class interaction, and the Torpedo cause classifier
+// queries a time window for them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+
+namespace torpedo::kernel {
+
+enum class TraceKind : int {
+  kIoFlush,          // sync-family: writeback deferred to a kworker
+  kCoredump,         // fatal signal entered do_coredump
+  kUsermodeHelper,   // call_usermodehelper spawned a root-cgroup child
+  kModprobe,         // request_module executed /sbin/modprobe
+  kAudit,            // audit record emitted to kauditd/journald
+  kLdiscFlush,       // TTY line-discipline flush via workqueue (softirq)
+  kNetSoftirq,       // packet processing in softirq context
+  kOomKill,          // memory controller killed a task
+};
+
+constexpr std::string_view trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kIoFlush: return "io_flush";
+    case TraceKind::kCoredump: return "coredump";
+    case TraceKind::kUsermodeHelper: return "usermodehelper";
+    case TraceKind::kModprobe: return "modprobe";
+    case TraceKind::kAudit: return "audit";
+    case TraceKind::kLdiscFlush: return "ldisc_flush";
+    case TraceKind::kNetSoftirq: return "net_softirq";
+    case TraceKind::kOomKill: return "oom_kill";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  Nanos time = 0;
+  TraceKind kind = TraceKind::kIoFlush;
+  std::uint64_t pid = 0;      // originating process (0 == kernel)
+  std::string detail;
+};
+
+class KernelTrace {
+ public:
+  explicit KernelTrace(std::size_t capacity = 1 << 20)
+      : capacity_(capacity) {}
+
+  void record(TraceEvent event) {
+    if (events_.size() == capacity_) events_.pop_front();
+    events_.push_back(std::move(event));
+  }
+
+  // All events with time in [from, to).
+  std::vector<TraceEvent> window(Nanos from, Nanos to) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events_)
+      if (e.time >= from && e.time < to) out.push_back(e);
+    return out;
+  }
+
+  // Count of a given kind in [from, to).
+  std::size_t count(TraceKind kind, Nanos from, Nanos to) const {
+    std::size_t n = 0;
+    for (const TraceEvent& e : events_)
+      if (e.kind == kind && e.time >= from && e.time < to) ++n;
+    return n;
+  }
+
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+};
+
+}  // namespace torpedo::kernel

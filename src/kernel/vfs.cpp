@@ -1,0 +1,130 @@
+#include "kernel/vfs.h"
+
+#include <algorithm>
+
+#include "kernel/errno.h"
+#include "util/strings.h"
+
+namespace torpedo::kernel {
+
+namespace {
+constexpr int kMaxSymlinkFollows = 40;
+}
+
+std::string normalize_path(std::string_view path) {
+  std::string out;
+  out.reserve(path.size());
+  bool prev_slash = false;
+  for (char c : path) {
+    if (c == '/') {
+      if (prev_slash) continue;
+      prev_slash = true;
+    } else {
+      prev_slash = false;
+    }
+    out += c;
+  }
+  if (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out;
+}
+
+Vfs::Vfs() {
+  // Files the Moonshine-style seeds and the paper's appendix programs touch.
+  put("/lib/x86_64-linux-gnu/libc.so.6", InodeKind::kRegular)->size = 2029592;
+  put("/proc/sys/fs/mqueue/msg_max", InodeKind::kProcFile)->contents = "10\n";
+  put("/proc/cpuinfo", InodeKind::kProcFile);
+  put("/proc/stat", InodeKind::kProcFile);
+  put("/dev/null", InodeKind::kCharDev);
+  put("/dev/zero", InodeKind::kCharDev);
+  put("/etc/passwd", InodeKind::kRegular)->size = 1704;
+  put("mntpoint", InodeKind::kDirectory);
+  put("testdir_1", InodeKind::kDirectory);
+  // The classic self-loop the Moonshine readlink seeds probe.
+  add_symlink("test_eloop", "test_eloop");
+}
+
+Inode* Vfs::put(std::string path, InodeKind kind) {
+  auto inode = std::make_unique<Inode>();
+  inode->kind = kind;
+  inode->ino = next_ino_++;
+  Inode* raw = inode.get();
+  files_[normalize_path(path)] = std::move(inode);
+  return raw;
+}
+
+LookupResult Vfs::lookup(std::string_view path) {
+  std::string current = normalize_path(path);
+  if (current.empty()) return {nullptr, ENOENT_, 0};
+
+  // Walk components, counting symlink traversals. A path that *contains* a
+  // looping symlink as a directory component (e.g. "test_eloop/test_eloop/
+  // ...") burns one follow per appearance and hits ELOOP at 40.
+  int follows = 0;
+  for (int pass = 0; pass < kMaxSymlinkFollows + 1; ++pass) {
+    auto it = files_.find(current);
+    if (it != files_.end()) {
+      if (it->second->kind == InodeKind::kSymlink) {
+        if (++follows > kMaxSymlinkFollows) return {nullptr, ELOOP_, follows};
+        current = normalize_path(it->second->symlink_target);
+        continue;
+      }
+      return {it->second.get(), 0, follows};
+    }
+    // Check whether some prefix component is a symlink (self-loop case).
+    std::size_t slash = current.find('/');
+    bool replaced = false;
+    while (slash != std::string::npos) {
+      std::string prefix = current.substr(0, slash);
+      auto pit = files_.find(prefix);
+      if (pit != files_.end() && pit->second->kind == InodeKind::kSymlink) {
+        if (++follows > kMaxSymlinkFollows) return {nullptr, ELOOP_, follows};
+        current = normalize_path(pit->second->symlink_target +
+                                 current.substr(slash));
+        replaced = true;
+        break;
+      }
+      slash = current.find('/', slash + 1);
+    }
+    if (!replaced) return {nullptr, ENOENT_, follows};
+  }
+  return {nullptr, ELOOP_, kMaxSymlinkFollows};
+}
+
+int Vfs::create(std::string_view path, std::uint32_t mode, Inode** out) {
+  std::string norm = normalize_path(path);
+  if (norm.empty()) return ENOENT_;
+  auto it = files_.find(norm);
+  if (it != files_.end()) {
+    if (it->second->kind == InodeKind::kDirectory) return EISDIR_;
+    it->second->size = 0;  // O_TRUNC semantics of creat()
+    if (out) *out = it->second.get();
+    return 0;
+  }
+  Inode* inode = put(norm, InodeKind::kRegular);
+  inode->mode = mode;
+  if (out) *out = inode;
+  return 0;
+}
+
+int Vfs::remove(std::string_view path) {
+  auto it = files_.find(normalize_path(path));
+  if (it == files_.end()) return ENOENT_;
+  if (it->second->kind == InodeKind::kDirectory) return EISDIR_;
+  files_.erase(it);
+  return 0;
+}
+
+void Vfs::add_symlink(std::string_view path, std::string_view target) {
+  Inode* inode = put(normalize_path(path), InodeKind::kSymlink);
+  inode->symlink_target = std::string(target);
+}
+
+int Vfs::mkdir(std::string_view path, std::uint32_t mode) {
+  std::string norm = normalize_path(path);
+  if (files_.contains(norm)) return EEXIST_;
+  Inode* inode = put(norm, InodeKind::kDirectory);
+  inode->mode = mode;
+  return 0;
+}
+
+}  // namespace torpedo::kernel

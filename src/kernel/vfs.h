@@ -1,0 +1,95 @@
+// In-memory virtual filesystem.
+//
+// Implements exactly the surface the fuzzed syscalls touch: path lookup with
+// symlink-loop detection, regular files with sizes and extended attributes,
+// a handful of preloaded pseudo/system files, and a dirty-page ledger feeding
+// the block device writeback path.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace torpedo::kernel {
+
+enum class InodeKind { kRegular, kDirectory, kSymlink, kCharDev, kProcFile };
+
+struct Inode {
+  InodeKind kind = InodeKind::kRegular;
+  std::uint64_t ino = 0;
+  std::uint64_t size = 0;
+  std::uint32_t mode = 0644;
+  std::string symlink_target;          // kSymlink
+  std::string contents;                // small files / proc files
+  std::map<std::string, std::string> xattrs;
+};
+
+// Result of path resolution.
+struct LookupResult {
+  Inode* inode = nullptr;  // nullptr => error
+  int error = 0;           // errno when inode == nullptr
+  int follows = 0;         // symlink traversals performed (costed per step)
+};
+
+class Vfs {
+ public:
+  Vfs();
+
+  // Resolve a path; applies the kernel's 40-link symlink budget so paths of
+  // chained "test_eloop" links return ELOOP like the Moonshine seeds expect.
+  LookupResult lookup(std::string_view path);
+
+  // Create (or truncate) a regular file. Returns errno.
+  int create(std::string_view path, std::uint32_t mode, Inode** out);
+
+  int remove(std::string_view path);
+
+  // Make a symlink chain <base>/<name> -> <base> used by ELOOP seeds.
+  void add_symlink(std::string_view path, std::string_view target);
+
+  // Directory creation (intermediate components are created implicitly by
+  // create(); this is for explicit mkdir).
+  int mkdir(std::string_view path, std::uint32_t mode);
+
+  std::size_t file_count() const { return files_.size(); }
+
+  // Dirty-page ledger (buffered writes awaiting writeback). Capped at the
+  // kernel's dirty ratio: beyond it, background writeback keeps pace and the
+  // foreground flush backlog stops growing.
+  static constexpr std::uint64_t kMaxDirtyBytes = 128ULL << 20;
+  void dirty(std::uint64_t bytes) {
+    dirty_bytes_ = std::min(dirty_bytes_ + bytes, kMaxDirtyBytes);
+  }
+  std::uint64_t dirty_bytes() const { return dirty_bytes_; }
+  std::uint64_t take_dirty() {
+    std::uint64_t d = dirty_bytes_;
+    dirty_bytes_ = 0;
+    return d;
+  }
+  // Partial flush (fsync of one file): removes up to `max_bytes` from the
+  // dirty ledger and returns the amount flushed.
+  std::uint64_t consume_dirty(std::uint64_t max_bytes) {
+    std::uint64_t d = std::min(dirty_bytes_, max_bytes);
+    dirty_bytes_ -= d;
+    return d;
+  }
+
+ private:
+  Inode* put(std::string path, InodeKind kind);
+
+  std::map<std::string, std::unique_ptr<Inode>, std::less<>> files_;
+  std::uint64_t next_ino_ = 1;
+  std::uint64_t dirty_bytes_ = 0;
+};
+
+// Normalizes a path: strips duplicate slashes and a trailing slash. Paths in
+// the program IR are relative to the container root; we treat them as a flat
+// namespace keyed by the normalized string.
+std::string normalize_path(std::string_view path);
+
+}  // namespace torpedo::kernel

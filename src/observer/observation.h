@@ -1,0 +1,109 @@
+// Observations: what TORPEDO measures during one round.
+//
+// Two complementary mechanisms (§3.4):
+//  * per-core counters from /proc/stat sampled at the window edges and
+//    diffed — catches everything, including short-lived kernel helpers;
+//  * a top(1)-style per-process sampler that can only see processes alive at
+//    both frame boundaries ("top is incapable of reporting CPU utilization
+//    by processes that begin or end during the time between frames"), which
+//    is why modprobe storms show up in the former but not the latter.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/procfs.h"
+#include "sim/core_times.h"
+#include "util/time.h"
+
+namespace torpedo::observer {
+
+// Per-core delta over the round, in jiffies (the appendix tables' rows).
+struct CoreUsage {
+  int core = -1;  // -1 == the aggregate "CPU" row
+  std::array<std::int64_t, sim::kNumCpuCategories> jiffies{};
+
+  std::int64_t operator[](sim::CpuCategory c) const {
+    return jiffies[static_cast<std::size_t>(c)];
+  }
+  std::int64_t total() const {
+    std::int64_t t = 0;
+    for (auto v : jiffies) t += v;
+    return t;
+  }
+  std::int64_t busy() const {
+    return total() - (*this)[sim::CpuCategory::kIdle] -
+           (*this)[sim::CpuCategory::kIoWait];
+  }
+  // The appendix tables' PERCENT column.
+  double percent() const {
+    const std::int64_t t = total();
+    return t > 0 ? 100.0 * static_cast<double>(busy()) /
+                       static_cast<double>(t)
+                 : 0.0;
+  }
+  double iowait_fraction() const {
+    const std::int64_t t = total();
+    return t > 0 ? static_cast<double>((*this)[sim::CpuCategory::kIoWait]) /
+                       static_cast<double>(t)
+                 : 0.0;
+  }
+};
+
+// One top(1) row. Only processes alive at both window edges appear.
+struct ProcSample {
+  std::uint64_t pid = 0;
+  std::string name;
+  std::string cgroup;
+  double cpu_percent = 0;  // of one core, over the window
+};
+
+// Per-container accounting deltas (cgroup view).
+struct ContainerUsage {
+  std::string cgroup_path;
+  Nanos cpu_ns = 0;                 // what the container was charged
+  std::int64_t memory_bytes = 0;    // usage at window end
+  std::uint64_t memory_failcnt = 0; // limit hits during the window
+  std::uint64_t blkio_bytes = 0;    // charged block IO during the window
+};
+
+struct Observation {
+  int round = 0;
+  Nanos window_start = 0;
+  Nanos window_end = 0;
+
+  CoreUsage aggregate;
+  std::vector<CoreUsage> cores;
+  std::vector<ProcSample> processes;
+  std::vector<ContainerUsage> containers;
+
+  // Context the oracles need.
+  std::vector<int> fuzz_cores;   // cores assigned to fuzzing containers
+  double configured_cpu_cap = 0; // sum of --cpus limits (in cores)
+  // The framework's own LDISC/softirq side-band core ("a side-effect of our
+  // framework [that] can be safely ignored for most analysis", Appendix A).
+  int side_band_core = -1;
+
+  // Host-wide IO: bytes the device actually moved vs bytes any container
+  // was charged for (the blkio gap).
+  std::uint64_t device_bytes = 0;
+
+  Nanos duration() const { return window_end - window_start; }
+  bool is_fuzz_core(int core) const {
+    for (int c : fuzz_cores)
+      if (c == core) return true;
+    return false;
+  }
+  const CoreUsage* core_usage(int core) const {
+    for (const CoreUsage& u : cores)
+      if (u.core == core) return &u;
+    return nullptr;
+  }
+  // Total host utilization in percent of all cores — the paper's oracle
+  // score ("CPU Utilization was used as the Oracle score").
+  double total_utilization() const { return aggregate.percent(); }
+};
+
+}  // namespace torpedo::observer

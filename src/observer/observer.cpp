@@ -1,0 +1,185 @@
+#include "observer/observer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace torpedo::observer {
+
+Observer::Observer(kernel::SimKernel& kernel,
+                   std::vector<exec::Executor*> executors,
+                   ObserverConfig config)
+    : kernel_(kernel), executors_(std::move(executors)), config_(config) {
+  TORPEDO_CHECK(!executors_.empty());
+  TORPEDO_CHECK(config_.round_duration > 0);
+}
+
+void Observer::warm_up(Nanos duration) {
+  kernel_.host().run_for(duration);
+}
+
+Observer::Snapshot Observer::snapshot() const {
+  Snapshot snap;
+  // The real observer reads /proc/stat text; we exercise the same
+  // render+parse path rather than peeking at internal counters.
+  auto parsed = kernel::parse_proc_stat(kernel::render_proc_stat(kernel_.host()));
+  TORPEDO_CHECK(parsed.has_value());
+  snap.stat = std::move(*parsed);
+  snap.tasks = kernel_.host().sample_tasks();
+  for (exec::Executor* e : executors_) {
+    const cgroup::Cgroup& group = e->container().group();
+    ContainerUsage usage;
+    usage.cgroup_path = group.path();
+    usage.cpu_ns = group.cpu().usage;
+    usage.memory_bytes = group.memory().usage_bytes;
+    usage.memory_failcnt = group.memory().failcnt;
+    usage.blkio_bytes = group.blkio().bytes_read + group.blkio().bytes_written;
+    snap.containers.push_back(std::move(usage));
+  }
+  snap.device_bytes = kernel_.host().disk().total_bytes();
+  return snap;
+}
+
+Observation Observer::diff(const Snapshot& before,
+                           const Snapshot& after) const {
+  Observation obs;
+  obs.aggregate.core = -1;
+  for (int i = 0; i < sim::kNumCpuCategories; ++i)
+    obs.aggregate.jiffies[static_cast<std::size_t>(i)] =
+        after.stat.aggregate.jiffies[static_cast<std::size_t>(i)] -
+        before.stat.aggregate.jiffies[static_cast<std::size_t>(i)];
+  for (std::size_t c = 0; c < after.stat.cores.size() &&
+                          c < before.stat.cores.size();
+       ++c) {
+    CoreUsage usage;
+    usage.core = after.stat.cores[c].core;
+    for (int i = 0; i < sim::kNumCpuCategories; ++i)
+      usage.jiffies[static_cast<std::size_t>(i)] =
+          after.stat.cores[c].jiffies[static_cast<std::size_t>(i)] -
+          before.stat.cores[c].jiffies[static_cast<std::size_t>(i)];
+    obs.cores.push_back(usage);
+  }
+
+  // top(1) semantics: a process is only reported if it existed at both frame
+  // boundaries. Short-lived helpers (modprobe storms, core-dump children)
+  // are invisible here — but not in the per-core counters above.
+  std::unordered_map<std::uint64_t, const sim::TaskSample*> earlier;
+  for (const sim::TaskSample& t : before.tasks) earlier[t.id] = &t;
+  const double window = static_cast<double>(config_.round_duration);
+  for (const sim::TaskSample& t : after.tasks) {
+    if (!t.alive) continue;
+    auto it = earlier.find(t.id);
+    if (it == earlier.end() || !it->second->alive) continue;
+    ProcSample sample;
+    sample.pid = t.id;
+    sample.name = t.name;
+    sample.cgroup = t.cgroup_path;
+    sample.cpu_percent =
+        100.0 * static_cast<double>(t.cpu_time - it->second->cpu_time) /
+        window;
+    if (sample.cpu_percent > 0.005) obs.processes.push_back(std::move(sample));
+  }
+  std::sort(obs.processes.begin(), obs.processes.end(),
+            [](const ProcSample& a, const ProcSample& b) {
+              return a.cpu_percent > b.cpu_percent;
+            });
+
+  for (std::size_t i = 0;
+       i < after.containers.size() && i < before.containers.size(); ++i) {
+    ContainerUsage usage = after.containers[i];
+    usage.cpu_ns -= before.containers[i].cpu_ns;
+    usage.memory_failcnt -= before.containers[i].memory_failcnt;
+    usage.blkio_bytes -= before.containers[i].blkio_bytes;
+    obs.containers.push_back(std::move(usage));
+  }
+  obs.device_bytes = after.device_bytes - before.device_bytes;
+
+  // Oracle context: which cores are supposed to be busy and what the sum of
+  // the --cpus caps is.
+  for (exec::Executor* e : executors_) {
+    const runtime::ContainerSpec& spec = e->container().spec();
+    const cgroup::CpuSet cpus = e->container().group().effective_cpuset();
+    for (int c : cpus.cores()) {
+      if (c >= kernel_.host().num_cores()) continue;
+      if (!obs.is_fuzz_core(c) && cpus.count() <= 4) obs.fuzz_cores.push_back(c);
+    }
+    obs.configured_cpu_cap +=
+        spec.cpus > 0 ? spec.cpus : static_cast<double>(cpus.count());
+  }
+  std::sort(obs.fuzz_cores.begin(), obs.fuzz_cores.end());
+  obs.side_band_core = config_.side_band_core;
+  return obs;
+}
+
+const RoundResult& Observer::run_round(
+    std::span<const prog::Program> programs) {
+  TORPEDO_CHECK_MSG(programs.size() == executors_.size(),
+                    "one program per executor");
+
+  // Recover any container whose runtime died last round.
+  for (exec::Executor* e : executors_)
+    if (e->crashed()) e->restart();
+
+  const Nanos stop = kernel_.host().now() + config_.round_duration;
+
+  // Stage 1: distribute programs; executors latch ready (Algorithm 2,
+  // lines 9-13).
+  for (std::size_t i = 0; i < executors_.size(); ++i)
+    executors_[i]->prime(programs[i], stop);
+
+  // top warm-up frame: taken and discarded before the measured window.
+  if (config_.discard_top_warmup) (void)kernel_.host().sample_tasks();
+
+  Snapshot before = snapshot();
+
+  // Stage 2: release all executors; their windows align with ours.
+  for (exec::Executor* e : executors_) e->start();
+
+  // TakeMeasurement(T): returns after T seconds (Algorithm 2, line 15).
+  kernel_.host().run_until(stop);
+
+  Snapshot after = snapshot();
+
+  // Grace drain (outside the measured window): a mid-iteration executor
+  // finishes its partial iteration and latches idle; Algorithm 1 guarantees
+  // it won't *start* another iteration past the stop timestamp.
+  auto quiesced = [&] {
+    for (exec::Executor* e : executors_)
+      if (!e->idle() && !e->crashed()) return false;
+    return true;
+  };
+  const Nanos soft_deadline = stop + kSecond;
+  while (!quiesced() && kernel_.host().now() < soft_deadline)
+    kernel_.host().run_for(kMillisecond);
+  // Still stuck (e.g. blocked deep in a flush backlog): interrupt, the way
+  // the real executor kills a program that overruns its timeout.
+  const Nanos hard_deadline = soft_deadline + 3 * kSecond;
+  while (!quiesced() && kernel_.host().now() < hard_deadline) {
+    for (exec::Executor* e : executors_)
+      if (!e->idle() && !e->crashed()) e->interrupt();
+    kernel_.host().run_for(kMillisecond);
+  }
+  TORPEDO_CHECK_MSG(quiesced(), "executor failed to quiesce after its round");
+
+  RoundResult result;
+  result.round = round_++;
+  result.observation = diff(before, after);
+  result.observation.round = result.round;
+  result.observation.window_start = stop - config_.round_duration;
+  result.observation.window_end = stop;
+  result.programs.assign(programs.begin(), programs.end());
+  for (exec::Executor* e : executors_) {
+    exec::RunStats stats = e->take_stats();
+    result.any_crash = result.any_crash || stats.crashed || e->crashed();
+    result.stats.push_back(std::move(stats));
+  }
+
+  // Keep the task table from growing without bound across long campaigns.
+  kernel_.host().reap_dead_tasks_before(result.observation.window_start);
+
+  log_.push_back(std::move(result));
+  return log_.back();
+}
+
+}  // namespace torpedo::observer

@@ -1,0 +1,74 @@
+// The Observer: round-based, synchronized measurement (Algorithm 2).
+//
+// Rounds last T seconds. Each round the observer distributes one program per
+// executor (two-stage latch: prime, then start), advances the host exactly T,
+// samples /proc/stat and the process table at both edges, and produces an
+// Observation. Round results accumulate in a log that the flagging pass
+// (§3.6.1) scans asynchronously.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "exec/executor.h"
+#include "observer/observation.h"
+
+namespace torpedo::observer {
+
+struct ObserverConfig {
+  Nanos round_duration = 5 * kSecond;  // T; the paper settles on 3-5 s
+  // top(1) needs a throwaway warm-up frame before trustworthy output; the
+  // wrapper discards it (§3.4). Modeled as an extra pre-round sample.
+  bool discard_top_warmup = true;
+  // Core carrying the engine's LDISC side-band; oracles ignore it.
+  int side_band_core = -1;
+};
+
+struct RoundResult {
+  int round = 0;
+  Observation observation;
+  std::vector<prog::Program> programs;       // one per executor
+  std::vector<exec::RunStats> stats;         // one per executor
+  bool any_crash = false;
+};
+
+class Observer {
+ public:
+  Observer(kernel::SimKernel& kernel, std::vector<exec::Executor*> executors,
+           ObserverConfig config = {});
+
+  // Runs one round with programs[i] on executor i (Algorithm 2 lines 7-16).
+  // Crashed executors are restarted before priming.
+  const RoundResult& run_round(std::span<const prog::Program> programs);
+
+  // Lets host background activity settle without measuring (used before
+  // baselines).
+  void warm_up(Nanos duration);
+
+  // Deque: RoundResult references returned by run_round stay valid as the
+  // log grows.
+  const std::deque<RoundResult>& log() const { return log_; }
+  int rounds_run() const { return round_; }
+  const ObserverConfig& config() const { return config_; }
+  std::size_t executor_count() const { return executors_.size(); }
+  exec::Executor& executor(std::size_t i) const { return *executors_[i]; }
+
+ private:
+  struct Snapshot {
+    kernel::ProcStat stat;
+    std::vector<sim::TaskSample> tasks;
+    std::vector<ContainerUsage> containers;
+    std::uint64_t device_bytes = 0;
+  };
+  Snapshot snapshot() const;
+  Observation diff(const Snapshot& before, const Snapshot& after) const;
+
+  kernel::SimKernel& kernel_;
+  std::vector<exec::Executor*> executors_;
+  ObserverConfig config_;
+  std::deque<RoundResult> log_;
+  int round_ = 0;
+};
+
+}  // namespace torpedo::observer

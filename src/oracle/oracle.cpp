@@ -1,0 +1,136 @@
+#include "oracle/oracle.h"
+
+#include "util/strings.h"
+
+namespace torpedo::oracle {
+
+std::string Violation::to_string() const {
+  return format("%s on %s: %.2f (threshold %.2f)", heuristic.c_str(),
+                subject.c_str(), value, threshold);
+}
+
+bool is_system_process(std::string_view name) {
+  return starts_with(name, "dockerd") || starts_with(name, "containerd") ||
+         starts_with(name, "kworker") || starts_with(name, "kauditd") ||
+         starts_with(name, "systemd-journal") ||
+         starts_with(name, "ksoftirqd") || starts_with(name, "kthread");
+}
+
+// --- CpuOracle ----------------------------------------------------------------
+
+double CpuOracle::score(const observer::Observation& obs) const {
+  return obs.total_utilization();
+}
+
+std::vector<Violation> CpuOracle::flag(
+    const observer::Observation& obs) const {
+  std::vector<Violation> out;
+
+  for (const observer::CoreUsage& core : obs.cores) {
+    const double busy = core.percent() / 100.0;
+    if (obs.is_fuzz_core(core.core)) {
+      if (busy < config_.fuzz_core_min_busy) {
+        out.push_back({"fuzz-core-utilization-low",
+                       "cpu" + std::to_string(core.core), busy,
+                       config_.fuzz_core_min_busy});
+      }
+    } else {
+      if (core.core == obs.side_band_core) continue;  // framework side-band
+      if (busy > config_.idle_core_max_busy) {
+        out.push_back({"idle-core-utilization-high",
+                       "cpu" + std::to_string(core.core), busy,
+                       config_.idle_core_max_busy});
+      }
+    }
+  }
+
+  // Total: everything the containers are allowed to use plus noise headroom.
+  if (!obs.cores.empty()) {
+    const double cores = static_cast<double>(obs.cores.size());
+    const double cap_fraction =
+        (obs.configured_cpu_cap +
+         config_.noise_headroom_per_core * cores) /
+        cores;
+    const double total = obs.total_utilization() / 100.0;
+    if (total > cap_fraction) {
+      out.push_back({"total-utilization-exceeds-caps", "host", total,
+                     cap_fraction});
+    }
+  }
+
+  for (const observer::ProcSample& proc : obs.processes) {
+    if (!is_system_process(proc.name)) continue;
+    if (proc.cpu_percent > config_.sysproc_max_percent) {
+      out.push_back({"system-process-utilization-high", proc.name,
+                     proc.cpu_percent, config_.sysproc_max_percent});
+    }
+  }
+  return out;
+}
+
+// --- IoOracle -----------------------------------------------------------------
+
+double IoOracle::score(const observer::Observation& obs) const {
+  // Fraction of host time spent in IO wait, in percent.
+  double io = 0;
+  for (const observer::CoreUsage& core : obs.cores)
+    io += core.iowait_fraction();
+  return obs.cores.empty() ? 0 : 100.0 * io / static_cast<double>(obs.cores.size());
+}
+
+std::vector<Violation> IoOracle::flag(
+    const observer::Observation& obs) const {
+  std::vector<Violation> out;
+  for (const observer::CoreUsage& core : obs.cores) {
+    if (obs.is_fuzz_core(core.core)) continue;
+    if (core.core == obs.side_band_core) continue;
+    const double io = core.iowait_fraction();
+    if (io > config_.nonfuzz_iowait_max) {
+      out.push_back({"nonfuzz-core-iowait-high",
+                     "cpu" + std::to_string(core.core), io,
+                     config_.nonfuzz_iowait_max});
+    }
+  }
+
+  // blkio gap: the device moved bytes nobody was charged for.
+  std::uint64_t charged = 0;
+  for (const observer::ContainerUsage& c : obs.containers)
+    charged += c.blkio_bytes;
+  const double secs =
+      static_cast<double>(obs.duration()) / static_cast<double>(kSecond);
+  if (secs > 0) {
+    const double unattributed =
+        obs.device_bytes > charged
+            ? static_cast<double>(obs.device_bytes - charged) / secs
+            : 0.0;
+    if (unattributed > config_.unattributed_bytes_per_sec) {
+      out.push_back({"unattributed-device-io", "disk", unattributed,
+                     config_.unattributed_bytes_per_sec});
+    }
+  }
+  return out;
+}
+
+// --- MemoryOracle ---------------------------------------------------------------
+
+double MemoryOracle::score(const observer::Observation& obs) const {
+  double failures = 0;
+  for (const observer::ContainerUsage& c : obs.containers)
+    failures += static_cast<double>(c.memory_failcnt);
+  return failures;
+}
+
+std::vector<Violation> MemoryOracle::flag(
+    const observer::Observation& obs) const {
+  std::vector<Violation> out;
+  for (const observer::ContainerUsage& c : obs.containers) {
+    if (c.memory_failcnt > config_.max_failcnt) {
+      out.push_back({"memory-limit-thrashing", c.cgroup_path,
+                     static_cast<double>(c.memory_failcnt),
+                     static_cast<double>(config_.max_failcnt)});
+    }
+  }
+  return out;
+}
+
+}  // namespace torpedo::oracle

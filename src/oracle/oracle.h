@@ -1,0 +1,122 @@
+// The Oracle library (§3.5.1).
+//
+// An oracle encapsulates, for one resource class, the two operations the
+// fuzzing loop needs:
+//   1. score(observation)  — rank how adversarial the round looked (higher
+//      is more suspicious); drives mutation decisions.
+//   2. flag(observation)   — decide with confidence that one or more
+//      resource isolation boundaries were violated; drives reporting.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "observer/observation.h"
+
+namespace torpedo::oracle {
+
+struct Violation {
+  std::string heuristic;  // which Table-4.1 row fired
+  std::string subject;    // core / process / container it fired on
+  double value = 0;
+  double threshold = 0;
+
+  std::string to_string() const;
+};
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+  virtual std::string_view name() const = 0;
+  virtual double score(const observer::Observation& obs) const = 0;
+  virtual std::vector<Violation> flag(
+      const observer::Observation& obs) const = 0;
+};
+
+// --- CPU oracle (Table 4.1) --------------------------------------------------
+
+struct CpuOracleConfig {
+  // "fuzzing core CPU utilization: expect above some threshold" — a fuzzing
+  // core far below this suggests the work went somewhere else.
+  double fuzz_core_min_busy = 0.35;
+  // "idle core CPU utilization: expect below some threshold".
+  double idle_core_max_busy = 0.10;
+  // "total CPU utilization: expect below some threshold": the sum of the
+  // --cpus caps plus per-core noise headroom, as a fraction of the host.
+  double noise_headroom_per_core = 0.075;
+  // "system process CPU utilization: expect below some threshold" (percent
+  // of one core, per filtered process group).
+  double sysproc_max_percent = 9.0;
+};
+
+class CpuOracle : public Oracle {
+ public:
+  explicit CpuOracle(CpuOracleConfig config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "cpu"; }
+  // The paper: "CPU Utilization was used as the Oracle score."
+  double score(const observer::Observation& obs) const override;
+  std::vector<Violation> flag(
+      const observer::Observation& obs) const override;
+
+  const CpuOracleConfig& config() const { return config_; }
+  CpuOracleConfig& config() { return config_; }
+
+ private:
+  CpuOracleConfig config_;
+};
+
+// --- IO oracle (future-work oracle of §5.1, implemented) ----------------------
+
+struct IoOracleConfig {
+  // IO wait on cores not used for fuzzing: expect below this fraction.
+  double nonfuzz_iowait_max = 0.02;
+  // Device bytes not charged to any container's blkio (the sync(2) gap):
+  // expect below this many bytes per second.
+  double unattributed_bytes_per_sec = 12.0 * (1 << 20);
+};
+
+class IoOracle : public Oracle {
+ public:
+  explicit IoOracle(IoOracleConfig config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "io"; }
+  double score(const observer::Observation& obs) const override;
+  std::vector<Violation> flag(
+      const observer::Observation& obs) const override;
+
+  const IoOracleConfig& config() const { return config_; }
+  IoOracleConfig& config() { return config_; }
+
+ private:
+  IoOracleConfig config_;
+};
+
+// --- memory oracle (future-work oracle of §5.1, implemented) ------------------
+
+struct MemoryOracleConfig {
+  // Limit hits per round: a workload hammering its memory limit.
+  std::uint64_t max_failcnt = 50;
+};
+
+class MemoryOracle : public Oracle {
+ public:
+  explicit MemoryOracle(MemoryOracleConfig config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "memory"; }
+  double score(const observer::Observation& obs) const override;
+  std::vector<Violation> flag(
+      const observer::Observation& obs) const override;
+
+ private:
+  MemoryOracleConfig config_;
+};
+
+// System-process name filter used by the CPU oracle's fourth heuristic (the
+// categories the paper's top wrapper selects: docker, kworker, kauditd,
+// systemd-journal, and miscellaneous kernel threads).
+bool is_system_process(std::string_view name);
+
+}  // namespace torpedo::oracle

@@ -1,0 +1,380 @@
+#include "prog/desc.h"
+
+#include "kernel/syscalls.h"
+#include "util/check.h"
+
+namespace torpedo::prog {
+
+using kernel::Sysno;
+
+bool resource_compatible(std::string_view want, std::string_view have) {
+  if (want == have) return true;
+  // Every specialized descriptor is still a file descriptor.
+  if (want == "fd")
+    return have == "sock" || have == "inotifyfd" || have == "epollfd" ||
+           have == "eventfd" || have == "memfd" || have == "mqd";
+  return false;
+}
+
+namespace {
+
+ArgDesc plain(std::string name, std::uint64_t min, std::uint64_t max,
+              std::vector<std::uint64_t> specials = {}) {
+  ArgDesc a;
+  a.kind = ArgKind::kIntPlain;
+  a.name = std::move(name);
+  a.min = min;
+  a.max = max;
+  a.specials = std::move(specials);
+  return a;
+}
+
+ArgDesc flags(std::string name, std::vector<std::uint64_t> bits) {
+  ArgDesc a;
+  a.kind = ArgKind::kIntFlags;
+  a.name = std::move(name);
+  a.flags = std::move(bits);
+  return a;
+}
+
+ArgDesc res(std::string name, std::string kind) {
+  ArgDesc a;
+  a.kind = ArgKind::kResource;
+  a.name = std::move(name);
+  a.resource = std::move(kind);
+  return a;
+}
+
+ArgDesc path(std::string name = "path") {
+  ArgDesc a;
+  a.kind = ArgKind::kPath;
+  a.name = std::move(name);
+  return a;
+}
+
+ArgDesc buffer(std::string name = "buf") {
+  ArgDesc a;
+  a.kind = ArgKind::kBuffer;
+  a.name = std::move(name);
+  return a;
+}
+
+ArgDesc len(std::string name = "len") {
+  ArgDesc a;
+  a.kind = ArgKind::kLen;
+  a.name = std::move(name);
+  a.max = 1 << 20;
+  return a;
+}
+
+ArgDesc constant(std::string name, std::uint64_t v) {
+  ArgDesc a;
+  a.kind = ArgKind::kConst;
+  a.name = std::move(name);
+  a.const_val = v;
+  return a;
+}
+
+SyscallDesc sc(int nr, std::string name, std::vector<ArgDesc> args,
+               std::string produces, std::string interface,
+               bool blocks = false) {
+  SyscallDesc d;
+  d.nr = nr;
+  d.name = std::move(name);
+  d.args = std::move(args);
+  d.produces = std::move(produces);
+  d.interface = std::move(interface);
+  d.blocks = blocks;
+  return d;
+}
+
+// Common flag vocabularies.
+const std::vector<std::uint64_t> kOpenFlags = {
+    0x1,      0x2,      0x40,     0x80,     0x200,    0x400,
+    0x800,    0x1000,   0x4000,   0x10000,  0x40000,  0x80000,
+    0x100000, 0x200000, 0x400000,
+    // The O_TMPFILE-style composite (__O_TMPFILE | O_DIRECTORY analogue);
+    // a known-interesting value fuzzers seed their flag vocabulary with.
+    0x600000};
+const std::vector<std::uint64_t> kMmapProt = {0x1, 0x2, 0x4};
+const std::vector<std::uint64_t> kMmapFlags = {0x1,    0x2,    0x10,
+                                               0x20,   0x100,  0x1000,
+                                               0x4000, 0x10000, 0x20000};
+
+}  // namespace
+
+SyscallTable::SyscallTable() {
+  auto& d = descs_;
+
+  // --- file interface -----------------------------------------------------
+  d.push_back(sc(Sysno::kOpen, "open",
+                 {path(), flags("flags", kOpenFlags),
+                  plain("mode", 0, 0777, {0, 0x20, 0124, 0x1ff})},
+                 "fd", "file"));
+  d.push_back(sc(Sysno::kCreat, "creat",
+                 {path(), plain("mode", 0, 07777, {0x124, 0x1a4, 0x1ff})},
+                 "fd", "file"));
+  d.push_back(sc(Sysno::kClose, "close", {res("fd", "fd")}, "", "file"));
+  d.push_back(sc(Sysno::kRead, "read",
+                 {res("fd", "fd"), buffer(), len()}, "", "file"));
+  d.push_back(sc(Sysno::kWrite, "write",
+                 {res("fd", "fd"), buffer(), len()}, "", "file"));
+  d.push_back(sc(Sysno::kLseek, "lseek",
+                 {res("fd", "fd"),
+                  plain("offset", 0, ~0ULL, {0, 1, ~0ULL, ~0ULL - 4}),
+                  plain("whence", 0, 4, {0, 1, 2})},
+                 "", "file"));
+  d.push_back(sc(Sysno::kDup, "dup", {res("oldfd", "fd")}, "fd", "file"));
+  d.push_back(sc(Sysno::kStat, "stat", {path(), buffer("statbuf")}, "",
+                 "file"));
+  d.push_back(sc(Sysno::kFstat, "fstat", {res("fd", "fd"), buffer("statbuf")},
+                 "", "file"));
+  d.push_back(sc(Sysno::kAccess, "access",
+                 {path(), plain("mode", 0, 7, {0, 4})}, "", "file"));
+  d.push_back(sc(Sysno::kReadlink, "readlink",
+                 {path(), buffer(), len()}, "", "file"));
+  d.push_back(sc(Sysno::kChmod, "chmod",
+                 {path(), plain("mode", 0, 07777, {0x1ff, 0})}, "", "file"));
+  d.push_back(sc(Sysno::kMkdir, "mkdir",
+                 {path(), plain("mode", 0, 07777, {0x1c0})}, "", "file"));
+  d.push_back(sc(Sysno::kUnlink, "unlink", {path()}, "", "file"));
+  d.push_back(sc(Sysno::kRename, "rename", {path("old"), path("new")}, "",
+                 "file"));
+  d.push_back(sc(Sysno::kFcntl, "fcntl",
+                 {res("fd", "fd"), plain("cmd", 0, 16, {0, 1, 3, 4}),
+                  plain("arg", 0, ~0ULL, {0})},
+                 "", "file"));
+  d.push_back(sc(Sysno::kFlock, "flock",
+                 {res("fd", "fd"), plain("op", 0, 8, {1, 2, 8})}, "", "file"));
+
+  // --- size / allocation (the SIGXFSZ family) ------------------------------
+  d.push_back(sc(Sysno::kFallocate, "fallocate",
+                 {res("fd", "fd"), flags("mode", {0x1, 0x2, 0x10, 0x20}),
+                  plain("offset", 0, ~0ULL, {0, 1 << 20, 1ULL << 40, ~0ULL}),
+                  plain("len", 0, ~0ULL,
+                        {0, 4096, 1 << 20, 1ULL << 34, 1ULL << 62, ~0ULL})},
+                 "", "size"));
+  d.push_back(sc(Sysno::kFtruncate, "ftruncate",
+                 {res("fd", "fd"),
+                  plain("length", 0, ~0ULL,
+                        {0, 4096, 1ULL << 31, 1ULL << 40, ~0ULL})},
+                 "", "size"));
+
+  // --- sync family ----------------------------------------------------------
+  d.push_back(sc(Sysno::kSync, "sync", {}, "", "sync"));
+  d.push_back(sc(Sysno::kSyncfs, "syncfs", {res("fd", "fd")}, "", "sync"));
+  d.push_back(sc(Sysno::kFsync, "fsync", {res("fd", "fd")}, "", "sync"));
+  d.push_back(sc(Sysno::kFdatasync, "fdatasync", {res("fd", "fd")}, "",
+                 "sync"));
+  d.push_back(sc(Sysno::kMsync, "msync",
+                 {plain("addr", 0, ~0ULL, {0x7f0000000000}),
+                  len("length"), flags("flags", {1, 2, 4})},
+                 "", "sync"));
+
+  // --- memory ---------------------------------------------------------------
+  d.push_back(sc(Sysno::kMmap, "mmap",
+                 {plain("addr", 0, ~0ULL, {0, 0x7f0000000000}),
+                  plain("length", 0, 1ULL << 32,
+                        {0x1000, 0x4000, 1 << 20, 0}),
+                  flags("prot", kMmapProt), flags("flags", kMmapFlags),
+                  plain("fd", 0, ~0ULL, {~0ULL}), constant("offset", 0)},
+                 "", "mem"));
+  d.push_back(sc(Sysno::kMunmap, "munmap",
+                 {plain("addr", 0, ~0ULL, {0x7f0000000000}),
+                  plain("length", 0, 1ULL << 32, {0x1000, 0})},
+                 "", "mem"));
+  d.push_back(sc(Sysno::kMadvise, "madvise",
+                 {plain("addr", 0, ~0ULL, {0x7f0000000000}), len("length"),
+                  plain("advice", 0, 25, {4, 8})},
+                 "", "mem"));
+  d.push_back(sc(Sysno::kMemfdCreate, "memfd_create",
+                 {buffer("name"), flags("flags", {1, 2})}, "memfd", "mem"));
+
+  // --- sockets ----------------------------------------------------------------
+  d.push_back(sc(Sysno::kSocket, "socket",
+                 {plain("family", 0, 50,
+                        {1, 2, 3, 4, 5, 9, 10, 16, 17, 21, 44, 45}),
+                  plain("type", 0, 0xF0000 | 7, {1, 2, 3, 5, 0x803}),
+                  plain("protocol", 0, 300, {0, 6, 9, 17, 255})},
+                 "sock", "net"));
+  d.push_back(sc(Sysno::kSocket, "socket$netlink",
+                 {constant("family", 16), constant("type", 3),
+                  plain("protocol", 0, 25, {0, 9, 15})},
+                 "sock", "net"));
+  d.push_back(sc(Sysno::kSocket, "socket$inet",
+                 {constant("family", 2), plain("type", 1, 3, {1, 2}),
+                  plain("protocol", 0, 300, {0, 6, 17, 132})},
+                 "sock", "net"));
+  d.push_back(sc(Sysno::kSocketpair, "socketpair",
+                 {plain("family", 0, 50, {1, 2, 4, 9, 16}),
+                  plain("type", 1, 7, {1, 2, 3}),
+                  plain("protocol", 0, 300, {0, 7, 9}), buffer("sv")},
+                 "", "net"));
+  d.push_back(sc(Sysno::kSendto, "sendto",
+                 {res("fd", "sock"), buffer(), len(),
+                  flags("flags", {0x40, 0x4000}), buffer("addr"),
+                  plain("addrlen", 0, 128, {0xc, 16})},
+                 "", "net"));
+  d.push_back(sc(Sysno::kRecvfrom, "recvfrom",
+                 {res("fd", "sock"), buffer(), len(),
+                  flags("flags", {0x40, 0x100}), buffer("addr"),
+                  plain("addrlen", 0, 128, {16})},
+                 "", "net", /*blocks=*/true));
+  d.push_back(sc(Sysno::kConnect, "connect",
+                 {res("fd", "sock"), buffer("addr"),
+                  plain("addrlen", 0, 128, {16})},
+                 "", "net"));
+  d.push_back(sc(Sysno::kBind, "bind",
+                 {res("fd", "sock"), buffer("addr"),
+                  plain("addrlen", 0, 128, {16})},
+                 "", "net"));
+  d.push_back(sc(Sysno::kListen, "listen",
+                 {res("fd", "sock"), plain("backlog", 0, 4096, {0, 128})},
+                 "", "net"));
+  d.push_back(sc(Sysno::kShutdown, "shutdown",
+                 {res("fd", "sock"), plain("how", 0, 2, {0, 1, 2})}, "",
+                 "net"));
+  d.push_back(sc(Sysno::kSetsockopt, "setsockopt",
+                 {res("fd", "sock"), plain("level", 0, 300, {1, 6}),
+                  plain("optname", 0, 100, {2, 9}), buffer("optval"),
+                  plain("optlen", 0, 128, {4})},
+                 "", "net"));
+
+  // --- signals & process control ---------------------------------------------
+  d.push_back(sc(Sysno::kRtSigreturn, "rt_sigreturn", {}, "", "signal"));
+  d.push_back(sc(Sysno::kRseq, "rseq",
+                 {plain("rseq", 0, ~0ULL,
+                        {0, 0x7f0000000000, 0x7f0000000001, 0x20000ULL}),
+                  plain("len", 0, 4096, {32, 0, 64}),
+                  plain("flags", 0, 8, {0, 1, 2}),
+                  plain("sig", 0, ~0ULL, {0x53053053})},
+                 "", "signal"));
+  d.push_back(sc(Sysno::kKill, "kill",
+                 {plain("pid", 0, ~0ULL, {0, 1, 0x1586}),
+                  plain("sig", 0, 64, {0, 9, 11, 15, 25})},
+                 "", "signal"));
+  d.push_back(sc(Sysno::kTgkill, "tgkill",
+                 {plain("tgid", 0, ~0ULL, {0}), plain("tid", 0, ~0ULL, {0}),
+                  plain("sig", 0, 64, {0, 6, 11})},
+                 "", "signal"));
+  d.push_back(sc(Sysno::kAlarm, "alarm",
+                 {plain("seconds", 0, ~0ULL, {0, 1, 4, 0xffffffff})}, "",
+                 "signal"));
+  d.push_back(sc(Sysno::kExit, "exit", {plain("code", 0, 255, {0, 1})}, "",
+                 "signal"));
+  d.push_back(sc(Sysno::kPause, "pause", {}, "", "signal", /*blocks=*/true));
+
+  // --- process info -----------------------------------------------------------
+  d.push_back(sc(Sysno::kGetpid, "getpid", {}, "pid", "proc"));
+  d.push_back(sc(Sysno::kGetuid, "getuid", {}, "", "proc"));
+  d.push_back(sc(Sysno::kGeteuid, "geteuid", {}, "", "proc"));
+  d.push_back(sc(Sysno::kSetuid, "setuid",
+                 {plain("uid", 0, ~0ULL, {0, 0xfffe, 0xffffffff})}, "",
+                 "proc"));
+  d.push_back(sc(Sysno::kUmask, "umask", {plain("mask", 0, 0777, {022})}, "",
+                 "proc"));
+  d.push_back(sc(Sysno::kGetrlimit, "getrlimit",
+                 {plain("resource", 0, 0x1000, {0, 1, 7, 0x3e8}),
+                  buffer("rlim")},
+                 "", "proc"));
+  d.push_back(sc(Sysno::kSetrlimit, "setrlimit",
+                 {plain("resource", 0, 0x1000, {1, 7}),
+                  plain("value", 0, ~0ULL, {0, 4096, 1ULL << 30, ~0ULL})},
+                 "", "proc"));
+  d.push_back(sc(Sysno::kKcmp, "kcmp",
+                 {plain("pid1", 0, ~0ULL, {0, 0x1586}),
+                  plain("pid2", 0, ~0ULL, {0}),
+                  plain("type", 0, 16, {0, 3, 9}),
+                  plain("idx1", 0, ~0ULL, {0}), plain("idx2", 0, ~0ULL, {0})},
+                 "", "proc"));
+  d.push_back(sc(Sysno::kPrctl, "prctl",
+                 {plain("option", 0, 72, {1, 4, 15}),
+                  plain("arg2", 0, ~0ULL, {0})},
+                 "", "proc"));
+  d.push_back(sc(Sysno::kSchedYield, "sched_yield", {}, "", "proc"));
+  d.push_back(sc(Sysno::kUname, "uname", {buffer("utsname")}, "", "proc"));
+  d.push_back(sc(Sysno::kSysinfo, "sysinfo", {buffer("info")}, "", "proc"));
+  d.push_back(sc(Sysno::kTimes, "times", {buffer("tms")}, "", "proc"));
+  d.push_back(sc(Sysno::kClockGettime, "clock_gettime",
+                 {plain("clk", 0, 11, {0, 1}), buffer("ts")}, "", "proc"));
+
+  // --- xattr ---------------------------------------------------------------
+  d.push_back(sc(Sysno::kSetxattr, "setxattr",
+                 {path(), buffer("name"), buffer("value"), len("size"),
+                  plain("flags", 0, 2, {0, 1, 2})},
+                 "", "xattr"));
+  d.push_back(sc(Sysno::kGetxattr, "getxattr",
+                 {path(), buffer("name"), buffer("value"),
+                  plain("size", 0, 1 << 16, {0, 21, 4096})},
+                 "", "xattr"));
+
+  // --- watch / event fds -----------------------------------------------------
+  d.push_back(sc(Sysno::kInotifyInit, "inotify_init", {}, "inotifyfd",
+                 "inotify"));
+  d.push_back(sc(Sysno::kInotifyAddWatch, "inotify_add_watch",
+                 {res("fd", "inotifyfd"), path(),
+                  flags("mask", {0x1, 0x2, 0x4, 0x100, 0xfff})},
+                 "", "inotify"));
+  d.push_back(sc(Sysno::kEpollCreate1, "epoll_create1",
+                 {flags("flags", {0x80000})}, "epollfd", "inotify"));
+  d.push_back(sc(Sysno::kEventfd2, "eventfd2",
+                 {plain("initval", 0, ~0ULL, {0}),
+                  flags("flags", {0x1, 0x800, 0x80000})},
+                 "eventfd", "inotify"));
+  d.push_back(sc(Sysno::kMqOpen, "mq_open",
+                 {buffer("name"), flags("oflag", {0x1, 0x2, 0x40, 0x800}),
+                  plain("mode", 0, 07777, {0600}), buffer("attr")},
+                 "mqd", "inotify"));
+
+  // --- timing / blocking ------------------------------------------------------
+  d.push_back(sc(Sysno::kNanosleep, "nanosleep",
+                 {plain("ns", 0, ~0ULL,
+                        {0, 1000, 1'000'000, 100'000'000'000ULL}),
+                  buffer("rem")},
+                 "", "time", /*blocks=*/true));
+  d.push_back(sc(Sysno::kPoll, "poll",
+                 {buffer("fds"), plain("nfds", 0, 64, {0, 1}),
+                  plain("timeout_ms", 0, ~0ULL, {0, 100, 10'000})},
+                 "", "time", /*blocks=*/true));
+  d.push_back(sc(Sysno::kIoctl, "ioctl",
+                 {res("fd", "fd"),
+                  plain("request", 0, ~0ULL,
+                        {0x80087601, 0xc02064a5, 0x5401}),
+                  buffer("argp")},
+                 "", "file"));
+  d.push_back(sc(Sysno::kPipe, "pipe", {buffer("fds")}, "", "file"));
+
+  for (const SyscallDesc& desc : d) {
+    TORPEDO_CHECK_MSG(!desc.name.empty(), "unnamed syscall desc");
+  }
+}
+
+const SyscallTable& SyscallTable::instance() {
+  static const SyscallTable table;
+  return table;
+}
+
+const SyscallDesc* SyscallTable::by_name(std::string_view name) const {
+  for (const SyscallDesc& d : descs_)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+std::vector<const SyscallDesc*> SyscallTable::producers_of(
+    std::string_view kind) const {
+  std::vector<const SyscallDesc*> out;
+  for (const SyscallDesc& d : descs_)
+    if (!d.produces.empty() && resource_compatible(kind, d.produces))
+      out.push_back(&d);
+  return out;
+}
+
+std::vector<const SyscallDesc*> SyscallTable::interface(
+    std::string_view name) const {
+  std::vector<const SyscallDesc*> out;
+  for (const SyscallDesc& d : descs_)
+    if (d.interface == name) out.push_back(&d);
+  return out;
+}
+
+}  // namespace torpedo::prog

@@ -1,0 +1,70 @@
+// Syscall descriptions: the "syzlang" subset Torpedo understands.
+//
+// Each description models one syscall (or a narrowed variant, syzkaller's
+// `socket$netlink` style): argument kinds, interesting values, flag
+// vocabularies, and the resource kind the call produces/consumes. The
+// generator and mutator are driven entirely by this table, so adding a
+// syscall is a table edit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace torpedo::prog {
+
+enum class ArgKind {
+  kIntPlain,   // numeric with range + special values
+  kIntFlags,   // OR-combination of a flag vocabulary
+  kResource,   // consumes a resource produced by an earlier call (fd, sock)
+  kPath,       // filesystem path string
+  kBuffer,     // in-memory data (paths into dynamic memory in syzkaller)
+  kLen,        // length of the preceding buffer
+  kConst,      // fixed value (variant-narrowed argument)
+};
+
+struct ArgDesc {
+  ArgKind kind = ArgKind::kIntPlain;
+  std::string name;
+  std::uint64_t min = 0;
+  std::uint64_t max = ~0ULL;
+  std::vector<std::uint64_t> specials;  // kIntPlain: interesting values
+  std::vector<std::uint64_t> flags;     // kIntFlags: vocabulary bits
+  std::string resource;                 // kResource: required kind
+  std::uint64_t const_val = 0;          // kConst
+};
+
+struct SyscallDesc {
+  int nr = 0;
+  std::string name;       // "socket" or variant "socket$netlink"
+  std::vector<ArgDesc> args;
+  std::string produces;   // resource kind of the return value ("" = none)
+  bool blocks = false;    // known to send the caller to sleep (denylist bait)
+  // Interface family used for seed grouping and the generator's bias table.
+  std::string interface;  // "file", "net", "signal", "mem", "proc", ...
+};
+
+// True if a resource of kind `have` can be passed where `want` is expected
+// (every descriptor kind degrades to a plain "fd").
+bool resource_compatible(std::string_view want, std::string_view have);
+
+class SyscallTable {
+ public:
+  static const SyscallTable& instance();
+
+  std::span<const SyscallDesc> all() const { return descs_; }
+  const SyscallDesc* by_name(std::string_view name) const;
+  // All descriptions producing a resource compatible with `kind`.
+  std::vector<const SyscallDesc*> producers_of(std::string_view kind) const;
+  // All descriptions in an interface family.
+  std::vector<const SyscallDesc*> interface(std::string_view name) const;
+
+ private:
+  SyscallTable();
+  std::vector<SyscallDesc> descs_;
+};
+
+}  // namespace torpedo::prog

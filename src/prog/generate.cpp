@@ -1,0 +1,187 @@
+#include "prog/generate.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace torpedo::prog {
+
+namespace {
+const char* const kPathPool[] = {
+    "mntpoint/tmp",
+    "testdir_1",
+    "/lib/x86_64-linux-gnu/libc.so.6",
+    "/proc/sys/fs/mqueue/msg_max",
+    "/dev/null",
+    "/etc/passwd",
+    "getxattr01testfile",
+    "test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop",
+    "newfile_0",
+};
+
+const char* const kBufferPool[] = {
+    "",
+    "47530",
+    "this is a test value",
+    "system.posix_acl_access",
+    "testing audit system",
+    "\x24\x00\x00\x00\x60\x04\x05\x00",
+};
+}  // namespace
+
+std::string random_path(Rng& rng) {
+  if (rng.chance(1, 8))
+    return "gen_" + std::to_string(rng.below(64));  // fresh name
+  return kPathPool[rng.below(std::size(kPathPool))];
+}
+
+std::string random_buffer(Rng& rng) {
+  return kBufferPool[rng.below(std::size(kBufferPool))];
+}
+
+bool Generator::denied(const SyscallDesc& desc) const {
+  return std::find(config_.denylist.begin(), config_.denylist.end(),
+                   desc.name) != config_.denylist.end();
+}
+
+const SyscallDesc* Generator::pick_syscall() {
+  const auto all = SyscallTable::instance().all();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const SyscallDesc* desc = &all[rng_.below(all.size())];
+    if (!denied(*desc)) return desc;
+  }
+  return &all[0];
+}
+
+ArgValue Generator::random_arg(const Program& program, std::size_t call_index,
+                               const ArgDesc& desc) {
+  switch (desc.kind) {
+    case ArgKind::kConst:
+      return ArgValue::lit(desc.const_val);
+    case ArgKind::kPath:
+      return ArgValue::text(random_path(rng_));
+    case ArgKind::kBuffer:
+      return ArgValue::text(random_buffer(rng_));
+    case ArgKind::kLen: {
+      static constexpr std::uint64_t kSizes[] = {0, 1, 7, 0x15, 0x24, 0x1000,
+                                                 0x4000, 1 << 20};
+      return ArgValue::lit(kSizes[rng_.below(std::size(kSizes))]);
+    }
+    case ArgKind::kIntFlags: {
+      if (desc.flags.empty() || rng_.chance(1, 12))
+        return ArgValue::lit(rng_.next());  // garbage bits
+      // "Certain preference is given to known interesting arguments like
+      // NULL or a bitfield of all 1s" (§2.6.1).
+      if (rng_.chance(1, 16)) return ArgValue::lit(~0ULL);
+      if (rng_.chance(1, 10)) {
+        std::uint64_t all = 0;
+        for (std::uint64_t bit : desc.flags) all |= bit;
+        return ArgValue::lit(all);
+      }
+      std::uint64_t v = 0;
+      const std::size_t n = rng_.below(std::min<std::size_t>(
+                                3, desc.flags.size())) + 1;
+      for (std::size_t i = 0; i < n; ++i)
+        v |= desc.flags[rng_.below(desc.flags.size())];
+      return ArgValue::lit(v);
+    }
+    case ArgKind::kIntPlain: {
+      // Syzkaller gives "certain preference to known interesting arguments
+      // like NULL or a bitfield of all 1s".
+      if (!desc.specials.empty() && rng_.chance(3, 5))
+        return ArgValue::lit(desc.specials[rng_.below(desc.specials.size())]);
+      if (rng_.chance(1, 12)) return ArgValue::lit(0);
+      if (rng_.chance(1, 12)) return ArgValue::lit(~0ULL);
+      if (desc.max >= desc.min)
+        return ArgValue::lit(
+            static_cast<std::uint64_t>(rng_.range(
+                static_cast<std::int64_t>(desc.min),
+                static_cast<std::int64_t>(
+                    std::min(desc.max, static_cast<std::uint64_t>(
+                                           0x7fffffffffffffffULL))))));
+      return ArgValue::lit(rng_.next());
+    }
+    case ArgKind::kResource: {
+      if (rng_.chance(static_cast<std::uint64_t>(config_.resource_ref_pct),
+                      100)) {
+        // Find earlier producers of a compatible kind.
+        std::vector<int> producers;
+        for (std::size_t j = 0; j < call_index && j < program.size(); ++j) {
+          const SyscallDesc* d = program.calls()[j].desc;
+          if (!d->produces.empty() &&
+              resource_compatible(desc.resource, d->produces))
+            producers.push_back(static_cast<int>(j));
+        }
+        if (!producers.empty())
+          return ArgValue::result(producers[rng_.below(producers.size())]);
+      }
+      return ArgValue::lit(0xffffffffffffffffULL);
+    }
+  }
+  return ArgValue::lit(0);
+}
+
+Program Generator::generate() {
+  const std::size_t n =
+      config_.min_calls +
+      rng_.below(config_.max_calls - config_.min_calls + 1);
+  Program program;
+  for (std::size_t i = 0; i < n; ++i) {
+    const SyscallDesc* desc = pick_syscall();
+    Call call;
+    call.desc = desc;
+    for (const ArgDesc& arg : desc->args)
+      call.args.push_back(random_arg(program, program.size(), arg));
+    program.calls().push_back(std::move(call));
+  }
+  program.fixup();
+  TORPEDO_CHECK(program.valid());
+  return program;
+}
+
+void Generator::insert_biased_call(Program& program) {
+  // Collect the resource kinds live in the program, then prefer a syscall
+  // that consumes one of them ("likely to interact with the calls already
+  // present").
+  std::vector<std::string> live;
+  for (const Call& call : program.calls())
+    if (!call.desc->produces.empty()) live.push_back(call.desc->produces);
+
+  const SyscallDesc* chosen = nullptr;
+  if (!live.empty() && rng_.chance(7, 10)) {
+    std::vector<const SyscallDesc*> consumers;
+    for (const SyscallDesc& d : SyscallTable::instance().all()) {
+      if (denied(d)) continue;
+      for (const ArgDesc& a : d.args) {
+        if (a.kind != ArgKind::kResource) continue;
+        for (const std::string& kind : live) {
+          if (resource_compatible(a.resource, kind)) {
+            consumers.push_back(&d);
+            break;
+          }
+        }
+      }
+    }
+    if (!consumers.empty()) chosen = consumers[rng_.below(consumers.size())];
+  }
+  if (!chosen) chosen = pick_syscall();
+
+  const std::size_t pos = rng_.below(program.size() + 1);
+  Call call;
+  call.desc = chosen;
+  for (const ArgDesc& arg : chosen->args)
+    call.args.push_back(random_arg(program, pos, arg));
+  program.calls().insert(
+      program.calls().begin() + static_cast<std::ptrdiff_t>(pos),
+      std::move(call));
+  // Insertion shifts later indices: references at/after pos to calls at/after
+  // pos must slide by one.
+  for (std::size_t i = pos + 1; i < program.size(); ++i)
+    for (ArgValue& value : program.calls()[i].args)
+      if (value.kind == ArgValue::Kind::kResult &&
+          value.result_of >= static_cast<int>(pos))
+        ++value.result_of;
+  program.fixup();
+}
+
+}  // namespace torpedo::prog

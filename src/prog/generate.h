@@ -1,0 +1,57 @@
+// Program generation: fresh random programs and random argument values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prog/program.h"
+#include "util/rng.h"
+
+namespace torpedo::prog {
+
+struct GenConfig {
+  std::size_t min_calls = 1;
+  std::size_t max_calls = 8;
+  // Probability (percent) that a resource argument references an earlier
+  // producing call instead of a junk literal.
+  int resource_ref_pct = 80;
+  // Syscall names never generated (the runtime denylist of §4.1.2).
+  std::vector<std::string> denylist;
+};
+
+class Generator {
+ public:
+  explicit Generator(Rng rng, GenConfig config = {})
+      : rng_(rng), config_(std::move(config)) {}
+
+  // A fresh random program.
+  Program generate();
+
+  // A random value for one argument slot; `producer_count` limits resource
+  // references to earlier calls (pass the call's index).
+  ArgValue random_arg(const Program& program, std::size_t call_index,
+                      const ArgDesc& desc);
+
+  // Appends a call biased toward interacting with resources already present
+  // (syzkaller's "bias score" add-call operation).
+  void insert_biased_call(Program& program);
+
+  const GenConfig& config() const { return config_; }
+  void set_denylist(std::vector<std::string> names) {
+    config_.denylist = std::move(names);
+  }
+  Rng& rng() { return rng_; }
+
+ private:
+  const SyscallDesc* pick_syscall();
+  bool denied(const SyscallDesc& desc) const;
+
+  Rng rng_;
+  GenConfig config_;
+};
+
+// Random path / buffer pools used by generation and mutation.
+std::string random_path(Rng& rng);
+std::string random_buffer(Rng& rng);
+
+}  // namespace torpedo::prog

@@ -1,0 +1,139 @@
+#include "prog/mutate.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace torpedo::prog {
+
+MutationOp Mutator::mutate(Program& program, std::span<const Program> corpus) {
+  Rng& rng = generator_.rng();
+  MutationOp last = MutationOp::kMutateArg;
+  int guard = 0;
+  do {
+    last = mutate_once(program, corpus);
+  } while (!rng.chance(1, 3) && ++guard < 6);
+  return last;
+}
+
+MutationOp Mutator::mutate_once(Program& program,
+                                std::span<const Program> corpus) {
+  Rng& rng = generator_.rng();
+  double splice_w = corpus.empty() ? 0.0 : config_.splice_weight;
+  // "Add a call ... is less likely when the program is at or near max
+  // length"; "remove ... is less likely when the program is very small".
+  double insert_w = program.size() >= config_.max_calls
+                        ? config_.insert_weight * 0.1
+                        : config_.insert_weight;
+  double remove_w = program.size() <= 1 ? config_.remove_weight * 0.1
+                                        : config_.remove_weight;
+  const double weights[] = {splice_w, insert_w, remove_w,
+                            config_.mutate_arg_weight};
+  const std::size_t pick = rng.weighted(weights);
+
+  switch (pick) {
+    case 0: {
+      const Program& donor = corpus[rng.below(corpus.size())];
+      splice(program, donor);
+      return MutationOp::kSplice;
+    }
+    case 1:
+      insert_call(program);
+      return MutationOp::kInsertCall;
+    case 2:
+      remove_call(program);
+      return MutationOp::kRemoveCall;
+    default:
+      mutate_arg(program);
+      return MutationOp::kMutateArg;
+  }
+}
+
+void Mutator::splice(Program& program, const Program& donor) {
+  if (donor.empty()) return;
+  Rng& rng = generator_.rng();
+  // Take a run of sequential calls from the donor and insert it at a random
+  // point; references inside the run are re-based, references into the rest
+  // of the donor are repaired by fixup().
+  const std::size_t run_start = rng.below(donor.size());
+  const std::size_t run_len =
+      1 + rng.below(donor.size() - run_start);
+  const std::size_t insert_at = rng.below(program.size() + 1);
+
+  std::vector<Call> run(donor.calls().begin() +
+                            static_cast<std::ptrdiff_t>(run_start),
+                        donor.calls().begin() +
+                            static_cast<std::ptrdiff_t>(run_start + run_len));
+  for (Call& call : run) {
+    for (ArgValue& value : call.args) {
+      if (value.kind != ArgValue::Kind::kResult) continue;
+      if (value.result_of >= static_cast<int>(run_start) &&
+          value.result_of < static_cast<int>(run_start + run_len)) {
+        value.result_of = value.result_of - static_cast<int>(run_start) +
+                          static_cast<int>(insert_at);
+      } else {
+        value.result_of = -1;  // dangles; fixup rebinds or degrades it
+      }
+    }
+  }
+
+  // Shift references in the tail of the receiving program.
+  for (std::size_t i = insert_at; i < program.size(); ++i)
+    for (ArgValue& value : program.calls()[i].args)
+      if (value.kind == ArgValue::Kind::kResult &&
+          value.result_of >= static_cast<int>(insert_at))
+        value.result_of += static_cast<int>(run_len);
+
+  program.calls().insert(program.calls().begin() +
+                             static_cast<std::ptrdiff_t>(insert_at),
+                         run.begin(), run.end());
+  while (program.size() > config_.max_calls) {
+    program.calls().pop_back();
+  }
+  program.fixup();
+  TORPEDO_CHECK(program.valid());
+}
+
+void Mutator::insert_call(Program& program) {
+  if (program.size() >= config_.max_calls) return;
+  generator_.insert_biased_call(program);
+  TORPEDO_CHECK(program.valid());
+}
+
+void Mutator::remove_call(Program& program) {
+  if (program.size() <= 1) return;
+  Rng& rng = generator_.rng();
+  const std::size_t victim = rng.below(program.size());
+  program.calls().erase(program.calls().begin() +
+                        static_cast<std::ptrdiff_t>(victim));
+  for (std::size_t i = victim; i < program.size(); ++i) {
+    for (ArgValue& value : program.calls()[i].args) {
+      if (value.kind != ArgValue::Kind::kResult) continue;
+      if (value.result_of == static_cast<int>(victim))
+        value.result_of = -1;
+      else if (value.result_of > static_cast<int>(victim))
+        --value.result_of;
+    }
+  }
+  program.fixup();
+  TORPEDO_CHECK(program.valid());
+}
+
+void Mutator::mutate_arg(Program& program) {
+  if (program.empty()) return;
+  Rng& rng = generator_.rng();
+  const std::size_t call_index = rng.below(program.size());
+  Call& call = program.calls()[call_index];
+  if (call.args.empty()) {
+    // No arguments to perturb (sync(), pause(), ...): fall back to insert.
+    insert_call(program);
+    return;
+  }
+  const std::size_t arg_index = rng.below(call.args.size());
+  call.args[arg_index] = generator_.random_arg(
+      program, call_index, call.desc->args[arg_index]);
+  program.fixup();
+  TORPEDO_CHECK(program.valid());
+}
+
+}  // namespace torpedo::prog

@@ -1,0 +1,54 @@
+// Genetic mutation operators over programs.
+//
+// The four operations syzkaller's algorithm uses (§2.6.1): splice two
+// programs, add a biased call, remove a call, and mutate one argument.
+#pragma once
+
+#include <span>
+
+#include "prog/generate.h"
+#include "prog/program.h"
+
+namespace torpedo::prog {
+
+enum class MutationOp { kSplice, kInsertCall, kRemoveCall, kMutateArg };
+
+struct MutateConfig {
+  std::size_t max_calls = 12;
+  // Relative weights of the four operations. The paper notes these constants
+  // "are not grounded in any legitimate research" — they are exposed here so
+  // the ablation bench can sweep them (§5.3).
+  double splice_weight = 1.0;
+  double insert_weight = 3.0;
+  double remove_weight = 1.0;
+  double mutate_arg_weight = 5.0;
+};
+
+class Mutator {
+ public:
+  Mutator(Generator& generator, MutateConfig config = {})
+      : generator_(generator), config_(config) {}
+
+  // Applies a random burst of operations (syzkaller keeps mutating until a
+  // one-in-three stop roll succeeds). `corpus` supplies splice donors (may
+  // be empty, which disables splicing). Returns the last operation applied.
+  MutationOp mutate(Program& program, std::span<const Program> corpus);
+
+  // Applies exactly one random operation.
+  MutationOp mutate_once(Program& program, std::span<const Program> corpus);
+
+  // Applies a specific operation (tests and ablations).
+  void splice(Program& program, const Program& donor);
+  void insert_call(Program& program);
+  void remove_call(Program& program);
+  void mutate_arg(Program& program);
+
+  const MutateConfig& config() const { return config_; }
+  void set_config(const MutateConfig& config) { config_ = config; }
+
+ private:
+  Generator& generator_;
+  MutateConfig config_;
+};
+
+}  // namespace torpedo::prog

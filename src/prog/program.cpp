@@ -1,0 +1,269 @@
+#include "prog/program.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace torpedo::prog {
+
+namespace {
+
+// Result numbering: the k-th producing call is named r<k>.
+std::vector<int> result_numbers(const std::vector<Call>& calls) {
+  std::vector<int> numbers(calls.size(), -1);
+  int next = 0;
+  for (std::size_t i = 0; i < calls.size(); ++i)
+    if (!calls[i].desc->produces.empty()) numbers[i] = next++;
+  return numbers;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\\' || c == '\'') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '\'';
+  return out;
+}
+
+std::optional<std::string> unquote(std::string_view s) {
+  if (s.size() < 2 || s.front() != '\'' || s.back() != '\'')
+    return std::nullopt;
+  std::string out;
+  for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+    if (s[i] == '\\' && i + 2 < s.size()) {
+      ++i;
+      if (s[i] == 'n') {
+        out += '\n';
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+// Splits a top-level argument list on commas (quotes are respected).
+std::vector<std::string_view> split_args(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  bool in_quote = false;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size() && s[i] == '\'' && (i == 0 || s[i - 1] != '\\'))
+      in_quote = !in_quote;
+    if (i == s.size() || (s[i] == ',' && !in_quote)) {
+      std::string_view part = trim(s.substr(start, i - start));
+      if (!part.empty()) out.push_back(part);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Program::valid() const {
+  for (std::size_t i = 0; i < calls_.size(); ++i) {
+    const Call& call = calls_[i];
+    if (!call.desc) return false;
+    if (call.args.size() != call.desc->args.size()) return false;
+    for (std::size_t a = 0; a < call.args.size(); ++a) {
+      const ArgValue& value = call.args[a];
+      if (value.kind != ArgValue::Kind::kResult) continue;
+      if (value.result_of < 0 ||
+          static_cast<std::size_t>(value.result_of) >= i)
+        return false;
+      const SyscallDesc* producer = calls_[static_cast<std::size_t>(
+          value.result_of)].desc;
+      if (producer->produces.empty()) return false;
+      if (call.desc->args[a].kind == ArgKind::kResource &&
+          !resource_compatible(call.desc->args[a].resource,
+                               producer->produces))
+        return false;
+    }
+  }
+  return true;
+}
+
+void Program::fixup() {
+  for (std::size_t i = 0; i < calls_.size(); ++i) {
+    Call& call = calls_[i];
+    TORPEDO_CHECK(call.desc != nullptr);
+    call.args.resize(call.desc->args.size());
+    for (std::size_t a = 0; a < call.args.size(); ++a) {
+      ArgValue& value = call.args[a];
+      const ArgDesc& desc = call.desc->args[a];
+      if (value.kind != ArgValue::Kind::kResult) continue;
+      const std::string& want = desc.kind == ArgKind::kResource
+                                    ? desc.resource
+                                    : std::string("fd");
+      auto ok = [&](int idx) {
+        return idx >= 0 && static_cast<std::size_t>(idx) < i &&
+               !calls_[static_cast<std::size_t>(idx)].desc->produces.empty() &&
+               resource_compatible(
+                   want, calls_[static_cast<std::size_t>(idx)].desc->produces);
+      };
+      if (ok(value.result_of)) continue;
+      // Rebind to the nearest earlier compatible producer.
+      int found = -1;
+      for (int j = static_cast<int>(i) - 1; j >= 0; --j) {
+        if (ok(j)) {
+          found = j;
+          break;
+        }
+      }
+      if (found >= 0)
+        value = ArgValue::result(found);
+      else
+        value = ArgValue::lit(0xffffffffffffffffULL);  // a guaranteed-bad fd
+    }
+  }
+}
+
+void Program::filter_calls(const std::vector<std::string>& names) {
+  auto banned = [&](const Call& c) {
+    return std::find(names.begin(), names.end(), c.desc->name) != names.end();
+  };
+  // Removing calls shifts indices: remap result references as we compact.
+  std::vector<int> remap(calls_.size(), -1);
+  std::vector<Call> kept;
+  for (std::size_t i = 0; i < calls_.size(); ++i) {
+    if (banned(calls_[i])) continue;
+    remap[i] = static_cast<int>(kept.size());
+    kept.push_back(calls_[i]);
+  }
+  for (Call& call : kept)
+    for (ArgValue& value : call.args)
+      if (value.kind == ArgValue::Kind::kResult)
+        value.result_of = value.result_of >= 0 &&
+                                  static_cast<std::size_t>(value.result_of) <
+                                      remap.size()
+                              ? remap[static_cast<std::size_t>(value.result_of)]
+                              : -1;
+  calls_ = std::move(kept);
+  fixup();
+}
+
+std::string Program::serialize() const {
+  const std::vector<int> numbers = result_numbers(calls_);
+  std::string out;
+  for (std::size_t i = 0; i < calls_.size(); ++i) {
+    const Call& call = calls_[i];
+    if (numbers[i] >= 0) {
+      out += "r" + std::to_string(numbers[i]) + " = ";
+    }
+    out += call.desc->name;
+    out += '(';
+    for (std::size_t a = 0; a < call.args.size(); ++a) {
+      if (a > 0) out += ", ";
+      const ArgValue& value = call.args[a];
+      switch (value.kind) {
+        case ArgValue::Kind::kLiteral:
+          out += hex(value.literal);
+          break;
+        case ArgValue::Kind::kResult:
+          out += "r" + std::to_string(
+                           numbers[static_cast<std::size_t>(value.result_of)]);
+          break;
+        case ArgValue::Kind::kString:
+          out += quote(value.str);
+          break;
+      }
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+std::optional<Program> Program::parse(const std::string& text) {
+  const SyscallTable& table = SyscallTable::instance();
+  std::vector<Call> calls;
+  std::vector<int> result_to_call;  // rK -> call index
+
+  for (std::string_view raw_line : split(text, '\n')) {
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    bool produces_named = false;
+    if (line.front() == 'r') {
+      auto eq = line.find('=');
+      auto paren = line.find('(');
+      if (eq != std::string_view::npos && eq < paren) {
+        std::string_view label = trim(line.substr(0, eq));
+        auto num = parse_u64(label.substr(1));
+        if (!num || *num != result_to_call.size()) return std::nullopt;
+        produces_named = true;
+        line = trim(line.substr(eq + 1));
+      }
+    }
+
+    auto open = line.find('(');
+    if (open == std::string_view::npos || line.back() != ')')
+      return std::nullopt;
+    std::string_view name = trim(line.substr(0, open));
+    const SyscallDesc* desc = table.by_name(name);
+    if (!desc) return std::nullopt;
+    if (produces_named && desc->produces.empty()) return std::nullopt;
+
+    Call call;
+    call.desc = desc;
+    std::string_view arg_text = line.substr(open + 1,
+                                            line.size() - open - 2);
+    for (std::string_view part : split_args(arg_text)) {
+      if (part.front() == '\'') {
+        auto s = unquote(part);
+        if (!s) return std::nullopt;
+        call.args.push_back(ArgValue::text(std::move(*s)));
+      } else if (part.front() == 'r' && part.size() > 1 &&
+                 part[1] >= '0' && part[1] <= '9') {
+        auto num = parse_u64(part.substr(1));
+        if (!num || *num >= result_to_call.size()) return std::nullopt;
+        call.args.push_back(
+            ArgValue::result(result_to_call[static_cast<std::size_t>(*num)]));
+      } else {
+        auto v = parse_u64(part);
+        if (!v) return std::nullopt;
+        call.args.push_back(ArgValue::lit(*v));
+      }
+    }
+    if (call.args.size() != desc->args.size()) return std::nullopt;
+    if (produces_named)
+      result_to_call.push_back(static_cast<int>(calls.size()));
+    else if (!desc->produces.empty())
+      result_to_call.push_back(static_cast<int>(calls.size()));
+    calls.push_back(std::move(call));
+  }
+
+  Program program(std::move(calls));
+  if (!program.valid()) return std::nullopt;
+  return program;
+}
+
+std::uint64_t Program::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const Call& call : calls_) {
+    mix(static_cast<std::uint64_t>(call.desc->nr));
+    for (char c : call.desc->name) mix(static_cast<std::uint64_t>(c));
+    for (const ArgValue& value : call.args) {
+      mix(static_cast<std::uint64_t>(value.kind));
+      mix(value.literal);
+      mix(static_cast<std::uint64_t>(value.result_of));
+      for (char c : value.str) mix(static_cast<std::uint64_t>(c));
+    }
+  }
+  return h;
+}
+
+}  // namespace torpedo::prog

@@ -1,0 +1,86 @@
+// The program IR: a sequence of system calls with resource-typed arguments.
+//
+// Mirrors syzkaller's intermediate representation (§2.6.1): calls can pass
+// pointers to dynamic memory (modeled as buffers), save results for reuse
+// (resource references), and serialize to/from a text format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "prog/desc.h"
+
+namespace torpedo::prog {
+
+struct ArgValue {
+  enum class Kind { kLiteral, kResult, kString };
+  Kind kind = Kind::kLiteral;
+  std::uint64_t literal = 0;
+  int result_of = -1;  // index of the producing call in the program
+  std::string str;
+
+  static ArgValue lit(std::uint64_t v) {
+    ArgValue a;
+    a.literal = v;
+    return a;
+  }
+  static ArgValue result(int call_index) {
+    ArgValue a;
+    a.kind = Kind::kResult;
+    a.result_of = call_index;
+    return a;
+  }
+  static ArgValue text(std::string s) {
+    ArgValue a;
+    a.kind = Kind::kString;
+    a.str = std::move(s);
+    return a;
+  }
+
+  friend bool operator==(const ArgValue&, const ArgValue&) = default;
+};
+
+struct Call {
+  const SyscallDesc* desc = nullptr;
+  std::vector<ArgValue> args;
+
+  friend bool operator==(const Call&, const Call&) = default;
+};
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Call> calls) : calls_(std::move(calls)) {}
+
+  std::vector<Call>& calls() { return calls_; }
+  const std::vector<Call>& calls() const { return calls_; }
+  std::size_t size() const { return calls_.size(); }
+  bool empty() const { return calls_.empty(); }
+
+  // Structural validity: arg counts match the descriptions; every resource
+  // reference points to an earlier call producing a compatible resource.
+  bool valid() const;
+
+  // Repairs invalid resource references after mutation: rebinds each to the
+  // nearest earlier compatible producer, or degrades it to a literal bad fd.
+  void fixup();
+
+  // Drops every call whose syscall name appears in `names`; then fixup().
+  void filter_calls(const std::vector<std::string>& names);
+
+  // Text serialization (syzkaller-style: `r0 = socket(0x10, 0x3, 0x9)`).
+  std::string serialize() const;
+  static std::optional<Program> parse(const std::string& text);
+
+  // Stable content hash (used for corpus dedup).
+  std::uint64_t hash() const;
+
+  friend bool operator==(const Program&, const Program&) = default;
+
+ private:
+  std::vector<Call> calls_;
+};
+
+}  // namespace torpedo::prog

@@ -1,0 +1,55 @@
+// A container instance managed by the Engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cgroup/cgroup.h"
+#include "kernel/process.h"
+#include "runtime/runtime.h"
+#include "sim/task.h"
+
+namespace torpedo::runtime {
+
+// The Docker resource restrictions Torpedo supports (Table 3.1):
+// --runtime, --cpus, --cpuset-cpus (plus -m, used by the memory oracle).
+struct ContainerSpec {
+  std::string name;
+  RuntimeKind runtime = RuntimeKind::kRunc;
+  double cpus = 0;              // --cpus; 0 == unlimited
+  std::string cpuset_cpus;      // --cpuset-cpus; empty == all cores
+  std::int64_t memory_bytes = -1;  // -m; -1 == unlimited
+};
+
+enum class ContainerState { kRunning, kCrashed, kStopped, kRemoved };
+
+class Engine;
+
+class Container {
+ public:
+  std::uint64_t id() const { return id_; }
+  const ContainerSpec& spec() const { return spec_; }
+  ContainerState state() const { return state_; }
+  cgroup::Cgroup& group() const { return *group_; }
+  Runtime& runtime() const { return *runtime_; }
+
+  kernel::Process* process() const { return process_; }
+  sim::TaskId task() const { return task_; }
+
+  const std::string& crash_message() const { return crash_message_; }
+  int restarts() const { return restarts_; }
+
+ private:
+  friend class Engine;
+  std::uint64_t id_ = 0;
+  ContainerSpec spec_;
+  ContainerState state_ = ContainerState::kRunning;
+  cgroup::Cgroup* group_ = nullptr;
+  Runtime* runtime_ = nullptr;
+  kernel::Process* process_ = nullptr;
+  sim::TaskId task_ = 0;
+  std::string crash_message_;
+  int restarts_ = 0;
+};
+
+}  // namespace torpedo::runtime

@@ -1,0 +1,148 @@
+#include "runtime/engine.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace torpedo::runtime {
+
+Engine::Engine(kernel::SimKernel& kernel, EngineConfig config)
+    : kernel_(kernel), config_(config) {
+  TORPEDO_CHECK(config_.ldisc_core >= 0 &&
+                config_.ldisc_core < kernel_.host().num_cores());
+  auto& hierarchy = kernel_.host().cgroups();
+  docker_parent_ = hierarchy.find("/docker");
+  if (!docker_parent_)
+    docker_parent_ = &hierarchy.create(hierarchy.root(), "docker");
+}
+
+Runtime& Engine::runtime(RuntimeKind kind) {
+  for (const auto& r : runtimes_)
+    if (r->kind() == kind) return *r;
+  runtimes_.push_back(make_runtime(kind, kernel_, config_.seed));
+  return *runtimes_.back();
+}
+
+Container& Engine::run(const ContainerSpec& spec, sim::Supplier entrypoint) {
+  auto ctr = std::make_unique<Container>();
+  ctr->id_ = next_id_++;
+  ctr->spec_ = spec;
+  ctr->runtime_ = &runtime(spec.runtime);
+
+  // --- translate the CLI restrictions into cgroup configuration ---------
+  auto& hierarchy = kernel_.host().cgroups();
+  cgroup::Cgroup& group = hierarchy.create(
+      *docker_parent_, spec.name.empty()
+                           ? "ctr-" + std::to_string(ctr->id_)
+                           : spec.name + "-" + std::to_string(ctr->id_));
+  ctr->group_ = &group;
+  if (spec.cpus > 0) {
+    auto& cpu = group.cpu();
+    cpu.quota = static_cast<Nanos>(spec.cpus *
+                                   static_cast<double>(cpu.period));
+  }
+  if (!spec.cpuset_cpus.empty()) {
+    auto parsed = cgroup::CpuSet::parse(spec.cpuset_cpus);
+    TORPEDO_CHECK_MSG(parsed.has_value(), "invalid --cpuset-cpus value");
+    group.set_cpuset(*parsed);
+  }
+  if (spec.memory_bytes >= 0) group.memory().limit_bytes = spec.memory_bytes;
+
+  // --- container setup: the runtime binary runs briefly and exits -------
+  sim::Task& setup = kernel_.host().spawn({
+      .name = std::string(ctr->runtime_->name()) + ":create",
+      .kind = sim::TaskKind::kHelper,
+      .group = &group,
+      .affinity = {},
+      .supplier = nullptr,
+  });
+  const Nanos cost = ctr->runtime_->startup_cost();
+  setup.push(sim::Segment::system(cost / 2));
+  setup.push(sim::Segment::user(cost - cost / 2));
+
+  Container& ref = *ctr;
+  containers_.push_back(std::move(ctr));
+  spawn_entrypoint(ref, std::move(entrypoint));
+  return ref;
+}
+
+void Engine::spawn_entrypoint(Container& ctr, sim::Supplier entrypoint) {
+  sim::Task& task = kernel_.host().spawn({
+      .name = "ctr/" + std::to_string(ctr.id_),
+      .kind = sim::TaskKind::kUser,
+      .group = ctr.group_,
+      .affinity = {},
+      .supplier = std::move(entrypoint),
+  });
+  ctr.task_ = task.id();
+  ctr.process_ = &kernel_.create_process("ctr/" + std::to_string(ctr.id_),
+                                         ctr.group_, task.id());
+  ctr.runtime_->prepare_process(*ctr.process_);
+  ctr.state_ = ContainerState::kRunning;
+}
+
+void Engine::mark_crashed(Container& ctr, const std::string& message) {
+  if (ctr.state_ != ContainerState::kRunning) return;
+  ++crashes_;
+  ctr.state_ = ContainerState::kCrashed;
+  ctr.crash_message_ = message;
+  if (sim::Task* t = kernel_.host().find_task(ctr.task_))
+    kernel_.host().kill(*t);
+  if (ctr.process_) {
+    kernel_.destroy_process(*ctr.process_);
+    ctr.process_ = nullptr;
+  }
+}
+
+void Engine::restart(Container& ctr, sim::Supplier entrypoint) {
+  TORPEDO_CHECK(ctr.state_ == ContainerState::kCrashed ||
+                ctr.state_ == ContainerState::kStopped);
+  ++ctr.restarts_;
+  // Restart pays the runtime startup again.
+  sim::Task& setup = kernel_.host().spawn({
+      .name = std::string(ctr.runtime_->name()) + ":create",
+      .kind = sim::TaskKind::kHelper,
+      .group = ctr.group_,
+      .affinity = {},
+      .supplier = nullptr,
+  });
+  const Nanos cost = ctr.runtime_->startup_cost();
+  setup.push(sim::Segment::system(cost / 2));
+  setup.push(sim::Segment::user(cost - cost / 2));
+  spawn_entrypoint(ctr, std::move(entrypoint));
+}
+
+void Engine::stop(Container& ctr) {
+  if (ctr.state_ != ContainerState::kRunning) return;
+  ctr.state_ = ContainerState::kStopped;
+  if (sim::Task* t = kernel_.host().find_task(ctr.task_))
+    kernel_.host().kill(*t);
+  if (ctr.process_) {
+    kernel_.destroy_process(*ctr.process_);
+    ctr.process_ = nullptr;
+  }
+}
+
+void Engine::remove(Container& ctr) {
+  stop(ctr);
+  if (ctr.state_ == ContainerState::kRemoved) return;
+  ctr.state_ = ContainerState::kRemoved;
+  if (ctr.group_) {
+    kernel_.host().cgroups().remove(*ctr.group_);
+    ctr.group_ = nullptr;
+  }
+}
+
+void Engine::stream_output(Container& ctr, std::uint64_t bytes) {
+  if (kernel_.host().num_cores() <= config_.ldisc_core) return;
+  const std::uint64_t pid = ctr.process_ ? ctr.process_->pid() : 0;
+  kernel_.services().ldisc_stream(config_.ldisc_core, bytes, pid);
+}
+
+std::size_t Engine::live_containers() const {
+  std::size_t n = 0;
+  for (const auto& c : containers_)
+    if (c->state() == ContainerState::kRunning) ++n;
+  return n;
+}
+
+}  // namespace torpedo::runtime

@@ -1,0 +1,120 @@
+#include "runtime/gvisor.h"
+
+#include "kernel/errno.h"
+#include "kernel/signals.h"
+#include "kernel/syscalls.h"
+#include "util/strings.h"
+
+namespace torpedo::runtime {
+
+using kernel::Sysno;
+
+GvisorRuntime::GvisorRuntime(kernel::SimKernel& kernel, std::uint64_t seed,
+                             GvisorConfig config)
+    : kernel_(kernel), config_(config), rng_(seed ^ 0x67766973ULL) {
+  // The sentry's compatibility table (a subset of the host surface; the
+  // paper notes "not all applications are supported"). Anything absent
+  // returns ENOSYS from the sentry without touching the host.
+  supported_ = {
+      Sysno::kRead,        Sysno::kWrite,      Sysno::kOpen,
+      Sysno::kClose,       Sysno::kStat,       Sysno::kFstat,
+      Sysno::kLseek,       Sysno::kMmap,       Sysno::kMunmap,
+      Sysno::kRtSigreturn, Sysno::kAccess,     Sysno::kPipe,
+      Sysno::kSchedYield,  Sysno::kDup,        Sysno::kDup3,
+      Sysno::kPause,       Sysno::kNanosleep,  Sysno::kAlarm,
+      Sysno::kGetpid,      Sysno::kSocket,     Sysno::kSocketpair,
+      Sysno::kSendto,      Sysno::kRecvfrom,   Sysno::kConnect,
+      Sysno::kBind,        Sysno::kListen,     Sysno::kShutdown,
+      Sysno::kSetsockopt,  Sysno::kGetsockopt, Sysno::kExit,
+      Sysno::kExitGroup,   Sysno::kKill,       Sysno::kUname,
+      Sysno::kFcntl,       Sysno::kFsync,      Sysno::kFdatasync,
+      Sysno::kFtruncate,   Sysno::kGetcwd,     Sysno::kChdir,
+      Sysno::kRename,      Sysno::kMkdir,      Sysno::kCreat,
+      Sysno::kUnlink,      Sysno::kReadlink,   Sysno::kChmod,
+      Sysno::kUmask,       Sysno::kGetrlimit,  Sysno::kSetrlimit,
+      Sysno::kGetuid,      Sysno::kGeteuid,    Sysno::kSetuid,
+      Sysno::kSync,        Sysno::kClockGettime, Sysno::kTimeOfDay,
+      Sysno::kMsync,       Sysno::kMadvise,    Sysno::kPoll,
+      Sysno::kFallocate,   Sysno::kEpollCreate1, Sysno::kEventfd2,
+      Sysno::kMemfdCreate, Sysno::kTgkill,     Sysno::kPrctl,
+      Sysno::kSysinfo,
+      // Deliberately missing (matches gVisor's published compat gaps and the
+      // paper's setup): ioctl(KCOV...), kcmp, rseq, inotify*, xattrs,
+      // mq_open, flock, syncfs, times, ...
+  };
+}
+
+ExecOutcome GvisorRuntime::execute(kernel::Process& proc,
+                                   const kernel::SysReq& req,
+                                   const ExecContext& ctx) {
+  ExecOutcome out;
+  kernel::SysResult& res = out.res;
+
+  // --- sentry interception cost, paid on every call --------------------
+  const Nanos intercept = config_.intercept_user;
+
+  if (!supports(req.nr)) {
+    res.err = kernel::ENOSYS_;
+    res.ret = -kernel::ENOSYS_;
+    res.user_ns = intercept + 1'500;
+    res.sys_ns = 400;  // a bare host futex/membarrier, nothing else
+    return out;
+  }
+
+  // --- injected bugs (Table 4.3) ----------------------------------------
+  if (req.nr == Sysno::kOpen) {
+    const std::uint64_t flags = req.val(1);
+    if ((flags & config_.panic_flag_mask) == config_.panic_flag_mask) {
+      out.runtime_crashed = true;
+      out.crash_message =
+          "sentry panic: open flags " + hex(flags) +
+          ": unhandled flag combination in fsgofer (container exited)";
+      res.user_ns = intercept;
+      res.err = kernel::EINVAL_;
+      res.ret = -kernel::EINVAL_;
+      return out;
+    }
+    if (ctx.collider && rng_.uniform() < config_.collider_crash_chance) {
+      out.runtime_crashed = true;
+      out.crash_message =
+          "sentry panic: concurrent open(2): fd table race detected";
+      res.user_ns = intercept;
+      res.err = kernel::EINVAL_;
+      res.ret = -kernel::EINVAL_;
+      return out;
+    }
+  }
+
+  // --- sentry-internal services (no host side effects) -------------------
+  if (req.nr == Sysno::kSync || req.nr == Sysno::kFsync ||
+      req.nr == Sysno::kFdatasync) {
+    // The sentry flushes its own overlay cache; nothing reaches the host
+    // writeback path, so none of the runC sync(2) behaviour appears.
+    res.user_ns = intercept + 90 * kMicrosecond;
+    res.sys_ns = 8 * kMicrosecond;
+    res.ret = 0;
+    return out;
+  }
+
+  // --- forward to the host kernel with the cost transformation -----------
+  res = kernel_.do_syscall(proc, req);
+  res.user_ns = static_cast<Nanos>(static_cast<double>(res.user_ns) *
+                                   config_.user_scale) +
+                intercept;
+  res.sys_ns = static_cast<Nanos>(static_cast<double>(res.sys_ns) *
+                                  config_.sys_scale) +
+               config_.intercept_sys;
+
+  // In-sandbox dump cost for fatal signals (replaces the host helper).
+  if (res.fatal_signal != 0 && kernel::signal_dumps_core(res.fatal_signal))
+    res.user_ns += config_.sentry_dump_user;
+
+  // Internal synchronization stall (sentry goroutine handoff).
+  if (res.block_until == 0 && rng_.uniform() < config_.stall_chance) {
+    res.block_until = kernel_.host().now() + config_.stall;
+    res.block_io = false;
+  }
+  return out;
+}
+
+}  // namespace torpedo::runtime

@@ -1,0 +1,62 @@
+// Kata Containers: a virtualized runtime (future-work target, §5.2).
+//
+// The workload runs inside a lightweight VM with its own guest kernel, so —
+// like gVisor but more strongly — no host-side deferral is reachable, and
+// every call pays VM-exit overhead. Startup boots a VM.
+#pragma once
+
+#include "kernel/signals.h"
+#include "kernel/syscalls.h"
+#include "runtime/runtime.h"
+
+namespace torpedo::runtime {
+
+class KataRuntime : public Runtime {
+ public:
+  KataRuntime(kernel::SimKernel& kernel, std::uint64_t seed)
+      : kernel_(kernel), rng_(seed ^ 0x6B617461ULL) {}
+
+  RuntimeKind kind() const override { return RuntimeKind::kKata; }
+
+  ExecOutcome execute(kernel::Process& proc, const kernel::SysReq& req,
+                      const ExecContext& ctx) override {
+    (void)ctx;
+    ExecOutcome out;
+    kernel::SysResult& res = out.res;
+    // The guest kernel owns the page cache: sync lands on the virtio disk
+    // image, never the host writeback path.
+    if (req.nr == kernel::Sysno::kSync || req.nr == kernel::Sysno::kFsync ||
+        req.nr == kernel::Sysno::kFdatasync ||
+        req.nr == kernel::Sysno::kSyncfs) {
+      res.user_ns = 120 * kMicrosecond;  // guest flush, shows as VMM user
+      res.sys_ns = 3'500;
+      res.ret = 0;
+      return out;
+    }
+    res = kernel_.do_syscall(proc, req);
+    // Guest-kernel execution: the host sees mostly guest time; we account it
+    // as user time of the VMM plus vm-exit system time.
+    res.user_ns = res.user_ns + res.sys_ns;  // guest work shows as VMM user
+    res.sys_ns = 3'500;                      // vm-exit / virtio kick
+    // IO crosses virtio with added latency.
+    if (res.block_until != 0)
+      res.block_until += 80 * kMicrosecond;
+    if (res.fatal_signal != 0 && kernel::signal_dumps_core(res.fatal_signal))
+      res.user_ns += 600 * kMicrosecond;  // guest-side core dump
+    return out;
+  }
+
+  Nanos startup_cost() const override { return 450 * kMillisecond; }
+
+  void prepare_process(kernel::Process& proc) const override {
+    proc.host_coredumps = false;
+    proc.modprobe_on_missing = false;
+    proc.host_audit = false;
+  }
+
+ private:
+  kernel::SimKernel& kernel_;
+  Rng rng_;
+};
+
+}  // namespace torpedo::runtime

@@ -1,0 +1,38 @@
+// Native ("bare metal") runtimes: runC and crun.
+//
+// After container setup the workload shares the host kernel directly, so
+// every syscall — and every host-side deferral vulnerability — is reachable.
+#pragma once
+
+#include "runtime/runtime.h"
+
+namespace torpedo::runtime {
+
+class NativeRuntime : public Runtime {
+ public:
+  NativeRuntime(RuntimeKind kind, kernel::SimKernel& kernel)
+      : kind_(kind), kernel_(kernel) {}
+
+  RuntimeKind kind() const override { return kind_; }
+
+  ExecOutcome execute(kernel::Process& proc, const kernel::SysReq& req,
+                      const ExecContext& ctx) override {
+    (void)ctx;
+    ExecOutcome out;
+    out.res = kernel_.do_syscall(proc, req);
+    return out;
+  }
+
+  Nanos startup_cost() const override {
+    // runc forks, applies the cgroup/namespace config, and exits. crun is
+    // the same design with a leaner (C, low-memory) implementation.
+    return kind_ == RuntimeKind::kCrun ? 18 * kMillisecond
+                                       : 35 * kMillisecond;
+  }
+
+ private:
+  RuntimeKind kind_;
+  kernel::SimKernel& kernel_;
+};
+
+}  // namespace torpedo::runtime

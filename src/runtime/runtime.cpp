@@ -1,0 +1,31 @@
+#include "runtime/runtime.h"
+
+#include "runtime/gvisor.h"
+#include "runtime/kata.h"
+#include "runtime/native.h"
+
+namespace torpedo::runtime {
+
+std::optional<RuntimeKind> runtime_from_name(std::string_view name) {
+  if (name == "runc") return RuntimeKind::kRunc;
+  if (name == "crun") return RuntimeKind::kCrun;
+  if (name == "runsc" || name == "gvisor") return RuntimeKind::kGvisor;
+  if (name == "kata-runtime" || name == "kata") return RuntimeKind::kKata;
+  return std::nullopt;
+}
+
+std::unique_ptr<Runtime> make_runtime(RuntimeKind kind, kernel::SimKernel& k,
+                                      std::uint64_t seed) {
+  switch (kind) {
+    case RuntimeKind::kRunc:
+    case RuntimeKind::kCrun:
+      return std::make_unique<NativeRuntime>(kind, k);
+    case RuntimeKind::kGvisor:
+      return std::make_unique<GvisorRuntime>(k, seed);
+    case RuntimeKind::kKata:
+      return std::make_unique<KataRuntime>(k, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace torpedo::runtime

@@ -1,0 +1,76 @@
+// Container runtime interface.
+//
+// The paper distinguishes three runtime designs (§2.3.2): native (runC,
+// crun), sandboxed (gVisor), and virtualized (Kata). Torpedo is runtime
+// agnostic: the runtime only decides how each containerized system call is
+// serviced — forwarded to the host kernel, emulated inside a sandbox, or
+// rejected — and what it costs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cgroup/cgroup.h"
+#include "kernel/kernel.h"
+#include "util/rng.h"
+
+namespace torpedo::runtime {
+
+enum class RuntimeKind { kRunc, kCrun, kGvisor, kKata };
+
+constexpr std::string_view runtime_name(RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::kRunc: return "runc";
+    case RuntimeKind::kCrun: return "crun";
+    case RuntimeKind::kGvisor: return "runsc";
+    case RuntimeKind::kKata: return "kata-runtime";
+  }
+  return "?";
+}
+
+std::optional<RuntimeKind> runtime_from_name(std::string_view name);
+
+// Per-call execution context the executor provides.
+struct ExecContext {
+  // True while the executor is in collider mode (several calls racing on
+  // sibling threads) — the trigger for gVisor's second open(2) bug.
+  bool collider = false;
+};
+
+// Result of servicing one syscall through the runtime.
+struct ExecOutcome {
+  kernel::SysResult res;
+  // The runtime itself died (sentry panic / VMM abort): the container is
+  // gone and must be restarted by the engine.
+  bool runtime_crashed = false;
+  std::string crash_message;
+};
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual RuntimeKind kind() const = 0;
+  std::string_view name() const { return runtime_name(kind()); }
+
+  // Service one system call for a containerized process.
+  virtual ExecOutcome execute(kernel::Process& proc, const kernel::SysReq& req,
+                              const ExecContext& ctx) = 0;
+
+  // Container creation cost paid by the engine (runc fork+exec vs sentry
+  // boot vs a full VM boot).
+  virtual Nanos startup_cost() const = 0;
+
+  // Configure a freshly created containerized process (host-effect policy).
+  virtual void prepare_process(kernel::Process& proc) const {
+    proc.host_coredumps = true;
+    proc.modprobe_on_missing = true;
+  }
+};
+
+std::unique_ptr<Runtime> make_runtime(RuntimeKind kind, kernel::SimKernel& k,
+                                      std::uint64_t seed);
+
+}  // namespace torpedo::runtime

@@ -1,0 +1,68 @@
+// A single serialized block device with a dirty page cache.
+//
+// Buffered writes land in the cache instantly; sync/fsync schedules writeback
+// (on a kworker) which occupies the device for bytes/bandwidth. While the
+// device is occupied, other tasks' IO completes only after the device frees
+// up — that is how sync(2) manufactures IO-wait on unrelated cores
+// (Table A.2).
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace torpedo::sim {
+
+class BlockDevice {
+ public:
+  explicit BlockDevice(std::uint64_t bytes_per_second = 200ull << 20)
+      : bytes_per_second_(bytes_per_second) {}
+
+  // Submits a transfer at `now`; returns its completion time. Transfers are
+  // serialized FIFO.
+  Nanos submit(Nanos now, std::uint64_t bytes) {
+    const Nanos start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + transfer_time(bytes);
+    total_bytes_ += bytes;
+    total_ios_ += 1;
+    return busy_until_;
+  }
+
+  // Occupies the device for a fixed duration (journal barriers, floored
+  // flushes) serialized behind any queued transfers.
+  Nanos occupy(Nanos now, Nanos duration) {
+    const Nanos start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + duration;
+    total_ios_ += 1;
+    return busy_until_;
+  }
+
+  Nanos transfer_time(std::uint64_t bytes) const {
+    return static_cast<Nanos>(
+        (static_cast<__int128>(bytes) * kSecond) / bytes_per_second_);
+  }
+
+  Nanos busy_until() const { return busy_until_; }
+  bool busy_at(Nanos t) const { return busy_until_ > t; }
+
+  // Dirty page cache (filled by buffered writes, drained by writeback).
+  void dirty(std::uint64_t bytes) { dirty_bytes_ += bytes; }
+  std::uint64_t dirty_bytes() const { return dirty_bytes_; }
+  std::uint64_t take_dirty() {
+    std::uint64_t d = dirty_bytes_;
+    dirty_bytes_ = 0;
+    return d;
+  }
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_ios() const { return total_ios_; }
+
+ private:
+  std::uint64_t bytes_per_second_;
+  Nanos busy_until_ = 0;
+  std::uint64_t dirty_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_ios_ = 0;
+};
+
+}  // namespace torpedo::sim

@@ -1,0 +1,72 @@
+// Per-core CPU time counters with the exact category set /proc/stat exposes.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "util/time.h"
+
+namespace torpedo::sim {
+
+enum class CpuCategory : int {
+  kUser = 0,
+  kNice,
+  kSystem,
+  kIdle,
+  kIoWait,
+  kIrq,
+  kSoftirq,
+  kSteal,
+  kGuest,
+  kGuestNice,
+};
+
+inline constexpr int kNumCpuCategories = 10;
+
+constexpr std::string_view cpu_category_name(CpuCategory c) {
+  switch (c) {
+    case CpuCategory::kUser: return "USER";
+    case CpuCategory::kNice: return "NICE";
+    case CpuCategory::kSystem: return "SYSTEM";
+    case CpuCategory::kIdle: return "IDLE";
+    case CpuCategory::kIoWait: return "IO WAIT";
+    case CpuCategory::kIrq: return "IRQ";
+    case CpuCategory::kSoftirq: return "SOFTIRQ";
+    case CpuCategory::kSteal: return "STEAL";
+    case CpuCategory::kGuest: return "GUEST";
+    case CpuCategory::kGuestNice: return "GUEST NICE";
+  }
+  return "?";
+}
+
+struct CoreTimes {
+  std::array<Nanos, kNumCpuCategories> ns{};
+
+  Nanos& operator[](CpuCategory c) { return ns[static_cast<int>(c)]; }
+  Nanos operator[](CpuCategory c) const { return ns[static_cast<int>(c)]; }
+
+  // Total accounted time across all categories (== wall time on the core).
+  Nanos total() const {
+    Nanos t = 0;
+    for (Nanos v : ns) t += v;
+    return t;
+  }
+
+  // Non-idle, non-iowait time — the paper's "BUSY" column.
+  Nanos busy() const {
+    return total() - (*this)[CpuCategory::kIdle] -
+           (*this)[CpuCategory::kIoWait];
+  }
+
+  CoreTimes operator-(const CoreTimes& rhs) const {
+    CoreTimes out;
+    for (int i = 0; i < kNumCpuCategories; ++i) out.ns[i] = ns[i] - rhs.ns[i];
+    return out;
+  }
+  CoreTimes& operator+=(const CoreTimes& rhs) {
+    for (int i = 0; i < kNumCpuCategories; ++i) ns[i] += rhs.ns[i];
+    return *this;
+  }
+};
+
+}  // namespace torpedo::sim

@@ -1,0 +1,394 @@
+#include "sim/host.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace torpedo::sim {
+
+namespace {
+constexpr Nanos kForever = std::numeric_limits<Nanos>::max();
+}
+
+Host::Host(HostConfig config)
+    : config_(config),
+      cgroups_(config.num_cores),
+      disk_(config.disk_bytes_per_second),
+      rng_(config.seed) {
+  TORPEDO_CHECK(config_.num_cores > 0 && config_.num_cores <= 64);
+  TORPEDO_CHECK(config_.quantum > 0);
+  cores_.resize(static_cast<std::size_t>(config_.num_cores));
+  for (int i = 0; i < config_.num_cores; ++i) cores_[static_cast<std::size_t>(i)].id = i;
+
+  for (int i = 0; i < config_.num_kworkers; ++i) {
+    Task& w = spawn({
+        .name = "kworker/u:" + std::to_string(i),
+        .kind = TaskKind::kKworker,
+        .group = nullptr,
+        .affinity = {},
+        .supplier =
+            [this](Host& host, Task& task) {
+              if (workqueue_.empty()) {
+                task.push(Segment::block_wake());
+                return true;
+              }
+              WorkItem item = workqueue_.pop();
+              if (item.system_time > 0)
+                task.push(Segment::system(item.system_time));
+              if (item.io_write_bytes > 0) {
+                const Nanos done =
+                    disk_.submit(host.now(), item.io_write_bytes);
+                task.push(Segment::block_until(done, /*io_wait=*/true));
+              }
+              if (item.on_complete) {
+                // Attach completion to the last queued segment.
+                Segment marker = Segment::system(0);
+                marker.on_complete = std::move(item.on_complete);
+                task.push(std::move(marker));
+              }
+              return true;
+            },
+    });
+    kworkers_.push_back(&w);
+  }
+}
+
+Task& Host::spawn(SpawnParams params) {
+  cgroup::Cgroup* group = params.group ? params.group : &cgroups_.root();
+  cgroup::CpuSet affinity = params.affinity.empty()
+                                ? group->effective_cpuset()
+                                : params.affinity;
+  affinity = affinity.intersect(cgroup::CpuSet::all(config_.num_cores));
+  TORPEDO_CHECK_MSG(!affinity.empty(), "task has no allowed cores");
+
+  auto task = std::make_unique<Task>(next_task_id_++, std::move(params.name),
+                                     params.kind, group, affinity, now_);
+  task->set_supplier(std::move(params.supplier));
+  Task* raw = task.get();
+  tasks_.push_back(std::move(task));
+  index_[raw->id()] = raw;
+
+  const int core = place_on_core(*raw);
+  raw->core_ = core;
+  cores_[static_cast<std::size_t>(core)].tasks.push_back(raw);
+  return *raw;
+}
+
+int Host::place_on_core(const Task& task) {
+  int best = -1;
+  std::vector<int> candidates;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (int c : task.affinity().cores()) {
+    if (c >= config_.num_cores) continue;
+    std::size_t load = 0;
+    for (const Task* t : cores_[static_cast<std::size_t>(c)].tasks)
+      if (t->state() == TaskState::kRunnable) ++load;
+    if (load < best_load) {
+      best_load = load;
+      candidates.clear();
+    }
+    if (load == best_load) candidates.push_back(c);
+  }
+  TORPEDO_CHECK(!candidates.empty());
+  best = candidates[place_counter_++ % candidates.size()];
+  return best;
+}
+
+void Host::wake(Task& task) {
+  if (task.state() != TaskState::kBlocked) return;
+  task.state_ = TaskState::kRunnable;
+  task.io_wait_ = false;
+  task.wake_on_time_ = false;
+  // The front segment is the one we were blocked on.
+  if (!task.segments_.empty() &&
+      (task.segments_.front().kind == SegmentKind::kBlockWake ||
+       task.segments_.front().kind == SegmentKind::kBlockUntil)) {
+    finish_segment(task);
+  }
+  // Migrate if the current core is no longer allowed.
+  if (!task.affinity().contains(task.core_)) {
+    auto& old_tasks = cores_[static_cast<std::size_t>(task.core_)].tasks;
+    old_tasks.erase(std::find(old_tasks.begin(), old_tasks.end(), &task));
+    const int core = place_on_core(task);
+    task.core_ = core;
+    cores_[static_cast<std::size_t>(core)].tasks.push_back(&task);
+  }
+  // Normalize vruntime so a long sleeper doesn't monopolize the core.
+  double min_vr = std::numeric_limits<double>::max();
+  for (const Task* t : cores_[static_cast<std::size_t>(task.core_)].tasks)
+    if (t != &task && t->state() == TaskState::kRunnable)
+      min_vr = std::min(min_vr, t->vruntime_);
+  if (min_vr != std::numeric_limits<double>::max())
+    task.vruntime_ = std::max(task.vruntime_, min_vr);
+}
+
+void Host::kill(Task& task) {
+  if (task.state() == TaskState::kDead) return;
+  task.state_ = TaskState::kDead;
+  task.end_time_ = now_;
+  task.segments_.clear();
+  task.supplier_ = nullptr;
+  auto& tasks = cores_[static_cast<std::size_t>(task.core_)].tasks;
+  auto it = std::find(tasks.begin(), tasks.end(), &task);
+  if (it != tasks.end()) tasks.erase(it);
+}
+
+Task* Host::find_task(TaskId id) {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+void Host::schedule_work(WorkItem item) {
+  workqueue_.push(std::move(item));
+  for (Task* w : kworkers_) {
+    if (w->state() == TaskState::kBlocked) {
+      wake(*w);
+      break;
+    }
+  }
+}
+
+void Host::raise_softirq(int core, Nanos ns) {
+  TORPEDO_CHECK(core >= 0 && core < config_.num_cores);
+  TORPEDO_CHECK(ns >= 0);
+  cores_[static_cast<std::size_t>(core)].pending_softirq += ns;
+}
+
+void Host::raise_irq(int core, Nanos ns) {
+  TORPEDO_CHECK(core >= 0 && core < config_.num_cores);
+  TORPEDO_CHECK(ns >= 0);
+  cores_[static_cast<std::size_t>(core)].pending_irq += ns;
+}
+
+void Host::run_until(Nanos t) {
+  TORPEDO_CHECK(t >= now_);
+  const Nanos final_time = t;
+  while (now_ < final_time) {
+    const Nanos start = now_;
+    const Nanos end = std::min(final_time, start + config_.quantum);
+    for (Core& core : cores_) simulate_core(core, start, end);
+    now_ = end;
+  }
+}
+
+void Host::account(Core& core, CpuCategory cat, Nanos ns) {
+  core.times[cat] += ns;
+}
+
+void Host::finish_segment(Task& task) {
+  TORPEDO_CHECK(!task.segments_.empty());
+  // Move the callback out before popping: on_complete may push new segments.
+  std::function<void()> cb = std::move(task.segments_.front().on_complete);
+  task.segments_.pop_front();
+  if (cb) cb();
+}
+
+bool Host::ensure_segment(Task& task, Nanos t) {
+  int guard = 0;
+  while (task.segments_.empty()) {
+    if (!task.supplier_) {
+      now_ = t;
+      kill(task);
+      return false;
+    }
+    now_ = t;
+    const bool keep_running = task.supplier_(*this, task);
+    if (!keep_running) {
+      kill(task);
+      return false;
+    }
+    TORPEDO_CHECK_MSG(++guard < 64,
+                      "supplier returned true without pushing segments");
+  }
+  return true;
+}
+
+Task* Host::pick_runnable(Core& core, Nanos t) {
+  Task* best = nullptr;
+  for (Task* task : core.tasks) {
+    if (task->state() != TaskState::kRunnable) continue;
+    if (task->throttle_until_ > t) continue;
+    if (!best || task->vruntime_ < best->vruntime_) best = task;
+  }
+  return best;
+}
+
+Nanos Host::next_wake_time(const Core& core, Nanos t, Nanos end) const {
+  Nanos next = end;
+  for (const Task* task : core.tasks) {
+    if (task->state() == TaskState::kBlocked && task->wake_on_time_ &&
+        task->wake_time_ > t) {
+      next = std::min(next, task->wake_time_);
+    }
+    if (task->state() == TaskState::kRunnable && task->throttle_until_ > t)
+      next = std::min(next, task->throttle_until_);
+  }
+  return std::max(next, t);
+}
+
+void Host::process_wakeups(Core& core, Nanos t) {
+  // Index-based: waking a task may fire callbacks that spawn tasks here.
+  for (std::size_t i = 0; i < core.tasks.size(); ++i) {
+    Task* task = core.tasks[i];
+    if (task->state() == TaskState::kBlocked && task->wake_on_time_ &&
+        task->wake_time_ <= t) {
+      now_ = t;
+      wake(*task);
+    }
+  }
+}
+
+Nanos Host::run_task_slice(Core& core, Task& task, Nanos t, Nanos budget) {
+  if (!ensure_segment(task, t)) return 0;
+  Segment& seg = task.segments_.front();
+
+  switch (seg.kind) {
+    case SegmentKind::kBlockUntil:
+      if (seg.until <= t) {
+        now_ = t;
+        finish_segment(task);
+        return 0;
+      }
+      task.state_ = TaskState::kBlocked;
+      task.wake_on_time_ = true;
+      task.wake_time_ = seg.until;
+      task.io_wait_ = seg.io_wait;
+      return 0;
+    case SegmentKind::kBlockWake:
+      task.state_ = TaskState::kBlocked;
+      task.wake_on_time_ = false;
+      task.io_wait_ = false;
+      return 0;
+    case SegmentKind::kRunUser:
+    case SegmentKind::kRunSystem:
+      break;
+  }
+
+  if (seg.remaining == 0) {
+    now_ = t;
+    finish_segment(task);
+    return 0;
+  }
+
+  cgroup::Cgroup* charge = seg.charge ? seg.charge : task.group();
+  const Nanos want = std::min(budget, seg.remaining);
+  const Nanos allowed = charge->cpu_runtime_available(t, want);
+  if (allowed == 0) {
+    task.throttle_until_ = charge->next_refill(t);
+    TORPEDO_CHECK_MSG(task.throttle_until_ > t, "throttle must make progress");
+    return 0;
+  }
+
+  const bool user = seg.kind == SegmentKind::kRunUser;
+  account(core, user ? CpuCategory::kUser : CpuCategory::kSystem, allowed);
+  if (user)
+    task.utime_ += allowed;
+  else
+    task.stime_ += allowed;
+  charge->consume_cpu(t, allowed);
+  task.vruntime_ += static_cast<double>(allowed) / task.weight();
+
+  seg.remaining -= allowed;
+  if (seg.remaining == 0) {
+    now_ = t + allowed;
+    finish_segment(task);
+  }
+  return allowed;
+}
+
+void Host::simulate_core(Core& core, Nanos start, Nanos end) {
+  Nanos t = start;
+  int zero_progress = 0;
+  while (t < end) {
+    now_ = t;
+    process_wakeups(core, t);
+
+    // Hard IRQs preempt everything and are not charged to any cgroup.
+    if (core.pending_irq > 0) {
+      const Nanos amt = std::min(core.pending_irq, end - t);
+      account(core, CpuCategory::kIrq, amt);
+      core.pending_irq -= amt;
+      t += amt;
+      continue;
+    }
+    // Softirqs run in the context of whatever is on the core; the time is
+    // visible in the core's SOFTIRQ column and charged to the root cgroup,
+    // never to the originating container.
+    if (core.pending_softirq > 0) {
+      const Nanos amt = std::min(core.pending_softirq, end - t);
+      account(core, CpuCategory::kSoftirq, amt);
+      cgroups_.root().charge_cpu(amt);
+      core.pending_softirq -= amt;
+      t += amt;
+      continue;
+    }
+
+    Task* task = pick_runnable(core, t);
+    if (!task) {
+      const Nanos next = next_wake_time(core, t, end);
+      const Nanos idle_end = std::max(next, t + 1) > end ? end : std::max(next, t + 1);
+      bool io = false;
+      for (const Task* blocked : core.tasks) {
+        if (blocked->state() == TaskState::kBlocked && blocked->io_wait_) {
+          io = true;
+          break;
+        }
+      }
+      account(core, io ? CpuCategory::kIoWait : CpuCategory::kIdle,
+              idle_end - t);
+      t = idle_end;
+      continue;
+    }
+
+    const Nanos consumed = run_task_slice(core, *task, t, end - t);
+    t += consumed;
+    if (consumed == 0) {
+      TORPEDO_CHECK_MSG(++zero_progress < 200000,
+                        "scheduler made no progress");
+    } else {
+      zero_progress = 0;
+    }
+  }
+}
+
+const CoreTimes& Host::core_times(int core) const {
+  TORPEDO_CHECK(core >= 0 && core < config_.num_cores);
+  return cores_[static_cast<std::size_t>(core)].times;
+}
+
+CoreTimes Host::aggregate_times() const {
+  CoreTimes total;
+  for (const Core& core : cores_) total += core.times;
+  return total;
+}
+
+std::vector<TaskSample> Host::sample_tasks() const {
+  std::vector<TaskSample> out;
+  out.reserve(tasks_.size());
+  for (const auto& task : tasks_) {
+    TaskSample s;
+    s.id = task->id();
+    s.name = task->name();
+    s.kind = task->kind();
+    s.cgroup_path = task->group() ? task->group()->path() : "/";
+    s.cpu_time = task->cpu_time();
+    s.start_time = task->start_time();
+    s.end_time = task->end_time();
+    s.alive = task->alive();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Host::reap_dead_tasks_before(Nanos before) {
+  auto dead = [&](const std::unique_ptr<Task>& t) {
+    return t->state() == TaskState::kDead && t->end_time() < before;
+  };
+  for (const auto& t : tasks_)
+    if (dead(t)) index_.erase(t->id());
+  tasks_.erase(std::remove_if(tasks_.begin(), tasks_.end(), dead),
+               tasks_.end());
+}
+
+}  // namespace torpedo::sim

@@ -1,0 +1,153 @@
+// The simulated host: cores, scheduler, kernel threads, and time.
+//
+// Host advances virtual time in fixed scheduling quanta. Within each quantum
+// every core independently runs its highest-priority runnable task (CFS-style
+// minimum-vruntime pick, weighted by cgroup cpu.shares) subject to cgroup CFS
+// bandwidth throttling and cpuset affinity. Pending softirq work is drained
+// at quantum boundaries in the context of the core (charged to the root
+// cgroup — the paper's interrupt-accounting gap).
+//
+// Every nanosecond of simulated core time lands in exactly one CpuCategory of
+// exactly one core, so `sum(categories) == wall time` is an invariant the
+// test suite checks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cgroup/cgroup.h"
+#include "sim/block_device.h"
+#include "sim/core_times.h"
+#include "sim/task.h"
+#include "sim/workqueue.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace torpedo::sim {
+
+struct HostConfig {
+  int num_cores = 12;
+  Nanos quantum = kMillisecond;
+  int num_kworkers = 8;
+  std::uint64_t disk_bytes_per_second = 200ull << 20;
+  std::uint64_t seed = 0x70717065646FULL;  // "torpedo"
+};
+
+// Snapshot of one task for the top(1)-style sampler.
+struct TaskSample {
+  TaskId id = 0;
+  std::string name;
+  TaskKind kind = TaskKind::kUser;
+  std::string cgroup_path;
+  Nanos cpu_time = 0;
+  Nanos start_time = 0;
+  Nanos end_time = -1;  // -1: still alive
+  bool alive = false;
+};
+
+class Host {
+ public:
+  explicit Host(HostConfig config = {});
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  Nanos now() const { return now_; }
+  int num_cores() const { return config_.num_cores; }
+  const HostConfig& config() const { return config_; }
+
+  cgroup::Hierarchy& cgroups() { return cgroups_; }
+  BlockDevice& disk() { return disk_; }
+  Rng& rng() { return rng_; }
+
+  // --- task management -----------------------------------------------------
+
+  struct SpawnParams {
+    std::string name;
+    TaskKind kind = TaskKind::kUser;
+    cgroup::Cgroup* group = nullptr;  // nullptr == root
+    cgroup::CpuSet affinity;          // empty == cgroup's effective cpuset
+    Supplier supplier;                // may be null (pure segment queue)
+  };
+
+  Task& spawn(SpawnParams params);
+
+  // Wake a task blocked on kBlockWake (completing that segment) or blocked on
+  // time (waking it early). No-op if runnable or dead.
+  void wake(Task& task);
+
+  // Terminate a task immediately (e.g. killed by a fatal signal).
+  void kill(Task& task);
+
+  Task* find_task(TaskId id);
+
+  // --- kernel facilities ---------------------------------------------------
+
+  // Defer work to a kworker (root cgroup). The vulnerability surface.
+  void schedule_work(WorkItem item);
+
+  // Raise `ns` of softirq work on a core; drained at quantum boundaries in
+  // core context, charged to the root cgroup.
+  void raise_softirq(int core, Nanos ns);
+  // Hard IRQ time (outside any process context).
+  void raise_irq(int core, Nanos ns);
+
+  // --- simulation ----------------------------------------------------------
+
+  void run_until(Nanos t);
+  void run_for(Nanos d) { run_until(now_ + d); }
+
+  // --- measurement surface -------------------------------------------------
+
+  const CoreTimes& core_times(int core) const;
+  CoreTimes aggregate_times() const;
+  std::vector<TaskSample> sample_tasks() const;
+
+  std::uint64_t tasks_spawned() const { return next_task_id_ - 1; }
+
+  // Drop bookkeeping for dead tasks that ended before `before` (keeps long
+  // campaigns lean; the top sampler only needs the current window).
+  void reap_dead_tasks_before(Nanos before);
+
+ private:
+  struct Core {
+    int id = 0;
+    CoreTimes times;
+    std::vector<Task*> tasks;  // all non-dead tasks assigned here
+    Nanos pending_softirq = 0;
+    Nanos pending_irq = 0;
+  };
+
+  void simulate_core(Core& core, Nanos start, Nanos end);
+  // Runs `task` at time t for at most `budget`; returns time consumed.
+  Nanos run_task_slice(Core& core, Task& task, Nanos t, Nanos budget);
+  // Ensures the task has a current segment; may invoke the supplier or kill
+  // the task. Returns false if the task can't run (blocked/dead/empty).
+  bool ensure_segment(Task& task, Nanos t);
+  Task* pick_runnable(Core& core, Nanos t);
+  // Earliest time in (t, end] a blocked task on this core wakes; or `end`.
+  Nanos next_wake_time(const Core& core, Nanos t, Nanos end) const;
+  void process_wakeups(Core& core, Nanos t);
+  int place_on_core(const Task& task);
+  void account(Core& core, CpuCategory cat, Nanos ns);
+  void finish_segment(Task& task);
+
+  HostConfig config_;
+  Nanos now_ = 0;
+  cgroup::Hierarchy cgroups_;
+  BlockDevice disk_;
+  Rng rng_;
+
+  std::vector<Core> cores_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::unordered_map<TaskId, Task*> index_;
+  TaskId next_task_id_ = 1;
+  std::size_t place_counter_ = 0;
+
+  WorkQueue workqueue_;
+  std::vector<Task*> kworkers_;
+};
+
+}  // namespace torpedo::sim

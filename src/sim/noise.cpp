@@ -1,0 +1,50 @@
+#include "sim/noise.h"
+
+#include <memory>
+
+#include "util/check.h"
+
+namespace torpedo::sim {
+
+int install_noise(Host& host, const NoiseConfig& config) {
+  TORPEDO_CHECK(config.mean_utilization >= 0 && config.mean_utilization < 0.5);
+  TORPEDO_CHECK(config.burst_min > 0 && config.burst_max >= config.burst_min);
+
+  for (int core = 0; core < host.num_cores(); ++core) {
+    // Each daemon owns its own RNG stream so adding cores doesn't perturb
+    // the noise pattern on existing ones.
+    auto rng = std::make_shared<Rng>(config.seed * 1000003ULL +
+                                     static_cast<std::uint64_t>(core));
+    const NoiseConfig cfg = config;
+    host.spawn({
+        .name = "noise/" + std::to_string(core),
+        .kind = TaskKind::kDaemon,
+        .group = nullptr,
+        .affinity = cgroup::CpuSet::single(core),
+        .supplier =
+            [rng, cfg](Host& h, Task& task) {
+              Nanos burst = rng->range(cfg.burst_min, cfg.burst_max);
+              if (rng->uniform() < cfg.spike_chance) burst *= 10;
+              if (cfg.mean_utilization <= 0) {
+                task.push(Segment::block_until(h.now() + kSecond));
+                return true;
+              }
+              // Duty cycle: burst / (burst + gap) == mean_utilization.
+              const double gap_factor =
+                  (1.0 - cfg.mean_utilization) / cfg.mean_utilization;
+              const Nanos gap =
+                  static_cast<Nanos>(static_cast<double>(burst) * gap_factor);
+              // Split the burst ~60/40 between user and system time, the mix
+              // system daemons typically show.
+              const Nanos user = burst * 3 / 5;
+              task.push(Segment::user(user));
+              task.push(Segment::system(burst - user));
+              task.push(Segment::block_until(h.now() + burst + gap));
+              return true;
+            },
+    });
+  }
+  return host.num_cores();
+}
+
+}  // namespace torpedo::sim

@@ -1,0 +1,33 @@
+// Background host noise.
+//
+// The paper notes that short observation rounds are easily disrupted by
+// "noise spikes" from the host (cron jobs, sudden arrival of network packets,
+// system logging events) and that idle cores still show a few percent of
+// utilization. NoiseModel spawns per-core background daemons that generate
+// small, deterministic pseudo-random bursts so baselines look like Table A.1
+// and the round-duration ablation can study noise sensitivity.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/host.h"
+
+namespace torpedo::sim {
+
+struct NoiseConfig {
+  // Mean fraction of each core consumed by background noise (~0.04 matches
+  // the paper's idle-core baseline of ~4-6%).
+  double mean_utilization = 0.045;
+  // Burstiness: each burst lasts [min,max] microseconds of mixed user/system.
+  Nanos burst_min = 50 * kMicrosecond;
+  Nanos burst_max = 400 * kMicrosecond;
+  // Occasional spike: probability per wakeup of a 10x burst (cron job, log
+  // rotation). Drives false positives at short round durations.
+  double spike_chance = 0.01;
+  std::uint64_t seed = 0xBADC0FFEEULL;
+};
+
+// Installs one background daemon per core. Returns the number spawned.
+int install_noise(Host& host, const NoiseConfig& config = {});
+
+}  // namespace torpedo::sim

@@ -1,0 +1,69 @@
+// Work segments: the unit of simulated execution.
+//
+// A task's behaviour is a queue of segments. The kernel layer translates each
+// system call into segments (user time, system time, blocking waits) plus an
+// optional completion callback that applies side effects (deferring work to a
+// kworker, delivering a signal, waking another task) at the simulated instant
+// the call finishes.
+#pragma once
+
+#include <functional>
+
+#include "cgroup/cgroup.h"
+#include "util/time.h"
+
+namespace torpedo::sim {
+
+enum class SegmentKind {
+  kRunUser,     // on-CPU, userspace; charged to `charge` (or task cgroup)
+  kRunSystem,   // on-CPU, kernel space; same charging rules
+  kBlockUntil,  // off-CPU until an absolute time; io_wait selects the counter
+  kBlockWake,   // off-CPU until another task calls Host::wake()
+};
+
+struct Segment {
+  SegmentKind kind = SegmentKind::kRunUser;
+  Nanos remaining = 0;    // kRunUser / kRunSystem
+  Nanos until = 0;        // kBlockUntil
+  bool io_wait = false;   // kBlockUntil: account idle time as iowait
+  // Charge target for on-CPU segments; nullptr means the task's own cgroup.
+  // Kernel-deferred work passes the root cgroup here — that is the
+  // accounting gap Torpedo hunts for.
+  cgroup::Cgroup* charge = nullptr;
+  // Fired when the segment completes (time fully consumed or wake received).
+  std::function<void()> on_complete;
+
+  static Segment user(Nanos ns, cgroup::Cgroup* charge_to = nullptr) {
+    Segment s;
+    s.kind = SegmentKind::kRunUser;
+    s.remaining = ns;
+    s.charge = charge_to;
+    return s;
+  }
+  static Segment system(Nanos ns, cgroup::Cgroup* charge_to = nullptr) {
+    Segment s;
+    s.kind = SegmentKind::kRunSystem;
+    s.remaining = ns;
+    s.charge = charge_to;
+    return s;
+  }
+  static Segment block_until(Nanos t, bool io_wait = false) {
+    Segment s;
+    s.kind = SegmentKind::kBlockUntil;
+    s.until = t;
+    s.io_wait = io_wait;
+    return s;
+  }
+  static Segment block_wake() {
+    Segment s;
+    s.kind = SegmentKind::kBlockWake;
+    return s;
+  }
+
+  Segment&& then(std::function<void()> fn) && {
+    on_complete = std::move(fn);
+    return std::move(*this);
+  }
+};
+
+}  // namespace torpedo::sim

@@ -1,0 +1,40 @@
+// Kernel work queues and the deferred-work accounting gap.
+//
+// schedule_work() enqueues an item that a kworker (root cgroup) will execute.
+// The CPU time is charged to the *root* cgroup — never to the container that
+// caused the work — reproducing the "work deferral" class of cgroup escapes
+// from Gao et al. that Torpedo detects.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "cgroup/cgroup.h"
+#include "util/time.h"
+
+namespace torpedo::sim {
+
+struct WorkItem {
+  std::string name;
+  Nanos system_time = 0;          // CPU time the kworker burns
+  std::uint64_t io_write_bytes = 0;  // device occupancy (writeback)
+  std::function<void()> on_complete;
+};
+
+class WorkQueue {
+ public:
+  void push(WorkItem item) { items_.push_back(std::move(item)); }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  WorkItem pop() {
+    WorkItem item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+ private:
+  std::deque<WorkItem> items_;
+};
+
+}  // namespace torpedo::sim

@@ -1,0 +1,44 @@
+// Lightweight precondition / invariant checking.
+//
+// TORPEDO_CHECK is used for conditions that indicate a programming error in
+// the framework itself (never for syscall-level errors, which are modeled as
+// errno values). Violations throw, so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace torpedo {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::string out = "check failed: ";
+  out += expr;
+  out += " at ";
+  out += file;
+  out += ":";
+  out += std::to_string(line);
+  if (!msg.empty()) {
+    out += " (";
+    out += msg;
+    out += ")";
+  }
+  throw CheckFailure(out);
+}
+
+}  // namespace torpedo
+
+#define TORPEDO_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) ::torpedo::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TORPEDO_CHECK_MSG(expr, msg)                                       \
+  do {                                                                     \
+    if (!(expr)) ::torpedo::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

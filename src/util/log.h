@@ -1,0 +1,25 @@
+// Minimal leveled logger. The fuzzing core and observer log round summaries
+// through this; benches and tests lower the level to keep output clean.
+#pragma once
+
+#include <string>
+
+#include "util/strings.h"
+
+namespace torpedo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+#define TORPEDO_LOG(level, ...)                                      \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::torpedo::log_level()))                    \
+      ::torpedo::log_message(level, ::torpedo::format(__VA_ARGS__)); \
+  } while (0)
+
+}  // namespace torpedo

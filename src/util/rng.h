@@ -1,0 +1,71 @@
+// Deterministic random number generation.
+//
+// Every stochastic decision in the framework flows through an Rng instance
+// seeded from the campaign configuration, so a campaign is exactly
+// reproducible from its seed. Implementation: xoshiro256++, seeded via
+// SplitMix64 (the reference seeding procedure).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace torpedo {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x7095ED0C0FFEEULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  // True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Pick a uniformly random element.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    TORPEDO_CHECK(!items.empty());
+    return items[below(items.size())];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  // Pick an index with probability proportional to weights[i].
+  std::size_t weighted(std::span<const double> weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Fork a child generator whose stream is independent of further draws on
+  // this one (used to give each executor its own stream).
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace torpedo

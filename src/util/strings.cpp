@@ -1,0 +1,108 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace torpedo {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  if (starts_with(s, "0x") || starts_with(s, "0X")) {
+    s.remove_prefix(2);
+    if (s.empty() || s.size() > 16) return std::nullopt;
+    for (char c : s) {
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else return std::nullopt;
+      value = (value << 4) | static_cast<std::uint64_t>(digit);
+    }
+    return value;
+  }
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    std::uint64_t next = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (next < value) return std::nullopt;  // overflow
+    value = next;
+  }
+  return value;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && (s.front() == '-' || s.front() == '+')) {
+    neg = s.front() == '-';
+    s.remove_prefix(1);
+  }
+  auto mag = parse_u64(s);
+  if (!mag) return std::nullopt;
+  if (neg) {
+    if (*mag > 0x8000000000000000ULL) return std::nullopt;
+    return -static_cast<std::int64_t>(*mag);
+  }
+  if (*mag > 0x7FFFFFFFFFFFFFFFULL) return std::nullopt;
+  return static_cast<std::int64_t>(*mag);
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace torpedo

@@ -1,0 +1,34 @@
+// Small string helpers shared by the serializer, procfs parser, and report
+// formatting. Kept deliberately minimal; anything std:: provides directly is
+// not duplicated here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace torpedo {
+
+// Split on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+// Split on runs of whitespace; empty fields are dropped.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+// Parses decimal or 0x-prefixed hex. Returns nullopt on any trailing junk.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+std::optional<std::int64_t> parse_i64(std::string_view s);
+
+// Formats as 0x%x, the style used by the syzkaller text format.
+std::string hex(std::uint64_t v);
+
+// printf-style convenience.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace torpedo

@@ -1,0 +1,45 @@
+#include "util/table.h"
+
+#include "util/check.h"
+
+namespace torpedo {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  TORPEDO_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  TORPEDO_CHECK_MSG(cells.size() == header_.size(),
+                    "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size())
+        out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit(header_, out);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit(row, out);
+  return out;
+}
+
+}  // namespace torpedo

@@ -1,0 +1,27 @@
+// Plain-text table formatter used by the bench harnesses to print the paper's
+// tables (4.1-4.3, A.1-A.4) in the same row/column layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace torpedo {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with space-padded, left-aligned columns.
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace torpedo

@@ -1,0 +1,29 @@
+// Virtual time units used throughout the simulator.
+//
+// All simulated time is expressed in nanoseconds since host boot. The
+// /proc/stat surface converts to jiffies (USER_HZ = 100) when rendered, just
+// like the real kernel, which is why the paper's appendix tables count in
+// ~500-per-5s units.
+#pragma once
+
+#include <cstdint>
+
+namespace torpedo {
+
+using Nanos = std::int64_t;
+
+inline constexpr Nanos kMicrosecond = 1'000;
+inline constexpr Nanos kMillisecond = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+
+// USER_HZ: granularity of /proc/stat counters.
+inline constexpr Nanos kJiffy = kSecond / 100;
+
+constexpr std::int64_t nanos_to_jiffies(Nanos ns) { return ns / kJiffy; }
+constexpr Nanos jiffies_to_nanos(std::int64_t j) { return j * kJiffy; }
+
+constexpr Nanos seconds(double s) {
+  return static_cast<Nanos>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace torpedo

@@ -1,0 +1,394 @@
+// Tests for the Torpedo core: seed corpus, the batch state machine, the
+// Algorithm-3 minimizer, the cause classifier, and campaign plumbing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "core/campaign.h"
+#include "core/classify.h"
+#include "core/fuzzer.h"
+#include "core/minimize.h"
+#include "core/seeds.h"
+#include "core/workdir.h"
+#include "kernel/signals.h"
+
+namespace torpedo::core {
+namespace {
+
+// A fast campaign configuration for unit tests: short rounds, quick
+// cycle-out.
+CampaignConfig fast_config(runtime::RuntimeKind rt = runtime::RuntimeKind::kRunc) {
+  CampaignConfig cfg;
+  cfg.runtime = rt;
+  cfg.round_duration = kSecond;
+  cfg.fuzzer.cycle_out_rounds = 3;
+  cfg.num_seeds = 6;
+  cfg.batches = 2;
+  return cfg;
+}
+
+// --- seeds -----------------------------------------------------------------------
+
+class NamedSeedTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NamedSeedTest, IsValidAndNonEmpty) {
+  auto seed = named_seed(GetParam());
+  ASSERT_TRUE(seed.has_value());
+  EXPECT_FALSE(seed->empty());
+  EXPECT_TRUE(seed->valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, NamedSeedTest,
+                         ::testing::ValuesIn(named_seed_names()));
+
+TEST(Seeds, UnknownNameIsNullopt) {
+  EXPECT_FALSE(named_seed("no-such-seed").has_value());
+}
+
+TEST(Seeds, MoonshineCorpusSizeAndDeterminism) {
+  const auto a = moonshine_seeds(200);
+  EXPECT_EQ(a.size(), 200u);
+  const auto b = moonshine_seeds(200);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].hash(), b[i].hash()) << i;
+  for (const prog::Program& p : a) EXPECT_TRUE(p.valid());
+}
+
+TEST(Seeds, KnownVulnSeedsComeFirst) {
+  const auto seeds = moonshine_seeds(10);
+  // The first entries are the hand-distilled recreations (§4.1), in the
+  // named order, with the gVisor crash seed excluded.
+  EXPECT_EQ(seeds[0].hash(), named_seed("appendix-a1-prog0")->hash());
+  EXPECT_EQ(seeds[3].hash(), named_seed("sync")->hash());
+  for (const prog::Program& p : seeds)
+    EXPECT_NE(p.hash(), named_seed("gvisor-open-crash")->hash());
+}
+
+TEST(Seeds, GeneratedTailIsInterfaceCoherent) {
+  const auto seeds = moonshine_seeds(60);
+  // Generated seeds (past the named ones) must serialize/parse cleanly.
+  for (std::size_t i = 20; i < seeds.size(); ++i) {
+    auto parsed = prog::Program::parse(seeds[i].serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, seeds[i]);
+  }
+}
+
+// --- fuzzer ------------------------------------------------------------------------
+
+TEST(Fuzzer, AddSeedFiltersDenylist) {
+  Campaign campaign(fast_config());
+  auto p = prog::Program::parse("pause()\n");
+  ASSERT_TRUE(p.has_value());
+  // 'pause' isn't denylisted yet, so the seed goes in whole.
+  campaign.fuzzer().add_seed(*p);
+  EXPECT_EQ(campaign.fuzzer().pending(), 1u);
+}
+
+TEST(Fuzzer, RunBatchProducesRoundsAndCorpus) {
+  Campaign campaign(fast_config());
+  campaign.load_seeds({*named_seed("appendix-a1-prog0"),
+                       *named_seed("appendix-a1-prog1"),
+                       *named_seed("appendix-a1-prog2")});
+  const BatchResult result = campaign.run_one_batch();
+  EXPECT_GT(result.rounds, 3);  // candidate + triage + baseline + mutate...
+  EXPECT_GT(result.baseline_score, 0);
+  EXPECT_GE(result.best_score, result.baseline_score);
+  EXPECT_EQ(result.final_programs.size(), 3u);
+  EXPECT_EQ(campaign.corpus().size(), 3u);
+  EXPECT_EQ(campaign.observer().log().size(),
+            static_cast<std::size_t>(result.rounds));
+}
+
+TEST(Fuzzer, CycleOutBoundsRounds) {
+  CampaignConfig cfg = fast_config();
+  cfg.fuzzer.cycle_out_rounds = 2;
+  Campaign campaign(cfg);
+  campaign.load_seeds({*named_seed("kcmp-pair"), *named_seed("kcmp-pair"),
+                       *named_seed("kcmp-pair")});
+  const BatchResult result = campaign.run_one_batch();
+  // candidate + triage + baseline + (mutate [+ confirm]) per attempt; with
+  // cycle_out=2 and few improvements, this stays small.
+  EXPECT_LE(result.rounds, 3 + 2 * (2 + 2 * result.improvements + 4));
+}
+
+TEST(Fuzzer, GeneratesWhenQueueEmpty) {
+  Campaign campaign(fast_config());
+  EXPECT_EQ(campaign.fuzzer().pending(), 0u);
+  const BatchResult result = campaign.run_one_batch();  // generated programs
+  EXPECT_EQ(result.final_programs.size(), 3u);
+}
+
+TEST(Fuzzer, AutoDenylistsBlockingCalls) {
+  Campaign campaign(fast_config());
+  auto pause_prog = prog::Program::parse("pause()\n");
+  campaign.load_seeds({*pause_prog, *named_seed("kcmp-pair"),
+                       *named_seed("appendix-a1-prog2")});
+  campaign.run_one_batch();
+  const auto& denylist = campaign.fuzzer().denylist();
+  EXPECT_NE(std::find(denylist.begin(), denylist.end(), "pause"),
+            denylist.end());
+}
+
+// --- minimizer ---------------------------------------------------------------------
+
+TEST(Minimize, SameViolationsComparesHeuristicSets) {
+  using oracle::Violation;
+  const std::vector<Violation> a = {{"h1", "cpu0", 1, 2}, {"h2", "cpu1", 3, 4}};
+  const std::vector<Violation> b = {{"h2", "cpu5", 9, 9}, {"h1", "cpu7", 0, 0}};
+  const std::vector<Violation> c = {{"h1", "cpu0", 1, 2}};
+  EXPECT_TRUE(same_violations(a, b));  // subjects may move between cores
+  EXPECT_FALSE(same_violations(a, c));
+  EXPECT_TRUE(same_violations({}, {}));
+}
+
+TEST(Minimize, StripsJunkAroundSync) {
+  Campaign campaign(fast_config());
+  SingleRunner runner(campaign.observer(), campaign.io_oracle());
+  // sync padded with unrelated calls.
+  auto padded = prog::Program::parse(
+      "getpid()\n"
+      "mmap(0x7f0000000000, 0x1000, 0x3, 0x32, 0xffffffffffffffff, 0x0)\n"
+      "sync()\n"
+      "uname('')\n");
+  ASSERT_TRUE(padded.has_value());
+  const prog::Program minimized = minimize(*padded, runner);
+  ASSERT_EQ(minimized.size(), 1u);
+  EXPECT_EQ(minimized.calls()[0].desc->name, "sync");
+}
+
+TEST(Minimize, PreservesResourceChains) {
+  Campaign campaign(fast_config());
+  SingleRunner runner(campaign.observer(), campaign.cpu_oracle());
+  // fallocate needs its creat to produce the fd; minimization must keep it.
+  const prog::Program minimized =
+      minimize(*named_seed("fallocate-sigxfsz"), runner);
+  ASSERT_EQ(minimized.size(), 2u);
+  EXPECT_EQ(minimized.calls()[0].desc->name, "creat");
+  EXPECT_EQ(minimized.calls()[1].desc->name, "fallocate");
+}
+
+TEST(Minimize, NoViolationsReturnsOriginal) {
+  Campaign campaign(fast_config());
+  SingleRunner runner(campaign.observer(), campaign.cpu_oracle());
+  const prog::Program original = *named_seed("kcmp-pair");
+  const prog::Program minimized = minimize(original, runner);
+  EXPECT_EQ(minimized, original);
+}
+
+// --- classifier --------------------------------------------------------------------
+
+TEST(Classifier, ClassifiesByDominantTracePattern) {
+  kernel::KernelConfig kcfg;
+  kernel::SimKernel kernel(kcfg);
+  CauseClassifier classifier(kernel);
+  exec::RunStats stats;
+
+  auto fill = [&](kernel::TraceKind kind, int n) {
+    kernel.trace().clear();
+    for (int i = 0; i < n; ++i)
+      kernel.trace().record({.time = 100 + i, .kind = kind, .pid = 1});
+  };
+
+  fill(kernel::TraceKind::kModprobe, 50);
+  EXPECT_EQ(classifier.classify(0, 1000, stats), "repeated kernel modprobe");
+
+  fill(kernel::TraceKind::kCoredump, 50);
+  stats.last_fatal_signal = kernel::SIGXFSZ_;
+  EXPECT_EQ(classifier.classify(0, 1000, stats), "coredump via SIGXFSZ");
+  stats.last_fatal_signal = kernel::SIGSEGV_;
+  EXPECT_EQ(classifier.classify(0, 1000, stats), "coredump via SIGSEGV");
+
+  fill(kernel::TraceKind::kIoFlush, 50);
+  EXPECT_EQ(classifier.classify(0, 1000, stats),
+            "triggering IO buffer flushes");
+
+  fill(kernel::TraceKind::kAudit, 500);
+  EXPECT_EQ(classifier.classify(0, 1000, stats),
+            "audit daemon workload (kauditd/journald)");
+
+  kernel.trace().clear();
+  EXPECT_EQ(classifier.classify(0, 1000, stats),
+            "unclassified kernel interaction");
+}
+
+TEST(Classifier, WindowRespected) {
+  kernel::KernelConfig kcfg;
+  kernel::SimKernel kernel(kcfg);
+  CauseClassifier classifier(kernel);
+  for (int i = 0; i < 50; ++i)
+    kernel.trace().record(
+        {.time = 5000 + i, .kind = kernel::TraceKind::kModprobe, .pid = 1});
+  exec::RunStats stats;
+  EXPECT_EQ(classifier.classify(0, 1000, stats),
+            "unclassified kernel interaction");
+  EXPECT_EQ(classifier.classify(5000, 6000, stats),
+            "repeated kernel modprobe");
+}
+
+TEST(Classifier, NewCausePolicy) {
+  EXPECT_TRUE(CauseClassifier::is_new_cause("repeated kernel modprobe"));
+  EXPECT_FALSE(CauseClassifier::is_new_cause("coredump via SIGXFSZ"));
+  EXPECT_FALSE(CauseClassifier::is_new_cause("triggering IO buffer flushes"));
+}
+
+TEST(Classifier, SummarizeSymptomsDedups) {
+  using oracle::Violation;
+  const std::vector<Violation> v = {{"a", "x", 0, 0},
+                                    {"b", "y", 0, 0},
+                                    {"a", "z", 0, 0}};
+  EXPECT_EQ(summarize_symptoms(v), "a; b");
+}
+
+TEST(Finding, SyscallListJoins) {
+  Finding f;
+  f.syscalls = {"sync", "fsync"};
+  EXPECT_EQ(f.syscall_list(), "sync, fsync");
+}
+
+// --- workdir persistence --------------------------------------------------------------
+
+class WorkdirTest : public ::testing::Test {
+ protected:
+  WorkdirTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("torpedo-test-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  ~WorkdirTest() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(WorkdirTest, SeedFilesRoundTrip) {
+  const std::vector<prog::Program> seeds = {
+      *named_seed("sync"), *named_seed("audit-oob"),
+      *named_seed("appendix-a1-prog1")};
+  EXPECT_EQ(write_seed_files(dir_, seeds), 3u);
+  std::vector<std::string> errors;
+  const auto loaded = load_seed_files(dir_, &errors);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_TRUE(errors.empty());
+  for (std::size_t i = 0; i < seeds.size(); ++i)
+    EXPECT_EQ(loaded[i], seeds[i]) << i;
+}
+
+TEST_F(WorkdirTest, LoadSkipsBrokenSeedFiles) {
+  write_seed_files(dir_, {*named_seed("sync")});
+  std::ofstream bad(dir_ / "seed-999.prog");
+  bad << "florble(0x1)\n";
+  bad.close();
+  std::vector<std::string> errors;
+  const auto loaded = load_seed_files(dir_, &errors);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(errors.size(), 1u);
+}
+
+TEST_F(WorkdirTest, MissingDirectoryIsEmpty) {
+  EXPECT_TRUE(load_seed_files(dir_ / "nope").empty());
+}
+
+TEST_F(WorkdirTest, CorpusRoundTrip) {
+  feedback::Corpus corpus;
+  feedback::SignalSet sig;
+  sig.add(1);
+  corpus.add(*named_seed("sync"), sig, 21.5);
+  corpus.add(*named_seed("audit-oob"), sig, 33.25);
+  const auto file = dir_ / "corpus.txt";
+  save_corpus(file, corpus);
+
+  feedback::Corpus restored;
+  EXPECT_EQ(load_corpus(file, restored), 2u);
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.entry(0).program, *named_seed("sync"));
+  EXPECT_DOUBLE_EQ(restored.entry(0).best_score, 21.5);
+  EXPECT_DOUBLE_EQ(restored.entry(1).best_score, 33.25);
+  // Loading again dedups by content.
+  EXPECT_EQ(load_corpus(file, restored), 0u);
+  EXPECT_EQ(restored.size(), 2u);
+}
+
+TEST_F(WorkdirTest, ReportIsWritten) {
+  CampaignReport report;
+  Finding f;
+  f.program = *named_seed("sync");
+  f.serialized = f.program.serialize();
+  f.syscalls = {"sync"};
+  f.cause = "triggering IO buffer flushes";
+  f.violations = {{"nonfuzz-core-iowait-high", "cpu6", 0.07, 0.02}};
+  report.findings.push_back(std::move(f));
+  const auto file = dir_ / "report.txt";
+  save_report(file, report);
+  std::ifstream in(file);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("triggering IO buffer flushes"),
+            std::string::npos);
+  EXPECT_NE(buffer.str().find("sync()"), std::string::npos);
+}
+
+// --- campaign ----------------------------------------------------------------------
+
+TEST(CampaignTest, ConfigDrivesExecutorLayout) {
+  CampaignConfig cfg = fast_config();
+  cfg.num_executors = 2;
+  Campaign campaign(cfg);
+  EXPECT_EQ(campaign.observer().executor_count(), 2u);
+  EXPECT_EQ(campaign.executor(0).container().spec().cpuset_cpus, "0");
+  EXPECT_EQ(campaign.executor(1).container().spec().cpuset_cpus, "1");
+  EXPECT_DOUBLE_EQ(campaign.executor(0).container().spec().cpus, 1.0);
+}
+
+TEST(CampaignTest, RunCFindsSyncFinding) {
+  CampaignConfig cfg = fast_config();
+  cfg.batches = 1;
+  Campaign campaign(cfg);
+  campaign.load_seeds({*named_seed("sync"), *named_seed("kcmp-pair"),
+                       *named_seed("appendix-a1-prog2")});
+  campaign.run_one_batch();
+  const CampaignReport report = campaign.finalize();
+  ASSERT_FALSE(report.findings.empty());
+  bool found_sync = false;
+  for (const Finding& f : report.findings)
+    if (f.cause == "triggering IO buffer flushes") found_sync = true;
+  EXPECT_TRUE(found_sync);
+  EXPECT_GT(report.rounds, 0);
+  EXPECT_GT(report.executions, 0u);
+}
+
+TEST(CampaignTest, GvisorFindsOpenCrash) {
+  CampaignConfig cfg = fast_config(runtime::RuntimeKind::kGvisor);
+  cfg.batches = 1;
+  Campaign campaign(cfg);
+  campaign.load_seeds({*named_seed("gvisor-open-crash"),
+                       *named_seed("gvisor-prog1"),
+                       *named_seed("gvisor-prog2")});
+  campaign.run_one_batch();
+  const CampaignReport report = campaign.finalize();
+  ASSERT_FALSE(report.crashes.empty());
+  EXPECT_NE(report.crashes[0].message.find("sentry panic"),
+            std::string::npos);
+  EXPECT_TRUE(report.crashes[0].reproduced);
+}
+
+TEST(CampaignTest, FindingsDedupAcrossMutants) {
+  CampaignConfig cfg = fast_config();
+  cfg.batches = 1;
+  Campaign campaign(cfg);
+  // Two sync-containing seeds; the report should carry one sync row per
+  // distinct (syscalls, cause) pair, not one per mutant.
+  campaign.load_seeds({*named_seed("sync"), *named_seed("sync"),
+                       *named_seed("kcmp-pair")});
+  campaign.run_one_batch();
+  const CampaignReport report = campaign.finalize();
+  int sync_rows = 0;
+  for (const Finding& f : report.findings)
+    if (f.syscall_list() == "sync") ++sync_rows;
+  EXPECT_LE(sync_rows, 1);
+}
+
+}  // namespace
+}  // namespace torpedo::core

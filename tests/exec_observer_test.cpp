@@ -1,0 +1,307 @@
+// Tests for the feedback layer (signals/corpus), the in-container executor
+// (Algorithm 1), and the Observer (Algorithm 2 rounds).
+#include <gtest/gtest.h>
+
+#include "core/seeds.h"
+#include "kernel/signals.h"
+#include "exec/executor.h"
+#include "feedback/corpus.h"
+#include "feedback/signal.h"
+#include "observer/observer.h"
+#include "util/check.h"
+
+namespace torpedo {
+namespace {
+
+// --- fallback signal ---------------------------------------------------------------
+
+TEST(FallbackSignal, DistinctForDifferentInputs) {
+  std::set<std::uint64_t> seen;
+  const int errnos[] = {0, 2, 9, 22, 93, 94, 97};
+  for (int nr = 0; nr < 64; ++nr)
+    for (int err : errnos) seen.insert(feedback::fallback_signal(nr, err));
+  EXPECT_EQ(seen.size(), 64u * 7u);
+}
+
+TEST(FallbackSignal, Deterministic) {
+  EXPECT_EQ(feedback::fallback_signal(41, 97),
+            feedback::fallback_signal(41, 97));
+}
+
+TEST(SignalSet, AddMergeNovelty) {
+  feedback::SignalSet a, b;
+  EXPECT_TRUE(a.add(1));
+  EXPECT_FALSE(a.add(1));
+  b.add(1);
+  b.add(2);
+  EXPECT_EQ(a.novelty(b), 1u);
+  EXPECT_EQ(a.merge(b), 1u);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.novelty(b), 0u);
+}
+
+// --- corpus ------------------------------------------------------------------------
+
+TEST(Corpus, DedupsByContent) {
+  feedback::Corpus corpus;
+  feedback::SignalSet sig;
+  sig.add(10);
+  EXPECT_TRUE(corpus.add(*core::named_seed("sync"), sig, 5.0));
+  EXPECT_FALSE(corpus.add(*core::named_seed("sync"), sig, 9.0));
+  EXPECT_EQ(corpus.size(), 1u);
+  EXPECT_EQ(corpus.entry(0).best_score, 9.0);  // refreshed
+  EXPECT_TRUE(corpus.add(*core::named_seed("audit-oob"), sig, 1.0));
+  EXPECT_EQ(corpus.programs().size(), 2u);
+}
+
+TEST(Corpus, CoverageAccumulates) {
+  feedback::Corpus corpus;
+  feedback::SignalSet s1, s2;
+  s1.add(1);
+  s2.add(1);
+  s2.add(2);
+  corpus.add(*core::named_seed("sync"), s1, 0);
+  EXPECT_EQ(corpus.novelty(s2), 1u);
+  corpus.add(*core::named_seed("audit-oob"), s2, 0);
+  EXPECT_EQ(corpus.novelty(s2), 0u);
+  EXPECT_EQ(corpus.coverage().size(), 2u);
+}
+
+// --- executor + observer harness --------------------------------------------------
+
+struct Harness {
+  explicit Harness(runtime::RuntimeKind rt = runtime::RuntimeKind::kRunc,
+                   int executors = 2, Nanos round = kSecond) {
+    kernel::KernelConfig cfg;
+    cfg.host.num_cores = 8;
+    kernel = std::make_unique<kernel::SimKernel>(cfg);
+    engine = std::make_unique<runtime::Engine>(*kernel);
+    for (int i = 0; i < executors; ++i) {
+      runtime::ContainerSpec spec;
+      spec.name = "e" + std::to_string(i);
+      spec.runtime = rt;
+      spec.cpus = 1.0;
+      spec.cpuset_cpus = std::to_string(i);
+      execs.push_back(std::make_unique<exec::Executor>(*engine, spec));
+    }
+    std::vector<exec::Executor*> raw;
+    for (auto& e : execs) raw.push_back(e.get());
+    observer::ObserverConfig ocfg;
+    ocfg.round_duration = round;
+    ocfg.side_band_core = 3;
+    observer = std::make_unique<observer::Observer>(*kernel, raw, ocfg);
+    kernel->host().run_for(500 * kMillisecond);  // settle startup helpers
+  }
+
+  std::unique_ptr<kernel::SimKernel> kernel;
+  std::unique_ptr<runtime::Engine> engine;
+  std::vector<std::unique_ptr<exec::Executor>> execs;
+  std::unique_ptr<observer::Observer> observer;
+};
+
+TEST(Executor, RunsProgramForOneRound) {
+  Harness h;
+  const Nanos stop = h.kernel->host().now() + kSecond;
+  h.execs[0]->prime(*core::named_seed("appendix-a1-prog2"), stop);
+  h.execs[1]->prime(*core::named_seed("appendix-a1-prog0"), stop);
+  EXPECT_FALSE(h.execs[0]->idle());
+  h.execs[0]->start();
+  h.execs[1]->start();
+  h.kernel->host().run_until(stop + 100 * kMillisecond);
+  ASSERT_TRUE(h.execs[0]->idle());
+  const exec::RunStats& stats = h.execs[0]->stats();
+  EXPECT_GT(stats.executions, 1000u);
+  EXPECT_GT(stats.avg_execution_time, 0);
+  EXPECT_FALSE(stats.signal.empty());
+  EXPECT_EQ(stats.call_signal.size(), 2u);
+  EXPECT_EQ(stats.last_iteration.size(), 2u);
+}
+
+TEST(Executor, PrimeWhileRunningThrows) {
+  Harness h;
+  const Nanos stop = h.kernel->host().now() + kSecond;
+  h.execs[0]->prime(*core::named_seed("sync"), stop);
+  EXPECT_THROW(h.execs[0]->prime(*core::named_seed("sync"), stop),
+               CheckFailure);
+}
+
+TEST(Executor, StartRequiresPrime) {
+  Harness h;
+  EXPECT_THROW(h.execs[0]->start(), CheckFailure);
+}
+
+TEST(Executor, TakeStatsResets) {
+  Harness h;
+  const Nanos stop = h.kernel->host().now() + 500 * kMillisecond;
+  h.execs[0]->prime(*core::named_seed("kcmp-pair"), stop);
+  h.execs[1]->prime(*core::named_seed("kcmp-pair"), stop);
+  h.execs[0]->start();
+  h.execs[1]->start();
+  h.kernel->host().run_until(stop + 50 * kMillisecond);
+  const exec::RunStats stats = h.execs[0]->take_stats();
+  EXPECT_GT(stats.executions, 0u);
+  EXPECT_EQ(h.execs[0]->stats().executions, 0u);
+}
+
+TEST(Executor, FatalSignalProgramsRespawn) {
+  Harness h;
+  const Nanos stop = h.kernel->host().now() + kSecond;
+  h.execs[0]->prime(*core::named_seed("rt-sigreturn"), stop);
+  h.execs[1]->prime(*core::named_seed("kcmp-pair"), stop);
+  h.execs[0]->start();
+  h.execs[1]->start();
+  h.kernel->host().run_until(stop + 100 * kMillisecond);
+  const exec::RunStats& stats = h.execs[0]->stats();
+  // Every iteration died to SIGSEGV yet execution continued (respawn).
+  EXPECT_GT(stats.executions, 50u);
+  EXPECT_EQ(stats.fatal_signals, stats.executions);
+  EXPECT_EQ(stats.last_fatal_signal, kernel::SIGSEGV_);
+}
+
+TEST(Executor, GvisorCrashDetectedAndRestartable) {
+  Harness h(runtime::RuntimeKind::kGvisor);
+  const Nanos stop = h.kernel->host().now() + kSecond;
+  h.execs[0]->prime(*core::named_seed("gvisor-open-crash"), stop);
+  h.execs[1]->prime(*core::named_seed("gvisor-prog1"), stop);
+  h.execs[0]->start();
+  h.execs[1]->start();
+  h.kernel->host().run_until(stop + 100 * kMillisecond);
+  ASSERT_TRUE(h.execs[0]->crashed());
+  EXPECT_NE(h.execs[0]->stats().crash_message.find("sentry panic"),
+            std::string::npos);
+  EXPECT_TRUE(h.execs[1]->idle());  // the neighbour is unaffected
+  h.execs[0]->restart();
+  EXPECT_TRUE(h.execs[0]->idle());
+  EXPECT_EQ(h.execs[0]->container().restarts(), 1);
+  EXPECT_EQ(h.engine->crashes(), 1u);
+}
+
+TEST(Executor, InterruptForcesEarlyFinish) {
+  Harness h;
+  const Nanos stop = h.kernel->host().now() + 10 * kSecond;
+  // pause() blocks the whole round.
+  auto pause_prog = prog::Program::parse("pause()\n");
+  ASSERT_TRUE(pause_prog.has_value());
+  h.execs[0]->prime(*pause_prog, stop);
+  h.execs[1]->prime(*core::named_seed("kcmp-pair"), stop);
+  h.execs[0]->start();
+  h.execs[1]->start();
+  h.kernel->host().run_for(200 * kMillisecond);
+  EXPECT_FALSE(h.execs[0]->idle());
+  h.execs[0]->interrupt();
+  h.kernel->host().run_for(50 * kMillisecond);
+  EXPECT_TRUE(h.execs[0]->idle());
+}
+
+// --- Observer ----------------------------------------------------------------------
+
+TEST(Observer, RoundProducesAlignedObservation) {
+  Harness h;
+  const std::vector<prog::Program> programs = {
+      *core::named_seed("kcmp-pair"), *core::named_seed("appendix-a1-prog2")};
+  const observer::RoundResult& rr = h.observer->run_round(programs);
+  EXPECT_EQ(rr.round, 0);
+  EXPECT_EQ(rr.observation.duration(), kSecond);
+  EXPECT_EQ(rr.observation.cores.size(), 8u);
+  EXPECT_EQ(rr.stats.size(), 2u);
+  EXPECT_EQ(rr.programs.size(), 2u);
+  // Conservation in jiffies: every core's row sums to the window length,
+  // modulo per-category truncation (one jiffy per category at most).
+  for (const observer::CoreUsage& core : rr.observation.cores) {
+    EXPECT_LE(core.total(), nanos_to_jiffies(kSecond) +
+                                sim::kNumCpuCategories) << core.core;
+    EXPECT_GE(core.total(), nanos_to_jiffies(kSecond) -
+                                sim::kNumCpuCategories) << core.core;
+  }
+}
+
+TEST(Observer, FuzzCoresAndCapsReported) {
+  Harness h;
+  const std::vector<prog::Program> programs = {
+      *core::named_seed("kcmp-pair"), *core::named_seed("kcmp-pair")};
+  const observer::RoundResult& rr = h.observer->run_round(programs);
+  EXPECT_EQ(rr.observation.fuzz_cores, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(rr.observation.configured_cpu_cap, 2.0);
+  EXPECT_EQ(rr.observation.side_band_core, 3);
+  EXPECT_TRUE(rr.observation.is_fuzz_core(0));
+  EXPECT_FALSE(rr.observation.is_fuzz_core(5));
+}
+
+TEST(Observer, FuzzCoresAreBusyDuringRound) {
+  Harness h;
+  const std::vector<prog::Program> programs = {
+      *core::named_seed("appendix-a1-prog0"),
+      *core::named_seed("appendix-a1-prog2")};
+  const observer::RoundResult& rr = h.observer->run_round(programs);
+  for (int core : rr.observation.fuzz_cores) {
+    const observer::CoreUsage* usage = rr.observation.core_usage(core);
+    ASSERT_NE(usage, nullptr);
+    EXPECT_GT(usage->percent(), 50.0) << core;
+  }
+}
+
+TEST(Observer, WrongProgramCountThrows) {
+  Harness h;
+  const std::vector<prog::Program> one = {*core::named_seed("sync")};
+  EXPECT_THROW(h.observer->run_round(one), CheckFailure);
+}
+
+TEST(Observer, TopMissesShortLivedHelpers) {
+  Harness h;
+  // socket-modprobe spawns hundreds of short-lived modprobe tasks.
+  const std::vector<prog::Program> programs = {
+      *core::named_seed("socket-modprobe"), *core::named_seed("kcmp-pair")};
+  const observer::RoundResult& rr = h.observer->run_round(programs);
+  EXPECT_GT(h.kernel->modprobe_execs(), 10u);
+  for (const observer::ProcSample& p : rr.observation.processes)
+    EXPECT_EQ(p.name.find("modprobe"), std::string::npos)
+        << "top should be blind to short-lived helpers";
+  // ... but the container entrypoints are long-lived and visible.
+  bool saw_container = false;
+  for (const observer::ProcSample& p : rr.observation.processes)
+    if (p.name.rfind("ctr/", 0) == 0) saw_container = true;
+  EXPECT_TRUE(saw_container);
+}
+
+TEST(Observer, ContainerUsageDeltas) {
+  Harness h;
+  const std::vector<prog::Program> programs = {
+      *core::named_seed("appendix-a1-prog0"), *core::named_seed("kcmp-pair")};
+  const observer::RoundResult& rr = h.observer->run_round(programs);
+  ASSERT_EQ(rr.observation.containers.size(), 2u);
+  for (const observer::ContainerUsage& c : rr.observation.containers) {
+    EXPECT_GT(c.cpu_ns, 0);
+    EXPECT_LE(c.cpu_ns, kSecond + 100 * kMillisecond);  // capped at 1 CPU
+  }
+}
+
+TEST(Observer, CrashedExecutorIsRestartedNextRound) {
+  Harness h(runtime::RuntimeKind::kGvisor);
+  const std::vector<prog::Program> crash_programs = {
+      *core::named_seed("gvisor-open-crash"), *core::named_seed("gvisor-prog1")};
+  const observer::RoundResult& rr = h.observer->run_round(crash_programs);
+  EXPECT_TRUE(rr.any_crash);
+  // The next round restarts the crashed container transparently.
+  const std::vector<prog::Program> benign = {
+      *core::named_seed("gvisor-prog1"), *core::named_seed("gvisor-prog1")};
+  const observer::RoundResult& rr2 = h.observer->run_round(benign);
+  EXPECT_FALSE(rr2.any_crash);
+  EXPECT_GT(rr2.stats[0].executions, 0u);
+  EXPECT_EQ(h.observer->log().size(), 2u);
+}
+
+TEST(Observer, RoundsAccumulateInLog) {
+  Harness h;
+  const std::vector<prog::Program> programs = {
+      *core::named_seed("kcmp-pair"), *core::named_seed("kcmp-pair")};
+  h.observer->run_round(programs);
+  h.observer->run_round(programs);
+  h.observer->run_round(programs);
+  EXPECT_EQ(h.observer->log().size(), 3u);
+  EXPECT_EQ(h.observer->log()[2].round, 2);
+  EXPECT_GT(h.observer->log()[2].observation.window_start,
+            h.observer->log()[0].observation.window_end - kMillisecond);
+}
+
+}  // namespace
+}  // namespace torpedo

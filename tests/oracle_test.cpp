@@ -1,0 +1,237 @@
+// Unit tests for the oracle library: the Table-4.1 CPU heuristics plus the
+// IO and memory oracles, on synthetic observations.
+#include <gtest/gtest.h>
+
+#include "oracle/oracle.h"
+
+namespace torpedo::oracle {
+namespace {
+
+// Builds an observation with uniform per-core utilization that individual
+// tests then perturb.
+observer::Observation make_observation(int cores = 12, int fuzz_cores = 3,
+                                       double cap_per_container = 1.0) {
+  observer::Observation obs;
+  obs.window_start = 0;
+  obs.window_end = 5 * kSecond;
+  obs.configured_cpu_cap = cap_per_container * fuzz_cores;
+  obs.side_band_core = fuzz_cores;  // the core after the fuzzing set
+  const std::int64_t total = 500;   // jiffies per core over the window
+  for (int c = 0; c < cores; ++c) {
+    observer::CoreUsage usage;
+    usage.core = c;
+    const bool fuzz = c < fuzz_cores;
+    if (fuzz) obs.fuzz_cores.push_back(c);
+    const std::int64_t busy = fuzz ? 420 : 25;
+    usage.jiffies[static_cast<int>(sim::CpuCategory::kUser)] = busy / 4;
+    usage.jiffies[static_cast<int>(sim::CpuCategory::kSystem)] =
+        busy - busy / 4;
+    usage.jiffies[static_cast<int>(sim::CpuCategory::kIdle)] = total - busy;
+    obs.cores.push_back(usage);
+  }
+  for (const auto& usage : obs.cores) {
+    for (int i = 0; i < sim::kNumCpuCategories; ++i)
+      obs.aggregate.jiffies[static_cast<std::size_t>(i)] +=
+          usage.jiffies[static_cast<std::size_t>(i)];
+  }
+  obs.aggregate.core = -1;
+  return obs;
+}
+
+void set_busy(observer::Observation& obs, int core, std::int64_t busy) {
+  auto& usage = obs.cores[static_cast<std::size_t>(core)];
+  const std::int64_t total = usage.total();
+  usage.jiffies[static_cast<int>(sim::CpuCategory::kUser)] = busy / 4;
+  usage.jiffies[static_cast<int>(sim::CpuCategory::kSystem)] = busy - busy / 4;
+  usage.jiffies[static_cast<int>(sim::CpuCategory::kIdle)] = total - busy;
+  // Rebuild the aggregate.
+  obs.aggregate = observer::CoreUsage{};
+  obs.aggregate.core = -1;
+  for (const auto& u : obs.cores)
+    for (int i = 0; i < sim::kNumCpuCategories; ++i)
+      obs.aggregate.jiffies[static_cast<std::size_t>(i)] +=
+          u.jiffies[static_cast<std::size_t>(i)];
+}
+
+bool has(const std::vector<Violation>& violations, const std::string& name) {
+  for (const Violation& v : violations)
+    if (v.heuristic == name) return true;
+  return false;
+}
+
+TEST(CpuOracle, CleanBaselineDoesNotFlag) {
+  CpuOracle oracle;
+  const auto obs = make_observation();
+  EXPECT_TRUE(oracle.flag(obs).empty());
+}
+
+TEST(CpuOracle, ScoreIsTotalUtilization) {
+  CpuOracle oracle;
+  const auto obs = make_observation();
+  EXPECT_NEAR(oracle.score(obs), obs.total_utilization(), 1e-9);
+  EXPECT_NEAR(oracle.score(obs), 100.0 * (3 * 420 + 9 * 25) / 6000.0, 0.01);
+}
+
+class FuzzCoreBusyTest
+    : public ::testing::TestWithParam<std::pair<std::int64_t, bool>> {};
+
+TEST_P(FuzzCoreBusyTest, FlagsWhenBelowThreshold) {
+  const auto [busy, flags] = GetParam();
+  CpuOracle oracle;  // threshold 0.35 of 500 = 175
+  auto obs = make_observation();
+  set_busy(obs, 0, busy);
+  EXPECT_EQ(has(oracle.flag(obs), "fuzz-core-utilization-low"), flags)
+      << busy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FuzzCoreBusyTest,
+    ::testing::Values(std::pair<std::int64_t, bool>{420, false},
+                      std::pair<std::int64_t, bool>{200, false},
+                      std::pair<std::int64_t, bool>{176, false},
+                      std::pair<std::int64_t, bool>{170, true},
+                      std::pair<std::int64_t, bool>{60, true},
+                      std::pair<std::int64_t, bool>{0, true}));
+
+class IdleCoreBusyTest
+    : public ::testing::TestWithParam<std::pair<std::int64_t, bool>> {};
+
+TEST_P(IdleCoreBusyTest, FlagsWhenAboveThreshold) {
+  const auto [busy, flags] = GetParam();
+  CpuOracle oracle;  // threshold 0.10 of 500 = 50
+  auto obs = make_observation();
+  set_busy(obs, 7, busy);
+  EXPECT_EQ(has(oracle.flag(obs), "idle-core-utilization-high"), flags)
+      << busy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IdleCoreBusyTest,
+    ::testing::Values(std::pair<std::int64_t, bool>{25, false},
+                      std::pair<std::int64_t, bool>{49, false},
+                      std::pair<std::int64_t, bool>{60, true},
+                      std::pair<std::int64_t, bool>{400, true}));
+
+TEST(CpuOracle, SideBandCoreExempt) {
+  CpuOracle oracle;
+  auto obs = make_observation();
+  // Core 3 is the engine's LDISC side-band; busy it up heavily.
+  set_busy(obs, 3, 400);
+  EXPECT_FALSE(has(oracle.flag(obs), "idle-core-utilization-high"));
+  // The same load on core 4 flags.
+  set_busy(obs, 3, 25);
+  set_busy(obs, 4, 400);
+  EXPECT_TRUE(has(oracle.flag(obs), "idle-core-utilization-high"));
+}
+
+TEST(CpuOracle, TotalUtilizationCap) {
+  CpuOracle oracle;
+  auto obs = make_observation();
+  EXPECT_FALSE(has(oracle.flag(obs), "total-utilization-exceeds-caps"));
+  // Load every idle core: total far above caps + headroom.
+  for (int c = 3; c < 12; ++c) set_busy(obs, c, 400);
+  EXPECT_TRUE(has(oracle.flag(obs), "total-utilization-exceeds-caps"));
+}
+
+TEST(CpuOracle, SystemProcessHeuristic) {
+  CpuOracle oracle;
+  auto obs = make_observation();
+  obs.processes.push_back({1, "systemd-journal", "/system.slice", 35.0});
+  obs.processes.push_back({2, "myapp", "/docker/x", 95.0});  // not a sysproc
+  const auto violations = oracle.flag(obs);
+  ASSERT_TRUE(has(violations, "system-process-utilization-high"));
+  for (const Violation& v : violations)
+    if (v.heuristic == "system-process-utilization-high")
+      EXPECT_EQ(v.subject, "systemd-journal");
+}
+
+TEST(IsSystemProcess, Filter) {
+  EXPECT_TRUE(is_system_process("dockerd"));
+  EXPECT_TRUE(is_system_process("kworker/u:3"));
+  EXPECT_TRUE(is_system_process("kauditd"));
+  EXPECT_TRUE(is_system_process("systemd-journal"));
+  EXPECT_TRUE(is_system_process("containerd"));
+  EXPECT_TRUE(is_system_process("ksoftirqd/0"));
+  EXPECT_FALSE(is_system_process("ctr/1"));
+  EXPECT_FALSE(is_system_process("nginx"));
+  EXPECT_FALSE(is_system_process("noise/3"));
+}
+
+// --- IO oracle -------------------------------------------------------------------
+
+TEST(IoOracle, FlagsIowaitOnNonFuzzCores) {
+  IoOracle oracle;
+  auto obs = make_observation();
+  auto& usage = obs.cores[7];
+  usage.jiffies[static_cast<int>(sim::CpuCategory::kIdle)] -= 100;
+  usage.jiffies[static_cast<int>(sim::CpuCategory::kIoWait)] += 100;
+  const auto violations = oracle.flag(obs);
+  ASSERT_TRUE(has(violations, "nonfuzz-core-iowait-high"));
+  EXPECT_EQ(violations[0].subject, "cpu7");
+}
+
+TEST(IoOracle, IgnoresIowaitOnFuzzCores) {
+  IoOracle oracle;
+  auto obs = make_observation();
+  auto& usage = obs.cores[0];
+  usage.jiffies[static_cast<int>(sim::CpuCategory::kIdle)] = 0;
+  usage.jiffies[static_cast<int>(sim::CpuCategory::kIoWait)] = 80;
+  EXPECT_FALSE(has(oracle.flag(obs), "nonfuzz-core-iowait-high"));
+}
+
+TEST(IoOracle, UnattributedDeviceBytes) {
+  IoOracle oracle;
+  auto obs = make_observation();
+  obs.device_bytes = 500ull << 20;  // 100 MB/s over 5s, nobody charged
+  EXPECT_TRUE(has(oracle.flag(obs), "unattributed-device-io"));
+  // Charged IO doesn't count.
+  observer::ContainerUsage ctr;
+  ctr.blkio_bytes = obs.device_bytes;
+  obs.containers.push_back(ctr);
+  EXPECT_FALSE(has(oracle.flag(obs), "unattributed-device-io"));
+}
+
+TEST(IoOracle, ScoreIsMeanIowaitPercent) {
+  IoOracle oracle;
+  auto obs = make_observation();
+  EXPECT_DOUBLE_EQ(oracle.score(obs), 0.0);
+  auto& usage = obs.cores[5];
+  usage.jiffies[static_cast<int>(sim::CpuCategory::kIdle)] -= 250;
+  usage.jiffies[static_cast<int>(sim::CpuCategory::kIoWait)] += 250;
+  EXPECT_NEAR(oracle.score(obs), 100.0 * 0.5 / 12.0, 0.01);
+}
+
+// --- memory oracle -----------------------------------------------------------------
+
+TEST(MemoryOracle, FlagsThrashing) {
+  MemoryOracle oracle;
+  auto obs = make_observation();
+  observer::ContainerUsage ctr;
+  ctr.cgroup_path = "/docker/x";
+  ctr.memory_failcnt = 500;
+  obs.containers.push_back(ctr);
+  const auto violations = oracle.flag(obs);
+  ASSERT_TRUE(has(violations, "memory-limit-thrashing"));
+  EXPECT_EQ(violations[0].subject, "/docker/x");
+  EXPECT_EQ(oracle.score(obs), 500.0);
+}
+
+TEST(MemoryOracle, QuietContainerClean) {
+  MemoryOracle oracle;
+  auto obs = make_observation();
+  observer::ContainerUsage ctr;
+  ctr.memory_failcnt = 3;
+  obs.containers.push_back(ctr);
+  EXPECT_TRUE(oracle.flag(obs).empty());
+}
+
+TEST(Violation, ToStringIsReadable) {
+  const Violation v{"idle-core-utilization-high", "cpu7", 0.42, 0.10};
+  const std::string s = v.to_string();
+  EXPECT_NE(s.find("idle-core-utilization-high"), std::string::npos);
+  EXPECT_NE(s.find("cpu7"), std::string::npos);
+  EXPECT_NE(s.find("0.42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace torpedo::oracle

@@ -1,0 +1,354 @@
+// Unit & property tests for the program IR: descriptions, validity/fixup,
+// the text serializer/parser, the generator, and the mutation operators.
+#include <gtest/gtest.h>
+
+#include "core/seeds.h"
+#include "prog/desc.h"
+#include "prog/generate.h"
+#include "prog/mutate.h"
+#include "prog/program.h"
+
+namespace torpedo::prog {
+namespace {
+
+const SyscallDesc* desc(const char* name) {
+  const SyscallDesc* d = SyscallTable::instance().by_name(name);
+  EXPECT_NE(d, nullptr) << name;
+  return d;
+}
+
+Call make_call(const char* name, std::vector<ArgValue> args) {
+  Call c;
+  c.desc = desc(name);
+  c.args = std::move(args);
+  return c;
+}
+
+// --- table -----------------------------------------------------------------------
+
+TEST(SyscallTableTest, LooksUpEveryEntryByName) {
+  const SyscallTable& table = SyscallTable::instance();
+  for (const SyscallDesc& d : table.all()) {
+    EXPECT_EQ(table.by_name(d.name), &d);
+    EXPECT_FALSE(d.interface.empty()) << d.name;
+  }
+  EXPECT_EQ(table.by_name("no_such_call"), nullptr);
+}
+
+TEST(SyscallTableTest, ProducersOfFd) {
+  auto producers = SyscallTable::instance().producers_of("fd");
+  ASSERT_FALSE(producers.empty());
+  bool has_open = false, has_socket = false;
+  for (const SyscallDesc* d : producers) {
+    if (d->name == "open") has_open = true;
+    if (d->name == "socket") has_socket = true;  // sock degrades to fd
+  }
+  EXPECT_TRUE(has_open);
+  EXPECT_TRUE(has_socket);
+}
+
+TEST(SyscallTableTest, ProducersOfSockExcludesOpen) {
+  auto producers = SyscallTable::instance().producers_of("sock");
+  for (const SyscallDesc* d : producers) EXPECT_NE(d->name, "open");
+  EXPECT_FALSE(producers.empty());
+}
+
+TEST(SyscallTableTest, InterfaceGroupsNonEmpty) {
+  const char* interfaces[] = {"file", "net",    "signal", "mem",
+                              "proc", "xattr",  "sync",   "inotify"};
+  for (const char* name : interfaces)
+    EXPECT_FALSE(SyscallTable::instance().interface(name).empty()) << name;
+}
+
+TEST(ResourceCompat, Matrix) {
+  EXPECT_TRUE(resource_compatible("fd", "fd"));
+  EXPECT_TRUE(resource_compatible("fd", "sock"));
+  EXPECT_TRUE(resource_compatible("fd", "inotifyfd"));
+  EXPECT_FALSE(resource_compatible("sock", "fd"));
+  EXPECT_FALSE(resource_compatible("inotifyfd", "sock"));
+  EXPECT_TRUE(resource_compatible("sock", "sock"));
+}
+
+// --- validity & fixup ------------------------------------------------------------
+
+TEST(Program, ValidAcceptsWellFormed) {
+  Program p({make_call("creat", {ArgValue::text("f"), ArgValue::lit(0644)}),
+             make_call("fsync", {ArgValue::result(0)})});
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(Program, ForwardReferenceInvalid) {
+  Program p({make_call("fsync", {ArgValue::result(1)}),
+             make_call("creat", {ArgValue::text("f"), ArgValue::lit(0644)})});
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(Program, SelfReferenceInvalid) {
+  Program p({make_call("fsync", {ArgValue::result(0)})});
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(Program, ReferenceToNonProducerInvalid) {
+  Program p({make_call("sync", {}),
+             make_call("fsync", {ArgValue::result(0)})});
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(Program, IncompatibleResourceInvalid) {
+  // sendto wants a sock; creat produces a plain fd.
+  Program p({make_call("creat", {ArgValue::text("f"), ArgValue::lit(0644)}),
+             make_call("sendto",
+                       {ArgValue::result(0), ArgValue::text(""), ArgValue::lit(4),
+                        ArgValue::lit(0), ArgValue::text(""), ArgValue::lit(16)})});
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(Program, ArgCountMismatchInvalid) {
+  Program p({make_call("creat", {ArgValue::text("f")})});
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(Program, FixupRebindsToNearestProducer) {
+  Program p({make_call("creat", {ArgValue::text("a"), ArgValue::lit(0644)}),
+             make_call("creat", {ArgValue::text("b"), ArgValue::lit(0644)}),
+             make_call("fsync", {ArgValue::result(5)})});  // dangling
+  p.fixup();
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.calls()[2].args[0].result_of, 1);  // nearest earlier producer
+}
+
+TEST(Program, FixupDegradesToBadFd) {
+  Program p({make_call("fsync", {ArgValue::result(3)})});
+  p.fixup();
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.calls()[0].args[0].kind, ArgValue::Kind::kLiteral);
+  EXPECT_EQ(p.calls()[0].args[0].literal, 0xffffffffffffffffULL);
+}
+
+TEST(Program, FixupRespectsResourceKinds) {
+  // A sendto referencing a plain fd must degrade, not bind.
+  Program p({make_call("creat", {ArgValue::text("f"), ArgValue::lit(0644)}),
+             make_call("sendto",
+                       {ArgValue::result(0), ArgValue::text(""), ArgValue::lit(4),
+                        ArgValue::lit(0), ArgValue::text(""), ArgValue::lit(16)})});
+  p.fixup();
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.calls()[1].args[0].kind, ArgValue::Kind::kLiteral);
+}
+
+TEST(Program, FilterCallsRemapsReferences) {
+  Program p({make_call("pause", {}),
+             make_call("creat", {ArgValue::text("f"), ArgValue::lit(0644)}),
+             make_call("fsync", {ArgValue::result(1)})});
+  p.filter_calls({"pause"});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.calls()[1].args[0].result_of, 0);
+}
+
+TEST(Program, FilterRemovingProducerDegradesConsumer) {
+  Program p({make_call("creat", {ArgValue::text("f"), ArgValue::lit(0644)}),
+             make_call("fsync", {ArgValue::result(0)})});
+  p.filter_calls({"creat"});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.calls()[0].args[0].kind, ArgValue::Kind::kLiteral);
+}
+
+// --- serializer / parser -----------------------------------------------------------
+
+class SeedRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SeedRoundTripTest, SerializeParseRoundTrips) {
+  auto seed = core::named_seed(GetParam());
+  ASSERT_TRUE(seed.has_value());
+  EXPECT_TRUE(seed->valid());
+  const std::string text = seed->serialize();
+  auto parsed = Program::parse(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  EXPECT_EQ(*parsed, *seed) << text;
+  EXPECT_EQ(parsed->serialize(), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNamedSeeds, SeedRoundTripTest,
+                         ::testing::ValuesIn(core::named_seed_names()));
+
+TEST(Serializer, FormatLooksLikeSyzkaller) {
+  auto seed = core::named_seed("audit-oob");
+  const std::string text = seed->serialize();
+  EXPECT_NE(text.find("r0 = socket$netlink(0x10, 0x3, 0x9)"),
+            std::string::npos);
+  EXPECT_NE(text.find("sendto(r0, 'testing audit system', 0x24, 0x0, '', 0xc)"),
+            std::string::npos);
+}
+
+TEST(Parser, RejectsMalformed) {
+  EXPECT_FALSE(Program::parse("florble(0x1)").has_value());
+  EXPECT_FALSE(Program::parse("sync(").has_value());
+  EXPECT_FALSE(Program::parse("creat('f')").has_value());      // arg count
+  EXPECT_FALSE(Program::parse("fsync(r7)").has_value());       // undefined ref
+  EXPECT_FALSE(Program::parse("r3 = creat('f', 0x1)").has_value());  // label gap
+  EXPECT_FALSE(Program::parse("r0 = sync()").has_value());  // non-producer
+  EXPECT_FALSE(Program::parse("creat('f, 0x1)").has_value());  // bad quote
+}
+
+TEST(Parser, AcceptsCommentsAndBlanks) {
+  auto p = Program::parse("# header\n\nsync()\n");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 1u);
+}
+
+TEST(Parser, EscapedStrings) {
+  Program p({make_call("creat", {ArgValue::text("a'b\\c\nd"),
+                                 ArgValue::lit(0644)})});
+  auto parsed = Program::parse(p.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->calls()[0].args[0].str, "a'b\\c\nd");
+}
+
+TEST(Program, HashDistinguishesPrograms) {
+  auto a = core::named_seed("sync");
+  auto b = core::named_seed("audit-oob");
+  EXPECT_NE(a->hash(), b->hash());
+  EXPECT_EQ(a->hash(), core::named_seed("sync")->hash());
+}
+
+// --- generator (property) -----------------------------------------------------------
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorPropertyTest, GeneratedProgramsAreValid) {
+  Generator gen{Rng(GetParam())};
+  for (int i = 0; i < 50; ++i) {
+    const Program p = gen.generate();
+    ASSERT_TRUE(p.valid()) << p.serialize();
+    EXPECT_GE(p.size(), gen.config().min_calls);
+    EXPECT_LE(p.size(), gen.config().max_calls);
+    // And they round-trip through the serializer.
+    auto parsed = Program::parse(p.serialize());
+    ASSERT_TRUE(parsed.has_value()) << p.serialize();
+    EXPECT_EQ(*parsed, p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorPropertyTest,
+                         ::testing::Values(1, 7, 42, 1337, 0xdead));
+
+TEST(Generator, DenylistRespected) {
+  GenConfig cfg;
+  cfg.denylist = {"pause", "nanosleep", "poll", "recvfrom"};
+  Generator gen(Rng(9), cfg);
+  for (int i = 0; i < 100; ++i) {
+    const Program p = gen.generate();
+    for (const Call& call : p.calls()) {
+      EXPECT_NE(call.desc->name, "pause");
+      EXPECT_NE(call.desc->name, "nanosleep");
+      EXPECT_NE(call.desc->name, "poll");
+      EXPECT_NE(call.desc->name, "recvfrom");
+    }
+  }
+}
+
+TEST(Generator, InsertBiasedCallGrowsByOneAndStaysValid) {
+  Generator gen(Rng(11));
+  Program p = *core::named_seed("fsync-flood");
+  const std::size_t before = p.size();
+  gen.insert_biased_call(p);
+  EXPECT_EQ(p.size(), before + 1);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(Generator, ConstArgsAlwaysConst) {
+  Generator gen(Rng(13));
+  const SyscallDesc* netlink = desc("socket$netlink");
+  for (int i = 0; i < 50; ++i) {
+    Program empty;
+    const ArgValue v = gen.random_arg(empty, 0, netlink->args[0]);
+    EXPECT_EQ(v.literal, 16u);  // AF_NETLINK, narrowed by the variant
+  }
+}
+
+// --- mutator (property) ---------------------------------------------------------------
+
+class MutatorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutatorPropertyTest, AllOpsPreserveValidity) {
+  Generator gen{Rng(GetParam())};
+  Mutator mutator(gen);
+  std::vector<Program> corpus;
+  for (int i = 0; i < 5; ++i) corpus.push_back(gen.generate());
+
+  Program p = gen.generate();
+  for (int step = 0; step < 200; ++step) {
+    mutator.mutate(p, corpus);
+    ASSERT_TRUE(p.valid()) << "step " << step << "\n" << p.serialize();
+    ASSERT_GE(p.size(), 1u);
+    ASSERT_LE(p.size(), mutator.config().max_calls);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutatorPropertyTest,
+                         ::testing::Values(2, 3, 5, 99, 0xbeef));
+
+TEST(Mutator, RemoveShrinks) {
+  Generator gen(Rng(21));
+  Mutator mutator(gen);
+  Program p = *core::named_seed("appendix-a1-prog1");
+  const std::size_t before = p.size();
+  mutator.remove_call(p);
+  EXPECT_EQ(p.size(), before - 1);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(Mutator, RemoveKeepsLastCall) {
+  Generator gen(Rng(22));
+  Mutator mutator(gen);
+  Program p = *core::named_seed("sync");
+  mutator.remove_call(p);
+  EXPECT_EQ(p.size(), 1u);  // refuses to empty the program
+}
+
+TEST(Mutator, SpliceRespectsMaxCalls) {
+  Generator gen(Rng(23));
+  MutateConfig cfg;
+  cfg.max_calls = 6;
+  Mutator mutator(gen, cfg);
+  Program p = *core::named_seed("appendix-a1-prog1");  // 9 calls
+  while (p.size() > 5) mutator.remove_call(p);
+  const Program donor = *core::named_seed("appendix-a1-prog1");
+  mutator.splice(p, donor);
+  EXPECT_LE(p.size(), 6u);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(Mutator, MutateArgChangesSomething) {
+  Generator gen(Rng(25));
+  Mutator mutator(gen);
+  Program p = *core::named_seed("appendix-a1-prog1");
+  const std::uint64_t before = p.hash();
+  int changed = 0;
+  for (int i = 0; i < 40; ++i) {
+    Program q = p;
+    mutator.mutate_arg(q);
+    if (q.hash() != before) ++changed;
+  }
+  EXPECT_GT(changed, 20);
+}
+
+TEST(Mutator, EmptyCorpusDisablesSplice) {
+  Generator gen(Rng(27));
+  MutateConfig cfg;
+  cfg.insert_weight = 0.001;
+  cfg.remove_weight = 0.001;
+  cfg.mutate_arg_weight = 0.001;
+  cfg.splice_weight = 1000.0;
+  Mutator mutator(gen, cfg);
+  Program p = *core::named_seed("sync");
+  // With an empty corpus, splice weight collapses and another op is chosen —
+  // no crash, program stays valid.
+  mutator.mutate(p, {});
+  EXPECT_TRUE(p.valid());
+}
+
+}  // namespace
+}  // namespace torpedo::prog

@@ -1,0 +1,435 @@
+// Unit & property tests for the discrete-event host: scheduling, accounting
+// conservation, cgroup throttling, kworkers, softirq, the block device, and
+// the noise model.
+#include <gtest/gtest.h>
+
+#include "sim/block_device.h"
+#include "sim/host.h"
+#include "sim/noise.h"
+#include "util/check.h"
+
+namespace torpedo::sim {
+namespace {
+
+HostConfig small_host(int cores = 2) {
+  HostConfig cfg;
+  cfg.num_cores = cores;
+  cfg.num_kworkers = 2;
+  return cfg;
+}
+
+// Sum of all CpuCategory counters on a core must equal wall time: every
+// nanosecond is accounted exactly once.
+void expect_conservation(const Host& host) {
+  for (int c = 0; c < host.num_cores(); ++c) {
+    EXPECT_EQ(host.core_times(c).total(), host.now())
+        << "core " << c << " leaks time";
+  }
+}
+
+TEST(CoreTimes, Arithmetic) {
+  CoreTimes a;
+  a[CpuCategory::kUser] = 10;
+  a[CpuCategory::kIdle] = 5;
+  a[CpuCategory::kIoWait] = 3;
+  EXPECT_EQ(a.total(), 18);
+  EXPECT_EQ(a.busy(), 10);
+  CoreTimes b = a;
+  b += a;
+  EXPECT_EQ(b.total(), 36);
+  EXPECT_EQ((b - a).total(), 18);
+}
+
+TEST(Host, IdleHostAccountsIdle) {
+  Host host(small_host());
+  host.run_for(kSecond);
+  EXPECT_EQ(host.now(), kSecond);
+  for (int c = 0; c < 2; ++c)
+    EXPECT_EQ(host.core_times(c)[CpuCategory::kIdle], kSecond);
+  expect_conservation(host);
+}
+
+TEST(Host, SimpleTaskAccountsUserAndSystem) {
+  Host host(small_host());
+  Task& t = host.spawn({.name = "t", .kind = TaskKind::kUser});
+  t.push(Segment::user(30 * kMillisecond));
+  t.push(Segment::system(20 * kMillisecond));
+  host.run_for(100 * kMillisecond);
+  EXPECT_EQ(t.utime(), 30 * kMillisecond);
+  EXPECT_EQ(t.stime(), 20 * kMillisecond);
+  const CoreTimes agg = host.aggregate_times();
+  EXPECT_EQ(agg[CpuCategory::kUser], 30 * kMillisecond);
+  EXPECT_EQ(agg[CpuCategory::kSystem], 20 * kMillisecond);
+  expect_conservation(host);
+  // No supplier: the task exits when its queue drains.
+  EXPECT_FALSE(t.alive());
+  EXPECT_GE(t.end_time(), 50 * kMillisecond);
+}
+
+TEST(Host, SegmentCompletionCallbackFires) {
+  Host host(small_host());
+  bool fired = false;
+  Task& t = host.spawn({.name = "t"});
+  t.push(std::move(Segment::user(kMillisecond).then([&] { fired = true; })));
+  host.run_for(10 * kMillisecond);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Host, TwoTasksShareCoreFairly) {
+  HostConfig cfg = small_host(1);
+  Host host(cfg);
+  Task& a = host.spawn({.name = "a"});
+  Task& b = host.spawn({.name = "b"});
+  a.push(Segment::user(10 * kSecond));
+  b.push(Segment::user(10 * kSecond));
+  host.run_for(kSecond);
+  const double ratio = static_cast<double>(a.cpu_time()) /
+                       static_cast<double>(b.cpu_time());
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+  expect_conservation(host);
+}
+
+TEST(Host, SharesWeightScheduling) {
+  Host host(small_host(1));
+  auto& cg = host.cgroups();
+  cgroup::Cgroup& heavy = cg.create(cg.root(), "heavy");
+  heavy.cpu().shares = 2048;
+  cgroup::Cgroup& light = cg.create(cg.root(), "light");
+  light.cpu().shares = 1024;
+  Task& a = host.spawn({.name = "a", .group = &heavy});
+  Task& b = host.spawn({.name = "b", .group = &light});
+  a.push(Segment::user(10 * kSecond));
+  b.push(Segment::user(10 * kSecond));
+  host.run_for(kSecond);
+  const double ratio = static_cast<double>(a.cpu_time()) /
+                       static_cast<double>(b.cpu_time());
+  EXPECT_NEAR(ratio, 2.0, 0.25);
+}
+
+TEST(Host, CpusetAffinityRespected) {
+  Host host(small_host(4));
+  Task& t = host.spawn({.name = "pinned",
+                        .affinity = cgroup::CpuSet::single(2)});
+  t.push(Segment::user(kSecond));
+  host.run_for(500 * kMillisecond);
+  EXPECT_EQ(t.core(), 2);
+  EXPECT_GT(host.core_times(2)[CpuCategory::kUser], 0);
+  EXPECT_EQ(host.core_times(0)[CpuCategory::kUser], 0);
+}
+
+TEST(Host, EmptyAffinityThrows) {
+  Host host(small_host(2));
+  // Affinity on cores the host doesn't have.
+  EXPECT_THROW(host.spawn({.name = "bad",
+                           .affinity = cgroup::CpuSet::single(63)}),
+               CheckFailure);
+}
+
+TEST(Host, CgroupQuotaThrottles) {
+  Host host(small_host(1));
+  auto& cg = host.cgroups();
+  cgroup::Cgroup& capped = cg.create(cg.root(), "capped");
+  capped.cpu().quota = 25 * kMillisecond;  // 25% of one core
+  Task& t = host.spawn({.name = "t", .group = &capped});
+  t.push(Segment::user(10 * kSecond));
+  host.run_for(2 * kSecond);
+  const double used = static_cast<double>(t.cpu_time()) /
+                      static_cast<double>(2 * kSecond);
+  EXPECT_NEAR(used, 0.25, 0.02);
+  EXPECT_GT(capped.cpu().nr_throttled, 0u);
+  // Throttled time shows as idle, not charged anywhere.
+  EXPECT_NEAR(static_cast<double>(
+                  host.core_times(0)[CpuCategory::kIdle]),
+              1.5 * kSecond, 0.1 * kSecond);
+  expect_conservation(host);
+}
+
+TEST(Host, BlockUntilWakesOnTime) {
+  Host host(small_host());
+  Task& t = host.spawn({.name = "sleeper"});
+  t.push(Segment::block_until(50 * kMillisecond));
+  t.push(Segment::user(10 * kMillisecond));
+  host.run_for(40 * kMillisecond);
+  EXPECT_EQ(t.cpu_time(), 0);
+  EXPECT_EQ(t.state(), TaskState::kBlocked);
+  host.run_for(30 * kMillisecond);
+  EXPECT_GT(t.cpu_time(), 0);
+}
+
+TEST(Host, BlockWakeNeedsExplicitWake) {
+  Host host(small_host());
+  Task& t = host.spawn({.name = "waiter"});
+  t.push(Segment::block_wake());
+  t.push(Segment::user(kMillisecond));
+  host.run_for(100 * kMillisecond);
+  EXPECT_EQ(t.state(), TaskState::kBlocked);
+  host.wake(t);
+  host.run_for(10 * kMillisecond);
+  EXPECT_EQ(t.utime(), kMillisecond);
+}
+
+TEST(Host, EarlyWakeOfTimedBlock) {
+  Host host(small_host());
+  Task& t = host.spawn({.name = "t"});
+  t.push(Segment::block_until(10 * kSecond));
+  t.push(Segment::user(kMillisecond));
+  host.run_for(5 * kMillisecond);
+  host.wake(t);  // signal-style early wake
+  host.run_for(5 * kMillisecond);
+  EXPECT_EQ(t.utime(), kMillisecond);
+}
+
+TEST(Host, IoWaitAccounting) {
+  Host host(small_host(1));
+  Task& t = host.spawn({.name = "io"});
+  t.push(Segment::block_until(100 * kMillisecond, /*io_wait=*/true));
+  host.run_for(100 * kMillisecond);
+  EXPECT_EQ(host.core_times(0)[CpuCategory::kIoWait], 100 * kMillisecond);
+  EXPECT_EQ(host.core_times(0)[CpuCategory::kIdle], 0);
+}
+
+TEST(Host, KworkerExecutesDeferredWorkInRootCgroup) {
+  Host host(small_host());
+  auto& cg = host.cgroups();
+  const Nanos before = cg.root().cpu().usage;
+  bool completed = false;
+  WorkItem item;
+  item.name = "flush";
+  item.system_time = 5 * kMillisecond;
+  item.on_complete = [&] { completed = true; };
+  host.schedule_work(std::move(item));
+  host.run_for(50 * kMillisecond);
+  EXPECT_TRUE(completed);
+  EXPECT_GE(cg.root().cpu().usage - before, 5 * kMillisecond);
+  // The work shows as system time on some core.
+  EXPECT_GE(host.aggregate_times()[CpuCategory::kSystem], 5 * kMillisecond);
+}
+
+TEST(Host, KworkerWritebackOccupiesDisk) {
+  Host host(small_host());
+  WorkItem item;
+  item.name = "writeback";
+  item.system_time = kMillisecond;
+  item.io_write_bytes = 10 << 20;
+  host.schedule_work(std::move(item));
+  host.run_for(10 * kMillisecond);
+  EXPECT_GT(host.disk().total_bytes(), 0u);
+}
+
+TEST(Host, SoftirqChargedToCoreAndRoot) {
+  Host host(small_host());
+  const Nanos before = host.cgroups().root().cpu().usage;
+  host.raise_softirq(1, 7 * kMillisecond);
+  host.run_for(20 * kMillisecond);
+  EXPECT_EQ(host.core_times(1)[CpuCategory::kSoftirq], 7 * kMillisecond);
+  EXPECT_EQ(host.core_times(0)[CpuCategory::kSoftirq], 0);
+  EXPECT_GE(host.cgroups().root().cpu().usage - before, 7 * kMillisecond);
+  expect_conservation(host);
+}
+
+TEST(Host, SoftirqPreemptsRunningTask) {
+  Host host(small_host(1));
+  Task& t = host.spawn({.name = "victim"});
+  t.push(Segment::user(kSecond));
+  host.run_for(10 * kMillisecond);
+  host.raise_softirq(0, 30 * kMillisecond);
+  host.run_for(50 * kMillisecond);
+  // The softirq time came out of the victim's runtime.
+  EXPECT_EQ(host.core_times(0)[CpuCategory::kSoftirq], 30 * kMillisecond);
+  EXPECT_EQ(t.cpu_time(), 30 * kMillisecond);
+}
+
+TEST(Host, IrqCounted) {
+  Host host(small_host());
+  host.raise_irq(0, kMillisecond);
+  host.run_for(10 * kMillisecond);
+  EXPECT_EQ(host.core_times(0)[CpuCategory::kIrq], kMillisecond);
+}
+
+TEST(Host, SupplierDrivesTask) {
+  Host host(small_host());
+  int supplies = 0;
+  host.spawn({.name = "gen",
+              .supplier = [&](Host&, Task& task) {
+                if (++supplies > 3) return false;  // exit
+                task.push(Segment::user(kMillisecond));
+                return true;
+              }});
+  host.run_for(100 * kMillisecond);
+  EXPECT_EQ(supplies, 4);
+}
+
+TEST(Host, SupplierMustMakeProgress) {
+  Host host(small_host());
+  host.spawn({.name = "bad", .supplier = [](Host&, Task&) { return true; }});
+  EXPECT_THROW(host.run_for(10 * kMillisecond), CheckFailure);
+}
+
+TEST(Host, SpawnFromCallback) {
+  Host host(small_host());
+  Task& t = host.spawn({.name = "parent"});
+  t.push(std::move(Segment::user(kMillisecond).then([&host] {
+    Task& child = host.spawn({.name = "child"});
+    child.push(Segment::user(2 * kMillisecond));
+  })));
+  host.run_for(50 * kMillisecond);
+  EXPECT_GE(host.aggregate_times()[CpuCategory::kUser], 3 * kMillisecond);
+}
+
+TEST(Host, KillRemovesTask) {
+  Host host(small_host());
+  Task& t = host.spawn({.name = "t"});
+  t.push(Segment::user(kSecond));
+  host.run_for(10 * kMillisecond);
+  host.kill(t);
+  EXPECT_FALSE(t.alive());
+  const Nanos at_kill = t.cpu_time();
+  host.run_for(10 * kMillisecond);
+  EXPECT_EQ(t.cpu_time(), at_kill);
+}
+
+TEST(Host, FindTaskAndReap) {
+  Host host(small_host());
+  Task& t = host.spawn({.name = "t"});
+  const TaskId id = t.id();
+  t.push(Segment::user(kMillisecond));
+  host.run_for(10 * kMillisecond);
+  EXPECT_FALSE(t.alive());
+  EXPECT_EQ(host.find_task(id), &t);
+  host.reap_dead_tasks_before(host.now());
+  EXPECT_EQ(host.find_task(id), nullptr);
+}
+
+TEST(Host, HelpersSpreadAcrossCores) {
+  Host host(small_host(8));
+  for (int i = 0; i < 8; ++i) {
+    Task& h = host.spawn({.name = "helper", .kind = TaskKind::kHelper});
+    h.push(Segment::user(kMillisecond));
+  }
+  std::set<int> cores;
+  for (const TaskSample& s : host.sample_tasks())
+    if (s.name == "helper") cores.insert(host.find_task(s.id)->core());
+  EXPECT_GE(cores.size(), 4u);
+}
+
+TEST(Host, SampleTasksSnapshot) {
+  Host host(small_host());
+  Task& t = host.spawn({.name = "visible", .kind = TaskKind::kDaemon});
+  t.push(Segment::user(kMillisecond));
+  auto samples = host.sample_tasks();
+  bool found = false;
+  for (const TaskSample& s : samples)
+    if (s.name == "visible") {
+      found = true;
+      EXPECT_TRUE(s.alive);
+      EXPECT_EQ(s.cgroup_path, "/");
+    }
+  EXPECT_TRUE(found);
+}
+
+// Property: conservation holds across randomized task mixes.
+class ConservationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConservationTest, TimeIsConserved) {
+  HostConfig cfg;
+  cfg.num_cores = 4;
+  cfg.seed = GetParam();
+  Host host(cfg);
+  Rng rng(GetParam());
+  for (int i = 0; i < 10; ++i) {
+    Task& t = host.spawn({.name = "t" + std::to_string(i)});
+    for (int s = 0; s < 5; ++s) {
+      switch (rng.below(4)) {
+        case 0: t.push(Segment::user(rng.range(1, 20) * kMillisecond)); break;
+        case 1: t.push(Segment::system(rng.range(1, 20) * kMillisecond)); break;
+        case 2:
+          t.push(Segment::block_until(rng.range(1, 300) * kMillisecond,
+                                      rng.chance(1, 2)));
+          break;
+        default:
+          host.raise_softirq(static_cast<int>(rng.below(4)),
+                             rng.range(1, 5) * kMillisecond);
+          break;
+      }
+    }
+  }
+  host.run_for(rng.range(1, 3) * kSecond);
+  for (int c = 0; c < 4; ++c)
+    EXPECT_EQ(host.core_times(c).total(), host.now()) << "core " << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- BlockDevice -----------------------------------------------------------------
+
+TEST(BlockDevice, TransferTime) {
+  BlockDevice dev(100 << 20);  // 100 MB/s
+  EXPECT_EQ(dev.transfer_time(100 << 20), kSecond);
+  EXPECT_EQ(dev.transfer_time(0), 0);
+}
+
+TEST(BlockDevice, SubmitsSerialize) {
+  BlockDevice dev(100 << 20);
+  const Nanos first = dev.submit(0, 50 << 20);   // 0.5s
+  const Nanos second = dev.submit(0, 50 << 20);  // queued behind
+  EXPECT_EQ(first, kSecond / 2);
+  EXPECT_EQ(second, kSecond);
+  // A submit after the device went idle starts fresh.
+  const Nanos third = dev.submit(2 * kSecond, 50 << 20);
+  EXPECT_EQ(third, 2 * kSecond + kSecond / 2);
+  EXPECT_EQ(dev.total_ios(), 3u);
+}
+
+TEST(BlockDevice, Occupy) {
+  BlockDevice dev;
+  EXPECT_EQ(dev.occupy(10, 100), 110);
+  EXPECT_EQ(dev.occupy(10, 100), 210);  // serialized
+  EXPECT_TRUE(dev.busy_at(150));
+  EXPECT_FALSE(dev.busy_at(210));
+}
+
+// --- noise ----------------------------------------------------------------------
+
+class NoiseLevelTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseLevelTest, MeanUtilizationWithinBand) {
+  HostConfig cfg;
+  cfg.num_cores = 4;
+  Host host(cfg);
+  NoiseConfig noise;
+  noise.mean_utilization = GetParam();
+  noise.spike_chance = 0;  // isolate the mean
+  install_noise(host, noise);
+  host.run_for(10 * kSecond);
+  for (int c = 0; c < 4; ++c) {
+    const double busy = static_cast<double>(host.core_times(c).busy()) /
+                        static_cast<double>(host.now());
+    EXPECT_NEAR(busy, GetParam(), GetParam() * 0.35 + 0.005) << "core " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, NoiseLevelTest,
+                         ::testing::Values(0.02, 0.045, 0.10, 0.20));
+
+TEST(Noise, Deterministic) {
+  auto run = [] {
+    Host host(small_host(2));
+    install_noise(host, {});
+    host.run_for(2 * kSecond);
+    return host.aggregate_times().busy();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Noise, ZeroUtilizationStaysIdle) {
+  Host host(small_host(2));
+  NoiseConfig cfg;
+  cfg.mean_utilization = 0;
+  install_noise(host, cfg);
+  host.run_for(kSecond);
+  EXPECT_EQ(host.aggregate_times().busy(), 0);
+}
+
+}  // namespace
+}  // namespace torpedo::sim

@@ -1,0 +1,232 @@
+// torpedo — command-line driver for the TORPEDO framework.
+//
+// Subcommands mirror the paper's workflow:
+//
+//   torpedo run   — a full fuzzing campaign (syz-manager equivalent):
+//                   seeds in, batches of mutate/confirm rounds, then the
+//                   flag/minimize/classify pipeline; artifacts land in a
+//                   workdir.
+//   torpedo exec  — manual execution of one serialized program ("a tool
+//                   packaged with SYZKALLER that allows manual execution of
+//                   programs in intermediate representation", §4.1): one
+//                   observed round plus oracle verdicts.
+//   torpedo seeds — materialize the Moonshine-like seed corpus as .prog
+//                   files for inspection or editing.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/seeds.h"
+#include "core/workdir.h"
+#include "kernel/errno.h"
+#include "kernel/syscalls.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+using namespace torpedo;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  torpedo run   [--runtime runc|crun|runsc|kata] [--batches N]\n"
+      "                [--executors N] [--round-seconds S] [--num-seeds N]\n"
+      "                [--seeds-dir DIR] [--workdir DIR] [--seed N] [-v]\n"
+      "  torpedo exec  [--runtime ...] [--round-seconds S] FILE.prog\n"
+      "  torpedo seeds [--out DIR] [--count N]\n",
+      stderr);
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  std::optional<std::string> get(const std::string& name) const {
+    for (const auto& [k, v] : options)
+      if (k == name) return v;
+    return std::nullopt;
+  }
+  bool has(const std::string& name) const { return get(name).has_value(); }
+  long num(const std::string& name, long fallback) const {
+    auto v = get(name);
+    return v ? std::atol(v->c_str()) : fallback;
+  }
+};
+
+// Flags that take no value.
+bool is_switch(const std::string& name) { return name == "v"; }
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (starts_with(arg, "--") || (arg.size() == 2 && arg[0] == '-')) {
+      const std::string name = arg.substr(arg[1] == '-' ? 2 : 1);
+      if (is_switch(name)) {
+        args.options.emplace_back(name, "1");
+      } else if (i + 1 < argc) {
+        args.options.emplace_back(name, argv[++i]);
+      } else {
+        std::fprintf(stderr, "missing value for --%s\n", name.c_str());
+        return std::nullopt;
+      }
+    } else {
+      args.positional.push_back(std::move(arg));
+    }
+  }
+  return args;
+}
+
+std::optional<core::CampaignConfig> campaign_config(const Args& args) {
+  core::CampaignConfig config;
+  if (auto rt = args.get("runtime")) {
+    auto kind = runtime::runtime_from_name(*rt);
+    if (!kind) {
+      std::fprintf(stderr, "unknown runtime: %s\n", rt->c_str());
+      return std::nullopt;
+    }
+    config.runtime = *kind;
+  }
+  config.batches = static_cast<int>(args.num("batches", config.batches));
+  config.num_executors =
+      static_cast<int>(args.num("executors", config.num_executors));
+  config.round_duration = seconds(static_cast<double>(
+      args.num("round-seconds", 5)));
+  config.num_seeds = static_cast<std::size_t>(
+      args.num("num-seeds", static_cast<long>(config.num_seeds)));
+  config.seed = static_cast<std::uint64_t>(args.num("seed", 0x7095ED0));
+  return config;
+}
+
+int cmd_run(const Args& args) {
+  auto config = campaign_config(args);
+  if (!config) return 2;
+  if (args.has("v")) set_log_level(LogLevel::kInfo);
+
+  core::Campaign campaign(*config);
+
+  if (auto dir = args.get("seeds-dir")) {
+    std::vector<std::string> errors;
+    auto seeds = core::load_seed_files(*dir, &errors);
+    for (const std::string& e : errors)
+      std::fprintf(stderr, "warning: %s\n", e.c_str());
+    std::printf("loaded %zu seeds from %s\n", seeds.size(), dir->c_str());
+    campaign.load_seeds(std::move(seeds));
+  } else {
+    campaign.load_default_seeds();
+  }
+
+  std::printf("fuzzing: runtime=%s executors=%d T=%llds batches=%d\n",
+              std::string(runtime::runtime_name(config->runtime)).c_str(),
+              config->num_executors,
+              static_cast<long long>(config->round_duration / kSecond),
+              config->batches);
+
+  for (int b = 0; b < config->batches; ++b) {
+    const core::BatchResult batch = campaign.run_one_batch();
+    std::printf("batch %2d: rounds=%2d score %.1f -> %.1f (+%d confirmed)%s\n",
+                b, batch.rounds, batch.baseline_score, batch.best_score,
+                batch.improvements, batch.saw_crash ? " [crash]" : "");
+  }
+  const core::CampaignReport report = campaign.finalize();
+
+  std::printf("\n%zu findings, %zu crashes over %d rounds (%llu executions)\n",
+              report.findings.size(), report.crashes.size(), report.rounds,
+              static_cast<unsigned long long>(report.executions));
+  for (const core::Finding& f : report.findings)
+    std::printf("  [%s] %s%s\n", f.syscall_list().c_str(), f.cause.c_str(),
+                f.is_new ? " (NEW)" : "");
+  for (const core::CrashFinding& c : report.crashes)
+    std::printf("  CRASH: %s\n", c.message.c_str());
+
+  if (auto workdir = args.get("workdir")) {
+    const std::filesystem::path dir(*workdir);
+    core::save_corpus(dir / "corpus.txt", campaign.corpus());
+    core::save_report(dir / "report.txt", report);
+    std::printf("workdir written: %s (corpus.txt, report.txt)\n",
+                dir.string().c_str());
+  }
+  return 0;
+}
+
+int cmd_exec(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  std::ifstream in(args.positional[0]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.positional[0].c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto program = prog::Program::parse(buffer.str());
+  if (!program || program->empty()) {
+    std::fprintf(stderr, "parse error in %s\n", args.positional[0].c_str());
+    return 1;
+  }
+
+  auto config = campaign_config(args);
+  if (!config) return 2;
+  core::Campaign campaign(*config);
+  core::SingleRunner runner(campaign.observer(), campaign.cpu_oracle());
+  const auto cpu_violations = runner.violations(*program);
+  const observer::RoundResult& rr = runner.last_round();
+
+  std::printf("program:\n%s\n", program->serialize().c_str());
+  const exec::RunStats& stats = rr.stats[0];
+  std::printf("executions: %llu, avg %.1f us, fatal signals %llu%s\n",
+              static_cast<unsigned long long>(stats.executions),
+              static_cast<double>(stats.avg_execution_time) / 1000.0,
+              static_cast<unsigned long long>(stats.fatal_signals),
+              stats.crashed ? " [CONTAINER CRASHED]" : "");
+  if (stats.crashed) std::printf("crash: %s\n", stats.crash_message.c_str());
+  for (const exec::CallRecord& call : stats.last_iteration)
+    std::printf("  %s -> %lld (%s)\n",
+                std::string(kernel::sysno_name(call.nr)).c_str(),
+                static_cast<long long>(call.ret),
+                std::string(kernel::errno_name(call.err)).c_str());
+
+  std::printf("oracle score: %.2f%%\n",
+              campaign.cpu_oracle().score(rr.observation));
+  for (const auto& v : cpu_violations)
+    std::printf("CPU violation: %s\n", v.to_string().c_str());
+  for (const auto& v : campaign.io_oracle().flag(rr.observation))
+    std::printf("IO violation: %s\n", v.to_string().c_str());
+  core::CauseClassifier classifier(campaign.kernel());
+  std::printf("trace classification: %s\n",
+              classifier
+                  .classify(rr.observation.window_start,
+                            rr.observation.window_end, stats)
+                  .c_str());
+  return 0;
+}
+
+int cmd_seeds(const Args& args) {
+  const std::string out = args.get("out").value_or("seeds");
+  const std::size_t count =
+      static_cast<std::size_t>(args.num("count", 200));
+  const auto seeds = core::moonshine_seeds(count);
+  const std::size_t written = core::write_seed_files(out, seeds);
+  std::printf("wrote %zu seed files to %s\n", written, out.c_str());
+  return written == count ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  auto args = parse_args(argc, argv);
+  if (!args) return 2;
+  if (command == "run") return cmd_run(*args);
+  if (command == "exec") return cmd_exec(*args);
+  if (command == "seeds") return cmd_seeds(*args);
+  return usage();
+}
