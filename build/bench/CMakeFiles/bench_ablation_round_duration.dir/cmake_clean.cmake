@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_round_duration.dir/bench_ablation_round_duration.cpp.o"
+  "CMakeFiles/bench_ablation_round_duration.dir/bench_ablation_round_duration.cpp.o.d"
+  "bench_ablation_round_duration"
+  "bench_ablation_round_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_round_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_comparison.dir/bench_runtime_comparison.cpp.o"
+  "CMakeFiles/bench_runtime_comparison.dir/bench_runtime_comparison.cpp.o.d"
+  "bench_runtime_comparison"
+  "bench_runtime_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

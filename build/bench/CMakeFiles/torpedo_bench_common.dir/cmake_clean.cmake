@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/torpedo_bench_common.dir/bench_common.cpp.o.d"
+  "libtorpedo_bench_common.a"
+  "libtorpedo_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_hunt.dir/adversarial_hunt.cpp.o"
+  "CMakeFiles/adversarial_hunt.dir/adversarial_hunt.cpp.o.d"
+  "adversarial_hunt"
+  "adversarial_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gvisor_crash.cpp" "examples/CMakeFiles/gvisor_crash.dir/gvisor_crash.cpp.o" "gcc" "examples/CMakeFiles/gvisor_crash.dir/gvisor_crash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/torpedo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/torpedo_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/observer/CMakeFiles/torpedo_observer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/torpedo_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/torpedo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/feedback/CMakeFiles/torpedo_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/torpedo_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/torpedo_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/torpedo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/torpedo_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/torpedo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvisor_crash.dir/gvisor_crash.cpp.o"
+  "CMakeFiles/gvisor_crash.dir/gvisor_crash.cpp.o.d"
+  "gvisor_crash"
+  "gvisor_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvisor_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

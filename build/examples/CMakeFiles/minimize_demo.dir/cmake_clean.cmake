@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimize_demo.dir/minimize_demo.cpp.o"
+  "CMakeFiles/minimize_demo.dir/minimize_demo.cpp.o.d"
+  "minimize_demo"
+  "minimize_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimize_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

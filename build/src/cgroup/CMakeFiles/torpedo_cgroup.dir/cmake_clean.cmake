@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_cgroup.dir/cgroup.cpp.o"
+  "CMakeFiles/torpedo_cgroup.dir/cgroup.cpp.o.d"
+  "CMakeFiles/torpedo_cgroup.dir/cpuset.cpp.o"
+  "CMakeFiles/torpedo_cgroup.dir/cpuset.cpp.o.d"
+  "libtorpedo_cgroup.a"
+  "libtorpedo_cgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_cgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_core.dir/campaign.cpp.o"
+  "CMakeFiles/torpedo_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/torpedo_core.dir/classify.cpp.o"
+  "CMakeFiles/torpedo_core.dir/classify.cpp.o.d"
+  "CMakeFiles/torpedo_core.dir/fuzzer.cpp.o"
+  "CMakeFiles/torpedo_core.dir/fuzzer.cpp.o.d"
+  "CMakeFiles/torpedo_core.dir/minimize.cpp.o"
+  "CMakeFiles/torpedo_core.dir/minimize.cpp.o.d"
+  "CMakeFiles/torpedo_core.dir/seeds.cpp.o"
+  "CMakeFiles/torpedo_core.dir/seeds.cpp.o.d"
+  "CMakeFiles/torpedo_core.dir/workdir.cpp.o"
+  "CMakeFiles/torpedo_core.dir/workdir.cpp.o.d"
+  "libtorpedo_core.a"
+  "libtorpedo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

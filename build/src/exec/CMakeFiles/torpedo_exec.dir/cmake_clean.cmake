@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_exec.dir/executor.cpp.o"
+  "CMakeFiles/torpedo_exec.dir/executor.cpp.o.d"
+  "libtorpedo_exec.a"
+  "libtorpedo_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

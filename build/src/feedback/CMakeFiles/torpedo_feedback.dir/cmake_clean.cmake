@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_feedback.dir/corpus.cpp.o"
+  "CMakeFiles/torpedo_feedback.dir/corpus.cpp.o.d"
+  "libtorpedo_feedback.a"
+  "libtorpedo_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

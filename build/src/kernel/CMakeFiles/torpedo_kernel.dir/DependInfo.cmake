@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/torpedo_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/torpedo_kernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernel/process.cpp" "src/kernel/CMakeFiles/torpedo_kernel.dir/process.cpp.o" "gcc" "src/kernel/CMakeFiles/torpedo_kernel.dir/process.cpp.o.d"
+  "/root/repo/src/kernel/procfs.cpp" "src/kernel/CMakeFiles/torpedo_kernel.dir/procfs.cpp.o" "gcc" "src/kernel/CMakeFiles/torpedo_kernel.dir/procfs.cpp.o.d"
+  "/root/repo/src/kernel/services.cpp" "src/kernel/CMakeFiles/torpedo_kernel.dir/services.cpp.o" "gcc" "src/kernel/CMakeFiles/torpedo_kernel.dir/services.cpp.o.d"
+  "/root/repo/src/kernel/syscalls.cpp" "src/kernel/CMakeFiles/torpedo_kernel.dir/syscalls.cpp.o" "gcc" "src/kernel/CMakeFiles/torpedo_kernel.dir/syscalls.cpp.o.d"
+  "/root/repo/src/kernel/vfs.cpp" "src/kernel/CMakeFiles/torpedo_kernel.dir/vfs.cpp.o" "gcc" "src/kernel/CMakeFiles/torpedo_kernel.dir/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/torpedo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/torpedo_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/torpedo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

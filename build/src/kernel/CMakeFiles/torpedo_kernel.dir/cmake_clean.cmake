@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/torpedo_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/torpedo_kernel.dir/process.cpp.o"
+  "CMakeFiles/torpedo_kernel.dir/process.cpp.o.d"
+  "CMakeFiles/torpedo_kernel.dir/procfs.cpp.o"
+  "CMakeFiles/torpedo_kernel.dir/procfs.cpp.o.d"
+  "CMakeFiles/torpedo_kernel.dir/services.cpp.o"
+  "CMakeFiles/torpedo_kernel.dir/services.cpp.o.d"
+  "CMakeFiles/torpedo_kernel.dir/syscalls.cpp.o"
+  "CMakeFiles/torpedo_kernel.dir/syscalls.cpp.o.d"
+  "CMakeFiles/torpedo_kernel.dir/vfs.cpp.o"
+  "CMakeFiles/torpedo_kernel.dir/vfs.cpp.o.d"
+  "libtorpedo_kernel.a"
+  "libtorpedo_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

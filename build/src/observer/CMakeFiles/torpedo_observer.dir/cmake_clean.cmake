@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_observer.dir/observer.cpp.o"
+  "CMakeFiles/torpedo_observer.dir/observer.cpp.o.d"
+  "libtorpedo_observer.a"
+  "libtorpedo_observer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_oracle.dir/oracle.cpp.o"
+  "CMakeFiles/torpedo_oracle.dir/oracle.cpp.o.d"
+  "libtorpedo_oracle.a"
+  "libtorpedo_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

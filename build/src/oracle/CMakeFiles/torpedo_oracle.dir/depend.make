@@ -1,0 +1,2 @@
+# Empty dependencies file for torpedo_oracle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prog/desc.cpp" "src/prog/CMakeFiles/torpedo_prog.dir/desc.cpp.o" "gcc" "src/prog/CMakeFiles/torpedo_prog.dir/desc.cpp.o.d"
+  "/root/repo/src/prog/generate.cpp" "src/prog/CMakeFiles/torpedo_prog.dir/generate.cpp.o" "gcc" "src/prog/CMakeFiles/torpedo_prog.dir/generate.cpp.o.d"
+  "/root/repo/src/prog/mutate.cpp" "src/prog/CMakeFiles/torpedo_prog.dir/mutate.cpp.o" "gcc" "src/prog/CMakeFiles/torpedo_prog.dir/mutate.cpp.o.d"
+  "/root/repo/src/prog/program.cpp" "src/prog/CMakeFiles/torpedo_prog.dir/program.cpp.o" "gcc" "src/prog/CMakeFiles/torpedo_prog.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/torpedo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/torpedo_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/torpedo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/torpedo_cgroup.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_prog.dir/desc.cpp.o"
+  "CMakeFiles/torpedo_prog.dir/desc.cpp.o.d"
+  "CMakeFiles/torpedo_prog.dir/generate.cpp.o"
+  "CMakeFiles/torpedo_prog.dir/generate.cpp.o.d"
+  "CMakeFiles/torpedo_prog.dir/mutate.cpp.o"
+  "CMakeFiles/torpedo_prog.dir/mutate.cpp.o.d"
+  "CMakeFiles/torpedo_prog.dir/program.cpp.o"
+  "CMakeFiles/torpedo_prog.dir/program.cpp.o.d"
+  "libtorpedo_prog.a"
+  "libtorpedo_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/engine.cpp" "src/runtime/CMakeFiles/torpedo_runtime.dir/engine.cpp.o" "gcc" "src/runtime/CMakeFiles/torpedo_runtime.dir/engine.cpp.o.d"
+  "/root/repo/src/runtime/gvisor.cpp" "src/runtime/CMakeFiles/torpedo_runtime.dir/gvisor.cpp.o" "gcc" "src/runtime/CMakeFiles/torpedo_runtime.dir/gvisor.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/torpedo_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/torpedo_runtime.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/torpedo_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/torpedo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/torpedo_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/torpedo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

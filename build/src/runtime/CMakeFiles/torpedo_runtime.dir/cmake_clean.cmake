@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_runtime.dir/engine.cpp.o"
+  "CMakeFiles/torpedo_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/torpedo_runtime.dir/gvisor.cpp.o"
+  "CMakeFiles/torpedo_runtime.dir/gvisor.cpp.o.d"
+  "CMakeFiles/torpedo_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/torpedo_runtime.dir/runtime.cpp.o.d"
+  "libtorpedo_runtime.a"
+  "libtorpedo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

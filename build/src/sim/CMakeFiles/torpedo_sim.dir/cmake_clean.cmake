@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_sim.dir/host.cpp.o"
+  "CMakeFiles/torpedo_sim.dir/host.cpp.o.d"
+  "CMakeFiles/torpedo_sim.dir/noise.cpp.o"
+  "CMakeFiles/torpedo_sim.dir/noise.cpp.o.d"
+  "libtorpedo_sim.a"
+  "libtorpedo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtorpedo_sim.a"
+)

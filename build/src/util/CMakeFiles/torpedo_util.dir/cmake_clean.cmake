@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_util.dir/log.cpp.o"
+  "CMakeFiles/torpedo_util.dir/log.cpp.o.d"
+  "CMakeFiles/torpedo_util.dir/rng.cpp.o"
+  "CMakeFiles/torpedo_util.dir/rng.cpp.o.d"
+  "CMakeFiles/torpedo_util.dir/strings.cpp.o"
+  "CMakeFiles/torpedo_util.dir/strings.cpp.o.d"
+  "CMakeFiles/torpedo_util.dir/table.cpp.o"
+  "CMakeFiles/torpedo_util.dir/table.cpp.o.d"
+  "libtorpedo_util.a"
+  "libtorpedo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

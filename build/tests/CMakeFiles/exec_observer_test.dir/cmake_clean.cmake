@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_observer_test.dir/exec_observer_test.cpp.o"
+  "CMakeFiles/exec_observer_test.dir/exec_observer_test.cpp.o.d"
+  "exec_observer_test"
+  "exec_observer_test.pdb"
+  "exec_observer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_observer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prog_test.dir/prog_test.cpp.o"
+  "CMakeFiles/prog_test.dir/prog_test.cpp.o.d"
+  "prog_test"
+  "prog_test.pdb"
+  "prog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

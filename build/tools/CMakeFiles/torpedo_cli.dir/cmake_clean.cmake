@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torpedo_cli.dir/torpedo.cpp.o"
+  "CMakeFiles/torpedo_cli.dir/torpedo.cpp.o.d"
+  "torpedo"
+  "torpedo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torpedo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
