@@ -1,0 +1,112 @@
+// Throughput bench: how fast the whole stack turns the crank.
+//
+// Runs a stock campaign (paper §4.2 defaults, scaled down) and measures the
+// host-side cost of the simulation: observed rounds per wall second,
+// simulated executions per wall second, and wall milliseconds per batch.
+// Results land in BENCH_throughput.json so CI and the telemetry layer's
+// consumers can chart regressions.
+//
+//   bench_throughput [--quick] [--out FILE.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_common.h"
+#include "telemetry/json.h"
+#include "telemetry/telemetry.h"
+
+using namespace torpedo;
+
+namespace {
+
+struct Result {
+  int batches = 0;
+  int rounds = 0;
+  std::uint64_t executions = 0;
+  double wall_ms = 0;
+
+  double rounds_per_sec() const {
+    return wall_ms > 0 ? rounds / (wall_ms / 1000.0) : 0;
+  }
+  double execs_per_sec() const {
+    return wall_ms > 0 ? static_cast<double>(executions) / (wall_ms / 1000.0)
+                       : 0;
+  }
+  double wall_ms_per_batch() const {
+    return batches > 0 ? wall_ms / batches : 0;
+  }
+};
+
+Result run_campaign(int batches) {
+  core::CampaignConfig config;
+  config.batches = batches;
+  config.round_duration = 2 * kSecond;
+  config.fuzzer.cycle_out_rounds = 4;
+  core::Campaign campaign(config);
+  campaign.load_default_seeds();
+
+  Result result;
+  const auto start = std::chrono::steady_clock::now();
+  for (int b = 0; b < batches; ++b) {
+    const core::BatchResult batch = campaign.run_one_batch();
+    result.rounds += batch.rounds;
+    result.batches++;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.executions = campaign.fuzzer().total_executions();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int batches = 4;
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      batches = 1;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--batches") == 0 && i + 1 < argc) {
+      batches = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_throughput [--quick] [--batches N] "
+                   "[--out FILE.json]\n");
+      return 2;
+    }
+  }
+
+  bench::print_header("Throughput", "host-side cost of the fuzzing loop");
+
+  const Result r = run_campaign(batches);
+
+  std::printf(
+      "%d batches, %d rounds, %llu executions in %.1f ms\n"
+      "  %.2f rounds/sec, %.0f execs/sec, %.1f ms/batch\n",
+      r.batches, r.rounds, static_cast<unsigned long long>(r.executions),
+      r.wall_ms, r.rounds_per_sec(), r.execs_per_sec(), r.wall_ms_per_batch());
+
+  telemetry::JsonDict json;
+  json.set("bench", "throughput")
+      .set("batches", r.batches)
+      .set("rounds", r.rounds)
+      .set("executions", r.executions)
+      .set("wall_ms", r.wall_ms)
+      .set("rounds_per_sec", r.rounds_per_sec())
+      .set("execs_per_sec", r.execs_per_sec())
+      .set("wall_ms_per_batch", r.wall_ms_per_batch());
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json.to_string() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

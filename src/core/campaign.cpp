@@ -4,10 +4,36 @@
 #include <unordered_set>
 
 #include "core/seeds.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/log.h"
 
 namespace torpedo::core {
+
+std::vector<bool> implicated_slots(
+    const std::vector<oracle::Violation>& violations, std::size_t num_slots,
+    const std::unordered_map<int, std::size_t>& core_to_slot) {
+  std::vector<bool> implicated(num_slots, false);
+  for (const oracle::Violation& v : violations) {
+    bool matched = false;
+    // A low fuzz core points at the executor pinned there — but only when
+    // the pinning is real. With an empty map (unpinned executors) the
+    // subject core says nothing about which program ran on it.
+    if (v.heuristic == "fuzz-core-utilization-low" && !core_to_slot.empty()) {
+      for (const auto& [core, slot] : core_to_slot) {
+        if (slot < num_slots && v.subject == "cpu" + std::to_string(core)) {
+          implicated[slot] = true;
+          matched = true;
+        }
+      }
+    }
+    // Anything host-wide (or unattributable) implicates the whole batch.
+    if (!matched)
+      for (std::size_t i = 0; i < num_slots; ++i) implicated[i] = true;
+  }
+  return implicated;
+}
 
 Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
   TORPEDO_CHECK(config_.num_executors > 0);
@@ -68,7 +94,37 @@ void Campaign::load_seeds(std::vector<prog::Program> seeds) {
 
 BatchResult Campaign::run_one_batch() {
   ++batches_run_;
-  return fuzzer_->run_batch();
+  BatchResult result = fuzzer_->run_batch();
+  if (trace_) {
+    telemetry::JsonDict record;
+    record.set("batch", batches_run_ - 1)
+        .set("rounds", result.rounds)
+        .set("baseline_score", result.baseline_score)
+        .set("best_score", result.best_score)
+        .set("improvements", result.improvements)
+        .set("rejected_confirms", result.rejected_confirms)
+        .set("corpus_signal_round", result.corpus_signal_round)
+        .set("corpus_size", static_cast<std::uint64_t>(corpus_.size()))
+        .set("saw_crash", result.saw_crash);
+    trace_->write("batch", kernel_->host().now(), record);
+  }
+  return result;
+}
+
+void Campaign::set_trace_sink(telemetry::TraceSink* sink) {
+  trace_ = sink;
+  observer_->set_trace_sink(sink);
+}
+
+std::unordered_map<int, std::size_t> Campaign::executor_core_map() const {
+  std::unordered_map<int, std::size_t> map;
+  for (std::size_t i = 0; i < executors_.size(); ++i) {
+    const cgroup::CpuSet cpus =
+        executors_[i]->container().group().effective_cpuset();
+    if (cpus.count() != 1) return {};
+    if (!map.emplace(cpus.first(), i).second) return {};
+  }
+  return map;
 }
 
 CampaignReport Campaign::run() {
@@ -146,28 +202,17 @@ CampaignReport Campaign::finalize() {
   };
 
   UnionOracle union_oracle(*cpu_oracle_, *io_oracle_, *memory_oracle_);
+  // Per-core attribution needs the *actual* cpusets: when executors are not
+  // each pinned to their own core (pin_executors == false), the map is empty
+  // and every violation implicates the whole batch.
+  const std::unordered_map<int, std::size_t> core_to_slot =
+      executor_core_map();
   for (std::size_t r = 0; r < scanned_rounds; ++r) {
     const observer::RoundResult& rr = log[r];
     const std::vector<oracle::Violation> violations =
         union_oracle.flag(rr.observation);
-    // Attribute: a low fuzz core points at the executor pinned there; any
-    // host-wide violation implicates the whole batch.
-    std::vector<bool> implicated(rr.programs.size(), false);
-    for (const oracle::Violation& v : violations) {
-      bool matched = false;
-      if (v.heuristic == "fuzz-core-utilization-low") {
-        for (std::size_t i = 0; i < rr.programs.size(); ++i) {
-          const int core = static_cast<int>(i);  // executors pinned 0..n-1
-          if (v.subject == "cpu" + std::to_string(core)) {
-            implicated[i] = true;
-            matched = true;
-          }
-        }
-      }
-      if (!matched)
-        for (std::size_t i = 0; i < rr.programs.size(); ++i)
-          implicated[i] = true;
-    }
+    const std::vector<bool> implicated =
+        implicated_slots(violations, rr.programs.size(), core_to_slot);
     for (std::size_t i = 0; i < rr.programs.size(); ++i) {
       const prog::Program& p = rr.programs[i];
       if (i < rr.stats.size() && rr.stats[i].crashed) {
@@ -217,6 +262,9 @@ CampaignReport Campaign::finalize() {
       if (!any) break;
     }
   }
+
+  report.suspects = static_cast<int>(suspects.size());
+  report.crash_suspects = static_cast<int>(crash_suspects.size());
 
   // ---- confirmation + minimization + classification ------------------------
   SingleRunner runner(*observer_, union_oracle);
@@ -290,6 +338,38 @@ CampaignReport Campaign::finalize() {
     // same one: dedup by panic message.
     if (crash_dedup.insert(crash.message).second)
       report.crashes.push_back(std::move(crash));
+  }
+
+  report.confirmations_run = static_cast<int>(confirmations);
+
+  telemetry::Registry& metrics = telemetry::global();
+  metrics.counter("campaign.suspects")
+      .inc(static_cast<std::uint64_t>(report.suspects));
+  metrics.counter("campaign.crash_suspects")
+      .inc(static_cast<std::uint64_t>(report.crash_suspects));
+  metrics.counter("campaign.confirmations")
+      .inc(static_cast<std::uint64_t>(report.confirmations_run));
+  metrics.counter("campaign.findings")
+      .inc(report.findings.size());
+  metrics.counter("campaign.crash_findings")
+      .inc(report.crashes.size());
+  metrics.gauge("campaign.corpus_size")
+      .set(static_cast<double>(report.corpus_size));
+
+  if (trace_) {
+    telemetry::JsonDict record;
+    record.set("batches", report.batches)
+        .set("rounds", report.rounds)
+        .set("executions", report.executions)
+        .set("suspects", report.suspects)
+        .set("crash_suspects", report.crash_suspects)
+        .set("confirmations", report.confirmations_run)
+        .set("findings", static_cast<std::uint64_t>(report.findings.size()))
+        .set("crashes", static_cast<std::uint64_t>(report.crashes.size()))
+        .set("corpus_size", static_cast<std::uint64_t>(report.corpus_size))
+        .set("denylist_size",
+             static_cast<std::uint64_t>(report.denylist.size()));
+    trace_->write("campaign", kernel_->host().now(), record);
   }
 
   return report;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/classify.h"
@@ -21,6 +22,10 @@
 #include "oracle/oracle.h"
 #include "runtime/engine.h"
 #include "sim/noise.h"
+
+namespace torpedo::telemetry {
+class TraceSink;
+}  // namespace torpedo::telemetry
 
 namespace torpedo::core {
 
@@ -59,7 +64,19 @@ struct CampaignReport {
   std::uint64_t executions = 0;
   std::size_t corpus_size = 0;
   std::vector<std::string> denylist;
+  // Flag-scan statistics (also exported as campaign.* telemetry counters).
+  int suspects = 0;           // distinct programs the flag scan implicated
+  int crash_suspects = 0;     // distinct programs present in crashed rounds
+  int confirmations_run = 0;  // single-program confirmation rounds spent
 };
+
+// Which batch slots a round's violations implicate. `core_to_slot` maps a
+// host core to the executor slot pinned there; pass an empty map when the
+// executors are not each pinned to their own single core — every violation
+// then implicates the whole batch (per-core attribution would be guesswork).
+std::vector<bool> implicated_slots(
+    const std::vector<oracle::Violation>& violations, std::size_t num_slots,
+    const std::unordered_map<int, std::size_t>& core_to_slot);
 
 class Campaign {
  public:
@@ -78,6 +95,16 @@ class Campaign {
   // Finer-grained control (benches use these).
   BatchResult run_one_batch();
   CampaignReport finalize();
+
+  // Streams one JSONL record per observed round (plus batch/campaign
+  // events) to `sink`; nullptr disables. Caller keeps ownership.
+  void set_trace_sink(telemetry::TraceSink* sink);
+
+  // Host core -> executor slot, derived from the containers' *actual*
+  // effective cpusets. Empty unless every executor is pinned to its own
+  // single core (e.g. pin_executors == false), in which case per-core
+  // violation attribution is impossible.
+  std::unordered_map<int, std::size_t> executor_core_map() const;
 
   // Component access.
   kernel::SimKernel& kernel() { return *kernel_; }
@@ -104,6 +131,7 @@ class Campaign {
   feedback::Corpus corpus_;
   std::unique_ptr<TorpedoFuzzer> fuzzer_;
   int batches_run_ = 0;
+  telemetry::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace torpedo::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -18,7 +19,17 @@ TorpedoFuzzer::TorpedoFuzzer(observer::Observer& observer,
       generator_(generator),
       mutator_(mutator),
       corpus_(corpus),
-      config_(config) {}
+      config_(config) {
+  telemetry::Registry& metrics = telemetry::global();
+  ctr_batches_ = &metrics.counter("fuzzer.batches");
+  ctr_mutations_tried_ = &metrics.counter("fuzzer.mutations_tried");
+  ctr_mutations_accepted_ = &metrics.counter("fuzzer.mutations_accepted");
+  ctr_confirm_rejections_ = &metrics.counter("fuzzer.confirm_rejections");
+  ctr_novelty_hits_ = &metrics.counter("fuzzer.corpus_novelty_hits");
+  ctr_candidates_recycled_ = &metrics.counter("fuzzer.candidates_recycled");
+  ctr_denylist_adds_ = &metrics.counter("fuzzer.denylist_adds");
+  gauge_denylist_size_ = &metrics.gauge("fuzzer.denylist_size");
+}
 
 void TorpedoFuzzer::add_seed(prog::Program program) {
   program.filter_calls(denylist_);
@@ -46,7 +57,9 @@ void TorpedoFuzzer::learn_denylist(const prog::Program& program,
     TORPEDO_LOG(LogLevel::kInfo, "denylisting blocking syscall %s",
                 call.desc->name.c_str());
     denylist_.push_back(call.desc->name);
+    ctr_denylist_adds_->inc();
   }
+  gauge_denylist_size_->set(static_cast<double>(denylist_.size()));
   generator_.set_denylist(denylist_);
 }
 
@@ -62,6 +75,7 @@ std::vector<prog::Program> TorpedoFuzzer::next_batch() {
 }
 
 BatchResult TorpedoFuzzer::run_batch() {
+  ctr_batches_->inc();
   BatchResult result;
   std::vector<prog::Program> current = next_batch();
   const std::size_t n = current.size();
@@ -102,14 +116,22 @@ BatchResult TorpedoFuzzer::run_batch() {
   // before they are fuzzed").
   for (std::size_t i = 0; config_.use_coverage && i < n; ++i) {
     if (corpus_.novelty(cand_signal[i]) == 0 && !corpus_.empty()) {
+      ctr_candidates_recycled_->inc();
       current[i] = queue_.empty() ? generator_.generate()
                                   : std::move(queue_.front());
       if (!queue_.empty()) queue_.pop_front();
+    } else if (corpus_.novelty(cand_signal[i]) > 0) {
+      ctr_novelty_hits_->inc();
     }
   }
 
   // --- batch loop: mutate <-> confirm(shuffle) -------------------------------
   const observer::RoundResult& base = run(current);
+  // The most recent round whose executor order matches `current` — the only
+  // kind of round whose per-slot stats may retire the batch. A
+  // shuffle-confirm round rotates programs across executors, so its
+  // stats[i] belongs to a *different* program than current[i].
+  const observer::RoundResult* aligned = &base;
   double best = oracle_.score(base.observation);
   result.baseline_score = best;
   std::vector<double> best_program_scores(n, best);
@@ -120,6 +142,7 @@ BatchResult TorpedoFuzzer::run_batch() {
     std::vector<prog::Program> mutated = current;
     for (prog::Program& p : mutated)
       mutator_.mutate(p, corpus_.programs());
+    ctr_mutations_tried_->inc(n);
 
     const observer::RoundResult& mut = run(mutated);
     const double score = oracle_.score(mut.observation);
@@ -129,6 +152,8 @@ BatchResult TorpedoFuzzer::run_batch() {
     if (!config_.use_resource_score) {
       // Resource-blind ablation: accept every mutation unconditionally.
       current = std::move(mutated);
+      aligned = &mut;
+      ctr_mutations_accepted_->inc(n);
       ++no_improvement;
       continue;
     }
@@ -143,6 +168,8 @@ BatchResult TorpedoFuzzer::run_batch() {
     if (!config_.confirm_shuffle) {
       // Shuffle-confirm disabled (ablation): trust the raw score.
       current = std::move(mutated);
+      aligned = &mut;
+      ctr_mutations_accepted_->inc(n);
       best = score;
       result.improvements++;
       no_improvement = 0;
@@ -161,20 +188,28 @@ BatchResult TorpedoFuzzer::run_batch() {
     if (confirm_score >= best + config_.significance_points ||
         equivalent(confirm_score, score)) {
       current = std::move(mutated);
+      // The confirm round ran rotated; the mutate round is the aligned one.
+      aligned = &mut;
+      ctr_mutations_accepted_->inc(n);
       best = std::max(score, confirm_score);
       result.improvements++;
       no_improvement = 0;
     } else {
       result.rejected_confirms++;
+      ctr_confirm_rejections_->inc();
       ++no_improvement;
     }
   }
 
   // --- retire the batch into the corpus --------------------------------------
-  const observer::RoundResult& last = observer_.log().back();
-  for (std::size_t i = 0; i < n && i < last.stats.size(); ++i) {
-    corpus_.add(current[i], last.stats[i].signal, best);
+  // Use the last `current`-aligned round, NOT observer log().back(): when the
+  // batch ends on a shuffle-confirm round, the log tail's stats are rotated
+  // (and possibly belong to rejected mutants), so each program would enter
+  // the corpus with another program's coverage signal.
+  for (std::size_t i = 0; i < n && i < aligned->stats.size(); ++i) {
+    corpus_.add(current[i], aligned->stats[i].signal, best);
   }
+  result.corpus_signal_round = aligned->round;
 
   result.best_score = best;
   result.final_programs = std::move(current);

@@ -21,6 +21,11 @@
 #include "prog/generate.h"
 #include "prog/mutate.h"
 
+namespace torpedo::telemetry {
+class Counter;
+class Gauge;
+}  // namespace torpedo::telemetry
+
 namespace torpedo::core {
 
 struct FuzzerConfig {
@@ -57,6 +62,10 @@ struct BatchResult {
   int rejected_confirms = 0;   // mutations that failed the shuffle confirm
   std::vector<prog::Program> final_programs;
   std::vector<int> round_numbers;  // observer round indices this batch used
+  // Observer round whose per-executor stats retired the batch into the
+  // corpus. Its executor order matches final_programs — unlike e.g. a
+  // trailing shuffle-confirm round, whose slots are rotated.
+  int corpus_signal_round = -1;
   bool saw_crash = false;
 };
 
@@ -94,6 +103,15 @@ class TorpedoFuzzer {
   std::deque<prog::Program> queue_;
   std::vector<std::string> denylist_;
   std::uint64_t total_executions_ = 0;
+
+  telemetry::Counter* ctr_batches_ = nullptr;
+  telemetry::Counter* ctr_mutations_tried_ = nullptr;
+  telemetry::Counter* ctr_mutations_accepted_ = nullptr;
+  telemetry::Counter* ctr_confirm_rejections_ = nullptr;
+  telemetry::Counter* ctr_novelty_hits_ = nullptr;
+  telemetry::Counter* ctr_candidates_recycled_ = nullptr;
+  telemetry::Counter* ctr_denylist_adds_ = nullptr;
+  telemetry::Gauge* gauge_denylist_size_ = nullptr;
 };
 
 }  // namespace torpedo::core

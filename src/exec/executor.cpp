@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace torpedo::exec {
@@ -17,6 +18,9 @@ struct Executor::State {
   bool setup_paid = false;
   std::uint64_t iter_in_round = 0;
   Rng rng{0xE8EC};
+  telemetry::Counter* ctr_executions = nullptr;
+  telemetry::Counter* ctr_crashes = nullptr;
+  telemetry::Counter* ctr_fatal_respawns = nullptr;
 
   kernel::SysReq lower(const prog::Call& call,
                        const std::vector<std::int64_t>& results) const {
@@ -46,12 +50,19 @@ struct Executor::State {
     return req;
   }
 
+  // stream_every == 0 (and bytes_per_result == 0) mean "never stream"; the
+  // modulo below would otherwise divide by zero.
+  bool streaming_enabled() const {
+    return config.stream_every > 0 && config.bytes_per_result > 0;
+  }
+
   void finalize_round(sim::Host& host) {
     (void)host;
-    const std::uint64_t pending =
-        iter_in_round % config.stream_every;
-    if (pending > 0 && container)
-      engine->stream_output(*container, pending * config.bytes_per_result);
+    if (streaming_enabled()) {
+      const std::uint64_t pending = iter_in_round % config.stream_every;
+      if (pending > 0 && container)
+        engine->stream_output(*container, pending * config.bytes_per_result);
+    }
     phase = Phase::kIdle;
   }
 
@@ -65,6 +76,7 @@ struct Executor::State {
     proc->block_deadline = stop_time;
 
     stats.executions++;
+    ctr_executions->inc();
     iter_in_round++;
     const bool collide =
         config.collide_every > 0 &&
@@ -87,6 +99,7 @@ struct Executor::State {
       const kernel::SysResult& r = outcome.res;
 
       if (outcome.runtime_crashed) {
+        ctr_crashes->inc();
         stats.crashed = true;
         stats.crash_message = outcome.crash_message;
         phase = Phase::kCrashed;
@@ -110,6 +123,7 @@ struct Executor::State {
 
       if (r.fatal_signal != 0) {
         // The program process died; the entrypoint forks a fresh one.
+        ctr_fatal_respawns->inc();
         stats.fatal_signals++;
         stats.last_fatal_signal = r.fatal_signal;
         task.push(sim::Segment::user(config.respawn_user));
@@ -131,7 +145,7 @@ struct Executor::State {
     stats.avg_execution_time =
         stats.total_execution_time / static_cast<Nanos>(stats.executions);
 
-    if (iter_in_round % config.stream_every == 0)
+    if (streaming_enabled() && iter_in_round % config.stream_every == 0)
       engine->stream_output(*container,
                             config.stream_every * config.bytes_per_result);
     return true;
@@ -180,8 +194,14 @@ sim::Supplier Executor::make_supplier() {
 Executor::Executor(runtime::Engine& engine, runtime::ContainerSpec spec,
                    ExecConfig config)
     : engine_(engine), config_(config), state_(std::make_shared<State>()) {
+  TORPEDO_CHECK_MSG(config_.collide_every >= 0,
+                    "collide_every must be >= 0 (0 disables collider mode)");
   state_->config = config_;
   state_->engine = &engine_;
+  telemetry::Registry& metrics = telemetry::global();
+  state_->ctr_executions = &metrics.counter("exec.executions");
+  state_->ctr_crashes = &metrics.counter("exec.container_crashes");
+  state_->ctr_fatal_respawns = &metrics.counter("exec.fatal_signal_respawns");
   container_ = &engine_.run(spec, make_supplier());
   state_->container = container_;
   state_->rng.reseed(config_.seed ^ (container_->id() * 0x9E3779B97F4A7C15ULL));
@@ -234,6 +254,7 @@ void Executor::interrupt() {
 void Executor::restart() {
   TORPEDO_CHECK_MSG(state_->phase == State::Phase::kCrashed,
                     "restart() is only valid after a crash");
+  telemetry::global().counter("exec.container_restarts").inc();
   engine_.mark_crashed(*container_, state_->stats.crash_message);
   state_->phase = State::Phase::kIdle;
   engine_.restart(*container_, make_supplier());

@@ -32,8 +32,9 @@ struct ExecConfig {
   Nanos iteration_block = 90 * kMicrosecond;
   int collide_every = 11;          // every Nth iteration runs "collided";
                                    // 0 disables collider mode
-  std::uint64_t stream_every = 256;       // iterations per output flush
-  std::uint64_t bytes_per_result = 32;
+  std::uint64_t stream_every = 256;       // iterations per output flush;
+                                          // 0 disables streaming
+  std::uint64_t bytes_per_result = 32;    // 0 also disables streaming
   std::uint64_t seed = 0xE8EC;
 };
 

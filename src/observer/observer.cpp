@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 
 namespace torpedo::observer {
@@ -13,6 +15,11 @@ Observer::Observer(kernel::SimKernel& kernel,
     : kernel_(kernel), executors_(std::move(executors)), config_(config) {
   TORPEDO_CHECK(!executors_.empty());
   TORPEDO_CHECK(config_.round_duration > 0);
+  telemetry::Registry& metrics = telemetry::global();
+  ctr_rounds_ = &metrics.counter("observer.rounds");
+  hist_round_wall_us_ = &metrics.histogram("observer.round_wall_us");
+  hist_snapshot_wall_us_ = &metrics.histogram("observer.snapshot_wall_us");
+  hist_quiesce_ns_ = &metrics.histogram("observer.quiesce_drain_sim_ns");
 }
 
 void Observer::warm_up(Nanos duration) {
@@ -116,6 +123,7 @@ const RoundResult& Observer::run_round(
     std::span<const prog::Program> programs) {
   TORPEDO_CHECK_MSG(programs.size() == executors_.size(),
                     "one program per executor");
+  const Nanos round_wall_start = telemetry::steady_now_ns();
 
   // Recover any container whose runtime died last round.
   for (exec::Executor* e : executors_)
@@ -131,7 +139,11 @@ const RoundResult& Observer::run_round(
   // top warm-up frame: taken and discarded before the measured window.
   if (config_.discard_top_warmup) (void)kernel_.host().sample_tasks();
 
-  Snapshot before = snapshot();
+  Snapshot before;
+  {
+    const telemetry::ScopedTimerUs timer(*hist_snapshot_wall_us_);
+    before = snapshot();
+  }
 
   // Stage 2: release all executors; their windows align with ours.
   for (exec::Executor* e : executors_) e->start();
@@ -139,7 +151,11 @@ const RoundResult& Observer::run_round(
   // TakeMeasurement(T): returns after T seconds (Algorithm 2, line 15).
   kernel_.host().run_until(stop);
 
-  Snapshot after = snapshot();
+  Snapshot after;
+  {
+    const telemetry::ScopedTimerUs timer(*hist_snapshot_wall_us_);
+    after = snapshot();
+  }
 
   // Grace drain (outside the measured window): a mid-iteration executor
   // finishes its partial iteration and latches idle; Algorithm 1 guarantees
@@ -161,6 +177,8 @@ const RoundResult& Observer::run_round(
     kernel_.host().run_for(kMillisecond);
   }
   TORPEDO_CHECK_MSG(quiesced(), "executor failed to quiesce after its round");
+  const Nanos quiesce_drain = kernel_.host().now() - stop;
+  hist_quiesce_ns_->record(static_cast<std::uint64_t>(quiesce_drain));
 
   RoundResult result;
   result.round = round_++;
@@ -177,6 +195,31 @@ const RoundResult& Observer::run_round(
 
   // Keep the task table from growing without bound across long campaigns.
   kernel_.host().reap_dead_tasks_before(result.observation.window_start);
+
+  ctr_rounds_->inc();
+  const std::uint64_t round_wall_us = static_cast<std::uint64_t>(
+      (telemetry::steady_now_ns() - round_wall_start) / 1000);
+  hist_round_wall_us_->record(round_wall_us);
+
+  if (trace_) {
+    std::uint64_t executions = 0, fatal_signals = 0, crashes = 0;
+    for (const exec::RunStats& s : result.stats) {
+      executions += s.executions;
+      fatal_signals += s.fatal_signals;
+      crashes += s.crashed ? 1 : 0;
+    }
+    telemetry::JsonDict record;
+    record.set("round", result.round)
+        .set("window_start_ns", result.observation.window_start)
+        .set("window_end_ns", result.observation.window_end)
+        .set("executors", static_cast<std::uint64_t>(executors_.size()))
+        .set("executions", executions)
+        .set("fatal_signals", fatal_signals)
+        .set("crashes", crashes)
+        .set("quiesce_drain_ns", quiesce_drain)
+        .set("wall_us", round_wall_us);
+    trace_->write("round", kernel_.host().now(), record);
+  }
 
   log_.push_back(std::move(result));
   return log_.back();

@@ -14,6 +14,12 @@
 #include "exec/executor.h"
 #include "observer/observation.h"
 
+namespace torpedo::telemetry {
+class Counter;
+class Histogram;
+class TraceSink;
+}  // namespace torpedo::telemetry
+
 namespace torpedo::observer {
 
 struct ObserverConfig {
@@ -54,6 +60,11 @@ class Observer {
   std::size_t executor_count() const { return executors_.size(); }
   exec::Executor& executor(std::size_t i) const { return *executors_[i]; }
 
+  // When set, every completed round appends one "round" record to the sink
+  // (the machine-readable campaign trace). Caller keeps ownership.
+  void set_trace_sink(telemetry::TraceSink* sink) { trace_ = sink; }
+  telemetry::TraceSink* trace_sink() const { return trace_; }
+
  private:
   struct Snapshot {
     kernel::ProcStat stat;
@@ -69,6 +80,12 @@ class Observer {
   ObserverConfig config_;
   std::deque<RoundResult> log_;
   int round_ = 0;
+
+  telemetry::TraceSink* trace_ = nullptr;
+  telemetry::Counter* ctr_rounds_ = nullptr;
+  telemetry::Histogram* hist_round_wall_us_ = nullptr;
+  telemetry::Histogram* hist_snapshot_wall_us_ = nullptr;
+  telemetry::Histogram* hist_quiesce_ns_ = nullptr;
 };
 
 }  // namespace torpedo::observer

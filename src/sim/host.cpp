@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace torpedo::sim {
@@ -18,6 +19,13 @@ Host::Host(HostConfig config)
       rng_(config.seed) {
   TORPEDO_CHECK(config_.num_cores > 0 && config_.num_cores <= 64);
   TORPEDO_CHECK(config_.quantum > 0);
+  telemetry::Registry& metrics =
+      config_.metrics ? *config_.metrics : telemetry::global();
+  ctr_quanta_ = &metrics.counter("sim.quanta");
+  ctr_sched_picks_ = &metrics.counter("sim.scheduler_picks");
+  ctr_wakeups_ = &metrics.counter("sim.wakeups");
+  ctr_segments_ = &metrics.counter("sim.segments_finished");
+  hist_run_until_wall_us_ = &metrics.histogram("sim.run_until_wall_us");
   cores_.resize(static_cast<std::size_t>(config_.num_cores));
   for (int i = 0; i < config_.num_cores; ++i) cores_[static_cast<std::size_t>(i)].id = i;
 
@@ -97,6 +105,7 @@ int Host::place_on_core(const Task& task) {
 
 void Host::wake(Task& task) {
   if (task.state() != TaskState::kBlocked) return;
+  ctr_wakeups_->inc();
   task.state_ = TaskState::kRunnable;
   task.io_wait_ = false;
   task.wake_on_time_ = false;
@@ -163,10 +172,12 @@ void Host::raise_irq(int core, Nanos ns) {
 
 void Host::run_until(Nanos t) {
   TORPEDO_CHECK(t >= now_);
+  const telemetry::ScopedTimerUs timer(*hist_run_until_wall_us_);
   const Nanos final_time = t;
   while (now_ < final_time) {
     const Nanos start = now_;
     const Nanos end = std::min(final_time, start + config_.quantum);
+    ctr_quanta_->inc();
     for (Core& core : cores_) simulate_core(core, start, end);
     now_ = end;
   }
@@ -178,6 +189,7 @@ void Host::account(Core& core, CpuCategory cat, Nanos ns) {
 
 void Host::finish_segment(Task& task) {
   TORPEDO_CHECK(!task.segments_.empty());
+  ctr_segments_->inc();
   // Move the callback out before popping: on_complete may push new segments.
   std::function<void()> cb = std::move(task.segments_.front().on_complete);
   task.segments_.pop_front();
@@ -211,6 +223,7 @@ Task* Host::pick_runnable(Core& core, Nanos t) {
     if (task->throttle_until_ > t) continue;
     if (!best || task->vruntime_ < best->vruntime_) best = task;
   }
+  if (best) ctr_sched_picks_->inc();
   return best;
 }
 

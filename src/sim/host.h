@@ -25,6 +25,12 @@
 #include "util/rng.h"
 #include "util/time.h"
 
+namespace torpedo::telemetry {
+class Registry;
+class Counter;
+class Histogram;
+}  // namespace torpedo::telemetry
+
 namespace torpedo::sim {
 
 struct HostConfig {
@@ -33,6 +39,8 @@ struct HostConfig {
   int num_kworkers = 8;
   std::uint64_t disk_bytes_per_second = 200ull << 20;
   std::uint64_t seed = 0x70717065646FULL;  // "torpedo"
+  // Telemetry destination; nullptr selects telemetry::global().
+  telemetry::Registry* metrics = nullptr;
 };
 
 // Snapshot of one task for the top(1)-style sampler.
@@ -148,6 +156,14 @@ class Host {
 
   WorkQueue workqueue_;
   std::vector<Task*> kworkers_;
+
+  // Telemetry probes, resolved once at construction (no lookups on the hot
+  // path).
+  telemetry::Counter* ctr_quanta_ = nullptr;
+  telemetry::Counter* ctr_sched_picks_ = nullptr;
+  telemetry::Counter* ctr_wakeups_ = nullptr;
+  telemetry::Counter* ctr_segments_ = nullptr;
+  telemetry::Histogram* hist_run_until_wall_us_ = nullptr;
 };
 
 }  // namespace torpedo::sim

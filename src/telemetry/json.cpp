@@ -1,0 +1,265 @@
+#include "telemetry/json.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace torpedo::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string render_number(double v) {
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc() ? std::string(buf, end) : std::string("0");
+}
+
+}  // namespace
+
+JsonDict& JsonDict::put(std::string_view key, std::string rendered) {
+  fields_.emplace_back(std::string(key), std::move(rendered));
+  return *this;
+}
+
+JsonDict& JsonDict::set(std::string_view key, std::int64_t v) {
+  return put(key, std::to_string(v));
+}
+
+JsonDict& JsonDict::set(std::string_view key, std::uint64_t v) {
+  return put(key, std::to_string(v));
+}
+
+JsonDict& JsonDict::set(std::string_view key, double v) {
+  return put(key, render_number(v));
+}
+
+JsonDict& JsonDict::set(std::string_view key, bool v) {
+  return put(key, v ? "true" : "false");
+}
+
+JsonDict& JsonDict::set(std::string_view key, std::string_view v) {
+  return put(key, "\"" + json_escape(v) + "\"");
+}
+
+JsonDict& JsonDict::set_raw(std::string_view key, std::string_view rendered) {
+  return put(key, std::string(rendered));
+}
+
+JsonDict& JsonDict::update(const JsonDict& other) {
+  for (const auto& [k, v] : other.fields_) fields_.emplace_back(k, v);
+  return *this;
+}
+
+std::string JsonDict::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + json_escape(fields_[i].first) + "\":" + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+// --- parsing ---------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() &&
+           (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+            s[pos] == '\r'))
+      ++pos;
+  }
+  bool eof() const { return pos >= s.size(); }
+  char peek() const { return s[pos]; }
+  bool consume(char c) {
+    if (eof() || s[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (!eof()) {
+      char c = s[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (eof()) return std::nullopt;
+        char e = s[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > s.size()) return std::nullopt;
+            unsigned code = 0;
+            auto [end, ec] = std::from_chars(s.data() + pos,
+                                             s.data() + pos + 4, code, 16);
+            if (ec != std::errc() || end != s.data() + pos + 4)
+              return std::nullopt;
+            pos += 4;
+            // Telemetry only escapes control characters; anything else is
+            // preserved as the raw byte (BMP-only, no surrogate handling).
+            out += static_cast<char>(code);
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  // Captures a balanced {...} or [...] verbatim, honoring strings.
+  std::optional<std::string> parse_raw() {
+    const std::size_t start = pos;
+    int depth = 0;
+    bool in_string = false;
+    while (!eof()) {
+      char c = s[pos];
+      if (in_string) {
+        if (c == '\\') {
+          pos += 2;
+          continue;
+        }
+        if (c == '"') in_string = false;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        --depth;
+        if (depth == 0) {
+          ++pos;
+          return std::string(s.substr(start, pos - start));
+        }
+      }
+      ++pos;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (eof()) return std::nullopt;
+    JsonValue v;
+    const char c = peek();
+    if (c == '"') {
+      auto str = parse_string();
+      if (!str) return std::nullopt;
+      v.kind = JsonValue::Kind::kString;
+      v.text = std::move(*str);
+      return v;
+    }
+    if (c == '{' || c == '[') {
+      auto raw = parse_raw();
+      if (!raw) return std::nullopt;
+      v.kind = JsonValue::Kind::kRaw;
+      v.text = std::move(*raw);
+      return v;
+    }
+    if (s.substr(pos, 4) == "true") {
+      pos += 4;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (s.substr(pos, 5) == "false") {
+      pos += 5;
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (s.substr(pos, 4) == "null") {
+      pos += 4;
+      return v;
+    }
+    // Number.
+    const std::size_t start = pos;
+    while (!eof() && (s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
+                      s[pos] == 'e' || s[pos] == 'E' ||
+                      (s[pos] >= '0' && s[pos] <= '9')))
+      ++pos;
+    const std::string_view tok = s.substr(start, pos - start);
+    if (tok.empty()) return std::nullopt;
+    v.kind = JsonValue::Kind::kNumber;
+    {
+      auto [end, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), v.number);
+      if (ec != std::errc() || end != tok.data() + tok.size())
+        return std::nullopt;
+    }
+    if (tok.find('.') == std::string_view::npos &&
+        tok.find('e') == std::string_view::npos &&
+        tok.find('E') == std::string_view::npos) {
+      auto [end, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), v.integer);
+      v.is_integer = ec == std::errc() && end == tok.data() + tok.size();
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+std::optional<std::map<std::string, JsonValue>> parse_json_object(
+    std::string_view line) {
+  Parser p{line};
+  p.skip_ws();
+  if (!p.consume('{')) return std::nullopt;
+  std::map<std::string, JsonValue> out;
+  p.skip_ws();
+  if (p.consume('}')) return out;
+  while (true) {
+    p.skip_ws();
+    auto key = p.parse_string();
+    if (!key) return std::nullopt;
+    p.skip_ws();
+    if (!p.consume(':')) return std::nullopt;
+    auto value = p.parse_value();
+    if (!value) return std::nullopt;
+    out[std::move(*key)] = std::move(*value);
+    p.skip_ws();
+    if (p.consume(',')) continue;
+    if (p.consume('}')) break;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (!p.eof()) return std::nullopt;
+  return out;
+}
+
+}  // namespace torpedo::telemetry

@@ -1,0 +1,69 @@
+// Minimal JSON support for the telemetry layer.
+//
+// Telemetry artifacts (the JSONL round trace, metrics.json, BENCH_*.json)
+// are flat-ish JSON objects produced and consumed by this repo alone, so a
+// full JSON library would be overkill. JsonDict renders an insertion-ordered
+// object; parse_json_object parses one back for round-trip tests and
+// tooling. Nested objects/arrays are composed with set_raw and come back as
+// raw text on the parse side.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace torpedo::telemetry {
+
+// Escapes for a double-quoted JSON string (quotes, backslash, control
+// characters).
+std::string json_escape(std::string_view s);
+
+// Insertion-ordered JSON object builder.
+class JsonDict {
+ public:
+  JsonDict& set(std::string_view key, std::int64_t v);
+  JsonDict& set(std::string_view key, std::uint64_t v);
+  JsonDict& set(std::string_view key, int v) {
+    return set(key, static_cast<std::int64_t>(v));
+  }
+  JsonDict& set(std::string_view key, double v);
+  JsonDict& set(std::string_view key, bool v);
+  JsonDict& set(std::string_view key, std::string_view v);
+  JsonDict& set(std::string_view key, const char* v) {
+    return set(key, std::string_view(v));
+  }
+  // Inserts pre-rendered JSON verbatim (nested object/array).
+  JsonDict& set_raw(std::string_view key, std::string_view rendered);
+  // Appends every field of `other` after this dict's fields.
+  JsonDict& update(const JsonDict& other);
+
+  bool empty() const { return fields_.empty(); }
+  std::string to_string() const;
+
+ private:
+  JsonDict& put(std::string_view key, std::string rendered);
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// One parsed JSON value. Integers that fit std::int64_t keep exact
+// precision in `integer` (doubles round past 2^53; wall-clock epoch stamps
+// do not fit a double).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kRaw };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  bool is_integer = false;
+  std::int64_t integer = 0;
+  double number = 0;
+  std::string text;  // string payload, or raw JSON for kRaw
+};
+
+// Parses one JSON object (e.g. one JSONL line). Nested objects and arrays
+// are captured as kRaw values. Returns nullopt on malformed input.
+std::optional<std::map<std::string, JsonValue>> parse_json_object(
+    std::string_view line);
+
+}  // namespace torpedo::telemetry

@@ -1,0 +1,128 @@
+#include "telemetry/telemetry.h"
+
+#include <bit>
+#include <chrono>
+
+namespace torpedo::telemetry {
+
+Nanos wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Nanos steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- Histogram -------------------------------------------------------------
+
+void Histogram::record(std::uint64_t v) {
+  if (count_ == 0 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  // Bucket k holds [2^(k-1), 2^k); bucket 0 holds the value 0.
+  ++buckets_[static_cast<std::size_t>(std::bit_width(v))];
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    cumulative += buckets_[k];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      const std::uint64_t upper =
+          k == 0 ? 0 : (k >= 64 ? max_ : (std::uint64_t{1} << k) - 1);
+      return std::min(std::max(upper, min()), max_);
+    }
+  }
+  return max_;
+}
+
+JsonDict Histogram::to_json() const {
+  JsonDict d;
+  d.set("count", count_)
+      .set("sum", sum_)
+      .set("min", min())
+      .set("max", max_)
+      .set("mean", mean())
+      .set("p50", percentile(50))
+      .set("p90", percentile(90))
+      .set("p99", percentile(99));
+  return d;
+}
+
+// --- Registry --------------------------------------------------------------
+
+Counter& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  return it->second;
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string Registry::to_json(Nanos sim_ns) const {
+  JsonDict counters;
+  for (const auto& [name, c] : counters_) counters.set(name, c.value());
+  JsonDict gauges;
+  for (const auto& [name, g] : gauges_) gauges.set(name, g.value());
+  JsonDict histograms;
+  for (const auto& [name, h] : histograms_)
+    histograms.set_raw(name, h.to_json().to_string());
+
+  JsonDict out;
+  out.set("sim_ns", sim_ns)
+      .set("wall_ns", wall_now_ns())
+      .set_raw("counters", counters.to_string())
+      .set_raw("gauges", gauges.to_string())
+      .set_raw("histograms", histograms.to_string());
+  return out.to_string();
+}
+
+void Registry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace torpedo::telemetry

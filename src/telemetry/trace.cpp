@@ -1,0 +1,27 @@
+#include "telemetry/trace.h"
+
+#include "telemetry/telemetry.h"
+
+namespace torpedo::telemetry {
+
+TraceSink::TraceSink(const std::filesystem::path& path)
+    : file_(path, std::ios::out | std::ios::trunc) {
+  if (file_.is_open()) out_ = &file_;
+}
+
+TraceSink::TraceSink(std::ostream& out) : out_(&out) {}
+
+void TraceSink::write(std::string_view event, Nanos sim_ns,
+                      const JsonDict& fields) {
+  if (!out_) return;
+  JsonDict record;
+  record.set("event", event)
+      .set("seq", seq_++)
+      .set("sim_ns", sim_ns)
+      .set("wall_ns", wall_now_ns())
+      .update(fields);
+  *out_ << record.to_string() << '\n';
+  out_->flush();
+}
+
+}  // namespace torpedo::telemetry

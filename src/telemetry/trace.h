@@ -1,0 +1,46 @@
+// The campaign round trace: a JSONL event sink.
+//
+// Each write() appends exactly one line — a JSON object carrying the event
+// name, a monotonically increasing sequence number, and dual timestamps
+// (`sim_ns` from the virtual host clock, `wall_ns` from the real one) —
+// followed by the caller's fields. One "round" record per observed round is
+// the contract the acceptance tooling checks; other layers (batch loop,
+// finalize pass) append their own event kinds to the same file.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <string_view>
+
+#include "telemetry/json.h"
+#include "util/time.h"
+
+namespace torpedo::telemetry {
+
+class TraceSink {
+ public:
+  // Truncates and writes to `path`. Check ok() before relying on output.
+  explicit TraceSink(const std::filesystem::path& path);
+  // Writes to a caller-owned stream (tests).
+  explicit TraceSink(std::ostream& out);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  bool ok() const { return out_ != nullptr && out_->good(); }
+
+  // Appends one record: {"event":...,"seq":N,"sim_ns":...,"wall_ns":...,
+  // <fields...>}.
+  void write(std::string_view event, Nanos sim_ns, const JsonDict& fields);
+
+  std::uint64_t records() const { return seq_; }
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace torpedo::telemetry

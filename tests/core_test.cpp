@@ -122,6 +122,78 @@ TEST(Fuzzer, GeneratesWhenQueueEmpty) {
   EXPECT_EQ(result.final_programs.size(), 3u);
 }
 
+// A deterministic oracle for scripting the batch loop: returns queued
+// scores in call order (base, mutate, confirm, ...), clamping to the last.
+class ScriptedOracle : public oracle::Oracle {
+ public:
+  explicit ScriptedOracle(std::vector<double> scores)
+      : scores_(std::move(scores)) {}
+  std::string_view name() const override { return "scripted"; }
+  double score(const observer::Observation&) const override {
+    return scores_[std::min(next_++, scores_.size() - 1)];
+  }
+  std::vector<oracle::Violation> flag(
+      const observer::Observation&) const override {
+    return {};
+  }
+
+ private:
+  std::vector<double> scores_;
+  mutable std::size_t next_ = 0;
+};
+
+// Regression: when the batch ends on a *rejected* shuffle-confirm round, the
+// observer log's tail holds rotated stats for rejected mutants. Retiring the
+// batch from log().back() gave each program a different program's coverage
+// signal; the fuzzer must retire from the last current-aligned round.
+TEST(Fuzzer, ShuffleConfirmRejectionRetiresAlignedRound) {
+  Campaign campaign(fast_config());
+
+  // base=10, mutate=20 (a significant improvement), confirm=5 (confirmation
+  // fails) -> exactly one rejected confirm, then cycle-out.
+  ScriptedOracle oracle({10, 20, 5});
+  FuzzerConfig fcfg;
+  fcfg.verify_triage = false;
+  fcfg.use_coverage = false;
+  fcfg.confirm_shuffle = true;
+  fcfg.use_resource_score = true;
+  fcfg.cycle_out_rounds = 1;
+  fcfg.auto_denylist = false;
+  prog::Generator generator{Rng(42)};
+  prog::Mutator mutator(generator);
+  feedback::Corpus corpus;
+  TorpedoFuzzer fuzzer(campaign.observer(), oracle, generator, mutator,
+                       corpus, fcfg);
+  fuzzer.add_seed(*named_seed("sync"));
+  fuzzer.add_seed(*named_seed("kcmp-pair"));
+  fuzzer.add_seed(*named_seed("audit-oob"));
+
+  const BatchResult result = fuzzer.run_batch();
+  const auto& log = campaign.observer().log();
+
+  // Scenario shape: candidate + baseline + mutate + rejected confirm, and
+  // the trailing confirm round really is rotated out of batch order.
+  ASSERT_EQ(result.rounds, 4);
+  ASSERT_EQ(result.rejected_confirms, 1);
+  EXPECT_NE(log.back().programs, result.final_programs);
+
+  // The retiring round's executor order matches the final programs...
+  ASSERT_GE(result.corpus_signal_round, 0);
+  ASSERT_LT(static_cast<std::size_t>(result.corpus_signal_round), log.size());
+  const observer::RoundResult& aligned = log[result.corpus_signal_round];
+  EXPECT_EQ(aligned.programs, result.final_programs);
+
+  // ...and each corpus entry carries that round's per-slot signal, not the
+  // rotated stats of the confirm round.
+  ASSERT_EQ(corpus.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(corpus.entry(i).program, result.final_programs[i]) << i;
+    EXPECT_EQ(corpus.entry(i).signal.elements(),
+              aligned.stats[i].signal.elements())
+        << i;
+  }
+}
+
 TEST(Fuzzer, AutoDenylistsBlockingCalls) {
   Campaign campaign(fast_config());
   auto pause_prog = prog::Program::parse("pause()\n");
@@ -342,6 +414,57 @@ TEST(CampaignTest, ConfigDrivesExecutorLayout) {
   EXPECT_DOUBLE_EQ(campaign.executor(0).container().spec().cpus, 1.0);
 }
 
+TEST(CampaignTest, ExecutorCoreMapReflectsPinning) {
+  CampaignConfig cfg = fast_config();
+  Campaign pinned(cfg);
+  const auto map = pinned.executor_core_map();
+  ASSERT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.at(0), 0u);
+  EXPECT_EQ(map.at(1), 1u);
+  EXPECT_EQ(map.at(2), 2u);
+
+  // Unpinned executors share the whole host cpuset: no core identifies an
+  // executor, so the map must be empty.
+  cfg.pin_executors = false;
+  Campaign unpinned(cfg);
+  EXPECT_TRUE(unpinned.executor_core_map().empty());
+}
+
+// Regression: finalize() used to map a fuzz-core-utilization-low violation
+// on cpuN to executor N unconditionally — wrong whenever executors are not
+// pinned 1:1 to cores 0..N-1.
+TEST(CampaignTest, AttributionFollowsActualCpusets) {
+  using oracle::Violation;
+  const std::vector<Violation> low = {
+      {"fuzz-core-utilization-low", "cpu5", 10.0, 80.0}};
+
+  // Executors pinned off the identity layout: cpu4->slot0, cpu5->slot1, ...
+  const std::unordered_map<int, std::size_t> shifted = {{4, 0}, {5, 1}, {6, 2}};
+  EXPECT_EQ(implicated_slots(low, 3, shifted),
+            (std::vector<bool>{false, true, false}));
+
+  // Unpinned (empty map): per-core attribution is guesswork, so the whole
+  // batch is implicated. The old code would have indexed slot 5.
+  EXPECT_EQ(implicated_slots(low, 3, {}),
+            (std::vector<bool>{true, true, true}));
+
+  // Violations on non-executor subjects always implicate the whole batch.
+  const std::vector<Violation> host_wide = {
+      {"nonfuzz-core-iowait-high", "cpu7", 0.5, 0.1}};
+  EXPECT_EQ(implicated_slots(host_wide, 3, shifted),
+            (std::vector<bool>{true, true, true}));
+
+  // So does a low core nobody is pinned to.
+  const std::vector<Violation> stray = {
+      {"fuzz-core-utilization-low", "cpu0", 10.0, 80.0}};
+  EXPECT_EQ(implicated_slots(stray, 3, shifted),
+            (std::vector<bool>{true, true, true}));
+
+  // No violations -> nobody implicated.
+  EXPECT_EQ(implicated_slots({}, 3, shifted),
+            (std::vector<bool>{false, false, false}));
+}
+
 TEST(CampaignTest, RunCFindsSyncFinding) {
   CampaignConfig cfg = fast_config();
   cfg.batches = 1;
@@ -357,6 +480,8 @@ TEST(CampaignTest, RunCFindsSyncFinding) {
   EXPECT_TRUE(found_sync);
   EXPECT_GT(report.rounds, 0);
   EXPECT_GT(report.executions, 0u);
+  EXPECT_GT(report.suspects, 0);
+  EXPECT_GT(report.confirmations_run, 0);
 }
 
 TEST(CampaignTest, GvisorFindsOpenCrash) {

@@ -117,6 +117,46 @@ TEST(Executor, RunsProgramForOneRound) {
   EXPECT_EQ(stats.last_iteration.size(), 2u);
 }
 
+// Regression: stream_every == 0 is documented as "never stream", but the
+// executor divided by it on every iteration (and once more in the
+// round-finalize flush) — a hard SIGFPE. Same for bytes_per_result == 0,
+// which just made every flush a no-op worth skipping.
+TEST(Executor, StreamEveryZeroDisablesStreaming) {
+  Harness h;
+  exec::ExecConfig cfg;
+  cfg.stream_every = 0;
+  runtime::ContainerSpec spec;
+  spec.name = "no-stream";
+  spec.cpus = 1.0;
+  spec.cpuset_cpus = "5";
+  exec::Executor executor(*h.engine, spec, cfg);
+
+  const Nanos stop = h.kernel->host().now() + kSecond;
+  executor.prime(*core::named_seed("appendix-a1-prog2"), stop);
+  executor.start();
+  h.kernel->host().run_until(stop + 100 * kMillisecond);
+  ASSERT_TRUE(executor.idle());
+  EXPECT_GT(executor.stats().executions, 0u);
+}
+
+TEST(Executor, BytesPerResultZeroDisablesStreaming) {
+  Harness h;
+  exec::ExecConfig cfg;
+  cfg.bytes_per_result = 0;
+  runtime::ContainerSpec spec;
+  spec.name = "no-bytes";
+  spec.cpus = 1.0;
+  spec.cpuset_cpus = "5";
+  exec::Executor executor(*h.engine, spec, cfg);
+
+  const Nanos stop = h.kernel->host().now() + kSecond;
+  executor.prime(*core::named_seed("appendix-a1-prog0"), stop);
+  executor.start();
+  h.kernel->host().run_until(stop + 100 * kMillisecond);
+  ASSERT_TRUE(executor.idle());
+  EXPECT_GT(executor.stats().executions, 0u);
+}
+
 TEST(Executor, PrimeWhileRunningThrows) {
   Harness h;
   const Nanos stop = h.kernel->host().now() + kSecond;

@@ -1,0 +1,241 @@
+// Telemetry layer: counters/gauges/histograms, the JSON builder/parser
+// round-trip, and the JSONL trace sink contract (one record per write,
+// event/seq/sim_ns/wall_ns stamped on every line).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "telemetry/json.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace torpedo::telemetry {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, HoldsLastValue) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  h.record(1);
+  h.record(10);
+  h.record(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 111u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 37.0);
+}
+
+TEST(HistogramTest, PercentileBoundsObservedRange) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  // Log2 buckets give ~2x relative error; the estimate must stay within the
+  // observed range and be monotone in p.
+  const std::uint64_t p50 = h.percentile(50);
+  const std::uint64_t p99 = h.percentile(99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  EXPECT_LE(p50, p99);
+  EXPECT_EQ(h.percentile(100), h.max());
+  EXPECT_EQ(h.percentile(0), h.min());
+}
+
+TEST(HistogramTest, BucketsAreLog2) {
+  Histogram h;
+  h.record(0);    // bit_width(0) == 0
+  h.record(1);    // bucket 1
+  h.record(2);    // bucket 2
+  h.record(3);    // bucket 2
+  h.record(4);    // bucket 3
+  const auto& b = h.buckets();
+  EXPECT_EQ(b[0], 1u);
+  EXPECT_EQ(b[1], 1u);
+  EXPECT_EQ(b[2], 2u);
+  EXPECT_EQ(b[3], 1u);
+}
+
+TEST(HistogramTest, ToJsonCarriesSummary) {
+  Histogram h;
+  h.record(7);
+  const std::string json = h.to_json().to_string();
+  auto parsed = parse_json_object(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)["count"].integer, 1);
+  EXPECT_EQ((*parsed)["sum"].integer, 7);
+  EXPECT_EQ((*parsed)["min"].integer, 7);
+  EXPECT_EQ((*parsed)["max"].integer, 7);
+}
+
+TEST(RegistryTest, InstrumentIdentityIsStable) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  a.inc(5);
+  // Same name -> same instrument, even after other registrations rebalance
+  // the map.
+  for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i));
+  EXPECT_EQ(&reg.counter("x"), &a);
+  EXPECT_EQ(reg.counter("x").value(), 5u);
+  EXPECT_EQ(reg.find_counter("x"), &a);
+  EXPECT_EQ(reg.find_counter("never-registered"), nullptr);
+}
+
+TEST(RegistryTest, ToJsonAndReset) {
+  Registry reg;
+  reg.counter("hits").inc(3);
+  reg.gauge("load").set(0.5);
+  reg.histogram("lat").record(12);
+
+  auto parsed = parse_json_object(reg.to_json(1234));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)["sim_ns"].integer, 1234);
+  EXPECT_GT((*parsed)["wall_ns"].integer, 0);
+  // Sections come back as raw nested objects.
+  EXPECT_NE((*parsed)["counters"].text.find("\"hits\":3"), std::string::npos);
+  EXPECT_NE((*parsed)["gauges"].text.find("load"), std::string::npos);
+  EXPECT_NE((*parsed)["histograms"].text.find("lat"), std::string::npos);
+
+  reg.reset();
+  EXPECT_EQ(reg.find_counter("hits"), nullptr);
+  EXPECT_TRUE(reg.counters().empty());
+}
+
+TEST(RegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&global(), &global());
+}
+
+TEST(JsonTest, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonTest, DictPreservesInsertionOrder) {
+  JsonDict d;
+  d.set("z", 1).set("a", 2).set("m", true).set("s", "hi");
+  EXPECT_EQ(d.to_string(), "{\"z\":1,\"a\":2,\"m\":true,\"s\":\"hi\"}");
+}
+
+TEST(JsonTest, Int64RoundTripIsExact) {
+  // Epoch nanoseconds exceed 2^53 and would lose precision as a double.
+  const std::int64_t wall = 1754400000123456789;
+  JsonDict d;
+  d.set("wall_ns", wall).set("neg", std::int64_t{-42});
+  auto parsed = parse_json_object(d.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE((*parsed)["wall_ns"].is_integer);
+  EXPECT_EQ((*parsed)["wall_ns"].integer, wall);
+  EXPECT_EQ((*parsed)["neg"].integer, -42);
+}
+
+TEST(JsonTest, ParsesStringsDoublesBoolsAndNested) {
+  auto parsed = parse_json_object(
+      "{\"s\":\"a\\nb\",\"d\":1.5,\"t\":true,\"f\":false,\"n\":null,"
+      "\"o\":{\"inner\":[1,2]}}");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)["s"].text, "a\nb");
+  EXPECT_EQ((*parsed)["d"].number, 1.5);
+  EXPECT_FALSE((*parsed)["d"].is_integer);
+  EXPECT_TRUE((*parsed)["t"].boolean);
+  EXPECT_FALSE((*parsed)["f"].boolean);
+  EXPECT_EQ((*parsed)["n"].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ((*parsed)["o"].kind, JsonValue::Kind::kRaw);
+  EXPECT_EQ((*parsed)["o"].text, "{\"inner\":[1,2]}");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_json_object("").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":}").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":1").has_value());
+  EXPECT_FALSE(parse_json_object("[1,2]").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":1}trailing").has_value());
+}
+
+TEST(TraceSinkTest, WritesOneStampedRecordPerLine) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  ASSERT_TRUE(sink.ok());
+
+  JsonDict fields;
+  fields.set("round", 0).set("score", 12.5);
+  sink.write("round", 5 * 1000000000LL, fields);
+  sink.write("batch", 6 * 1000000000LL, JsonDict{});
+  EXPECT_EQ(sink.records(), 2u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+
+  ASSERT_TRUE(std::getline(lines, line));
+  auto first = parse_json_object(line);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ((*first)["event"].text, "round");
+  EXPECT_EQ((*first)["seq"].integer, 0);
+  EXPECT_EQ((*first)["sim_ns"].integer, 5000000000LL);
+  EXPECT_GT((*first)["wall_ns"].integer, 0);
+  EXPECT_EQ((*first)["round"].integer, 0);
+  EXPECT_EQ((*first)["score"].number, 12.5);
+
+  ASSERT_TRUE(std::getline(lines, line));
+  auto second = parse_json_object(line);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ((*second)["event"].text, "batch");
+  EXPECT_EQ((*second)["seq"].integer, 1);
+
+  EXPECT_FALSE(std::getline(lines, line));  // exactly two lines
+}
+
+TEST(TraceSinkTest, FileSinkTruncatesAndAppends) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "torpedo_trace_test.jsonl";
+  {
+    TraceSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    sink.write("a", 1, JsonDict{});
+    sink.write("b", 2, JsonDict{});
+  }
+  {
+    TraceSink sink(path);  // reopening truncates
+    sink.write("c", 3, JsonDict{});
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto parsed = parse_json_object(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)["event"].text, "c");
+  EXPECT_FALSE(std::getline(in, line));
+  std::filesystem::remove(path);
+}
+
+TEST(ScopedTimerTest, RecordsOnScopeExit) {
+  Histogram h;
+  { ScopedTimerUs timer(h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace torpedo::telemetry

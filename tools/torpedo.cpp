@@ -24,6 +24,8 @@
 #include "core/campaign.h"
 #include "core/seeds.h"
 #include "core/workdir.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "kernel/errno.h"
 #include "kernel/syscalls.h"
 #include "util/log.h"
@@ -39,6 +41,7 @@ int usage() {
       "  torpedo run   [--runtime runc|crun|runsc|kata] [--batches N]\n"
       "                [--executors N] [--round-seconds S] [--num-seeds N]\n"
       "                [--seeds-dir DIR] [--workdir DIR] [--seed N] [-v]\n"
+      "                [--trace FILE.jsonl] [--metrics FILE.json]\n"
       "  torpedo exec  [--runtime ...] [--round-seconds S] FILE.prog\n"
       "  torpedo seeds [--out DIR] [--count N]\n",
       stderr);
@@ -113,6 +116,16 @@ int cmd_run(const Args& args) {
 
   core::Campaign campaign(*config);
 
+  std::optional<telemetry::TraceSink> trace;
+  if (auto path = args.get("trace")) {
+    trace.emplace(*path);
+    if (!trace->ok()) {
+      std::fprintf(stderr, "cannot open trace file %s\n", path->c_str());
+      return 1;
+    }
+    campaign.set_trace_sink(&*trace);
+  }
+
   if (auto dir = args.get("seeds-dir")) {
     std::vector<std::string> errors;
     auto seeds = core::load_seed_files(*dir, &errors);
@@ -153,6 +166,21 @@ int cmd_run(const Args& args) {
     core::save_report(dir / "report.txt", report);
     std::printf("workdir written: %s (corpus.txt, report.txt)\n",
                 dir.string().c_str());
+  }
+
+  if (auto path = args.get("metrics")) {
+    std::ofstream out(*path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open metrics file %s\n", path->c_str());
+      return 1;
+    }
+    out << telemetry::global().to_json(campaign.kernel().host().now()) << "\n";
+    std::printf("metrics written: %s\n", path->c_str());
+  }
+  if (trace) {
+    std::printf("trace written: %s (%llu records)\n",
+                args.get("trace")->c_str(),
+                static_cast<unsigned long long>(trace->records()));
   }
   return 0;
 }
