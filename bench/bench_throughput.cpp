@@ -3,8 +3,10 @@
 // Runs a stock campaign (paper §4.2 defaults, scaled down) and measures the
 // host-side cost of the simulation: observed rounds per wall second,
 // simulated executions per wall second, and wall milliseconds per batch.
-// Results land in BENCH_throughput.json so CI and the telemetry layer's
-// consumers can chart regressions.
+// The campaign runs twice — span tracer off, then on — so the flight
+// recorder's overhead is measured by the same harness that would catch any
+// other regression. Results land in BENCH_throughput.json so CI and the
+// telemetry layer's consumers can chart regressions.
 //
 //   bench_throughput [--quick] [--out FILE.json]
 #include <chrono>
@@ -15,6 +17,7 @@
 
 #include "bench_common.h"
 #include "telemetry/json.h"
+#include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 
 using namespace torpedo;
@@ -26,6 +29,7 @@ struct Result {
   int rounds = 0;
   std::uint64_t executions = 0;
   double wall_ms = 0;
+  std::size_t spans = 0;
 
   double rounds_per_sec() const {
     return wall_ms > 0 ? rounds / (wall_ms / 1000.0) : 0;
@@ -39,13 +43,21 @@ struct Result {
   }
 };
 
-Result run_campaign(int batches) {
+Result run_campaign(int batches, bool with_tracer) {
   core::CampaignConfig config;
   config.batches = batches;
   config.round_duration = 2 * kSecond;
   config.fuzzer.cycle_out_rounds = 4;
   core::Campaign campaign(config);
   campaign.load_default_seeds();
+
+  telemetry::SpanTracer tracer;
+  if (with_tracer) {
+    tracer.set_sim_clock(
+        [](void* ctx) { return static_cast<sim::Host*>(ctx)->now(); },
+        &campaign.kernel().host());
+    telemetry::set_spans(&tracer);
+  }
 
   Result result;
   const auto start = std::chrono::steady_clock::now();
@@ -55,9 +67,11 @@ Result run_campaign(int batches) {
     result.batches++;
   }
   const auto end = std::chrono::steady_clock::now();
+  telemetry::set_spans(nullptr);
   result.executions = campaign.fuzzer().total_executions();
   result.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
+  result.spans = tracer.spans().size();
   return result;
 }
 
@@ -83,13 +97,18 @@ int main(int argc, char** argv) {
 
   bench::print_header("Throughput", "host-side cost of the fuzzing loop");
 
-  const Result r = run_campaign(batches);
+  const Result r = run_campaign(batches, /*with_tracer=*/false);
+  const Result traced = run_campaign(batches, /*with_tracer=*/true);
+  const double overhead_pct =
+      r.wall_ms > 0 ? 100.0 * (traced.wall_ms - r.wall_ms) / r.wall_ms : 0;
 
   std::printf(
       "%d batches, %d rounds, %llu executions in %.1f ms\n"
-      "  %.2f rounds/sec, %.0f execs/sec, %.1f ms/batch\n",
+      "  %.2f rounds/sec, %.0f execs/sec, %.1f ms/batch\n"
+      "with span tracer: %.1f ms (%zu spans, %+.1f%% wall overhead)\n",
       r.batches, r.rounds, static_cast<unsigned long long>(r.executions),
-      r.wall_ms, r.rounds_per_sec(), r.execs_per_sec(), r.wall_ms_per_batch());
+      r.wall_ms, r.rounds_per_sec(), r.execs_per_sec(), r.wall_ms_per_batch(),
+      traced.wall_ms, traced.spans, overhead_pct);
 
   telemetry::JsonDict json;
   json.set("bench", "throughput")
@@ -99,7 +118,10 @@ int main(int argc, char** argv) {
       .set("wall_ms", r.wall_ms)
       .set("rounds_per_sec", r.rounds_per_sec())
       .set("execs_per_sec", r.execs_per_sec())
-      .set("wall_ms_per_batch", r.wall_ms_per_batch());
+      .set("wall_ms_per_batch", r.wall_ms_per_batch())
+      .set("tracer_wall_ms", traced.wall_ms)
+      .set("tracer_spans", static_cast<std::uint64_t>(traced.spans))
+      .set("tracer_overhead_pct", overhead_pct);
 
   std::ofstream out(out_path, std::ios::trunc);
   if (!out) {

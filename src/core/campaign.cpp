@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/seeds.h"
+#include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 #include "util/check.h"
@@ -94,6 +95,9 @@ void Campaign::load_seeds(std::vector<prog::Program> seeds) {
 
 BatchResult Campaign::run_one_batch() {
   ++batches_run_;
+  telemetry::ScopedSpan span(
+      "campaign.batch",
+      telemetry::JsonDict{}.set("batch", batches_run_ - 1));
   BatchResult result = fuzzer_->run_batch();
   if (trace_) {
     telemetry::JsonDict record;
@@ -128,6 +132,7 @@ std::unordered_map<int, std::size_t> Campaign::executor_core_map() const {
 }
 
 CampaignReport Campaign::run() {
+  telemetry::ScopedSpan span("campaign.run");
   if (fuzzer_->pending() == 0) load_default_seeds();
   for (int b = 0; b < config_.batches; ++b) {
     const BatchResult result = run_one_batch();
@@ -169,11 +174,14 @@ class UnionOracle final : public oracle::Oracle {
 }  // namespace
 
 CampaignReport Campaign::finalize() {
+  telemetry::ScopedSpan finalize_span("campaign.finalize");
   CampaignReport report;
   report.batches = batches_run_;
   report.denylist = fuzzer_->denylist();
 
   // ---- flag scan over the round log (§3.6.1) ------------------------------
+  const std::uint64_t flag_scan_span =
+      telemetry::spans() ? telemetry::spans()->begin("finalize.flag_scan") : 0;
   const std::deque<observer::RoundResult>& log = observer_->log();
   const std::size_t scanned_rounds = log.size();
   report.rounds = static_cast<int>(scanned_rounds);
@@ -265,6 +273,7 @@ CampaignReport Campaign::finalize() {
 
   report.suspects = static_cast<int>(suspects.size());
   report.crash_suspects = static_cast<int>(crash_suspects.size());
+  if (telemetry::spans()) telemetry::spans()->end(flag_scan_span);
 
   // ---- confirmation + minimization + classification ------------------------
   SingleRunner runner(*observer_, union_oracle);
@@ -276,6 +285,10 @@ CampaignReport Campaign::finalize() {
     if (confirmations >= config_.max_confirmations) break;
     ++confirmations;
 
+    telemetry::ScopedSpan confirm_span(
+        "finalize.confirm", telemetry::JsonDict{}
+                                .set("program_hash", suspect.program.hash())
+                                .set("source_round", suspect.round));
     std::vector<oracle::Violation> violations =
         runner.violations(suspect.program);
     if (violations.empty()) continue;  // innocent batch member
@@ -292,7 +305,9 @@ CampaignReport Campaign::finalize() {
     if (blocked_only) continue;
 
     SingleRunner confirm_runner(*observer_, union_oracle);
-    prog::Program minimized = minimize(suspect.program, confirm_runner);
+    std::vector<MinimizeStep> minimize_history;
+    prog::Program minimized =
+        minimize(suspect.program, confirm_runner, &minimize_history);
 
     // Classification window: rerun the minimized program once.
     std::vector<oracle::Violation> final_violations =
@@ -318,26 +333,55 @@ CampaignReport Campaign::finalize() {
     finding.source_round = suspect.round;
 
     const std::string key = finding.syscall_list() + "|" + finding.cause;
-    if (dedup.insert(key).second) report.findings.push_back(std::move(finding));
+    if (dedup.insert(key).second) {
+      // Capture the causal evidence while the confirmation window is still
+      // at hand: the full observation, the kernel trace slice, and the
+      // confirm/minimize history (the flight-recorder bundle payload).
+      Provenance prov;
+      prov.finding_index = static_cast<int>(report.findings.size());
+      prov.original_serialized = suspect.program.serialize();
+      prov.minimized_serialized = finding.serialized;
+      prov.program_hash = minimized.hash();
+      prov.source_round = suspect.round;
+      prov.confirm_rounds = confirm_runner.rounds_used() + 1;
+      prov.oracle_score = union_oracle.score(window);
+      prov.cause = finding.cause;
+      prov.symptoms = finding.symptoms;
+      prov.syscalls = finding.syscall_list();
+      prov.initial_violations = std::move(violations);
+      prov.final_violations = finding.violations;
+      prov.observation = window;
+      prov.trace_events =
+          kernel_->trace().window(window.window_start, window.window_end);
+      prov.minimize_history = std::move(minimize_history);
+      report.provenance.push_back(std::move(prov));
+      report.findings.push_back(std::move(finding));
+    }
   }
 
   // ---- runtime crash reports ------------------------------------------------
-  std::unordered_set<std::string> crash_dedup;
-  for (const Suspect& suspect : crash_suspects) {
-    CrashFinding crash;
-    crash.program = suspect.program;
-    crash.serialized = suspect.program.serialize();
-    crash.source_round = suspect.round;
-    // Reproduce in a fresh container: one confirmation round.
-    (void)runner.violations(suspect.program);
-    const observer::RoundResult& rr = runner.last_round();
-    crash.reproduced = rr.any_crash;
-    crash.message = rr.stats.empty() ? "" : rr.stats[0].crash_message;
-    if (crash.message.empty()) crash.message = "container crashed";
-    // The paper reports distinct *bugs*, not every mutant that trips the
-    // same one: dedup by panic message.
-    if (crash_dedup.insert(crash.message).second)
-      report.crashes.push_back(std::move(crash));
+  {
+    telemetry::ScopedSpan crash_span(
+        "finalize.crash_repro",
+        telemetry::JsonDict{}.set(
+            "suspects", static_cast<std::uint64_t>(crash_suspects.size())));
+    std::unordered_set<std::string> crash_dedup;
+    for (const Suspect& suspect : crash_suspects) {
+      CrashFinding crash;
+      crash.program = suspect.program;
+      crash.serialized = suspect.program.serialize();
+      crash.source_round = suspect.round;
+      // Reproduce in a fresh container: one confirmation round.
+      (void)runner.violations(suspect.program);
+      const observer::RoundResult& rr = runner.last_round();
+      crash.reproduced = rr.any_crash;
+      crash.message = rr.stats.empty() ? "" : rr.stats[0].crash_message;
+      if (crash.message.empty()) crash.message = "container crashed";
+      // The paper reports distinct *bugs*, not every mutant that trips the
+      // same one: dedup by panic message.
+      if (crash_dedup.insert(crash.message).second)
+        report.crashes.push_back(std::move(crash));
+    }
   }
 
   report.confirmations_run = static_cast<int>(confirmations);

@@ -15,6 +15,7 @@
 #include "core/classify.h"
 #include "core/fuzzer.h"
 #include "core/minimize.h"
+#include "core/provenance.h"
 #include "exec/executor.h"
 #include "feedback/corpus.h"
 #include "kernel/kernel.h"
@@ -59,6 +60,10 @@ struct CampaignConfig {
 struct CampaignReport {
   std::vector<Finding> findings;
   std::vector<CrashFinding> crashes;
+  // Causal evidence per finding: provenance[i].finding_index indexes into
+  // findings. write_violation_bundles() persists these as
+  // workdir/violations/NNN/.
+  std::vector<Provenance> provenance;
   int batches = 0;
   int rounds = 0;
   std::uint64_t executions = 0;

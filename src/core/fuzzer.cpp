@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -80,8 +81,11 @@ BatchResult TorpedoFuzzer::run_batch() {
   std::vector<prog::Program> current = next_batch();
   const std::size_t n = current.size();
 
-  auto run = [&](const std::vector<prog::Program>& programs)
-      -> const observer::RoundResult& {
+  // `stage` labels the fuzzing-loop phase this round serves; the round span
+  // itself is opened by the observer, so the stage span wraps it.
+  auto run = [&](const std::vector<prog::Program>& programs,
+                 std::string_view stage) -> const observer::RoundResult& {
+    telemetry::ScopedSpan span(stage);
     const observer::RoundResult& rr = observer_.run_round(programs);
     result.rounds++;
     result.round_numbers.push_back(rr.round);
@@ -91,7 +95,7 @@ BatchResult TorpedoFuzzer::run_batch() {
   };
 
   // --- candidate stage: one run, gate on new coverage ------------------------
-  const observer::RoundResult& cand = run(current);
+  const observer::RoundResult& cand = run(current, "fuzz.candidate");
   std::vector<feedback::SignalSet> cand_signal(n);
   for (std::size_t i = 0; i < n; ++i) {
     cand_signal[i] = cand.stats[i].signal;
@@ -100,7 +104,7 @@ BatchResult TorpedoFuzzer::run_batch() {
 
   // --- triage stage: rerun to verify the coverage reproduces -----------------
   if (config_.verify_triage) {
-    const observer::RoundResult& tri = run(current);
+    const observer::RoundResult& tri = run(current, "fuzz.triage");
     for (std::size_t i = 0; i < n; ++i) {
       // Keep only signal seen in both runs (syzkaller's flaky-coverage
       // filter).
@@ -126,7 +130,7 @@ BatchResult TorpedoFuzzer::run_batch() {
   }
 
   // --- batch loop: mutate <-> confirm(shuffle) -------------------------------
-  const observer::RoundResult& base = run(current);
+  const observer::RoundResult& base = run(current, "fuzz.baseline");
   // The most recent round whose executor order matches `current` — the only
   // kind of round whose per-slot stats may retire the batch. A
   // shuffle-confirm round rotates programs across executors, so its
@@ -144,7 +148,7 @@ BatchResult TorpedoFuzzer::run_batch() {
       mutator_.mutate(p, corpus_.programs());
     ctr_mutations_tried_->inc(n);
 
-    const observer::RoundResult& mut = run(mutated);
+    const observer::RoundResult& mut = run(mutated, "fuzz.mutate");
     const double score = oracle_.score(mut.observation);
     for (std::size_t i = 0; i < n; ++i)
       learn_denylist(mutated[i], mut.stats[i]);
@@ -182,7 +186,7 @@ BatchResult TorpedoFuzzer::run_batch() {
     std::vector<prog::Program> shuffled(mutated.size());
     for (std::size_t i = 0; i < mutated.size(); ++i)
       shuffled[(i + 1) % mutated.size()] = mutated[i];
-    const observer::RoundResult& confirm = run(shuffled);
+    const observer::RoundResult& confirm = run(shuffled, "fuzz.confirm");
     const double confirm_score = oracle_.score(confirm.observation);
 
     if (confirm_score >= best + config_.significance_points ||

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/span.h"
 #include "util/check.h"
 
 namespace torpedo::core {
@@ -28,6 +29,9 @@ SingleRunner::SingleRunner(observer::Observer& observer,
 
 std::vector<oracle::Violation> SingleRunner::violations(
     const prog::Program& program) {
+  telemetry::ScopedSpan span(
+      "confirm.single_run",
+      telemetry::JsonDict{}.set("program_hash", program.hash()));
   std::vector<prog::Program> slots(observer_.executor_count(), idle_);
   TORPEDO_CHECK(!slots.empty());
   slots[0] = program;
@@ -37,7 +41,11 @@ std::vector<oracle::Violation> SingleRunner::violations(
   observer_.warm_up(kSecond);
   const observer::RoundResult& rr = observer_.run_round(slots);
   ++rounds_used_;
-  std::vector<oracle::Violation> raw = oracle_.flag(rr.observation);
+  std::vector<oracle::Violation> raw;
+  {
+    telemetry::ScopedSpan flag_span("oracle.flag");
+    raw = oracle_.flag(rr.observation);
+  }
   // Executors 1..n ran the idle program on purpose; their quiet fuzz cores
   // are not evidence against the program under test.
   const int active_core =
@@ -71,7 +79,11 @@ bool same_violations(const std::vector<oracle::Violation>& a,
   return names(a) == names(b);
 }
 
-prog::Program minimize(const prog::Program& program, SingleRunner& runner) {
+prog::Program minimize(const prog::Program& program, SingleRunner& runner,
+                       std::vector<MinimizeStep>* history) {
+  telemetry::ScopedSpan span(
+      "minimize", telemetry::JsonDict{}.set(
+                      "calls", static_cast<std::uint64_t>(program.size())));
   const std::vector<oracle::Violation> reference =
       runner.violations(program);
   if (reference.empty()) return program;  // nothing to preserve
@@ -81,6 +93,7 @@ prog::Program minimize(const prog::Program& program, SingleRunner& runner) {
   for (int i = static_cast<int>(current.size()) - 1; i >= 0; --i) {
     if (current.size() <= 1) break;
     prog::Program trial = current;
+    const std::string removed_name = trial.calls()[i].desc->name;
     trial.calls().erase(trial.calls().begin() + i);
     // Removing a producer re-binds or degrades dependent references; that is
     // exactly the paper's caveat that "potentially unnecessary calls must be
@@ -95,8 +108,10 @@ prog::Program minimize(const prog::Program& program, SingleRunner& runner) {
             --value.result_of;
         }
     trial.fixup();
-    if (same_violations(reference, runner.violations(trial)))
-      current = std::move(trial);
+    const bool kept = same_violations(reference, runner.violations(trial));
+    if (kept) current = std::move(trial);
+    if (history)
+      history->push_back({i, removed_name, kept, current.size()});
   }
   return current;
 }

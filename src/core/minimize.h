@@ -38,8 +38,19 @@ class SingleRunner {
 bool same_violations(const std::vector<oracle::Violation>& a,
                      const std::vector<oracle::Violation>& b);
 
+// One attempted call removal during minimization — the provenance bundle
+// records the whole sequence so a finding's shrink path is reproducible.
+struct MinimizeStep {
+  int call_index = -1;        // index of the call the trial removed
+  std::string call_name;      // its syscall name
+  bool kept_removal = false;  // violations held -> removal accepted
+  std::size_t size_after = 0; // program size after this step
+};
+
 // Algorithm 3: remove calls one at a time, keeping each removal only if the
-// violation set is unchanged.
-prog::Program minimize(const prog::Program& program, SingleRunner& runner);
+// violation set is unchanged. When `history` is non-null, every attempted
+// removal is appended to it in trial order.
+prog::Program minimize(const prog::Program& program, SingleRunner& runner,
+                       std::vector<MinimizeStep>* history = nullptr);
 
 }  // namespace torpedo::core

@@ -1,0 +1,254 @@
+#include "core/provenance.h"
+
+#include <fstream>
+
+#include "core/campaign.h"
+#include "util/strings.h"
+
+namespace torpedo::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string core_usage_to_json(const observer::CoreUsage& usage) {
+  telemetry::JsonDict d;
+  d.set("core", usage.core);
+  telemetry::JsonDict jiffies;
+  for (int i = 0; i < sim::kNumCpuCategories; ++i) {
+    const auto cat = static_cast<sim::CpuCategory>(i);
+    jiffies.set(sim::cpu_category_name(cat),
+                usage.jiffies[static_cast<std::size_t>(i)]);
+  }
+  d.set_raw("jiffies", jiffies.to_string())
+      .set("busy_percent", usage.percent())
+      .set("iowait_fraction", usage.iowait_fraction());
+  return d.to_string();
+}
+
+std::string int_array_to_json(const std::vector<int>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string minimize_history_to_json(const std::vector<MinimizeStep>& steps) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i) out += ",";
+    telemetry::JsonDict d;
+    d.set("call_index", steps[i].call_index)
+        .set("call", steps[i].call_name)
+        .set("kept_removal", steps[i].kept_removal)
+        .set("size_after", static_cast<std::uint64_t>(steps[i].size_after));
+    out += d.to_string();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+telemetry::JsonDict observation_to_json(const observer::Observation& obs) {
+  telemetry::JsonDict d;
+  d.set("round", obs.round)
+      .set("window_start_ns", obs.window_start)
+      .set("window_end_ns", obs.window_end)
+      .set_raw("aggregate", core_usage_to_json(obs.aggregate));
+
+  std::string cores = "[";
+  for (std::size_t i = 0; i < obs.cores.size(); ++i) {
+    if (i) cores += ",";
+    cores += core_usage_to_json(obs.cores[i]);
+  }
+  cores += "]";
+  d.set_raw("cores", cores);
+
+  std::string processes = "[";
+  for (std::size_t i = 0; i < obs.processes.size(); ++i) {
+    if (i) processes += ",";
+    const observer::ProcSample& p = obs.processes[i];
+    telemetry::JsonDict proc;
+    proc.set("pid", p.pid)
+        .set("name", p.name)
+        .set("cgroup", p.cgroup)
+        .set("cpu_percent", p.cpu_percent);
+    processes += proc.to_string();
+  }
+  processes += "]";
+  d.set_raw("processes", processes);
+
+  std::string containers = "[";
+  for (std::size_t i = 0; i < obs.containers.size(); ++i) {
+    if (i) containers += ",";
+    const observer::ContainerUsage& c = obs.containers[i];
+    telemetry::JsonDict ctr;
+    ctr.set("cgroup", c.cgroup_path)
+        .set("cpu_ns", c.cpu_ns)
+        .set("memory_bytes", c.memory_bytes)
+        .set("memory_failcnt", c.memory_failcnt)
+        .set("blkio_bytes", c.blkio_bytes);
+    containers += ctr.to_string();
+  }
+  containers += "]";
+  d.set_raw("containers", containers);
+
+  d.set_raw("fuzz_cores", int_array_to_json(obs.fuzz_cores))
+      .set("side_band_core", obs.side_band_core)
+      .set("configured_cpu_cap", obs.configured_cpu_cap)
+      .set("device_bytes", obs.device_bytes)
+      .set("total_utilization", obs.total_utilization());
+  return d;
+}
+
+std::string trace_events_to_json(
+    const std::vector<kernel::TraceEvent>& events) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i) out += ",";
+    telemetry::JsonDict d;
+    d.set("time_ns", events[i].time)
+        .set("kind", kernel::trace_kind_name(events[i].kind))
+        .set("pid", events[i].pid)
+        .set("detail", events[i].detail);
+    out += d.to_string();
+  }
+  out += "]";
+  return out;
+}
+
+telemetry::JsonDict provenance_to_json(const Provenance& p, int bundle_id) {
+  // Flat summary fields first (torpedo report keys on these without touching
+  // the nested evidence), evidence after.
+  std::string heuristics;
+  for (const oracle::Violation& v : p.final_violations) {
+    if (heuristics.find(v.heuristic) != std::string::npos) continue;
+    if (!heuristics.empty()) heuristics += ",";
+    heuristics += v.heuristic;
+  }
+
+  telemetry::JsonDict d;
+  // Hash as hex text: a full uint64 does not round-trip through the parser's
+  // int64/double paths, and `torpedo report` dedups on this field verbatim.
+  d.set("bundle", bundle_id)
+      .set("program_hash", format("%016llx",
+                                  static_cast<unsigned long long>(
+                                      p.program_hash)))
+      .set("syscalls", p.syscalls)
+      .set("heuristics", heuristics)
+      .set("cause", p.cause)
+      .set("symptoms", p.symptoms)
+      .set("source_round", p.source_round)
+      .set("confirm_rounds", p.confirm_rounds)
+      .set("oracle_score", p.oracle_score)
+      .set("program", p.minimized_serialized)
+      .set("original_program", p.original_serialized)
+      .set_raw("violations", oracle::violations_to_json(p.final_violations))
+      .set_raw("initial_violations",
+               oracle::violations_to_json(p.initial_violations))
+      .set_raw("observation", observation_to_json(p.observation).to_string())
+      .set_raw("kernel_trace", trace_events_to_json(p.trace_events))
+      .set_raw("minimize_history",
+               minimize_history_to_json(p.minimize_history));
+  return d;
+}
+
+std::string provenance_report_md(const Provenance& p, int bundle_id) {
+  std::string md;
+  md += format("# Violation bundle %03d\n\n", bundle_id);
+  md += format("- **syscalls:** %s\n", p.syscalls.c_str());
+  md += format("- **cause:** %s\n", p.cause.c_str());
+  md += format("- **symptoms:** %s\n", p.symptoms.c_str());
+  md += format("- **source round:** %d\n", p.source_round);
+  md += format("- **confirm rounds spent:** %d\n", p.confirm_rounds);
+  md += format("- **oracle score (final window):** %.2f\n", p.oracle_score);
+  md += format("- **program hash:** %016llx\n\n",
+               static_cast<unsigned long long>(p.program_hash));
+
+  md += "## Violations (confirmed on the minimized program)\n\n";
+  md += "| heuristic | subject | value | threshold |\n";
+  md += "|---|---|---|---|\n";
+  for (const oracle::Violation& v : p.final_violations)
+    md += format("| %s | %s | %.4f | %.4f |\n", v.heuristic.c_str(),
+                 v.subject.c_str(), v.value, v.threshold);
+
+  md += "\n## Minimized program\n\n```\n" + p.minimized_serialized + "```\n";
+
+  md += "\n## Per-core usage over the confirmation window\n\n";
+  md += "| core | busy % | iowait | total jiffies |\n|---|---|---|---|\n";
+  for (const observer::CoreUsage& core : p.observation.cores)
+    md += format("| cpu%d | %.1f | %.3f | %lld |\n", core.core,
+                 core.percent(), core.iowait_fraction(),
+                 static_cast<long long>(core.total()));
+
+  if (!p.observation.processes.empty()) {
+    md += "\n## top(1) rows (window survivors)\n\n";
+    md += "| pid | name | cgroup | cpu % |\n|---|---|---|---|\n";
+    for (const observer::ProcSample& proc : p.observation.processes)
+      md += format("| %llu | %s | %s | %.2f |\n",
+                   static_cast<unsigned long long>(proc.pid),
+                   proc.name.c_str(), proc.cgroup.c_str(), proc.cpu_percent);
+  }
+
+  md += format("\n## Kernel trace window (%zu events)\n\n",
+               p.trace_events.size());
+  if (!p.trace_events.empty()) {
+    md += "| time (ns) | kind | pid | detail |\n|---|---|---|---|\n";
+    for (const kernel::TraceEvent& e : p.trace_events)
+      md += format("| %lld | %s | %llu | %s |\n",
+                   static_cast<long long>(e.time),
+                   std::string(kernel::trace_kind_name(e.kind)).c_str(),
+                   static_cast<unsigned long long>(e.pid), e.detail.c_str());
+  }
+
+  if (!p.minimize_history.empty()) {
+    md += "\n## Minimization history\n\n";
+    md += "| removed call | kept? | size after |\n|---|---|---|\n";
+    for (const MinimizeStep& step : p.minimize_history)
+      md += format("| %s (index %d) | %s | %zu |\n", step.call_name.c_str(),
+                   step.call_index, step.kept_removal ? "yes" : "no",
+                   step.size_after);
+  }
+
+  md += "\nReproduce with `torpedo exec program.prog`.\n";
+  return md;
+}
+
+std::size_t write_violation_bundles(const fs::path& workdir,
+                                    const CampaignReport& report) {
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < report.provenance.size(); ++i) {
+    const Provenance& p = report.provenance[i];
+    const int bundle_id = static_cast<int>(i);
+    const fs::path dir = workdir / "violations" / format("%03d", bundle_id);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) continue;
+
+    {
+      std::ofstream out(dir / "bundle.json");
+      if (!out) continue;
+      out << provenance_to_json(p, bundle_id).to_string() << "\n";
+    }
+    {
+      std::ofstream out(dir / "report.md");
+      out << provenance_report_md(p, bundle_id);
+    }
+    {
+      std::ofstream out(dir / "program.prog");
+      out << p.minimized_serialized;
+    }
+    {
+      std::ofstream out(dir / "original.prog");
+      out << p.original_serialized;
+    }
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace torpedo::core

@@ -1,0 +1,72 @@
+// Violation provenance bundles (the causal flight recorder's payload).
+//
+// The paper's findings are only as good as their evidence: the per-core
+// jiffy deltas, the top(1) rows, and the KernelTrace deferral events the
+// §4.1.4 trace-cmd workflow inspects. When a flagged program survives
+// confirmation, Campaign::finalize captures all of that — plus the
+// confirm/minimize history and the oracle's score/threshold math — into a
+// Provenance record. write_violation_bundles() persists each record as a
+// self-contained `workdir/violations/NNN/` directory:
+//
+//   bundle.json    machine-readable evidence (torpedo report consumes this)
+//   report.md      the same story for a human triager
+//   program.prog   the minimized program, runnable via `torpedo exec`
+//   original.prog  the un-minimized suspect from the flagged round
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/minimize.h"
+#include "kernel/trace.h"
+#include "observer/observation.h"
+#include "oracle/oracle.h"
+#include "telemetry/json.h"
+
+namespace torpedo::core {
+
+struct CampaignReport;
+
+// Everything needed to reproduce and explain one confirmed finding.
+struct Provenance {
+  int finding_index = -1;  // index into CampaignReport::findings
+  std::string original_serialized;   // suspect as flagged in the round log
+  std::string minimized_serialized;  // after Algorithm 3
+  std::uint64_t program_hash = 0;    // minimized program (dedup signature)
+  int source_round = -1;
+  int confirm_rounds = 0;            // observer rounds spent on this finding
+  double oracle_score = 0;           // union-oracle score of the final window
+  std::string cause;                 // KernelTrace classification
+  std::string symptoms;
+  std::string syscalls;              // "sync, fsync"
+  std::vector<oracle::Violation> initial_violations;  // first confirmation
+  std::vector<oracle::Violation> final_violations;    // minimized rerun
+  observer::Observation observation;                  // final window, full
+  std::vector<kernel::TraceEvent> trace_events;       // KernelTrace window
+  std::vector<MinimizeStep> minimize_history;
+};
+
+// --- JSON renderers (hand-rolled, exact int64 like the rest of telemetry) ---
+
+// Full Observation: window stamps, aggregate + per-core jiffies by /proc/stat
+// category, top(1) rows, per-container accounting, and oracle context.
+telemetry::JsonDict observation_to_json(const observer::Observation& obs);
+
+// KernelTrace events as a JSON array: [{"time_ns":..,"kind":..,"pid":..,
+// "detail":..}, ...].
+std::string trace_events_to_json(
+    const std::vector<kernel::TraceEvent>& events);
+
+// The whole bundle (the contents of bundle.json).
+telemetry::JsonDict provenance_to_json(const Provenance& p, int bundle_id);
+
+// Human-readable markdown companion.
+std::string provenance_report_md(const Provenance& p, int bundle_id);
+
+// Writes `<workdir>/violations/NNN/` for every provenance record in the
+// report. Returns the number of bundles written.
+std::size_t write_violation_bundles(const std::filesystem::path& workdir,
+                                    const CampaignReport& report);
+
+}  // namespace torpedo::core

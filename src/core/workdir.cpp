@@ -111,8 +111,10 @@ void save_report(const fs::path& file, const CampaignReport& report) {
     out << "cause: " << f.cause << (f.is_new ? " (new)" : " (reconfirm)")
         << "\n";
     out << "symptoms: " << f.symptoms << "\n";
+    // One structured record per violation: grep-able by humans, parseable by
+    // tooling without reverse-engineering the prose format.
     for (const oracle::Violation& v : f.violations)
-      out << "violation: " << v.to_string() << "\n";
+      out << "violation: " << v.to_json().to_string() << "\n";
     out << f.serialized << "\n";
   }
   for (const CrashFinding& crash : report.crashes) {

@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 
@@ -222,6 +223,7 @@ void Executor::start() {
   TORPEDO_CHECK_MSG(state_->phase == State::Phase::kPrimed,
                     "start() requires a primed executor");
   state_->phase = State::Phase::kRunning;
+  round_begin_ns_ = engine_.kernel().host().now();
   if (sim::Task* t = engine_.kernel().host().find_task(container_->task()))
     engine_.kernel().host().wake(*t);
 }
@@ -240,6 +242,21 @@ const RunStats& Executor::stats() const { return state_->stats; }
 RunStats Executor::take_stats() {
   RunStats out = std::move(state_->stats);
   state_->stats = RunStats{};
+  // Retroactive per-executor span over the execution window (begin was
+  // start(), end is collection time — the observer calls this right after
+  // quiesce, inside its round span).
+  if (telemetry::SpanTracer* tracer = telemetry::spans();
+      tracer && round_begin_ns_ >= 0) {
+    telemetry::JsonDict args;
+    args.set("container", container_->spec().name)
+        .set("executions", out.executions)
+        .set("fatal_signals", out.fatal_signals)
+        .set("avg_execution_ns", out.avg_execution_time)
+        .set("crashed", out.crashed);
+    tracer->emit("exec", round_begin_ns_, engine_.kernel().host().now(),
+                 args);
+    round_begin_ns_ = -1;
+  }
   return out;
 }
 

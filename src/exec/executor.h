@@ -98,6 +98,9 @@ class Executor {
   ExecConfig config_;
   std::shared_ptr<State> state_;
   runtime::Container* container_ = nullptr;
+  // Sim instant of the last start(); take_stats() emits the per-executor
+  // "exec" span over [round_begin_ns_, now] when a span tracer is installed.
+  Nanos round_begin_ns_ = -1;
 };
 
 }  // namespace torpedo::exec

@@ -7,6 +7,7 @@
 // queries a time window for them.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -55,23 +56,30 @@ class KernelTrace {
       : capacity_(capacity) {}
 
   void record(TraceEvent event) {
+    // window()/count() binary-search on time, so the deque must stay sorted.
+    // Producers stamp with the monotonic host clock; a stale stamp (caller
+    // cached `now` across a blocking step) is clamped rather than allowed to
+    // break the ordering invariant.
+    if (!events_.empty() && event.time < events_.back().time)
+      event.time = events_.back().time;
     if (events_.size() == capacity_) events_.pop_front();
     events_.push_back(std::move(event));
   }
 
-  // All events with time in [from, to).
+  // All events with time in [from, to). Events arrive in time order (the
+  // host clock is monotonic), so both window edges are binary searches —
+  // queries stay O(log n + matches) even against a full 2^20-event ring.
   std::vector<TraceEvent> window(Nanos from, Nanos to) const {
-    std::vector<TraceEvent> out;
-    for (const TraceEvent& e : events_)
-      if (e.time >= from && e.time < to) out.push_back(e);
-    return out;
+    auto [lo, hi] = window_range(from, to);
+    return std::vector<TraceEvent>(lo, hi);
   }
 
   // Count of a given kind in [from, to).
   std::size_t count(TraceKind kind, Nanos from, Nanos to) const {
+    auto [lo, hi] = window_range(from, to);
     std::size_t n = 0;
-    for (const TraceEvent& e : events_)
-      if (e.kind == kind && e.time >= from && e.time < to) ++n;
+    for (auto it = lo; it != hi; ++it)
+      if (it->kind == kind) ++n;
     return n;
   }
 
@@ -79,6 +87,17 @@ class KernelTrace {
   void clear() { events_.clear(); }
 
  private:
+  using Iter = std::deque<TraceEvent>::const_iterator;
+  std::pair<Iter, Iter> window_range(Nanos from, Nanos to) const {
+    const auto lo = std::lower_bound(
+        events_.begin(), events_.end(), from,
+        [](const TraceEvent& e, Nanos t) { return e.time < t; });
+    const auto hi = std::lower_bound(
+        lo, events_.end(), to,
+        [](const TraceEvent& e, Nanos t) { return e.time < t; });
+    return {lo, hi};
+  }
+
   std::size_t capacity_;
   std::deque<TraceEvent> events_;
 };

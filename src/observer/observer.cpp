@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 #include "util/check.h"
@@ -124,6 +125,8 @@ const RoundResult& Observer::run_round(
   TORPEDO_CHECK_MSG(programs.size() == executors_.size(),
                     "one program per executor");
   const Nanos round_wall_start = telemetry::steady_now_ns();
+  telemetry::ScopedSpan round_span(
+      "round", telemetry::JsonDict{}.set("round", round_));
 
   // Recover any container whose runtime died last round.
   for (exec::Executor* e : executors_)
@@ -142,6 +145,7 @@ const RoundResult& Observer::run_round(
   Snapshot before;
   {
     const telemetry::ScopedTimerUs timer(*hist_snapshot_wall_us_);
+    const telemetry::ScopedSpan span("round.snapshot_before");
     before = snapshot();
   }
 
@@ -149,17 +153,23 @@ const RoundResult& Observer::run_round(
   for (exec::Executor* e : executors_) e->start();
 
   // TakeMeasurement(T): returns after T seconds (Algorithm 2, line 15).
-  kernel_.host().run_until(stop);
+  {
+    const telemetry::ScopedSpan span("round.measure");
+    kernel_.host().run_until(stop);
+  }
 
   Snapshot after;
   {
     const telemetry::ScopedTimerUs timer(*hist_snapshot_wall_us_);
+    const telemetry::ScopedSpan span("round.snapshot_after");
     after = snapshot();
   }
 
   // Grace drain (outside the measured window): a mid-iteration executor
   // finishes its partial iteration and latches idle; Algorithm 1 guarantees
   // it won't *start* another iteration past the stop timestamp.
+  const std::uint64_t quiesce_span =
+      telemetry::spans() ? telemetry::spans()->begin("round.quiesce") : 0;
   auto quiesced = [&] {
     for (exec::Executor* e : executors_)
       if (!e->idle() && !e->crashed()) return false;
@@ -177,6 +187,7 @@ const RoundResult& Observer::run_round(
     kernel_.host().run_for(kMillisecond);
   }
   TORPEDO_CHECK_MSG(quiesced(), "executor failed to quiesce after its round");
+  if (telemetry::spans()) telemetry::spans()->end(quiesce_span);
   const Nanos quiesce_drain = kernel_.host().now() - stop;
   hist_quiesce_ns_->record(static_cast<std::uint64_t>(quiesce_drain));
 

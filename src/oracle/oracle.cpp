@@ -9,6 +9,25 @@ std::string Violation::to_string() const {
                 subject.c_str(), value, threshold);
 }
 
+telemetry::JsonDict Violation::to_json() const {
+  telemetry::JsonDict d;
+  d.set("heuristic", heuristic)
+      .set("subject", subject)
+      .set("value", value)
+      .set("threshold", threshold);
+  return d;
+}
+
+std::string violations_to_json(const std::vector<Violation>& violations) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i) out += ",";
+    out += violations[i].to_json().to_string();
+  }
+  out += "]";
+  return out;
+}
+
 bool is_system_process(std::string_view name) {
   return starts_with(name, "dockerd") || starts_with(name, "containerd") ||
          starts_with(name, "kworker") || starts_with(name, "kauditd") ||

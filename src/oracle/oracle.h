@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "observer/observation.h"
+#include "telemetry/json.h"
 
 namespace torpedo::oracle {
 
@@ -24,7 +25,14 @@ struct Violation {
   double threshold = 0;
 
   std::string to_string() const;
+  // Structured form: {"heuristic":..,"subject":..,"value":..,"threshold":..}.
+  // Bundles and `torpedo report` consume this instead of re-parsing the
+  // human-readable string.
+  telemetry::JsonDict to_json() const;
 };
+
+// Renders a list of violations as a JSON array of to_json() objects.
+std::string violations_to_json(const std::vector<Violation>& violations);
 
 class Oracle {
  public:

@@ -235,10 +235,12 @@ struct Parser {
 
 }  // namespace
 
-std::optional<std::map<std::string, JsonValue>> parse_json_object(
-    std::string_view line) {
-  Parser p{line};
-  p.skip_ws();
+namespace {
+
+// Object-body parser shared by parse_json_object (which requires the whole
+// input consumed) and parse_json_array_of_objects (which parses elements in
+// place). Expects `p` positioned at '{'.
+std::optional<std::map<std::string, JsonValue>> parse_object_at(Parser& p) {
   if (!p.consume('{')) return std::nullopt;
   std::map<std::string, JsonValue> out;
   p.skip_ws();
@@ -255,6 +257,44 @@ std::optional<std::map<std::string, JsonValue>> parse_json_object(
     p.skip_ws();
     if (p.consume(',')) continue;
     if (p.consume('}')) break;
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::map<std::string, JsonValue>> parse_json_object(
+    std::string_view line) {
+  Parser p{line};
+  p.skip_ws();
+  auto out = parse_object_at(p);
+  if (!out) return std::nullopt;
+  p.skip_ws();
+  if (!p.eof()) return std::nullopt;
+  return out;
+}
+
+std::optional<std::vector<std::map<std::string, JsonValue>>>
+parse_json_array_of_objects(std::string_view text) {
+  Parser p{text};
+  p.skip_ws();
+  if (!p.consume('[')) return std::nullopt;
+  std::vector<std::map<std::string, JsonValue>> out;
+  p.skip_ws();
+  if (p.consume(']')) {
+    p.skip_ws();
+    if (!p.eof()) return std::nullopt;
+    return out;
+  }
+  while (true) {
+    p.skip_ws();
+    auto obj = parse_object_at(p);
+    if (!obj) return std::nullopt;
+    out.push_back(std::move(*obj));
+    p.skip_ws();
+    if (p.consume(',')) continue;
+    if (p.consume(']')) break;
     return std::nullopt;
   }
   p.skip_ws();

@@ -66,4 +66,11 @@ struct JsonValue {
 std::optional<std::map<std::string, JsonValue>> parse_json_object(
     std::string_view line);
 
+// Parses a JSON array whose elements are all objects (e.g. the Chrome
+// trace_event array, a bundle's violations list). Element fields follow the
+// parse_json_object rules. Returns nullopt on malformed input or if any
+// element is not an object.
+std::optional<std::vector<std::map<std::string, JsonValue>>>
+parse_json_array_of_objects(std::string_view text);
+
 }  // namespace torpedo::telemetry

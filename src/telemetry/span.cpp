@@ -1,0 +1,125 @@
+#include "telemetry/span.h"
+
+#include "telemetry/telemetry.h"
+
+namespace torpedo::telemetry {
+
+namespace {
+SpanTracer* g_spans = nullptr;
+}  // namespace
+
+SpanTracer* spans() { return g_spans; }
+void set_spans(SpanTracer* tracer) { g_spans = tracer; }
+
+std::uint64_t SpanTracer::begin_impl(std::string_view name,
+                                     std::string args_json) {
+  OpenSpan open;
+  open.id = next_id_++;
+  open.name = std::string(name);
+  open.args_json = std::move(args_json);
+  open.sim_begin_ns = sim_now();
+  open.wall_begin_ns = wall_now_ns();
+  stack_.push_back(std::move(open));
+  return stack_.back().id;
+}
+
+std::uint64_t SpanTracer::begin(std::string_view name) {
+  return begin_impl(name, std::string());
+}
+
+std::uint64_t SpanTracer::begin(std::string_view name, const JsonDict& args) {
+  return begin_impl(name, args.empty() ? std::string() : args.to_string());
+}
+
+void SpanTracer::end(std::uint64_t id) {
+  // Unknown id (double end, or survivor of clear()): ignore.
+  bool found = false;
+  for (const OpenSpan& open : stack_)
+    if (open.id == id) found = true;
+  if (!found) return;
+
+  const Nanos sim = sim_now();
+  const Nanos wall = wall_now_ns();
+  // Close everything at or above `id`; a well-nested caller only ever closes
+  // the top, but a child leaked open by an early return must not re-parent
+  // every later span under it.
+  while (!stack_.empty()) {
+    OpenSpan open = std::move(stack_.back());
+    stack_.pop_back();
+    const std::uint64_t closed = open.id;
+    Span span;
+    span.id = closed;
+    span.parent = stack_.empty() ? 0 : stack_.back().id;
+    span.name = std::move(open.name);
+    span.args_json = std::move(open.args_json);
+    span.sim_begin_ns = open.sim_begin_ns;
+    span.sim_end_ns = sim;
+    span.wall_begin_ns = open.wall_begin_ns;
+    span.wall_end_ns = wall;
+    done_.push_back(std::move(span));
+    if (closed == id) break;
+  }
+}
+
+void SpanTracer::emit(std::string_view name, Nanos sim_begin_ns,
+                      Nanos sim_end_ns, const JsonDict& args) {
+  Span span;
+  span.id = next_id_++;
+  span.parent = stack_.empty() ? 0 : stack_.back().id;
+  span.name = std::string(name);
+  span.args_json = args.empty() ? std::string() : args.to_string();
+  span.sim_begin_ns = sim_begin_ns;
+  span.sim_end_ns = sim_end_ns;
+  // A retroactive span still records when it was reported on the wall clock.
+  span.wall_begin_ns = wall_now_ns();
+  span.wall_end_ns = span.wall_begin_ns;
+  done_.push_back(std::move(span));
+}
+
+void SpanTracer::clear() {
+  stack_.clear();
+  done_.clear();
+  next_id_ = 1;
+}
+
+void SpanTracer::write_chrome_trace(std::ostream& out) const {
+  // trace_event's ts/dur are microseconds; the exact nanosecond stamps ride
+  // in args so tooling can round-trip int64 precision (telemetry_test pins
+  // this).
+  out << "[";
+  bool first = true;
+  for (const Span& span : done_) {
+    JsonDict args;
+    args.set("id", span.id)
+        .set("parent", span.parent)
+        .set("sim_begin_ns", span.sim_begin_ns)
+        .set("sim_end_ns", span.sim_end_ns)
+        .set("wall_begin_ns", span.wall_begin_ns)
+        .set("wall_end_ns", span.wall_end_ns);
+
+    JsonDict event;
+    event.set("name", span.name)
+        .set("cat", "torpedo")
+        .set("ph", "X")
+        .set("ts", span.sim_begin_ns / 1000)
+        .set("dur", span.sim_duration() / 1000)
+        .set("pid", 1)
+        .set("tid", 1);
+    if (span.args_json.empty()) {
+      event.set_raw("args", args.to_string());
+    } else {
+      // Merge user args after the span bookkeeping fields.
+      std::string merged = args.to_string();
+      merged.pop_back();  // drop '}'
+      merged += ",";
+      merged += std::string_view(span.args_json).substr(1);  // drop '{'
+      event.set_raw("args", merged);
+    }
+    if (!first) out << ",\n";
+    first = false;
+    out << event.to_string();
+  }
+  out << "]\n";
+}
+
+}  // namespace torpedo::telemetry

@@ -1,0 +1,122 @@
+// Hierarchical span tracer: the causal layer of the observability stack.
+//
+// Counters say *how much*, the JSONL trace says *what happened per round*;
+// spans say *why time went where*. Every span carries a tracer-unique id, its
+// parent's id (spans form a tree via an explicit open-span stack), optional
+// structured args, and dual begin/end stamps: `sim_ns` from the virtual host
+// clock and `wall_ns` from the real one. The writer emits Chrome
+// `trace_event` "X" (complete) events keyed to the sim clock, so a campaign
+// opens directly in Perfetto / chrome://tracing and nests exactly as the
+// phases nested in simulated time.
+//
+// The tracer is installed process-wide with set_spans(); every probe site
+// goes through ScopedSpan, which is a no-op (two loads, no allocation) while
+// no tracer is installed — campaigns that don't pass --chrome-trace pay
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "util/time.h"
+
+namespace torpedo::telemetry {
+
+// One completed span. `parent == 0` means root (no enclosing span).
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string name;
+  std::string args_json;  // rendered JsonDict; empty == no args
+  Nanos sim_begin_ns = 0;
+  Nanos sim_end_ns = 0;
+  Nanos wall_begin_ns = 0;
+  Nanos wall_end_ns = 0;
+
+  Nanos sim_duration() const { return sim_end_ns - sim_begin_ns; }
+  Nanos wall_duration() const { return wall_end_ns - wall_begin_ns; }
+};
+
+class SpanTracer {
+ public:
+  // Samples the simulated host clock at begin/end. Unset, sim stamps are 0
+  // (wall stamps still work) — the wiring layer installs the host's clock.
+  using SimClockFn = Nanos (*)(void*);
+  void set_sim_clock(SimClockFn fn, void* ctx) {
+    clock_fn_ = fn;
+    clock_ctx_ = ctx;
+  }
+
+  // Opens a span whose parent is the currently-open span (stack top).
+  // Returns the span id for end().
+  std::uint64_t begin(std::string_view name);
+  std::uint64_t begin(std::string_view name, const JsonDict& args);
+
+  // Closes the span `id`. Children still open above it on the stack are
+  // closed first (same end stamps), so a missed end() cannot corrupt the
+  // tree.
+  void end(std::uint64_t id);
+
+  // Records a retroactive complete span (e.g. a per-executor window whose
+  // begin predates the call). Parented to the currently-open span.
+  void emit(std::string_view name, Nanos sim_begin_ns, Nanos sim_end_ns,
+            const JsonDict& args);
+
+  // Completed spans, in end order. Still-open spans are not included.
+  const std::vector<Span>& spans() const { return done_; }
+  std::size_t open_depth() const { return stack_.size(); }
+  void clear();
+
+  // Renders the Chrome trace_event JSON array: one "X" (complete) event per
+  // span, `ts`/`dur` in sim microseconds, exact nanosecond stamps under
+  // `args`. Loads in Perfetto and chrome://tracing as-is.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  struct OpenSpan {
+    std::uint64_t id = 0;
+    std::string name;
+    std::string args_json;
+    Nanos sim_begin_ns = 0;
+    Nanos wall_begin_ns = 0;
+  };
+
+  Nanos sim_now() const { return clock_fn_ ? clock_fn_(clock_ctx_) : 0; }
+  std::uint64_t begin_impl(std::string_view name, std::string args_json);
+
+  SimClockFn clock_fn_ = nullptr;
+  void* clock_ctx_ = nullptr;
+  std::uint64_t next_id_ = 1;
+  std::vector<OpenSpan> stack_;
+  std::vector<Span> done_;
+};
+
+// The process-wide tracer probes default to; nullptr == tracing disabled.
+SpanTracer* spans();
+void set_spans(SpanTracer* tracer);
+
+// RAII probe: opens a span on the installed tracer (no-op when none).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) : tracer_(spans()) {
+    if (tracer_) id_ = tracer_->begin(name);
+  }
+  ScopedSpan(std::string_view name, const JsonDict& args) : tracer_(spans()) {
+    if (tracer_) id_ = tracer_->begin(name, args);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (tracer_) tracer_->end(id_);
+  }
+
+ private:
+  SpanTracer* tracer_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace torpedo::telemetry

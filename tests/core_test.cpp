@@ -11,9 +11,11 @@
 #include "core/classify.h"
 #include "core/fuzzer.h"
 #include "core/minimize.h"
+#include "core/provenance.h"
 #include "core/seeds.h"
 #include "core/workdir.h"
 #include "kernel/signals.h"
+#include "telemetry/json.h"
 
 namespace torpedo::core {
 namespace {
@@ -232,6 +234,31 @@ TEST(Minimize, StripsJunkAroundSync) {
   EXPECT_EQ(minimized.calls()[0].desc->name, "sync");
 }
 
+TEST(Minimize, RecordsRemovalHistory) {
+  Campaign campaign(fast_config());
+  SingleRunner runner(campaign.observer(), campaign.io_oracle());
+  auto padded = prog::Program::parse(
+      "getpid()\n"
+      "sync()\n"
+      "uname('')\n");
+  ASSERT_TRUE(padded.has_value());
+  std::vector<MinimizeStep> history;
+  const prog::Program minimized = minimize(*padded, runner, &history);
+  ASSERT_EQ(minimized.size(), 1u);
+  // One trial per removal attempt, each naming the call it tried to drop.
+  ASSERT_EQ(history.size(), 3u);
+  std::size_t kept = 0;
+  for (const MinimizeStep& step : history) {
+    EXPECT_FALSE(step.call_name.empty());
+    // sync is load-bearing: its removal trial must have been rolled back.
+    if (step.call_name == "sync") EXPECT_FALSE(step.kept_removal);
+    if (step.kept_removal) ++kept;
+  }
+  // getpid and uname were both dropped.
+  EXPECT_EQ(kept, 2u);
+  EXPECT_EQ(history.back().size_after, minimized.size());
+}
+
 TEST(Minimize, PreservesResourceChains) {
   Campaign campaign(fast_config());
   SingleRunner runner(campaign.observer(), campaign.cpu_oracle());
@@ -400,6 +427,99 @@ TEST_F(WorkdirTest, ReportIsWritten) {
   EXPECT_NE(buffer.str().find("triggering IO buffer flushes"),
             std::string::npos);
   EXPECT_NE(buffer.str().find("sync()"), std::string::npos);
+  // Violations are written as structured JSON, one object per line.
+  const std::string text = buffer.str();
+  const auto pos = text.find("violation: ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string line =
+      text.substr(pos + 11, text.find('\n', pos) - pos - 11);
+  const auto parsed = telemetry::parse_json_object(line);
+  ASSERT_TRUE(parsed.has_value()) << line;
+  EXPECT_EQ(parsed->at("heuristic").text, "nonfuzz-core-iowait-high");
+  EXPECT_EQ(parsed->at("subject").text, "cpu6");
+}
+
+TEST_F(WorkdirTest, ViolationBundlesRoundTrip) {
+  CampaignReport report;
+  Finding f;
+  f.program = *named_seed("sync");
+  f.serialized = f.program.serialize();
+  f.syscalls = {"sync"};
+  f.cause = "triggering IO buffer flushes";
+  report.findings.push_back(std::move(f));
+
+  Provenance p;
+  p.finding_index = 0;
+  p.original_serialized = "getpid()\nsync()\n";
+  p.minimized_serialized = "sync()\n";
+  p.program_hash = 0xDEADBEEFCAFE1234ULL;
+  p.source_round = 7;
+  p.confirm_rounds = 3;
+  p.oracle_score = 6.96;
+  p.cause = "triggering IO buffer flushes";
+  p.symptoms = "nonfuzz-core-iowait-high";
+  p.syscalls = "sync";
+  p.final_violations = {{"nonfuzz-core-iowait-high", "cpu6", 0.04, 0.02}};
+  p.observation.round = 7;
+  p.observation.window_start = 1000;
+  p.observation.window_end = 6000;
+  observer::CoreUsage core;
+  core.core = 0;
+  core.jiffies[static_cast<int>(sim::CpuCategory::kUser)] = 40;
+  core.jiffies[static_cast<int>(sim::CpuCategory::kIdle)] = 60;
+  p.observation.cores.push_back(core);
+  p.observation.processes.push_back({42, "kworker/u8:1", "/", 12.5});
+  p.trace_events.push_back(
+      {2000, kernel::TraceKind::kIoFlush, 42, "sync bytes=1024"});
+  p.minimize_history.push_back({0, "getpid", true, 1});
+  report.provenance.push_back(std::move(p));
+
+  EXPECT_EQ(write_violation_bundles(dir_, report), 1u);
+  const auto bundle_dir = dir_ / "violations" / "000";
+  for (const char* name :
+       {"bundle.json", "report.md", "program.prog", "original.prog"})
+    EXPECT_TRUE(std::filesystem::exists(bundle_dir / name)) << name;
+
+  std::ifstream in(bundle_dir / "bundle.json");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto bundle = telemetry::parse_json_object(buffer.str());
+  ASSERT_TRUE(bundle.has_value());
+  EXPECT_EQ(bundle->at("program_hash").text, "deadbeefcafe1234");
+  EXPECT_EQ(bundle->at("syscalls").text, "sync");
+  EXPECT_EQ(bundle->at("heuristics").text, "nonfuzz-core-iowait-high");
+  EXPECT_EQ(bundle->at("source_round").integer, 7);
+  EXPECT_EQ(bundle->at("program").text, "sync()\n");
+
+  // Nested evidence comes back as raw JSON that itself parses.
+  const auto obs = telemetry::parse_json_object(bundle->at("observation").text);
+  ASSERT_TRUE(obs.has_value());
+  EXPECT_EQ(obs->at("window_start_ns").integer, 1000);
+  const auto cores =
+      telemetry::parse_json_array_of_objects(obs->at("cores").text);
+  ASSERT_TRUE(cores.has_value());
+  ASSERT_EQ(cores->size(), 1u);
+  EXPECT_DOUBLE_EQ((*cores)[0].at("busy_percent").number, 40.0);
+
+  const auto events =
+      telemetry::parse_json_array_of_objects(bundle->at("kernel_trace").text);
+  ASSERT_TRUE(events.has_value());
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ((*events)[0].at("kind").text, "io_flush");
+  EXPECT_EQ((*events)[0].at("time_ns").integer, 2000);
+
+  const auto history = telemetry::parse_json_array_of_objects(
+      bundle->at("minimize_history").text);
+  ASSERT_TRUE(history.has_value());
+  ASSERT_EQ(history->size(), 1u);
+  EXPECT_EQ((*history)[0].at("call").text, "getpid");
+
+  // The human-readable companion tells the same story.
+  std::ifstream md_in(bundle_dir / "report.md");
+  std::stringstream md;
+  md << md_in.rdbuf();
+  EXPECT_NE(md.str().find("triggering IO buffer flushes"), std::string::npos);
+  EXPECT_NE(md.str().find("io_flush"), std::string::npos);
 }
 
 // --- campaign ----------------------------------------------------------------------
@@ -482,6 +602,46 @@ TEST(CampaignTest, RunCFindsSyncFinding) {
   EXPECT_GT(report.executions, 0u);
   EXPECT_GT(report.suspects, 0);
   EXPECT_GT(report.confirmations_run, 0);
+}
+
+TEST(CampaignTest, ProvenanceCapturedPerFinding) {
+  CampaignConfig cfg = fast_config();
+  cfg.batches = 1;
+  Campaign campaign(cfg);
+  campaign.load_seeds({*named_seed("sync"), *named_seed("kcmp-pair"),
+                       *named_seed("appendix-a1-prog2")});
+  campaign.run_one_batch();
+  const CampaignReport report = campaign.finalize();
+  ASSERT_FALSE(report.findings.empty());
+
+  // Every finding carries a full evidence record, and every record points
+  // back at the finding it agrees with.
+  EXPECT_EQ(report.provenance.size(), report.findings.size());
+  for (const Provenance& p : report.provenance) {
+    ASSERT_GE(p.finding_index, 0);
+    ASSERT_LT(static_cast<std::size_t>(p.finding_index),
+              report.findings.size());
+    const Finding& f = report.findings[static_cast<std::size_t>(p.finding_index)];
+    EXPECT_EQ(p.cause, f.cause);
+    EXPECT_EQ(p.syscalls, f.syscall_list());
+    EXPECT_EQ(p.minimized_serialized, f.serialized);
+    EXPECT_FALSE(p.original_serialized.empty());
+    EXPECT_FALSE(p.final_violations.empty());
+    EXPECT_GE(p.source_round, 0);
+    EXPECT_GT(p.confirm_rounds, 0);
+    // The captured observation is the finding's confirmation window, with
+    // the per-core evidence intact.
+    EXPECT_FALSE(p.observation.cores.empty());
+    EXPECT_GT(p.observation.window_end, p.observation.window_start);
+  }
+
+  // The sync finding's cause came from KernelTrace io_flush events; its
+  // bundle must carry that window.
+  bool sync_has_trace = false;
+  for (const Provenance& p : report.provenance)
+    if (p.cause == "triggering IO buffer flushes" && !p.trace_events.empty())
+      sync_has_trace = true;
+  EXPECT_TRUE(sync_has_trace);
 }
 
 TEST(CampaignTest, GvisorFindsOpenCrash) {

@@ -813,5 +813,55 @@ TEST(KernelTrace, WindowAndCapacity) {
   EXPECT_EQ(trace.size(), 0u);
 }
 
+// Regression for the binary-search window(): eviction at capacity pops the
+// deque's front, so queries must stay correct against every survivor set,
+// including boundaries that fall exactly on, between, and outside surviving
+// timestamps.
+TEST(KernelTrace, EvictionAtCapacityPreservesQueries) {
+  KernelTrace trace(8);
+  std::vector<TraceEvent> all;
+  for (int i = 0; i < 50; ++i) {
+    TraceEvent e{.time = i * 10,
+                 .kind = i % 2 ? TraceKind::kAudit : TraceKind::kIoFlush,
+                 .pid = static_cast<std::uint64_t>(i)};
+    trace.record(e);
+    all.push_back(e);
+  }
+  ASSERT_EQ(trace.size(), 8u);
+  const std::vector<TraceEvent> survivors(all.end() - 8, all.end());
+
+  for (Nanos from : {0, 415, 420, 425, 490, 500}) {
+    for (Nanos to : {0, 415, 420, 445, 490, 491, 1000}) {
+      std::size_t expected = 0;
+      std::size_t expected_audit = 0;
+      for (const TraceEvent& e : survivors) {
+        if (e.time < from || e.time >= to) continue;
+        ++expected;
+        if (e.kind == TraceKind::kAudit) ++expected_audit;
+      }
+      const auto got = trace.window(from, to);
+      EXPECT_EQ(got.size(), expected) << "[" << from << ", " << to << ")";
+      EXPECT_EQ(trace.count(TraceKind::kAudit, from, to), expected_audit)
+          << "[" << from << ", " << to << ")";
+      // window() returns the events themselves, in time order.
+      for (std::size_t i = 1; i < got.size(); ++i)
+        EXPECT_LE(got[i - 1].time, got[i].time);
+    }
+  }
+}
+
+// A producer stamping with a cached (stale) clock must not break the sorted
+// invariant the binary search depends on.
+TEST(KernelTrace, StaleTimestampClampedToTail) {
+  KernelTrace trace(8);
+  trace.record({.time = 100, .kind = TraceKind::kAudit, .pid = 1});
+  trace.record({.time = 50, .kind = TraceKind::kAudit, .pid = 2});
+  const auto events = trace.window(0, 200);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].time, 100);  // clamped up to the tail stamp
+  EXPECT_EQ(trace.window(0, 100).size(), 0u);
+  EXPECT_EQ(trace.window(100, 101).size(), 2u);
+}
+
 }  // namespace
 }  // namespace torpedo::kernel

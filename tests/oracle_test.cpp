@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "oracle/oracle.h"
+#include "telemetry/json.h"
 
 namespace torpedo::oracle {
 namespace {
@@ -231,6 +232,28 @@ TEST(Violation, ToStringIsReadable) {
   EXPECT_NE(s.find("idle-core-utilization-high"), std::string::npos);
   EXPECT_NE(s.find("cpu7"), std::string::npos);
   EXPECT_NE(s.find("0.42"), std::string::npos);
+}
+
+TEST(Violation, ToJsonRoundTrips) {
+  const Violation v{"nonfuzz-core-iowait-high", "cpu6", 0.0398, 0.02};
+  const auto parsed = telemetry::parse_json_object(v.to_json().to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at("heuristic").text, "nonfuzz-core-iowait-high");
+  EXPECT_EQ(parsed->at("subject").text, "cpu6");
+  EXPECT_DOUBLE_EQ(parsed->at("value").number, 0.0398);
+  EXPECT_DOUBLE_EQ(parsed->at("threshold").number, 0.02);
+}
+
+TEST(Violation, ListRendersAsJsonArray) {
+  const std::vector<Violation> violations = {
+      {"h1", "cpu0", 1.5, 1.0}, {"h2", "proc kauditd", 2.0, 0.5}};
+  const auto parsed =
+      telemetry::parse_json_array_of_objects(violations_to_json(violations));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].at("heuristic").text, "h1");
+  EXPECT_EQ((*parsed)[1].at("subject").text, "proc kauditd");
+  EXPECT_EQ(violations_to_json({}), "[]");
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "telemetry/json.h"
+#include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -235,6 +236,181 @@ TEST(ScopedTimerTest, RecordsOnScopeExit) {
   Histogram h;
   { ScopedTimerUs timer(h); }
   EXPECT_EQ(h.count(), 1u);
+}
+
+// --- span tracer -------------------------------------------------------------
+
+// Installs a test-controlled sim clock: set `now`, spans stamp it.
+struct FakeClock {
+  Nanos now = 0;
+  void install(SpanTracer& tracer) {
+    tracer.set_sim_clock(
+        [](void* ctx) { return static_cast<FakeClock*>(ctx)->now; }, this);
+  }
+};
+
+TEST(SpanTracerTest, NestingAndParenting) {
+  SpanTracer tracer;
+  FakeClock clock;
+  clock.install(tracer);
+
+  clock.now = 100;
+  const auto outer = tracer.begin("outer");
+  clock.now = 200;
+  const auto inner = tracer.begin("inner");
+  EXPECT_EQ(tracer.open_depth(), 2u);
+  clock.now = 300;
+  tracer.end(inner);
+  clock.now = 400;
+  tracer.end(outer);
+  EXPECT_EQ(tracer.open_depth(), 0u);
+
+  // Completed in end order: inner first, then outer.
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const Span& in = tracer.spans()[0];
+  const Span& out = tracer.spans()[1];
+  EXPECT_EQ(in.name, "inner");
+  EXPECT_EQ(in.parent, out.id);
+  EXPECT_EQ(out.parent, 0u);
+  EXPECT_EQ(in.sim_begin_ns, 200);
+  EXPECT_EQ(in.sim_end_ns, 300);
+  EXPECT_EQ(out.sim_duration(), 300);
+  EXPECT_GE(in.wall_end_ns, in.wall_begin_ns);
+}
+
+TEST(SpanTracerTest, EmitParentsToOpenSpan) {
+  SpanTracer tracer;
+  FakeClock clock;
+  clock.install(tracer);
+  const auto round = tracer.begin("round");
+  JsonDict args;
+  args.set("container", "exec-0");
+  tracer.emit("exec", 10, 20, args);
+  tracer.end(round);
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const Span& exec = tracer.spans()[0];
+  EXPECT_EQ(exec.name, "exec");
+  EXPECT_EQ(exec.parent, tracer.spans()[1].id);
+  EXPECT_EQ(exec.sim_begin_ns, 10);
+  EXPECT_EQ(exec.sim_end_ns, 20);
+  EXPECT_NE(exec.args_json.find("exec-0"), std::string::npos);
+}
+
+TEST(SpanTracerTest, MissedEndClosesChildrenFirst) {
+  SpanTracer tracer;
+  const auto a = tracer.begin("a");
+  tracer.begin("b");
+  tracer.begin("c");
+  tracer.end(a);  // b and c leaked; closing a must close them too
+  EXPECT_EQ(tracer.open_depth(), 0u);
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  EXPECT_EQ(tracer.spans()[0].name, "c");
+  EXPECT_EQ(tracer.spans()[1].name, "b");
+  EXPECT_EQ(tracer.spans()[2].name, "a");
+  // Parent chain survives the forced unwind.
+  EXPECT_EQ(tracer.spans()[0].parent, tracer.spans()[1].id);
+  EXPECT_EQ(tracer.spans()[1].parent, tracer.spans()[2].id);
+}
+
+TEST(SpanTracerTest, UnknownEndIsIgnored) {
+  SpanTracer tracer;
+  const auto a = tracer.begin("a");
+  tracer.end(a);
+  tracer.end(a);    // double end
+  tracer.end(999);  // never existed
+  EXPECT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.open_depth(), 0u);
+}
+
+TEST(SpanTracerTest, ScopedSpanIsNoopWithoutGlobalTracer) {
+  set_spans(nullptr);
+  { ScopedSpan span("nothing"); }  // must not crash
+
+  SpanTracer tracer;
+  set_spans(&tracer);
+  { ScopedSpan span("something"); }
+  set_spans(nullptr);
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].name, "something");
+}
+
+// Sim and wall stamps must survive the Chrome-JSON writer exactly: wall
+// stamps are epoch nanoseconds (> 2^53), so any double round-trip would
+// corrupt them.
+TEST(ChromeTraceTest, ExactInt64RoundTrip) {
+  SpanTracer tracer;
+  FakeClock clock;
+  clock.install(tracer);
+
+  clock.now = 1234567890123456789LL;
+  const auto id = tracer.begin("big");
+  clock.now += 4321;
+  tracer.end(id);
+  const Span& span = tracer.spans()[0];
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const auto events = parse_json_array_of_objects(out.str());
+  ASSERT_TRUE(events.has_value());
+  ASSERT_EQ(events->size(), 1u);
+  const auto& event = (*events)[0];
+  const auto args = parse_json_object(event.at("args").text);
+  ASSERT_TRUE(args.has_value());
+  EXPECT_TRUE(args->at("sim_begin_ns").is_integer);
+  EXPECT_EQ(args->at("sim_begin_ns").integer, 1234567890123456789LL);
+  EXPECT_EQ(args->at("sim_end_ns").integer, 1234567890123461110LL);
+  EXPECT_EQ(args->at("wall_begin_ns").integer, span.wall_begin_ns);
+  EXPECT_EQ(args->at("wall_end_ns").integer, span.wall_end_ns);
+}
+
+// Golden structural check: every event carries the fields Perfetto /
+// chrome://tracing require of a complete event.
+TEST(ChromeTraceTest, PerfettoRequiredFields) {
+  SpanTracer tracer;
+  FakeClock clock;
+  clock.install(tracer);
+  const auto outer = tracer.begin("outer");
+  clock.now = 2000;  // 2 us
+  const auto inner = tracer.begin("inner");
+  clock.now = 5000;
+  tracer.end(inner);
+  tracer.end(outer);
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  // The writer's envelope is part of the contract: a bare JSON array of
+  // objects rendered with this exact field prefix.
+  EXPECT_EQ(out.str().substr(0, 1), "[");
+  EXPECT_NE(out.str().find("\"cat\":\"torpedo\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(out.str().find("\"pid\":1,\"tid\":1"), std::string::npos);
+
+  const auto events = parse_json_array_of_objects(out.str());
+  ASSERT_TRUE(events.has_value());
+  ASSERT_EQ(events->size(), 2u);
+  for (const auto& event : *events) {
+    for (const char* key : {"name", "ph", "ts", "dur", "pid", "tid"})
+      EXPECT_TRUE(event.count(key)) << "missing " << key;
+    EXPECT_EQ(event.at("ph").text, "X");
+  }
+  // ts/dur are sim microseconds: inner spans [2us, 5us).
+  const auto& inner_event = (*events)[0];
+  EXPECT_EQ(inner_event.at("ts").integer, 2);
+  EXPECT_EQ(inner_event.at("dur").integer, 3);
+}
+
+TEST(JsonParse, ArrayOfObjects) {
+  const auto parsed =
+      parse_json_array_of_objects("[{\"a\":1},{\"a\":2,\"b\":\"x\"}]");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].at("a").integer, 1);
+  EXPECT_EQ((*parsed)[1].at("b").text, "x");
+  EXPECT_TRUE(parse_json_array_of_objects("[]")->empty());
+  EXPECT_FALSE(parse_json_array_of_objects("[1,2]").has_value());
+  EXPECT_FALSE(parse_json_array_of_objects("{\"a\":1}").has_value());
+  EXPECT_FALSE(parse_json_array_of_objects("[{\"a\":1}").has_value());
 }
 
 }  // namespace

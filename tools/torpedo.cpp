@@ -12,24 +12,33 @@
 //                   observed round plus oracle verdicts.
 //   torpedo seeds — materialize the Moonshine-like seed corpus as .prog
 //                   files for inspection or editing.
+//   torpedo report — offline triage: rebuild a campaign summary from a
+//                   workdir's violation bundles, metrics.json, trace.jsonl
+//                   and chrome-trace spans, without re-running anything.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/campaign.h"
+#include "core/provenance.h"
 #include "core/seeds.h"
 #include "core/workdir.h"
+#include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 #include "kernel/errno.h"
 #include "kernel/syscalls.h"
 #include "util/log.h"
 #include "util/strings.h"
+#include "util/table.h"
 
 using namespace torpedo;
 
@@ -42,8 +51,10 @@ int usage() {
       "                [--executors N] [--round-seconds S] [--num-seeds N]\n"
       "                [--seeds-dir DIR] [--workdir DIR] [--seed N] [-v]\n"
       "                [--trace FILE.jsonl] [--metrics FILE.json]\n"
+      "                [--chrome-trace FILE.json]\n"
       "  torpedo exec  [--runtime ...] [--round-seconds S] FILE.prog\n"
-      "  torpedo seeds [--out DIR] [--count N]\n",
+      "  torpedo seeds [--out DIR] [--count N]\n"
+      "  torpedo report WORKDIR\n",
       stderr);
   return 2;
 }
@@ -109,6 +120,12 @@ std::optional<core::CampaignConfig> campaign_config(const Args& args) {
   return config;
 }
 
+// Uninstalls the process-wide span tracer on every exit path: the tracer is
+// a stack object in cmd_run, so it must be detached before it is destroyed.
+struct SpanGuard {
+  ~SpanGuard() { telemetry::set_spans(nullptr); }
+};
+
 int cmd_run(const Args& args) {
   auto config = campaign_config(args);
   if (!config) return 2;
@@ -116,8 +133,27 @@ int cmd_run(const Args& args) {
 
   core::Campaign campaign(*config);
 
+  telemetry::SpanTracer tracer;
+  SpanGuard span_guard;
+  if (args.has("chrome-trace")) {
+    tracer.set_sim_clock(
+        [](void* ctx) { return static_cast<sim::Host*>(ctx)->now(); },
+        &campaign.kernel().host());
+    telemetry::set_spans(&tracer);
+  }
+
+  // Output files may point into a not-yet-created workdir.
+  auto ensure_parent = [](const std::string& path) {
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+  };
+
   std::optional<telemetry::TraceSink> trace;
   if (auto path = args.get("trace")) {
+    ensure_parent(*path);
     trace.emplace(*path);
     if (!trace->ok()) {
       std::fprintf(stderr, "cannot open trace file %s\n", path->c_str());
@@ -164,11 +200,14 @@ int cmd_run(const Args& args) {
     const std::filesystem::path dir(*workdir);
     core::save_corpus(dir / "corpus.txt", campaign.corpus());
     core::save_report(dir / "report.txt", report);
-    std::printf("workdir written: %s (corpus.txt, report.txt)\n",
-                dir.string().c_str());
+    const std::size_t bundles = core::write_violation_bundles(dir, report);
+    std::printf("workdir written: %s (corpus.txt, report.txt, %zu violation "
+                "bundle%s)\n",
+                dir.string().c_str(), bundles, bundles == 1 ? "" : "s");
   }
 
   if (auto path = args.get("metrics")) {
+    ensure_parent(*path);
     std::ofstream out(*path, std::ios::trunc);
     if (!out) {
       std::fprintf(stderr, "cannot open metrics file %s\n", path->c_str());
@@ -181,6 +220,19 @@ int cmd_run(const Args& args) {
     std::printf("trace written: %s (%llu records)\n",
                 args.get("trace")->c_str(),
                 static_cast<unsigned long long>(trace->records()));
+  }
+  if (auto path = args.get("chrome-trace")) {
+    ensure_parent(*path);
+    std::ofstream out(*path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open chrome trace file %s\n",
+                   path->c_str());
+      return 1;
+    }
+    tracer.write_chrome_trace(out);
+    std::printf("chrome trace written: %s (%zu spans; open in Perfetto or "
+                "chrome://tracing)\n",
+                path->c_str(), tracer.spans().size());
   }
   return 0;
 }
@@ -236,6 +288,194 @@ int cmd_exec(const Args& args) {
   return 0;
 }
 
+// --- torpedo report ---------------------------------------------------------
+
+using JsonObject = std::map<std::string, telemetry::JsonValue>;
+
+std::optional<std::string> slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string str_field(const JsonObject& obj, const std::string& key) {
+  auto it = obj.find(key);
+  return it == obj.end() ? std::string() : it->second.text;
+}
+
+double num_field(const JsonObject& obj, const std::string& key) {
+  auto it = obj.find(key);
+  if (it == obj.end()) return 0;
+  const telemetry::JsonValue& v = it->second;
+  return v.is_integer ? static_cast<double>(v.integer) : v.number;
+}
+
+// Findings table + dedup from violations/NNN/bundle.json.
+void report_bundles(const std::filesystem::path& workdir) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> bundle_files;
+  const fs::path violations = workdir / "violations";
+  if (fs::exists(violations))
+    for (const auto& entry : fs::directory_iterator(violations))
+      if (fs::exists(entry.path() / "bundle.json"))
+        bundle_files.push_back(entry.path() / "bundle.json");
+  std::sort(bundle_files.begin(), bundle_files.end());
+
+  TextTable table({"bundle", "syscalls", "heuristics", "cause", "round",
+                   "score"});
+  std::map<std::string, int> by_heuristic;
+  std::set<std::string> signatures;
+  int duplicates = 0;
+  for (const fs::path& file : bundle_files) {
+    const auto text = slurp(file);
+    const auto obj = text ? telemetry::parse_json_object(*text) : std::nullopt;
+    if (!obj) {
+      std::fprintf(stderr, "warning: unparseable bundle %s\n",
+                   file.string().c_str());
+      continue;
+    }
+    // Dedup by program signature: two bundles minimizing to the same program
+    // are one finding.
+    const std::string hash = str_field(*obj, "program_hash");
+    if (!hash.empty() && !signatures.insert(hash).second) {
+      ++duplicates;
+      continue;
+    }
+    const std::string heuristics = str_field(*obj, "heuristics");
+    for (const auto h : split(heuristics, ','))
+      if (!trim(h).empty()) by_heuristic[std::string(trim(h))]++;
+    table.add_row({format("%03d", static_cast<int>(num_field(*obj, "bundle"))),
+                   str_field(*obj, "syscalls"), heuristics,
+                   str_field(*obj, "cause"),
+                   format("%d", static_cast<int>(
+                                    num_field(*obj, "source_round"))),
+                   format("%.2f", num_field(*obj, "oracle_score"))});
+  }
+
+  std::printf("findings: %zu confirmed bundle%s", table.num_rows(),
+              table.num_rows() == 1 ? "" : "s");
+  if (duplicates)
+    std::printf(" (+%d duplicate%s by program signature)", duplicates,
+                duplicates == 1 ? "" : "s");
+  std::printf("\n");
+  if (table.num_rows()) std::printf("\n%s\n", table.to_string().c_str());
+  if (!by_heuristic.empty()) {
+    TextTable counts({"heuristic", "findings"});
+    for (const auto& [heuristic, n] : by_heuristic)
+      counts.add_row({heuristic, format("%d", n)});
+    std::printf("by heuristic:\n\n%s\n", counts.to_string().c_str());
+  }
+}
+
+// Campaign totals from metrics.json (written by `run --metrics`).
+void report_metrics(const std::filesystem::path& workdir) {
+  const auto text = slurp(workdir / "metrics.json");
+  if (!text) return;
+  const auto obj = telemetry::parse_json_object(*text);
+  if (!obj) return;
+  auto counters_it = obj->find("counters");
+  const auto counters =
+      counters_it != obj->end()
+          ? telemetry::parse_json_object(counters_it->second.text)
+          : std::nullopt;
+  std::printf("metrics.json: sim end %.3f s",
+              num_field(*obj, "sim_ns") / 1e9);
+  if (counters) {
+    for (const char* key :
+         {"exec.executions", "fuzzer.batches", "fuzzer.mutations_accepted",
+          "oracle.flags", "exec.container_crashes"}) {
+      auto it = counters->find(key);
+      if (it != counters->end())
+        std::printf(", %s=%lld", key,
+                    static_cast<long long>(num_field(*counters, key)));
+    }
+  }
+  std::printf("\n");
+}
+
+// Round-by-round record counts from trace.jsonl (written by `run --trace`).
+void report_round_trace(const std::filesystem::path& workdir) {
+  std::ifstream in(workdir / "trace.jsonl");
+  if (!in) return;
+  std::map<std::string, int> by_event;
+  std::string line;
+  std::size_t records = 0;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    ++records;
+    if (auto obj = telemetry::parse_json_object(line))
+      by_event[str_field(*obj, "event")]++;
+  }
+  std::printf("trace.jsonl: %zu records (", records);
+  bool first = true;
+  for (const auto& [event, n] : by_event) {
+    std::printf("%s%s=%d", first ? "" : ", ", event.c_str(), n);
+    first = false;
+  }
+  std::printf(")\n");
+}
+
+// Per-phase time breakdown from the chrome-trace span file, aggregated by
+// span name across both clocks.
+void report_spans(const std::filesystem::path& workdir) {
+  const auto text = slurp(workdir / "trace.json");
+  if (!text) return;
+  const auto events = telemetry::parse_json_array_of_objects(*text);
+  if (!events) {
+    std::fprintf(stderr, "warning: unparseable chrome trace %s\n",
+                 (workdir / "trace.json").string().c_str());
+    return;
+  }
+  struct Phase {
+    int count = 0;
+    double sim_us = 0;
+    double wall_ns = 0;
+  };
+  std::map<std::string, Phase> phases;
+  for (const JsonObject& event : *events) {
+    Phase& phase = phases[str_field(event, "name")];
+    phase.count++;
+    phase.sim_us += num_field(event, "dur");
+    auto args_it = event.find("args");
+    if (args_it == event.end()) continue;
+    if (auto a = telemetry::parse_json_object(args_it->second.text))
+      phase.wall_ns +=
+          num_field(*a, "wall_end_ns") - num_field(*a, "wall_begin_ns");
+  }
+
+  std::vector<std::pair<std::string, Phase>> sorted(phases.begin(),
+                                                    phases.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.sim_us > b.second.sim_us;
+  });
+  TextTable table({"phase", "spans", "sim ms", "wall ms"});
+  for (const auto& [name, phase] : sorted)
+    table.add_row({name, format("%d", phase.count),
+                   format("%.1f", phase.sim_us / 1e3),
+                   format("%.2f", phase.wall_ns / 1e6)});
+  std::printf("phase breakdown (%zu spans; nested phases overlap their "
+              "parents):\n\n%s\n",
+              events->size(), table.to_string().c_str());
+}
+
+int cmd_report(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const std::filesystem::path workdir(args.positional[0]);
+  if (!std::filesystem::exists(workdir)) {
+    std::fprintf(stderr, "no such workdir: %s\n", workdir.string().c_str());
+    return 1;
+  }
+  std::printf("torpedo report: %s\n\n", workdir.string().c_str());
+  report_bundles(workdir);
+  report_metrics(workdir);
+  report_round_trace(workdir);
+  std::printf("\n");
+  report_spans(workdir);
+  return 0;
+}
+
 int cmd_seeds(const Args& args) {
   const std::string out = args.get("out").value_or("seeds");
   const std::size_t count =
@@ -256,5 +496,6 @@ int main(int argc, char** argv) {
   if (command == "run") return cmd_run(*args);
   if (command == "exec") return cmd_exec(*args);
   if (command == "seeds") return cmd_seeds(*args);
+  if (command == "report") return cmd_report(*args);
   return usage();
 }
