@@ -3,20 +3,24 @@
 // Runs a stock campaign (paper §4.2 defaults, scaled down) and measures the
 // host-side cost of the simulation: observed rounds per wall second,
 // simulated executions per wall second, and wall milliseconds per batch.
-// The campaign runs twice — span tracer off, then on — so the flight
-// recorder's overhead is measured by the same harness that would catch any
-// other regression. Results land in BENCH_throughput.json so CI and the
-// telemetry layer's consumers can chart regressions.
+// The campaign runs three times — plain, with the span tracer, and with the
+// live monitor serving /metrics under a once-per-second scraper — so both
+// observability layers' overhead is measured by the same harness that would
+// catch any other regression. Results land in BENCH_throughput.json so CI
+// and the telemetry layer's consumers can chart regressions.
 //
 //   bench_throughput [--quick] [--out FILE.json]
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "bench_common.h"
 #include "telemetry/json.h"
+#include "telemetry/monitor.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 
@@ -43,7 +47,7 @@ struct Result {
   }
 };
 
-Result run_campaign(int batches, bool with_tracer) {
+Result run_campaign(int batches, bool with_tracer, bool with_monitor) {
   core::CampaignConfig config;
   config.batches = batches;
   config.round_duration = 2 * kSecond;
@@ -59,6 +63,26 @@ Result run_campaign(int batches, bool with_tracer) {
     telemetry::set_spans(&tracer);
   }
 
+  // Monitor-on: the embedded server runs and an external scraper hits
+  // /metrics once per second, the cadence a real Prometheus would use.
+  telemetry::LiveStatus status;
+  telemetry::MonitorServer monitor;
+  std::thread scraper;
+  std::atomic<bool> stop_scraper{false};
+  if (with_monitor) {
+    campaign.set_live_status(&status);
+    monitor.set_status(&status);
+    if (monitor.start()) {
+      scraper = std::thread([&stop_scraper, port = monitor.port()] {
+        while (!stop_scraper.load(std::memory_order_acquire)) {
+          (void)telemetry::http_get(port, "/metrics");
+          for (int i = 0; i < 10 && !stop_scraper.load(); ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      });
+    }
+  }
+
   Result result;
   const auto start = std::chrono::steady_clock::now();
   for (int b = 0; b < batches; ++b) {
@@ -68,6 +92,11 @@ Result run_campaign(int batches, bool with_tracer) {
   }
   const auto end = std::chrono::steady_clock::now();
   telemetry::set_spans(nullptr);
+  if (scraper.joinable()) {
+    stop_scraper.store(true, std::memory_order_release);
+    scraper.join();
+  }
+  monitor.stop();
   result.executions = campaign.fuzzer().total_executions();
   result.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
@@ -97,18 +126,26 @@ int main(int argc, char** argv) {
 
   bench::print_header("Throughput", "host-side cost of the fuzzing loop");
 
-  const Result r = run_campaign(batches, /*with_tracer=*/false);
-  const Result traced = run_campaign(batches, /*with_tracer=*/true);
+  const Result r =
+      run_campaign(batches, /*with_tracer=*/false, /*with_monitor=*/false);
+  const Result traced =
+      run_campaign(batches, /*with_tracer=*/true, /*with_monitor=*/false);
+  const Result monitored =
+      run_campaign(batches, /*with_tracer=*/false, /*with_monitor=*/true);
   const double overhead_pct =
       r.wall_ms > 0 ? 100.0 * (traced.wall_ms - r.wall_ms) / r.wall_ms : 0;
+  const double monitor_overhead_pct =
+      r.wall_ms > 0 ? 100.0 * (monitored.wall_ms - r.wall_ms) / r.wall_ms : 0;
 
   std::printf(
       "%d batches, %d rounds, %llu executions in %.1f ms\n"
       "  %.2f rounds/sec, %.0f execs/sec, %.1f ms/batch\n"
-      "with span tracer: %.1f ms (%zu spans, %+.1f%% wall overhead)\n",
+      "with span tracer: %.1f ms (%zu spans, %+.1f%% wall overhead)\n"
+      "with live monitor (1 Hz scrape): %.1f ms (%+.1f%% wall overhead)\n",
       r.batches, r.rounds, static_cast<unsigned long long>(r.executions),
       r.wall_ms, r.rounds_per_sec(), r.execs_per_sec(), r.wall_ms_per_batch(),
-      traced.wall_ms, traced.spans, overhead_pct);
+      traced.wall_ms, traced.spans, overhead_pct, monitored.wall_ms,
+      monitor_overhead_pct);
 
   telemetry::JsonDict json;
   json.set("bench", "throughput")
@@ -121,7 +158,9 @@ int main(int argc, char** argv) {
       .set("wall_ms_per_batch", r.wall_ms_per_batch())
       .set("tracer_wall_ms", traced.wall_ms)
       .set("tracer_spans", static_cast<std::uint64_t>(traced.spans))
-      .set("tracer_overhead_pct", overhead_pct);
+      .set("tracer_overhead_pct", overhead_pct)
+      .set("monitor_wall_ms", monitored.wall_ms)
+      .set("monitor_overhead_pct", monitor_overhead_pct);
 
   std::ofstream out(out_path, std::ios::trunc);
   if (!out) {

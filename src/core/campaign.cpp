@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "core/seeds.h"
+#include "feedback/syscall_profile.h"
+#include "telemetry/monitor.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
@@ -81,6 +83,9 @@ Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
 
   // Let the container setup helpers and daemons settle before measuring.
   observer_->warm_up(kSecond);
+
+  observer_->set_round_hook(
+      [this](const observer::RoundResult& rr) { on_round(rr); });
 }
 
 Campaign::~Campaign() = default;
@@ -95,10 +100,14 @@ void Campaign::load_seeds(std::vector<prog::Program> seeds) {
 
 BatchResult Campaign::run_one_batch() {
   ++batches_run_;
+  if (live_status_) live_status_->on_batch(batches_run_ - 1);
   telemetry::ScopedSpan span(
       "campaign.batch",
       telemetry::JsonDict{}.set("batch", batches_run_ - 1));
   BatchResult result = fuzzer_->run_batch();
+  // Re-arm after a watchdog-forced retirement so the next batch starts
+  // fresh instead of aborting on sight.
+  if (result.aborted && watchdog_) watchdog_->clear_abort();
   if (trace_) {
     telemetry::JsonDict record;
     record.set("batch", batches_run_ - 1)
@@ -118,6 +127,43 @@ BatchResult Campaign::run_one_batch() {
 void Campaign::set_trace_sink(telemetry::TraceSink* sink) {
   trace_ = sink;
   observer_->set_trace_sink(sink);
+}
+
+void Campaign::set_live_status(telemetry::LiveStatus* status) {
+  live_status_ = status;
+  if (live_status_)
+    live_status_->begin_campaign(config_.batches, executors_.size());
+}
+
+void Campaign::set_heartbeat(telemetry::HeartbeatWriter* heartbeat) {
+  heartbeat_ = heartbeat;
+}
+
+void Campaign::set_watchdog(telemetry::Watchdog* watchdog) {
+  watchdog_ = watchdog;
+  fuzzer_->set_abort_flag(watchdog_ ? &watchdog_->abort_flag() : nullptr);
+}
+
+void Campaign::on_round(const observer::RoundResult& rr) {
+  for (const exec::RunStats& s : rr.stats) live_executions_ += s.executions;
+  if (live_status_) {
+    std::vector<telemetry::LiveStatus::ExecutorState> states;
+    states.reserve(rr.stats.size());
+    for (std::size_t i = 0; i < rr.stats.size(); ++i) {
+      telemetry::LiveStatus::ExecutorState state;
+      state.name = i < executors_.size()
+                       ? executors_[i]->container().spec().name
+                       : "exec" + std::to_string(i);
+      state.executions = rr.stats[i].executions;
+      state.crashed = rr.stats[i].crashed;
+      states.push_back(std::move(state));
+    }
+    live_status_->on_round(rr.round, kernel_->host().now(), live_executions_,
+                           std::move(states));
+  }
+  if (heartbeat_)
+    heartbeat_->stamp(kernel_->host().now(), batches_run_ - 1, rr.round,
+                      live_executions_);
 }
 
 std::unordered_map<int, std::size_t> Campaign::executor_core_map() const {
@@ -221,6 +267,17 @@ CampaignReport Campaign::finalize() {
         union_oracle.flag(rr.observation);
     const std::vector<bool> implicated =
         implicated_slots(violations, rr.programs.size(), core_to_slot);
+    // Per-syscall attribution: each flag implication credits the distinct
+    // syscall numbers of the implicated program.
+    if (feedback::SyscallProfile* profile = feedback::syscall_profile()) {
+      for (std::size_t i = 0; i < rr.programs.size(); ++i) {
+        if (!implicated[i]) continue;
+        std::unordered_set<int> nrs;
+        for (const prog::Call& call : rr.programs[i].calls())
+          nrs.insert(call.desc->nr);
+        for (const int nr : nrs) profile->record_implication(nr);
+      }
+    }
     for (std::size_t i = 0; i < rr.programs.size(); ++i) {
       const prog::Program& p = rr.programs[i];
       if (i < rr.stats.size() && rr.stats[i].crashed) {
@@ -399,6 +456,9 @@ CampaignReport Campaign::finalize() {
       .inc(report.crashes.size());
   metrics.gauge("campaign.corpus_size")
       .set(static_cast<double>(report.corpus_size));
+
+  if (live_status_)
+    live_status_->on_findings(report.findings.size(), report.crashes.size());
 
   if (trace_) {
     telemetry::JsonDict record;

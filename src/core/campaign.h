@@ -25,7 +25,10 @@
 #include "sim/noise.h"
 
 namespace torpedo::telemetry {
+class HeartbeatWriter;
+class LiveStatus;
 class TraceSink;
+class Watchdog;
 }  // namespace torpedo::telemetry
 
 namespace torpedo::core {
@@ -105,6 +108,14 @@ class Campaign {
   // events) to `sink`; nullptr disables. Caller keeps ownership.
   void set_trace_sink(telemetry::TraceSink* sink);
 
+  // Live-monitor wiring (all optional; caller keeps ownership, nullptr
+  // disables). `status` is refreshed and `heartbeat` stamped at every round
+  // boundary; `watchdog`'s abort flag is honored at batch round boundaries
+  // (the stalled batch retires cleanly and the flag is re-armed).
+  void set_live_status(telemetry::LiveStatus* status);
+  void set_heartbeat(telemetry::HeartbeatWriter* heartbeat);
+  void set_watchdog(telemetry::Watchdog* watchdog);
+
   // Host core -> executor slot, derived from the containers' *actual*
   // effective cpusets. Empty unless every executor is pinned to its own
   // single core (e.g. pin_executors == false), in which case per-core
@@ -135,8 +146,16 @@ class Campaign {
   std::unique_ptr<prog::Mutator> mutator_;
   feedback::Corpus corpus_;
   std::unique_ptr<TorpedoFuzzer> fuzzer_;
+  void on_round(const observer::RoundResult& rr);
+
   int batches_run_ = 0;
   telemetry::TraceSink* trace_ = nullptr;
+  telemetry::LiveStatus* live_status_ = nullptr;
+  telemetry::HeartbeatWriter* heartbeat_ = nullptr;
+  telemetry::Watchdog* watchdog_ = nullptr;
+  // Running execution total maintained at round boundaries (the fuzzer's own
+  // total lags until its batch accounting runs).
+  std::uint64_t live_executions_ = 0;
 };
 
 }  // namespace torpedo::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "feedback/syscall_profile.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
@@ -115,6 +116,23 @@ BatchResult TorpedoFuzzer::run_batch() {
     }
   }
 
+  // Per-syscall attribution: credit each call index with the novel signal
+  // its (triage-stable) per-call signal would contribute to the corpus. This
+  // is the out-of-band-signal column of the syscall profile.
+  if (feedback::SyscallProfile* profile = feedback::syscall_profile()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::vector<feedback::SignalSet>& per_call =
+          cand.stats[i].call_signal;
+      const std::vector<prog::Call>& calls = current[i].calls();
+      for (std::size_t j = 0; j < per_call.size() && j < calls.size(); ++j) {
+        const std::size_t novel = corpus_.novelty(per_call[j]);
+        if (novel > 0)
+          profile->record_novel_signal(calls[j].desc->nr,
+                                       static_cast<std::uint64_t>(novel));
+      }
+    }
+  }
+
   // Replace programs contributing no new coverage with fresh generations
   // ("uninteresting candidate programs are ... removed from the work queue
   // before they are fuzzed").
@@ -142,6 +160,15 @@ BatchResult TorpedoFuzzer::run_batch() {
 
   int no_improvement = 0;
   while (no_improvement < config_.cycle_out_rounds) {
+    if (abort_flag_ != nullptr &&
+        abort_flag_->load(std::memory_order_relaxed)) {
+      TORPEDO_LOG(LogLevel::kWarn,
+                  "batch aborted at a round boundary (watchdog stall) after "
+                  "%d rounds",
+                  result.rounds);
+      result.aborted = true;
+      break;
+    }
     // Mutate every program in the batch.
     std::vector<prog::Program> mutated = current;
     for (prog::Program& p : mutated)

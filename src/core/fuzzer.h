@@ -11,6 +11,7 @@
 // the 'set of programs' level").
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -67,6 +68,9 @@ struct BatchResult {
   // trailing shuffle-confirm round, whose slots are rotated.
   int corpus_signal_round = -1;
   bool saw_crash = false;
+  // The batch was retired early because the abort flag (watchdog stall) was
+  // raised; final_programs still entered the corpus normally.
+  bool aborted = false;
 };
 
 class TorpedoFuzzer {
@@ -86,6 +90,11 @@ class TorpedoFuzzer {
   const std::vector<std::string>& denylist() const { return denylist_; }
   std::uint64_t total_executions() const { return total_executions_; }
 
+  // When set, the batch loop checks the flag at round boundaries and retires
+  // the batch cleanly once it is raised (the watchdog's stall-abort path).
+  // Caller keeps ownership; nullptr disables.
+  void set_abort_flag(const std::atomic<bool>* flag) { abort_flag_ = flag; }
+
  private:
   std::vector<prog::Program> next_batch();
   // True if the two scores are within the equivalence band.
@@ -103,6 +112,7 @@ class TorpedoFuzzer {
   std::deque<prog::Program> queue_;
   std::vector<std::string> denylist_;
   std::uint64_t total_executions_ = 0;
+  const std::atomic<bool>* abort_flag_ = nullptr;
 
   telemetry::Counter* ctr_batches_ = nullptr;
   telemetry::Counter* ctr_mutations_tried_ = nullptr;

@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include "feedback/syscall_profile.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
@@ -91,6 +92,7 @@ struct Executor::State {
     std::vector<std::int64_t> results(program.size(), -1);
     stats.call_signal.resize(program.size());
     stats.last_iteration.clear();
+    feedback::SyscallProfile* profile = feedback::syscall_profile();
 
     for (std::size_t i = 0; i < program.size(); ++i) {
       const prog::Call& call = program.calls()[i];
@@ -109,6 +111,7 @@ struct Executor::State {
       }
 
       results[i] = r.ret;
+      if (profile) profile->record_execution(req.nr);
       const std::uint64_t sig = feedback::fallback_signal(req.nr, r.err);
       stats.signal.add(sig);
       stats.call_signal[i].add(sig);

@@ -1,0 +1,85 @@
+#include "feedback/syscall_profile.h"
+
+#include "telemetry/json.h"
+
+namespace torpedo::feedback {
+
+namespace {
+SyscallProfile* g_profile = nullptr;
+}  // namespace
+
+SyscallProfile* syscall_profile() { return g_profile; }
+void set_syscall_profile(SyscallProfile* profile) { g_profile = profile; }
+
+std::vector<SyscallProfile::Row> SyscallProfile::rows() const {
+  std::vector<Row> out;
+  for (int nr = 0; nr < kMaxSysno; ++nr) {
+    const std::size_t i = static_cast<std::size_t>(nr);
+    Row row;
+    row.nr = nr;
+    row.executions = executions_[i].load(std::memory_order_relaxed);
+    row.signal_new = signal_[i].load(std::memory_order_relaxed);
+    row.implications = implications_[i].load(std::memory_order_relaxed);
+    if (row.executions || row.signal_new || row.implications)
+      out.push_back(row);
+  }
+  return out;
+}
+
+std::string SyscallProfile::to_json(NameFn name) const {
+  std::string array = "[";
+  bool first = true;
+  for (const Row& row : rows()) {
+    telemetry::JsonDict d;
+    d.set("nr", row.nr)
+        .set("name", name != nullptr ? name(row.nr) : std::string_view("?"))
+        .set("executions", row.executions)
+        .set("signal_new", row.signal_new)
+        .set("implications", row.implications);
+    if (!first) array += ",";
+    first = false;
+    array += d.to_string();
+  }
+  array += "]";
+  telemetry::JsonDict out;
+  out.set_raw("syscalls", array);
+  return out.to_string();
+}
+
+std::string SyscallProfile::to_prometheus(NameFn name) const {
+  const std::vector<Row> all = rows();
+  std::string out;
+  auto series = [&](std::string_view metric, std::string_view help,
+                    std::uint64_t Row::* field) {
+    out += "# HELP " + std::string(metric) + " " + std::string(help) + "\n";
+    out += "# TYPE " + std::string(metric) + " counter\n";
+    for (const Row& row : all) {
+      if (row.*field == 0) continue;
+      const std::string_view n =
+          name != nullptr ? name(row.nr) : std::string_view("unknown");
+      out += std::string(metric) + "{syscall=\"" + std::string(n) +
+             "\",nr=\"" + std::to_string(row.nr) +
+             "\"} " + std::to_string(row.*field) + "\n";
+    }
+  };
+  series("torpedo_syscall_executions_total",
+         "per-syscall individual call executions", &Row::executions);
+  series("torpedo_syscall_signal_total",
+         "per-syscall novel coverage-signal elements at triage",
+         &Row::signal_new);
+  series("torpedo_syscall_implications_total",
+         "per-syscall appearances in oracle-implicated programs",
+         &Row::implications);
+  return out;
+}
+
+void SyscallProfile::reset() {
+  for (int nr = 0; nr < kMaxSysno; ++nr) {
+    const std::size_t i = static_cast<std::size_t>(nr);
+    executions_[i].store(0, std::memory_order_relaxed);
+    signal_[i].store(0, std::memory_order_relaxed);
+    implications_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace torpedo::feedback

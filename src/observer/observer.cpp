@@ -233,6 +233,7 @@ const RoundResult& Observer::run_round(
   }
 
   log_.push_back(std::move(result));
+  if (round_hook_) round_hook_(log_.back());
   return log_.back();
 }
 

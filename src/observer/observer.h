@@ -8,6 +8,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -65,6 +66,12 @@ class Observer {
   void set_trace_sink(telemetry::TraceSink* sink) { trace_ = sink; }
   telemetry::TraceSink* trace_sink() const { return trace_; }
 
+  // Invoked at the end of every completed round with its result, before
+  // run_round returns (the live-monitor wiring: heartbeat stamping and
+  // status snapshots hang off this). Runs on the campaign thread.
+  using RoundHook = std::function<void(const RoundResult&)>;
+  void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
+
  private:
   struct Snapshot {
     kernel::ProcStat stat;
@@ -82,6 +89,7 @@ class Observer {
   int round_ = 0;
 
   telemetry::TraceSink* trace_ = nullptr;
+  RoundHook round_hook_;
   telemetry::Counter* ctr_rounds_ = nullptr;
   telemetry::Histogram* hist_round_wall_us_ = nullptr;
   telemetry::Histogram* hist_snapshot_wall_us_ = nullptr;

@@ -14,13 +14,27 @@ void set_spans(SpanTracer* tracer) { g_spans = tracer; }
 std::uint64_t SpanTracer::begin_impl(std::string_view name,
                                      std::string args_json) {
   OpenSpan open;
-  open.id = next_id_++;
   open.name = std::string(name);
   open.args_json = std::move(args_json);
   open.sim_begin_ns = sim_now();
   open.wall_begin_ns = wall_now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  open.id = next_id_++;
   stack_.push_back(std::move(open));
   return stack_.back().id;
+}
+
+std::size_t SpanTracer::open_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stack_.size();
+}
+
+std::vector<std::string> SpanTracer::open_span_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(stack_.size());
+  for (const OpenSpan& open : stack_) names.push_back(open.name);
+  return names;
 }
 
 std::uint64_t SpanTracer::begin(std::string_view name) {
@@ -32,14 +46,15 @@ std::uint64_t SpanTracer::begin(std::string_view name, const JsonDict& args) {
 }
 
 void SpanTracer::end(std::uint64_t id) {
+  const Nanos sim = sim_now();
+  const Nanos wall = wall_now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
   // Unknown id (double end, or survivor of clear()): ignore.
   bool found = false;
   for (const OpenSpan& open : stack_)
     if (open.id == id) found = true;
   if (!found) return;
 
-  const Nanos sim = sim_now();
-  const Nanos wall = wall_now_ns();
   // Close everything at or above `id`; a well-nested caller only ever closes
   // the top, but a child leaked open by an early return must not re-parent
   // every later span under it.
@@ -63,6 +78,7 @@ void SpanTracer::end(std::uint64_t id) {
 
 void SpanTracer::emit(std::string_view name, Nanos sim_begin_ns,
                       Nanos sim_end_ns, const JsonDict& args) {
+  std::lock_guard<std::mutex> lock(mu_);
   Span span;
   span.id = next_id_++;
   span.parent = stack_.empty() ? 0 : stack_.back().id;
@@ -77,6 +93,7 @@ void SpanTracer::emit(std::string_view name, Nanos sim_begin_ns,
 }
 
 void SpanTracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   stack_.clear();
   done_.clear();
   next_id_ = 1;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -67,8 +68,13 @@ class SpanTracer {
             const JsonDict& args);
 
   // Completed spans, in end order. Still-open spans are not included.
+  // Single-threaded use only (post-run export).
   const std::vector<Span>& spans() const { return done_; }
-  std::size_t open_depth() const { return stack_.size(); }
+  std::size_t open_depth() const;
+  // Names of the currently-open spans, outermost first. Safe to call from
+  // another thread (the watchdog logs this stack when a campaign stalls, to
+  // show which phase the campaign thread is stuck in).
+  std::vector<std::string> open_span_names() const;
   void clear();
 
   // Renders the Chrome trace_event JSON array: one "X" (complete) event per
@@ -90,6 +96,10 @@ class SpanTracer {
 
   SimClockFn clock_fn_ = nullptr;
   void* clock_ctx_ = nullptr;
+  // Guards stack_ (and next_id_) so the monitor thread can snapshot the open
+  // stack while the campaign thread opens/closes spans. Uncontended in the
+  // hot path; spans are per-round granularity, not per-execution.
+  mutable std::mutex mu_;
   std::uint64_t next_id_ = 1;
   std::vector<OpenSpan> stack_;
   std::vector<Span> done_;

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <chrono>
+#include <sstream>
 
 namespace torpedo::telemetry {
 
@@ -20,37 +21,54 @@ Nanos steady_now_ns() {
 // --- Histogram -------------------------------------------------------------
 
 void Histogram::record(std::uint64_t v) {
-  if (count_ == 0 || v < min_) min_ = v;
-  if (v > max_) max_ = v;
-  ++count_;
-  sum_ += v;
+  // Single writer: plain load/store relaxed. Readers (the monitor thread)
+  // tolerate a value landing in count_ one scrape before its bucket.
+  const std::uint64_t c = count_.load(std::memory_order_relaxed);
+  if (c == 0 || v < min_.load(std::memory_order_relaxed))
+    min_.store(v, std::memory_order_relaxed);
+  if (v > max_.load(std::memory_order_relaxed))
+    max_.store(v, std::memory_order_relaxed);
+  count_.store(c + 1, std::memory_order_relaxed);
+  sum_.store(sum_.load(std::memory_order_relaxed) + v,
+             std::memory_order_relaxed);
   // Bucket k holds [2^(k-1), 2^k); bucket 0 holds the value 0.
-  ++buckets_[static_cast<std::size_t>(std::bit_width(v))];
+  std::atomic<std::uint64_t>& bucket =
+      buckets_[static_cast<std::size_t>(std::bit_width(v))];
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
 }
 
 std::uint64_t Histogram::percentile(double p) const {
-  if (count_ == 0) return 0;
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
   if (p < 0) p = 0;
   if (p > 100) p = 100;
-  const double target = p / 100.0 * static_cast<double>(count_);
+  const double target = p / 100.0 * static_cast<double>(total);
   std::uint64_t cumulative = 0;
   for (std::size_t k = 0; k < kBuckets; ++k) {
-    cumulative += buckets_[k];
+    cumulative += buckets_[k].load(std::memory_order_relaxed);
     if (static_cast<double>(cumulative) >= target && cumulative > 0) {
       const std::uint64_t upper =
-          k == 0 ? 0 : (k >= 64 ? max_ : (std::uint64_t{1} << k) - 1);
-      return std::min(std::max(upper, min()), max_);
+          k == 0 ? 0 : (k >= 64 ? max() : (std::uint64_t{1} << k) - 1);
+      return std::min(std::max(upper, min()), max());
     }
   }
-  return max_;
+  return max();
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
+  std::array<std::uint64_t, kBuckets> out;
+  for (std::size_t k = 0; k < kBuckets; ++k)
+    out[k] = buckets_[k].load(std::memory_order_relaxed);
+  return out;
 }
 
 JsonDict Histogram::to_json() const {
   JsonDict d;
-  d.set("count", count_)
-      .set("sum", sum_)
+  d.set("count", count())
+      .set("sum", sum())
       .set("min", min())
-      .set("max", max_)
+      .set("max", max())
       .set("mean", mean())
       .set("p50", percentile(50))
       .set("p90", percentile(90))
@@ -61,42 +79,48 @@ JsonDict Histogram::to_json() const {
 // --- Registry --------------------------------------------------------------
 
 Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
-    it = counters_.emplace(std::string(name), Counter{}).first;
+    it = counters_.try_emplace(std::string(name)).first;
   return it->second;
 }
 
 Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
-  if (it == gauges_.end())
-    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  if (it == gauges_.end()) it = gauges_.try_emplace(std::string(name)).first;
   return it->second;
 }
 
 Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
-    it = histograms_.emplace(std::string(name), Histogram{}).first;
+    it = histograms_.try_emplace(std::string(name)).first;
   return it->second;
 }
 
 const Counter* Registry::find_counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* Registry::find_gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* Registry::find_histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::string Registry::to_json(Nanos sim_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
   JsonDict counters;
   for (const auto& [name, c] : counters_) counters.set(name, c.value());
   JsonDict gauges;
@@ -114,7 +138,91 @@ std::string Registry::to_json(Nanos sim_ns) const {
   return out.to_string();
 }
 
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+// %g-style rendering that never emits a locale comma.
+std::string render_double(double v) {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  auto line = [&out](const std::string& name, std::string_view labels,
+                     const std::string& value) {
+    out += name;
+    out += labels;
+    out += ' ';
+    out += value;
+    out += '\n';
+  };
+  auto header = [&out](const std::string& name, std::string_view help,
+                       std::string_view type) {
+    out += "# HELP " + name + " " + std::string(help) + "\n";
+    out += "# TYPE " + name + " " + std::string(type) + "\n";
+  };
+
+  for (const auto& [name, c] : counters_) {
+    const std::string full =
+        std::string(prefix) + prometheus_name(name) + "_total";
+    header(full, "torpedo counter " + name, "counter");
+    line(full, "", std::to_string(c.value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string full = std::string(prefix) + prometheus_name(name);
+    header(full, "torpedo gauge " + name, "gauge");
+    line(full, "", render_double(g.value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string full = std::string(prefix) + prometheus_name(name);
+    header(full, "torpedo histogram " + name, "histogram");
+    const auto buckets = h.buckets();
+    std::uint64_t cumulative = 0;
+    std::size_t highest = 0;
+    for (std::size_t k = 0; k < Histogram::kBuckets; ++k)
+      if (buckets[k] > 0) highest = k;
+    // Bucket k's inclusive upper edge: 2^k - 1 (bucket 0 holds the value 0).
+    for (std::size_t k = 0; k <= highest && k < 63; ++k) {
+      cumulative += buckets[k];
+      const std::uint64_t le = k == 0 ? 0 : (std::uint64_t{1} << k) - 1;
+      line(full + "_bucket", "{le=\"" + std::to_string(le) + "\"}",
+           std::to_string(cumulative));
+    }
+    line(full + "_bucket", "{le=\"+Inf\"}", std::to_string(h.count()));
+    line(full + "_sum", "", std::to_string(h.sum()));
+    line(full + "_count", "", std::to_string(h.count()));
+    // Percentile estimates ride as separate gauges (a histogram metric
+    // cannot carry quantile series under the same name).
+    for (const auto& [p, suffix] :
+         {std::pair<double, const char*>{50, "_p50"},
+          {90, "_p90"},
+          {99, "_p99"}}) {
+      const std::string q = full + suffix;
+      header(q, "torpedo histogram percentile " + name, "gauge");
+      line(q, "", std::to_string(h.percentile(p)));
+    }
+  }
+  return out;
+}
+
 void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -31,6 +31,8 @@
 #include "core/provenance.h"
 #include "core/seeds.h"
 #include "core/workdir.h"
+#include "feedback/syscall_profile.h"
+#include "telemetry/monitor.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
@@ -52,9 +54,11 @@ int usage() {
       "                [--seeds-dir DIR] [--workdir DIR] [--seed N] [-v]\n"
       "                [--trace FILE.jsonl] [--metrics FILE.json]\n"
       "                [--chrome-trace FILE.json]\n"
+      "                [--monitor-port N] [--watchdog-seconds S]\n"
+      "                [--watchdog-abort]\n"
       "  torpedo exec  [--runtime ...] [--round-seconds S] FILE.prog\n"
       "  torpedo seeds [--out DIR] [--count N]\n"
-      "  torpedo report WORKDIR\n",
+      "  torpedo report [--json] WORKDIR\n",
       stderr);
   return 2;
 }
@@ -76,7 +80,9 @@ struct Args {
 };
 
 // Flags that take no value.
-bool is_switch(const std::string& name) { return name == "v"; }
+bool is_switch(const std::string& name) {
+  return name == "v" || name == "json" || name == "watchdog-abort";
+}
 
 std::optional<Args> parse_args(int argc, char** argv) {
   Args args;
@@ -126,20 +132,76 @@ struct SpanGuard {
   ~SpanGuard() { telemetry::set_spans(nullptr); }
 };
 
+// Same contract for the process-wide syscall profile.
+struct ProfileGuard {
+  ~ProfileGuard() { feedback::set_syscall_profile(nullptr); }
+};
+
 int cmd_run(const Args& args) {
   auto config = campaign_config(args);
   if (!config) return 2;
   if (args.has("v")) set_log_level(LogLevel::kInfo);
 
+  // The per-syscall attribution profiler is always on for `run`: relaxed
+  // single-writer counters cost nothing measurable and /metrics + the report
+  // table both want them.
+  feedback::SyscallProfile profile;
+  ProfileGuard profile_guard;
+  feedback::set_syscall_profile(&profile);
+
   core::Campaign campaign(*config);
 
+  const long watchdog_seconds = args.num("watchdog-seconds", 0);
   telemetry::SpanTracer tracer;
   SpanGuard span_guard;
-  if (args.has("chrome-trace")) {
+  // The watchdog wants the open span stack in its stall log, so it implies
+  // the tracer even without --chrome-trace.
+  if (args.has("chrome-trace") || watchdog_seconds > 0) {
     tracer.set_sim_clock(
         [](void* ctx) { return static_cast<sim::Host*>(ctx)->now(); },
         &campaign.kernel().host());
     telemetry::set_spans(&tracer);
+  }
+
+  telemetry::LiveStatus status;
+  campaign.set_live_status(&status);
+
+  std::optional<telemetry::HeartbeatWriter> heartbeat;
+  if (auto workdir = args.get("workdir")) {
+    heartbeat.emplace(std::filesystem::path(*workdir) / "heartbeat.json");
+    campaign.set_heartbeat(&*heartbeat);
+  }
+
+  std::optional<telemetry::Watchdog> watchdog;
+  if (watchdog_seconds > 0) {
+    telemetry::Watchdog::Config wd_config;
+    wd_config.stall_budget_wall_ns =
+        static_cast<Nanos>(watchdog_seconds) * kSecond;
+    wd_config.abort_on_stall = args.has("watchdog-abort");
+    watchdog.emplace(wd_config);
+    campaign.set_watchdog(&*watchdog);
+  }
+
+  // The watchdog samples progress on the monitor thread, so asking for a
+  // watchdog without --monitor-port still starts the server (ephemeral
+  // port).
+  std::optional<telemetry::MonitorServer> monitor;
+  if (args.has("monitor-port") || watchdog) {
+    telemetry::MonitorServer::Config mon_config;
+    mon_config.port = static_cast<int>(args.num("monitor-port", 0));
+    monitor.emplace(mon_config);
+    monitor->set_status(&status);
+    if (watchdog) monitor->set_watchdog(&*watchdog);
+    monitor->set_extra_metrics(
+        [&profile] { return profile.to_prometheus(&kernel::sysno_name); });
+    if (!monitor->start()) {
+      std::fprintf(stderr, "cannot bind monitor to 127.0.0.1:%d\n",
+                   mon_config.port);
+      return 1;
+    }
+    std::printf("monitor: http://127.0.0.1:%d/metrics (and /status, "
+                "/healthz)\n",
+                monitor->port());
   }
 
   // Output files may point into a not-yet-created workdir.
@@ -196,13 +258,19 @@ int cmd_run(const Args& args) {
   for (const core::CrashFinding& c : report.crashes)
     std::printf("  CRASH: %s\n", c.message.c_str());
 
+  if (monitor) monitor->stop();
+
   if (auto workdir = args.get("workdir")) {
     const std::filesystem::path dir(*workdir);
     core::save_corpus(dir / "corpus.txt", campaign.corpus());
     core::save_report(dir / "report.txt", report);
     const std::size_t bundles = core::write_violation_bundles(dir, report);
-    std::printf("workdir written: %s (corpus.txt, report.txt, %zu violation "
-                "bundle%s)\n",
+    {
+      std::ofstream out(dir / "syscall_profile.json", std::ios::trunc);
+      if (out) out << profile.to_json(&kernel::sysno_name) << "\n";
+    }
+    std::printf("workdir written: %s (corpus.txt, report.txt, "
+                "syscall_profile.json, %zu violation bundle%s)\n",
                 dir.string().c_str(), bundles, bundles == 1 ? "" : "s");
   }
 
@@ -312,8 +380,21 @@ double num_field(const JsonObject& obj, const std::string& key) {
   return v.is_integer ? static_cast<double>(v.integer) : v.number;
 }
 
-// Findings table + dedup from violations/NNN/bundle.json.
-void report_bundles(const std::filesystem::path& workdir) {
+// Renders a vector of rendered JSON objects as a JSON array.
+std::string json_array(const std::vector<std::string>& rendered) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
+    if (i) out += ",";
+    out += rendered[i];
+  }
+  return out + "]";
+}
+
+// Findings table + dedup from violations/NNN/bundle.json. In json mode the
+// same rows land under out["findings"] / out["by_heuristic"] instead of
+// stdout.
+void report_bundles(const std::filesystem::path& workdir, bool json,
+                    telemetry::JsonDict& out) {
   namespace fs = std::filesystem;
   std::vector<fs::path> bundle_files;
   const fs::path violations = workdir / "violations";
@@ -325,6 +406,7 @@ void report_bundles(const std::filesystem::path& workdir) {
 
   TextTable table({"bundle", "syscalls", "heuristics", "cause", "round",
                    "score"});
+  std::vector<std::string> finding_objects;
   std::map<std::string, int> by_heuristic;
   std::set<std::string> signatures;
   int duplicates = 0;
@@ -352,7 +434,25 @@ void report_bundles(const std::filesystem::path& workdir) {
                    format("%d", static_cast<int>(
                                     num_field(*obj, "source_round"))),
                    format("%.2f", num_field(*obj, "oracle_score"))});
+    finding_objects.push_back(
+        telemetry::JsonDict{}
+            .set("bundle", static_cast<std::int64_t>(num_field(*obj, "bundle")))
+            .set("syscalls", str_field(*obj, "syscalls"))
+            .set("heuristics", heuristics)
+            .set("cause", str_field(*obj, "cause"))
+            .set("source_round",
+                 static_cast<std::int64_t>(num_field(*obj, "source_round")))
+            .set("oracle_score", num_field(*obj, "oracle_score"))
+            .to_string());
   }
+
+  telemetry::JsonDict heuristic_counts;
+  for (const auto& [heuristic, n] : by_heuristic)
+    heuristic_counts.set(heuristic, n);
+  out.set_raw("findings", json_array(finding_objects))
+      .set("duplicate_bundles", duplicates)
+      .set_raw("by_heuristic", heuristic_counts.to_string());
+  if (json) return;
 
   std::printf("findings: %zu confirmed bundle%s", table.num_rows(),
               table.num_rows() == 1 ? "" : "s");
@@ -370,7 +470,8 @@ void report_bundles(const std::filesystem::path& workdir) {
 }
 
 // Campaign totals from metrics.json (written by `run --metrics`).
-void report_metrics(const std::filesystem::path& workdir) {
+void report_metrics(const std::filesystem::path& workdir, bool json,
+                    telemetry::JsonDict& out) {
   const auto text = slurp(workdir / "metrics.json");
   if (!text) return;
   const auto obj = telemetry::parse_json_object(*text);
@@ -380,6 +481,15 @@ void report_metrics(const std::filesystem::path& workdir) {
       counters_it != obj->end()
           ? telemetry::parse_json_object(counters_it->second.text)
           : std::nullopt;
+  if (json) {
+    telemetry::JsonDict metrics;
+    metrics.set("sim_ns",
+                static_cast<std::int64_t>(num_field(*obj, "sim_ns")));
+    if (counters_it != obj->end() && counters)
+      metrics.set_raw("counters", counters_it->second.text);
+    out.set_raw("metrics", metrics.to_string());
+    return;
+  }
   std::printf("metrics.json: sim end %.3f s",
               num_field(*obj, "sim_ns") / 1e9);
   if (counters) {
@@ -396,7 +506,8 @@ void report_metrics(const std::filesystem::path& workdir) {
 }
 
 // Round-by-round record counts from trace.jsonl (written by `run --trace`).
-void report_round_trace(const std::filesystem::path& workdir) {
+void report_round_trace(const std::filesystem::path& workdir, bool json,
+                        telemetry::JsonDict& out) {
   std::ifstream in(workdir / "trace.jsonl");
   if (!in) return;
   std::map<std::string, int> by_event;
@@ -407,6 +518,13 @@ void report_round_trace(const std::filesystem::path& workdir) {
     ++records;
     if (auto obj = telemetry::parse_json_object(line))
       by_event[str_field(*obj, "event")]++;
+  }
+  if (json) {
+    telemetry::JsonDict events;
+    for (const auto& [event, n] : by_event) events.set(event, n);
+    out.set("trace_records", static_cast<std::uint64_t>(records))
+        .set_raw("trace_events", events.to_string());
+    return;
   }
   std::printf("trace.jsonl: %zu records (", records);
   bool first = true;
@@ -419,7 +537,8 @@ void report_round_trace(const std::filesystem::path& workdir) {
 
 // Per-phase time breakdown from the chrome-trace span file, aggregated by
 // span name across both clocks.
-void report_spans(const std::filesystem::path& workdir) {
+void report_spans(const std::filesystem::path& workdir, bool json,
+                  telemetry::JsonDict& out) {
   const auto text = slurp(workdir / "trace.json");
   if (!text) return;
   const auto events = telemetry::parse_json_array_of_objects(*text);
@@ -450,6 +569,19 @@ void report_spans(const std::filesystem::path& workdir) {
   std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
     return a.second.sim_us > b.second.sim_us;
   });
+  if (json) {
+    std::vector<std::string> phase_objects;
+    for (const auto& [name, phase] : sorted)
+      phase_objects.push_back(telemetry::JsonDict{}
+                                  .set("phase", name)
+                                  .set("spans", phase.count)
+                                  .set("sim_us", phase.sim_us)
+                                  .set("wall_ns", phase.wall_ns)
+                                  .to_string());
+    out.set("span_count", static_cast<std::uint64_t>(events->size()))
+        .set_raw("phases", json_array(phase_objects));
+    return;
+  }
   TextTable table({"phase", "spans", "sim ms", "wall ms"});
   for (const auto& [name, phase] : sorted)
     table.add_row({name, format("%d", phase.count),
@@ -460,19 +592,68 @@ void report_spans(const std::filesystem::path& workdir) {
               events->size(), table.to_string().c_str());
 }
 
+// Per-syscall attribution table from syscall_profile.json (written by
+// `run --workdir`): which syscalls executed, contributed signal, and were
+// implicated by the flag scan.
+void report_syscall_profile(const std::filesystem::path& workdir, bool json,
+                            telemetry::JsonDict& out) {
+  const auto text = slurp(workdir / "syscall_profile.json");
+  if (!text) return;
+  const auto obj = telemetry::parse_json_object(*text);
+  if (!obj) {
+    std::fprintf(stderr, "warning: unparseable %s\n",
+                 (workdir / "syscall_profile.json").string().c_str());
+    return;
+  }
+  auto rows_it = obj->find("syscalls");
+  const auto rows = rows_it != obj->end()
+                        ? telemetry::parse_json_array_of_objects(
+                              rows_it->second.text)
+                        : std::nullopt;
+  if (!rows) return;
+  if (json) {
+    out.set_raw("syscall_profile", rows_it->second.text);
+    return;
+  }
+  std::vector<const JsonObject*> sorted;
+  for (const JsonObject& row : *rows) sorted.push_back(&row);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const JsonObject* a, const JsonObject* b) {
+              return num_field(*a, "executions") > num_field(*b, "executions");
+            });
+  TextTable table({"syscall", "nr", "executions", "signal", "implications"});
+  for (const JsonObject* row : sorted)
+    table.add_row(
+        {str_field(*row, "name"),
+         format("%d", static_cast<int>(num_field(*row, "nr"))),
+         format("%lld",
+                static_cast<long long>(num_field(*row, "executions"))),
+         format("%lld",
+                static_cast<long long>(num_field(*row, "signal_new"))),
+         format("%lld",
+                static_cast<long long>(num_field(*row, "implications")))});
+  std::printf("syscall attribution (%zu syscalls):\n\n%s\n", sorted.size(),
+              table.to_string().c_str());
+}
+
 int cmd_report(const Args& args) {
   if (args.positional.size() != 1) return usage();
+  const bool json = args.has("json");
   const std::filesystem::path workdir(args.positional[0]);
   if (!std::filesystem::exists(workdir)) {
     std::fprintf(stderr, "no such workdir: %s\n", workdir.string().c_str());
     return 1;
   }
-  std::printf("torpedo report: %s\n\n", workdir.string().c_str());
-  report_bundles(workdir);
-  report_metrics(workdir);
-  report_round_trace(workdir);
-  std::printf("\n");
-  report_spans(workdir);
+  telemetry::JsonDict out;
+  out.set("workdir", workdir.string());
+  if (!json) std::printf("torpedo report: %s\n\n", workdir.string().c_str());
+  report_bundles(workdir, json, out);
+  report_metrics(workdir, json, out);
+  report_round_trace(workdir, json, out);
+  if (!json) std::printf("\n");
+  report_spans(workdir, json, out);
+  report_syscall_profile(workdir, json, out);
+  if (json) std::printf("%s\n", out.to_string().c_str());
   return 0;
 }
 
