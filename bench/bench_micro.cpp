@@ -5,6 +5,7 @@
 
 #include "core/campaign.h"
 #include "core/seeds.h"
+#include "feedback/signal.h"
 #include "kernel/procfs.h"
 #include "kernel/syscalls.h"
 #include "prog/generate.h"
@@ -52,6 +53,66 @@ void BM_ProgramHash(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(p.hash());
 }
 BENCHMARK(BM_ProgramHash);
+
+// Per-call signal representation, before/after. The executor keeps one
+// signal set per call index; each holds a handful of distinct
+// (sysno, err) elements per round. "Hash" is the old unordered_set
+// representation, "Small" the sorted-vector SmallSignalSet that replaced
+// it. The workload is the hot path: add N mostly-duplicate elements, then
+// one novelty scan against the corpus-wide SignalSet.
+constexpr int kDistinctPerCall = 6;
+constexpr int kAddsPerRound = 64;
+
+std::vector<std::uint64_t> per_call_elements() {
+  std::vector<std::uint64_t> elements;
+  for (int i = 0; i < kAddsPerRound; ++i)
+    elements.push_back(
+        feedback::fallback_signal(i % kDistinctPerCall, -(i % 3)));
+  return elements;
+}
+
+void BM_SignalPerCall_HashSet(benchmark::State& state) {
+  const std::vector<std::uint64_t> elements = per_call_elements();
+  feedback::SignalSet corpus;
+  for (int i = 0; i < kDistinctPerCall / 2; ++i)
+    corpus.add(elements[static_cast<std::size_t>(i)]);
+  for (auto _ : state) {
+    feedback::SignalSet per_call;
+    for (std::uint64_t e : elements) per_call.add(e);
+    benchmark::DoNotOptimize(corpus.novelty(per_call));
+  }
+}
+BENCHMARK(BM_SignalPerCall_HashSet);
+
+void BM_SignalPerCall_SmallSet(benchmark::State& state) {
+  const std::vector<std::uint64_t> elements = per_call_elements();
+  feedback::SignalSet corpus;
+  for (int i = 0; i < kDistinctPerCall / 2; ++i)
+    corpus.add(elements[static_cast<std::size_t>(i)]);
+  for (auto _ : state) {
+    feedback::SmallSignalSet per_call;
+    for (std::uint64_t e : elements) per_call.add(e);
+    benchmark::DoNotOptimize(corpus.novelty(per_call));
+  }
+}
+BENCHMARK(BM_SignalPerCall_SmallSet);
+
+// SignalSet::merge across two large sets: the corpus-accept path. The
+// reserve-on-merge change bounds rehashing to at most one grow.
+void BM_SignalMerge(benchmark::State& state) {
+  feedback::SignalSet incoming;
+  for (int i = 0; i < 512; ++i)
+    incoming.add(feedback::fallback_signal(i, -i));
+  for (auto _ : state) {
+    state.PauseTiming();
+    feedback::SignalSet base;
+    for (int i = 0; i < 256; ++i)
+      base.add(feedback::fallback_signal(i, -i));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(base.merge(incoming));
+  }
+}
+BENCHMARK(BM_SignalMerge);
 
 void BM_SyscallDispatch(benchmark::State& state) {
   kernel::KernelConfig cfg;

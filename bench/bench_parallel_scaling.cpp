@@ -1,0 +1,179 @@
+// Parallel scaling bench: what sharding buys on a multi-core host.
+//
+// The paper's campaign is round-serialized — one thread, no matter the host
+// (§3.4). ShardedCampaign lifts that ceiling with K independent campaign
+// stacks trading corpus entries through the CorpusHub. This bench measures
+// the lift: wall time, aggregate simulated executions per wall second, and
+// speedup versus one shard, for shard counts {1, 2, 4, 8} (capped by
+// --max-shards and by what fits the host). A final ablation re-runs the
+// largest shard count with corpus sync off, so the hub's cost/benefit is a
+// number, not a belief. Results land in BENCH_parallel.json; CI charts them
+// and fails the build when the 4-shard speedup drops below its floor.
+//
+//   bench_parallel_scaling [--quick] [--batches N] [--max-shards N]
+//                          [--out FILE.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sharded.h"
+#include "telemetry/json.h"
+
+using namespace torpedo;
+
+namespace {
+
+struct Result {
+  int shards = 0;
+  bool sync = true;
+  int rounds = 0;
+  std::uint64_t executions = 0;
+  std::size_t findings = 0;
+  std::size_t crashes = 0;
+  std::size_t corpus = 0;
+  double wall_ms = 0;
+  feedback::CorpusHub::Stats hub;
+
+  double execs_per_sec() const {
+    return wall_ms > 0 ? static_cast<double>(executions) / (wall_ms / 1000.0)
+                       : 0;
+  }
+};
+
+Result run_fleet(int shards, int batches, bool sync) {
+  core::ShardedConfig config;
+  config.base.batches = batches;
+  config.base.round_duration = 2 * kSecond;
+  config.base.fuzzer.cycle_out_rounds = 4;
+  config.shards = shards;
+  config.corpus_sync = sync;
+  core::ShardedCampaign fleet(config);
+
+  const auto start = std::chrono::steady_clock::now();
+  const core::CampaignReport report = fleet.run();
+  const auto end = std::chrono::steady_clock::now();
+
+  Result result;
+  result.shards = shards;
+  result.sync = sync;
+  result.rounds = report.rounds;
+  result.executions = report.executions;
+  result.findings = report.findings.size();
+  result.crashes = report.crashes.size();
+  result.corpus = report.corpus_size;
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  result.hub = fleet.hub().stats();
+  return result;
+}
+
+std::string result_json(const Result& r, double baseline_execs_per_sec) {
+  telemetry::JsonDict d;
+  d.set("shards", r.shards)
+      .set("corpus_sync", r.sync)
+      .set("rounds", r.rounds)
+      .set("executions", r.executions)
+      .set("findings", static_cast<std::uint64_t>(r.findings))
+      .set("crashes", static_cast<std::uint64_t>(r.crashes))
+      .set("corpus", static_cast<std::uint64_t>(r.corpus))
+      .set("wall_ms", r.wall_ms)
+      .set("execs_per_sec", r.execs_per_sec())
+      .set("speedup", baseline_execs_per_sec > 0
+                          ? r.execs_per_sec() / baseline_execs_per_sec
+                          : 0.0)
+      .set("hub_epochs", r.hub.epochs)
+      .set("hub_published", r.hub.published)
+      .set("hub_unique", r.hub.unique)
+      .set("hub_merged", r.hub.merged)
+      .set("hub_pulled", r.hub.pulled)
+      .set("hub_denylist", static_cast<std::uint64_t>(r.hub.denylist_size));
+  return d.to_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int batches = 2;
+  int max_shards = 8;
+  std::string out_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      batches = 1;
+      max_shards = 2;
+    } else if (std::strcmp(argv[i], "--batches") == 0 && i + 1 < argc) {
+      batches = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-shards") == 0 && i + 1 < argc) {
+      max_shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_parallel_scaling [--quick] [--batches N] "
+                   "[--max-shards N] [--out FILE.json]\n");
+      return 2;
+    }
+  }
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  bench::print_header("Parallel scaling",
+                      "sharded campaign throughput vs shard count");
+  std::printf("host: %u hardware threads\n\n", cores);
+
+  std::vector<Result> results;
+  double baseline = 0;
+  for (int shards : {1, 2, 4, 8}) {
+    if (shards > max_shards) break;
+    const Result r = run_fleet(shards, batches, /*sync=*/true);
+    if (shards == 1) baseline = r.execs_per_sec();
+    std::printf("shards=%d: %.1f ms, %llu execs, %.0f execs/sec "
+                "(%.2fx), %zu findings, hub epochs=%llu pulled=%llu\n",
+                shards, r.wall_ms,
+                static_cast<unsigned long long>(r.executions),
+                r.execs_per_sec(),
+                baseline > 0 ? r.execs_per_sec() / baseline : 0.0,
+                r.findings, static_cast<unsigned long long>(r.hub.epochs),
+                static_cast<unsigned long long>(r.hub.pulled));
+    results.push_back(r);
+  }
+
+  if (results.empty()) {
+    std::fprintf(stderr, "--max-shards must be >= 1\n");
+    return 2;
+  }
+
+  // Ablation: the largest fleet again, corpus sync off. Isolated shards
+  // skip the hub barrier but stop sharing discoveries.
+  const Result no_sync =
+      run_fleet(results.back().shards, batches, /*sync=*/false);
+  std::printf("shards=%d sync=off: %.1f ms, %.0f execs/sec, %zu findings\n",
+              no_sync.shards, no_sync.wall_ms, no_sync.execs_per_sec(),
+              no_sync.findings);
+
+  std::string shard_array = "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i) shard_array += ",";
+    shard_array += result_json(results[i], baseline);
+  }
+  shard_array += "]";
+
+  telemetry::JsonDict json;
+  json.set("bench", "parallel_scaling")
+      .set("cores", static_cast<std::uint64_t>(cores))
+      .set("batches", batches)
+      .set_raw("shard_counts", shard_array)
+      .set_raw("sync_ablation", result_json(no_sync, baseline));
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json.to_string() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -38,6 +38,73 @@ std::vector<bool> implicated_slots(
   return implicated;
 }
 
+namespace {
+
+// Flags with every oracle at once (symptoms should include IO-wait and
+// memory violations even when the CPU oracle is the score source).
+class UnionOracle final : public oracle::Oracle {
+ public:
+  UnionOracle(oracle::CpuOracle& cpu, oracle::IoOracle& io,
+              oracle::MemoryOracle& memory)
+      : cpu_(cpu), io_(io), memory_(memory) {}
+  std::string_view name() const override { return "union"; }
+  double score(const observer::Observation& obs) const override {
+    return cpu_.score(obs);
+  }
+  std::vector<oracle::Violation> flag(
+      const observer::Observation& obs) const override {
+    std::vector<oracle::Violation> out = cpu_.flag(obs);
+    for (auto& v : io_.flag(obs)) out.push_back(std::move(v));
+    for (auto& v : memory_.flag(obs)) out.push_back(std::move(v));
+    return out;
+  }
+
+ private:
+  oracle::CpuOracle& cpu_;
+  oracle::IoOracle& io_;
+  oracle::MemoryOracle& memory_;
+};
+
+// Mutants of one program share their syscall-name set; confirming a few
+// representatives per set keeps the budget for genuinely distinct shapes.
+std::string shape_key(const prog::Program& p) {
+  std::vector<std::string> names;
+  for (const prog::Call& call : p.calls()) names.push_back(call.desc->name);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  std::string key;
+  for (const std::string& n : names) key += n + ",";
+  return key;
+}
+
+}  // namespace
+
+// Accumulates flag-scan output round by round. Collecting suspects as rounds
+// complete (instead of one batch pass at finalize) means a pruned round log
+// loses no findings — a round's evidence is extracted before it can age out.
+struct Campaign::ScanState {
+  struct Suspect {
+    prog::Program program;
+    int round;
+    std::size_t severity = 0;  // violations in the source round
+  };
+
+  ScanState(oracle::CpuOracle& cpu, oracle::IoOracle& io,
+            oracle::MemoryOracle& memory)
+      : oracle(cpu, io, memory) {}
+
+  UnionOracle oracle;
+  std::vector<Suspect> suspects;
+  std::vector<Suspect> crash_suspects;
+  std::unordered_set<std::uint64_t> seen;
+  std::unordered_map<std::string, int> shape_counts;
+  // Finalize's own confirmation/minimization rounds must not re-enter the
+  // scan; it disarms the hook before running them.
+  bool enabled = true;
+  bool core_map_ready = false;
+  std::unordered_map<int, std::size_t> core_to_slot;
+};
+
 Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
   TORPEDO_CHECK(config_.num_executors > 0);
   config_.kernel.host.seed ^= config_.seed;
@@ -73,6 +140,8 @@ Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
   cpu_oracle_ = std::make_unique<oracle::CpuOracle>(config_.cpu_oracle);
   io_oracle_ = std::make_unique<oracle::IoOracle>(config_.io_oracle);
   memory_oracle_ = std::make_unique<oracle::MemoryOracle>();
+  scan_ = std::make_unique<ScanState>(*cpu_oracle_, *io_oracle_,
+                                      *memory_oracle_);
 
   generator_ =
       std::make_unique<prog::Generator>(Rng(config_.seed), config_.gen);
@@ -108,6 +177,10 @@ BatchResult Campaign::run_one_batch() {
   // Re-arm after a watchdog-forced retirement so the next batch starts
   // fresh instead of aborting on sight.
   if (result.aborted && watchdog_) watchdog_->clear_abort();
+  // Safe point for log retention: the incremental scan consumed every round
+  // of this batch as it completed, and the fuzzer's references into the log
+  // die with run_batch.
+  observer_->prune_log();
   if (trace_) {
     telemetry::JsonDict record;
     record.set("batch", batches_run_ - 1)
@@ -145,6 +218,7 @@ void Campaign::set_watchdog(telemetry::Watchdog* watchdog) {
 }
 
 void Campaign::on_round(const observer::RoundResult& rr) {
+  if (scan_->enabled) scan_round(rr);
   for (const exec::RunStats& s : rr.stats) live_executions_ += s.executions;
   if (live_status_) {
     std::vector<telemetry::LiveStatus::ExecutorState> states;
@@ -164,6 +238,43 @@ void Campaign::on_round(const observer::RoundResult& rr) {
   if (heartbeat_)
     heartbeat_->stamp(kernel_->host().now(), batches_run_ - 1, rr.round,
                       live_executions_);
+}
+
+void Campaign::scan_round(const observer::RoundResult& rr) {
+  ScanState& scan = *scan_;
+  if (!scan.core_map_ready) {
+    // Per-core attribution needs the *actual* cpusets: when executors are
+    // not each pinned to their own core (pin_executors == false), the map is
+    // empty and every violation implicates the whole batch.
+    scan.core_to_slot = executor_core_map();
+    scan.core_map_ready = true;
+  }
+  const std::vector<oracle::Violation> violations =
+      scan.oracle.flag(rr.observation);
+  const std::vector<bool> implicated =
+      implicated_slots(violations, rr.programs.size(), scan.core_to_slot);
+  // Per-syscall attribution: each flag implication credits the distinct
+  // syscall numbers of the implicated program.
+  if (feedback::SyscallProfile* profile = feedback::syscall_profile()) {
+    for (std::size_t i = 0; i < rr.programs.size(); ++i) {
+      if (!implicated[i]) continue;
+      std::unordered_set<int> nrs;
+      for (const prog::Call& call : rr.programs[i].calls())
+        nrs.insert(call.desc->nr);
+      for (const int nr : nrs) profile->record_implication(nr);
+    }
+  }
+  for (std::size_t i = 0; i < rr.programs.size(); ++i) {
+    const prog::Program& p = rr.programs[i];
+    if (i < rr.stats.size() && rr.stats[i].crashed) {
+      if (scan.seen.insert(p.hash() ^ 0xC4A54ULL).second)
+        scan.crash_suspects.push_back({p, rr.round});
+      continue;
+    }
+    if (implicated[i] && scan.seen.insert(p.hash()).second &&
+        scan.shape_counts[shape_key(p)]++ < 3)
+      scan.suspects.push_back({p, rr.round, violations.size()});
+  }
 }
 
 std::unordered_map<int, std::size_t> Campaign::executor_core_map() const {
@@ -190,106 +301,26 @@ CampaignReport Campaign::run() {
   return finalize();
 }
 
-namespace {
-
-// Flags with every oracle at once (symptoms should include IO-wait and
-// memory violations even when the CPU oracle is the score source).
-class UnionOracle final : public oracle::Oracle {
- public:
-  UnionOracle(oracle::CpuOracle& cpu, oracle::IoOracle& io,
-              oracle::MemoryOracle& memory)
-      : cpu_(cpu), io_(io), memory_(memory) {}
-  std::string_view name() const override { return "union"; }
-  double score(const observer::Observation& obs) const override {
-    return cpu_.score(obs);
-  }
-  std::vector<oracle::Violation> flag(
-      const observer::Observation& obs) const override {
-    std::vector<oracle::Violation> out = cpu_.flag(obs);
-    for (auto& v : io_.flag(obs)) out.push_back(std::move(v));
-    for (auto& v : memory_.flag(obs)) out.push_back(std::move(v));
-    return out;
-  }
-
- private:
-  oracle::CpuOracle& cpu_;
-  oracle::IoOracle& io_;
-  oracle::MemoryOracle& memory_;
-};
-
-}  // namespace
-
 CampaignReport Campaign::finalize() {
   telemetry::ScopedSpan finalize_span("campaign.finalize");
+  // Disarm the incremental scan: the confirmation/minimization rounds below
+  // are diagnostic re-runs, not campaign evidence.
+  scan_->enabled = false;
   CampaignReport report;
   report.batches = batches_run_;
   report.denylist = fuzzer_->denylist();
 
-  // ---- flag scan over the round log (§3.6.1) ------------------------------
+  // ---- flag-scan results (§3.6.1, collected incrementally per round) ------
   const std::uint64_t flag_scan_span =
       telemetry::spans() ? telemetry::spans()->begin("finalize.flag_scan") : 0;
-  const std::deque<observer::RoundResult>& log = observer_->log();
-  const std::size_t scanned_rounds = log.size();
-  report.rounds = static_cast<int>(scanned_rounds);
+  report.rounds = observer_->rounds_run();
   report.executions = fuzzer_->total_executions();
   report.corpus_size = corpus_.size();
 
-  struct Suspect {
-    prog::Program program;
-    int round;
-    std::size_t severity = 0;  // violations in the source round
-  };
-  std::vector<Suspect> suspects;
-  std::vector<Suspect> crash_suspects;
-  std::unordered_set<std::uint64_t> seen;
-  // Mutants of one program share their syscall-name set; confirming a few
-  // representatives per set keeps the budget for genuinely distinct shapes.
-  std::unordered_map<std::string, int> shape_counts;
-  auto shape_key = [](const prog::Program& p) {
-    std::vector<std::string> names;
-    for (const prog::Call& call : p.calls()) names.push_back(call.desc->name);
-    std::sort(names.begin(), names.end());
-    names.erase(std::unique(names.begin(), names.end()), names.end());
-    std::string key;
-    for (const std::string& n : names) key += n + ",";
-    return key;
-  };
-
-  UnionOracle union_oracle(*cpu_oracle_, *io_oracle_, *memory_oracle_);
-  // Per-core attribution needs the *actual* cpusets: when executors are not
-  // each pinned to their own core (pin_executors == false), the map is empty
-  // and every violation implicates the whole batch.
-  const std::unordered_map<int, std::size_t> core_to_slot =
-      executor_core_map();
-  for (std::size_t r = 0; r < scanned_rounds; ++r) {
-    const observer::RoundResult& rr = log[r];
-    const std::vector<oracle::Violation> violations =
-        union_oracle.flag(rr.observation);
-    const std::vector<bool> implicated =
-        implicated_slots(violations, rr.programs.size(), core_to_slot);
-    // Per-syscall attribution: each flag implication credits the distinct
-    // syscall numbers of the implicated program.
-    if (feedback::SyscallProfile* profile = feedback::syscall_profile()) {
-      for (std::size_t i = 0; i < rr.programs.size(); ++i) {
-        if (!implicated[i]) continue;
-        std::unordered_set<int> nrs;
-        for (const prog::Call& call : rr.programs[i].calls())
-          nrs.insert(call.desc->nr);
-        for (const int nr : nrs) profile->record_implication(nr);
-      }
-    }
-    for (std::size_t i = 0; i < rr.programs.size(); ++i) {
-      const prog::Program& p = rr.programs[i];
-      if (i < rr.stats.size() && rr.stats[i].crashed) {
-        if (seen.insert(p.hash() ^ 0xC4A54ULL).second)
-          crash_suspects.push_back({p, rr.round});
-        continue;
-      }
-      if (implicated[i] && seen.insert(p.hash()).second &&
-          shape_counts[shape_key(p)]++ < 3)
-        suspects.push_back({p, rr.round, violations.size()});
-    }
-  }
+  using Suspect = ScanState::Suspect;
+  std::vector<Suspect> suspects = std::move(scan_->suspects);
+  std::vector<Suspect> crash_suspects = std::move(scan_->crash_suspects);
+  UnionOracle& union_oracle = scan_->oracle;
   // Interleave across shapes so one prolific mutant family can't starve the
   // confirmation budget: order shape groups by their best severity, then
   // take one suspect per group round-robin.

@@ -146,7 +146,13 @@ class Campaign {
   std::unique_ptr<prog::Mutator> mutator_;
   feedback::Corpus corpus_;
   std::unique_ptr<TorpedoFuzzer> fuzzer_;
+  // Incremental flag-scan state (§3.6.1): suspects are collected round by
+  // round from the observer hook, so the round log can be pruned between
+  // batches without losing findings. Defined in campaign.cpp.
+  struct ScanState;
+  std::unique_ptr<ScanState> scan_;
   void on_round(const observer::RoundResult& rr);
+  void scan_round(const observer::RoundResult& rr);
 
   int batches_run_ = 0;
   telemetry::TraceSink* trace_ = nullptr;

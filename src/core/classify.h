@@ -26,6 +26,10 @@ struct Finding {
   std::string cause;     // classified kernel interaction
   bool is_new = false;   // previously undocumented (Table 4.2 "New?" column)
   int source_round = -1;
+  // Which campaign shard produced this finding; -1 in unsharded campaigns
+  // (artifacts omit the dimension entirely, keeping sequential output
+  // byte-identical).
+  int shard = -1;
 
   std::string syscall_list() const;  // "sync, fsync"
 };
@@ -36,6 +40,7 @@ struct CrashFinding {
   std::string message;
   bool reproduced = false;
   int source_round = -1;
+  int shard = -1;  // -1 in unsharded campaigns
 };
 
 class CauseClassifier {

@@ -65,6 +65,20 @@ void TorpedoFuzzer::learn_denylist(const prog::Program& program,
   generator_.set_denylist(denylist_);
 }
 
+void TorpedoFuzzer::adopt_denylist(std::span<const std::string> entries) {
+  bool changed = false;
+  for (const std::string& name : entries) {
+    if (std::find(denylist_.begin(), denylist_.end(), name) !=
+        denylist_.end())
+      continue;
+    denylist_.push_back(name);
+    changed = true;
+  }
+  if (!changed) return;
+  gauge_denylist_size_->set(static_cast<double>(denylist_.size()));
+  generator_.set_denylist(denylist_);
+}
+
 std::vector<prog::Program> TorpedoFuzzer::next_batch() {
   const std::size_t n = observer_.executor_count();
   std::vector<prog::Program> batch;
@@ -121,7 +135,7 @@ BatchResult TorpedoFuzzer::run_batch() {
   // is the out-of-band-signal column of the syscall profile.
   if (feedback::SyscallProfile* profile = feedback::syscall_profile()) {
     for (std::size_t i = 0; i < n; ++i) {
-      const std::vector<feedback::SignalSet>& per_call =
+      const std::vector<feedback::SmallSignalSet>& per_call =
           cand.stats[i].call_signal;
       const std::vector<prog::Call>& calls = current[i].calls();
       for (std::size_t j = 0; j < per_call.size() && j < calls.size(); ++j) {
@@ -172,7 +186,7 @@ BatchResult TorpedoFuzzer::run_batch() {
     // Mutate every program in the batch.
     std::vector<prog::Program> mutated = current;
     for (prog::Program& p : mutated)
-      mutator_.mutate(p, corpus_.programs());
+      mutator_.mutate(p, corpus_.donors());
     ctr_mutations_tried_->inc(n);
 
     const observer::RoundResult& mut = run(mutated, "fuzz.mutate");

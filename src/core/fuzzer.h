@@ -14,6 +14,8 @@
 #include <atomic>
 #include <deque>
 #include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "feedback/corpus.h"
@@ -88,6 +90,9 @@ class TorpedoFuzzer {
   BatchResult run_batch();
 
   const std::vector<std::string>& denylist() const { return denylist_; }
+  // Merges denylist entries learned elsewhere (another shard, via the
+  // CorpusHub) and pushes the combined list into the generator.
+  void adopt_denylist(std::span<const std::string> entries);
   std::uint64_t total_executions() const { return total_executions_; }
 
   // When set, the batch loop checks the flag at round boundaries and retires

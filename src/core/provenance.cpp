@@ -142,8 +142,11 @@ telemetry::JsonDict provenance_to_json(const Provenance& p, int bundle_id) {
       .set("heuristics", heuristics)
       .set("cause", p.cause)
       .set("symptoms", p.symptoms)
-      .set("source_round", p.source_round)
-      .set("confirm_rounds", p.confirm_rounds)
+      .set("source_round", p.source_round);
+  // The shard dimension exists only in sharded campaigns; unsharded bundles
+  // stay byte-identical to what they always were.
+  if (p.shard >= 0) d.set("shard", p.shard);
+  d.set("confirm_rounds", p.confirm_rounds)
       .set("oracle_score", p.oracle_score)
       .set("program", p.minimized_serialized)
       .set("original_program", p.original_serialized)
@@ -164,6 +167,7 @@ std::string provenance_report_md(const Provenance& p, int bundle_id) {
   md += format("- **cause:** %s\n", p.cause.c_str());
   md += format("- **symptoms:** %s\n", p.symptoms.c_str());
   md += format("- **source round:** %d\n", p.source_round);
+  if (p.shard >= 0) md += format("- **shard:** %d\n", p.shard);
   md += format("- **confirm rounds spent:** %d\n", p.confirm_rounds);
   md += format("- **oracle score (final window):** %.2f\n", p.oracle_score);
   md += format("- **program hash:** %016llx\n\n",

@@ -31,6 +31,7 @@ struct CampaignReport;
 // Everything needed to reproduce and explain one confirmed finding.
 struct Provenance {
   int finding_index = -1;  // index into CampaignReport::findings
+  int shard = -1;  // producing shard; -1 (omitted from bundles) when unsharded
   std::string original_serialized;   // suspect as flagged in the round log
   std::string minimized_serialized;  // after Algorithm 3
   std::uint64_t program_hash = 0;    // minimized program (dedup signature)

@@ -111,6 +111,9 @@ void save_report(const fs::path& file, const CampaignReport& report) {
     out << "cause: " << f.cause << (f.is_new ? " (new)" : " (reconfirm)")
         << "\n";
     out << "symptoms: " << f.symptoms << "\n";
+    // Shard provenance exists only for sharded campaigns; sequential reports
+    // stay byte-identical.
+    if (f.shard >= 0) out << format("shard: %d\n", f.shard);
     // One structured record per violation: grep-able by humans, parseable by
     // tooling without reverse-engineering the prose format.
     for (const oracle::Violation& v : f.violations)
@@ -121,6 +124,7 @@ void save_report(const fs::path& file, const CampaignReport& report) {
     out << "== crash ==\n";
     out << "message: " << crash.message << "\n";
     out << "reproduced: " << (crash.reproduced ? "yes" : "no") << "\n";
+    if (crash.shard >= 0) out << format("shard: %d\n", crash.shard);
     out << crash.serialized << "\n";
   }
 }

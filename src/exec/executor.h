@@ -50,8 +50,11 @@ struct RunStats {
   std::uint64_t executions = 0;
   Nanos total_execution_time = 0;
   Nanos avg_execution_time = 0;
-  feedback::SignalSet signal;                     // union over iterations
-  std::vector<feedback::SignalSet> call_signal;   // per call index
+  feedback::SignalSet signal;  // union over iterations
+  // Per call index. A call sees only a handful of distinct signal elements
+  // per round, so the small sorted-vector set avoids an unordered_set's node
+  // allocations on this per-call hot path.
+  std::vector<feedback::SmallSignalSet> call_signal;
   std::vector<CallRecord> last_iteration;
   std::uint64_t fatal_signals = 0;  // iterations that died to a signal
   int last_fatal_signal = 0;

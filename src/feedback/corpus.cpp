@@ -15,11 +15,11 @@ bool Corpus::add(prog::Program program, const SignalSet& signal,
   }
   by_hash_[h] = entries_.size();
   CorpusEntry entry;
-  entry.program = program;
+  entry.program = std::move(program);
   entry.signal = signal;
   entry.best_score = score;
   entries_.push_back(std::move(entry));
-  programs_.push_back(std::move(program));
+  donors_.push_back(&entries_.back().program);
   return true;
 }
 

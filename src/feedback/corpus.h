@@ -6,6 +6,7 @@
 // adversarial resource usage", §3.5.2).
 #pragma once
 
+#include <deque>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -33,18 +34,21 @@ class Corpus {
   std::size_t novelty(const SignalSet& signal) const {
     return coverage_.novelty(signal);
   }
+  std::size_t novelty(const SmallSignalSet& signal) const {
+    return coverage_.novelty(signal);
+  }
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
   const CorpusEntry& entry(std::size_t i) const { return entries_[i]; }
-  std::span<const CorpusEntry> entries() const { return entries_; }
 
-  // Splice-donor view: just the programs.
-  const std::vector<prog::Program>& programs() const { return programs_; }
+  // Splice-donor view: pointers into the entries (stable — entries live in a
+  // deque and are never removed), so each program is stored exactly once.
+  std::span<const prog::Program* const> donors() const { return donors_; }
 
  private:
-  std::vector<CorpusEntry> entries_;
-  std::vector<prog::Program> programs_;  // parallel to entries_
+  std::deque<CorpusEntry> entries_;
+  std::vector<const prog::Program*> donors_;  // entries_[i].program
   std::unordered_map<std::uint64_t, std::size_t> by_hash_;
   SignalSet coverage_;
 };

@@ -1,0 +1,109 @@
+#include "feedback/corpus_hub.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace torpedo::feedback {
+
+CorpusHub::CorpusHub(int shards)
+    : shards_(shards),
+      active_(shards),
+      pending_(static_cast<std::size_t>(shards)),
+      left_(static_cast<std::size_t>(shards), false),
+      cursor_(static_cast<std::size_t>(shards), 0) {
+  TORPEDO_CHECK(shards > 0);
+}
+
+void CorpusHub::commit_epoch_locked() {
+  for (int s = 0; s < shards_; ++s) {
+    Pending& p = pending_[static_cast<std::size_t>(s)];
+    if (!p.present) continue;
+    for (CorpusEntry& entry : p.entries) {
+      ++stats_.published;
+      const std::uint64_t h = entry.program.hash();
+      auto it = by_hash_.find(h);
+      if (it == by_hash_.end()) {
+        by_hash_[h] = committed_.size();
+        committed_.push_back({std::move(entry), s});
+        ++stats_.unique;
+      } else {
+        Committed& c = committed_[it->second];
+        c.entry.signal.merge(entry.signal);
+        if (entry.best_score > c.entry.best_score)
+          c.entry.best_score = entry.best_score;
+        ++stats_.merged;
+      }
+    }
+    for (std::string& name : p.denylist) {
+      auto it = std::lower_bound(denylist_.begin(), denylist_.end(), name);
+      if (it == denylist_.end() || *it != name)
+        denylist_.insert(it, std::move(name));
+    }
+    p = Pending{};
+  }
+  stats_.denylist_size = denylist_.size();
+  arrived_ = 0;
+  ++epoch_;
+  ++stats_.epochs;
+  cv_.notify_all();
+}
+
+CorpusHub::Delta CorpusHub::exchange(int shard,
+                                     std::vector<CorpusEntry> entries,
+                                     std::vector<std::string> denylist) {
+  std::unique_lock<std::mutex> lock(mu_);
+  TORPEDO_CHECK(shard >= 0 && shard < shards_);
+  TORPEDO_CHECK_MSG(!left_[static_cast<std::size_t>(shard)],
+                    "exchange() after leave()");
+  Pending& p = pending_[static_cast<std::size_t>(shard)];
+  TORPEDO_CHECK_MSG(!p.present, "double exchange() in one epoch");
+  p.entries = std::move(entries);
+  p.denylist = std::move(denylist);
+  p.present = true;
+  ++arrived_;
+
+  const std::uint64_t my_epoch = epoch_;
+  if (arrived_ >= active_) {
+    commit_epoch_locked();
+  } else {
+    cv_.wait(lock, [&] { return epoch_ > my_epoch; });
+  }
+
+  Delta delta;
+  delta.epoch = epoch_;
+  std::size_t& cursor = cursor_[static_cast<std::size_t>(shard)];
+  for (; cursor < committed_.size(); ++cursor) {
+    const Committed& c = committed_[cursor];
+    if (c.source_shard == shard) continue;
+    delta.entries.push_back(c.entry);
+    ++stats_.pulled;
+  }
+  delta.denylist = denylist_;
+  return delta;
+}
+
+void CorpusHub::leave(int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TORPEDO_CHECK(shard >= 0 && shard < shards_);
+  if (left_[static_cast<std::size_t>(shard)]) return;
+  left_[static_cast<std::size_t>(shard)] = true;
+  --active_;
+  // A pending publication from a leaving shard would stall the epoch count;
+  // drop it (the shard's final state still reaches the merge via its local
+  // corpus, not the hub).
+  if (pending_[static_cast<std::size_t>(shard)].present) {
+    pending_[static_cast<std::size_t>(shard)] = Pending{};
+    --arrived_;
+  }
+  // The departure may be exactly what the barrier was waiting for.
+  if (active_ > 0 && arrived_ >= active_) commit_epoch_locked();
+  if (active_ == 0) cv_.notify_all();
+}
+
+CorpusHub::Stats CorpusHub::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace torpedo::feedback

@@ -1,0 +1,106 @@
+// Cross-shard corpus exchange (the syzkaller-hub idea, in-process).
+//
+// A sharded campaign (core/sharded.h) runs K fully independent campaign
+// stacks; the hub is the only object they share. After each batch a shard
+// publishes the corpus entries it added plus its learned denylist, waits at
+// an epoch barrier until every *active* shard has arrived, and pulls the
+// entries other shards contributed since its last visit.
+//
+// Determinism contract: the merged state after any epoch is a pure function
+// of what each shard published, never of thread scheduling. Two mechanisms
+// enforce this:
+//   1. Epoch barrier — publications are held pending until all active shards
+//      arrive; the last arriver commits every pending publication in
+//      ascending shard order. So when two shards publish the same program
+//      hash in one epoch, the lower shard index always wins the insert and
+//      the higher one merges (signal union, max score) — regardless of which
+//      thread got there first.
+//   2. Per-shard pull cursors — a shard pulls exactly the committed entries
+//      appended since its previous exchange, in commit order.
+//
+// A shard that finishes (or dies) calls leave(); the barrier shrinks so the
+// remaining shards cannot deadlock, and a leave that satisfies the barrier
+// commits the epoch on behalf of the waiters.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "feedback/corpus.h"
+
+namespace torpedo::feedback {
+
+class CorpusHub {
+ public:
+  explicit CorpusHub(int shards);
+
+  CorpusHub(const CorpusHub&) = delete;
+  CorpusHub& operator=(const CorpusHub&) = delete;
+
+  // What a shard takes home from an exchange.
+  struct Delta {
+    // Novel entries committed since this shard's previous exchange,
+    // excluding its own publications, in deterministic commit order.
+    std::vector<CorpusEntry> entries;
+    // The full merged denylist (sorted), superset of what was published.
+    std::vector<std::string> denylist;
+    std::uint64_t epoch = 0;  // epoch this exchange completed
+  };
+
+  // Publishes `entries` + `denylist`, blocks until every active shard has
+  // arrived at this epoch, then returns the pull. Call exactly once per
+  // batch boundary per shard; calling from a shard that already left is an
+  // error.
+  Delta exchange(int shard, std::vector<CorpusEntry> entries,
+                 std::vector<std::string> denylist);
+
+  // Permanently removes a shard from the barrier (done or dying). Idempotent.
+  void leave(int shard);
+
+  // Aggregate counters (monitor / bench). Safe to call concurrently.
+  struct Stats {
+    std::uint64_t epochs = 0;     // completed exchange epochs
+    std::uint64_t published = 0;  // entries shards pushed in
+    std::uint64_t unique = 0;     // distinct program hashes committed
+    std::uint64_t merged = 0;     // publications that hit an existing hash
+    std::uint64_t pulled = 0;     // entries handed back out
+    std::uint64_t denylist_size = 0;
+  };
+  Stats stats() const;
+
+  int shards() const { return shards_; }
+
+ private:
+  struct Pending {
+    std::vector<CorpusEntry> entries;
+    std::vector<std::string> denylist;
+    bool present = false;
+  };
+  struct Committed {
+    CorpusEntry entry;
+    int source_shard = -1;
+  };
+
+  // Commits every pending publication in shard order. Caller holds mu_.
+  void commit_epoch_locked();
+
+  const int shards_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int active_;
+  int arrived_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::vector<Pending> pending_;    // indexed by shard
+  std::vector<bool> left_;          // indexed by shard
+  std::vector<Committed> committed_;  // append-only
+  std::unordered_map<std::uint64_t, std::size_t> by_hash_;
+  std::vector<std::string> denylist_;  // kept sorted
+  std::vector<std::size_t> cursor_;    // per-shard pull position
+  Stats stats_;
+};
+
+}  // namespace torpedo::feedback

@@ -4,11 +4,15 @@
 // disables it everywhere for parity (§3.1.2, §4.2): "SYZKALLER computes a
 // 'coverage' signal by computing the unique XOR of the syscall number and
 // return code". fallback_signal is exactly that computation; SignalSet is
-// the dedup container the fuzzer and corpus share.
+// the dedup container the fuzzer and corpus share, and SmallSignalSet is the
+// allocation-light variant the executor keeps per call index.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <unordered_set>
+#include <vector>
 
 namespace torpedo::feedback {
 
@@ -23,6 +27,36 @@ constexpr std::uint64_t fallback_signal(int sysno, int err) {
   return v ^ (v >> 31);
 }
 
+// Small sorted-vector signal set for the per-call hot path. A call index
+// observes a handful of distinct (sysno, err) pairs per round, so a sorted
+// vector beats an unordered_set there: one contiguous allocation instead of
+// a node per element, and linear insert at these sizes is cheaper than
+// hashing (see bench_micro BM_SignalPerCall_*).
+class SmallSignalSet {
+ public:
+  // Returns true if the element was new.
+  bool add(std::uint64_t element) {
+    auto it = std::lower_bound(elements_.begin(), elements_.end(), element);
+    if (it != elements_.end() && *it == element) return false;
+    elements_.insert(it, element);
+    return true;
+  }
+
+  bool contains(std::uint64_t element) const {
+    return std::binary_search(elements_.begin(), elements_.end(), element);
+  }
+
+  std::size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  void clear() { elements_.clear(); }
+
+  // Sorted ascending.
+  std::span<const std::uint64_t> elements() const { return elements_; }
+
+ private:
+  std::vector<std::uint64_t> elements_;
+};
+
 class SignalSet {
  public:
   // Returns true if the element was new.
@@ -32,8 +66,11 @@ class SignalSet {
     return elements_.contains(element);
   }
 
-  // Merges `other` in; returns how many elements were new.
+  // Merges `other` in; returns how many elements were new. Reserving up
+  // front keeps a growing merge to at most one rehash instead of one per
+  // load-factor doubling.
   std::size_t merge(const SignalSet& other) {
+    elements_.reserve(elements_.size() + other.elements_.size());
     std::size_t added = 0;
     for (std::uint64_t e : other.elements_)
       if (elements_.insert(e).second) ++added;
@@ -44,6 +81,12 @@ class SignalSet {
   std::size_t novelty(const SignalSet& other) const {
     std::size_t n = 0;
     for (std::uint64_t e : other.elements_)
+      if (!elements_.contains(e)) ++n;
+    return n;
+  }
+  std::size_t novelty(const SmallSignalSet& other) const {
+    std::size_t n = 0;
+    for (std::uint64_t e : other.elements())
       if (!elements_.contains(e)) ++n;
     return n;
   }

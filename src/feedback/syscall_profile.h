@@ -8,11 +8,11 @@
 // all three as per-sysno counters so a live scrape (or the post-run report)
 // can answer "which syscalls is this campaign actually learning from?".
 //
-// Threading matches the telemetry instruments: the campaign thread is the
-// only writer (relaxed load+store, a plain add in the hot path); the monitor
-// thread reads relaxed for /metrics. The profiler is installed process-wide
-// with set_syscall_profile(); every probe site is a pointer check when
-// disabled, so campaigns that don't ask for the profile pay nothing.
+// Threading matches the telemetry instruments: any number of shard threads
+// may write concurrently (relaxed fetch_add per cell); the monitor thread
+// reads relaxed for /metrics. The profiler is installed process-wide with
+// set_syscall_profile(); every probe site is a pointer check when disabled,
+// so campaigns that don't ask for the profile pay nothing.
 #pragma once
 
 #include <array>
@@ -63,12 +63,12 @@ class SyscallProfile {
  private:
   using Cells = std::array<std::atomic<std::uint64_t>, kMaxSysno>;
 
-  // Single writer: plain load+store keeps the per-call hot path a plain add.
+  // Multi-writer: concurrent shard threads bump shared cells, so the per-call
+  // hot path is a single relaxed RMW.
   static void bump(Cells& cells, int nr, std::uint64_t n) {
     if (nr < 0 || nr >= kMaxSysno || n == 0) return;
-    std::atomic<std::uint64_t>& cell = cells[static_cast<std::size_t>(nr)];
-    cell.store(cell.load(std::memory_order_relaxed) + n,
-               std::memory_order_relaxed);
+    cells[static_cast<std::size_t>(nr)].fetch_add(n,
+                                                  std::memory_order_relaxed);
   }
 
   Cells executions_{};

@@ -27,6 +27,11 @@ void Observer::warm_up(Nanos duration) {
   kernel_.host().run_for(duration);
 }
 
+void Observer::prune_log() {
+  if (config_.max_log_rounds == 0) return;
+  while (log_.size() > config_.max_log_rounds) log_.pop_front();
+}
+
 Observer::Snapshot Observer::snapshot() const {
   Snapshot snap;
   // The real observer reads /proc/stat text; we exercise the same

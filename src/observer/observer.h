@@ -30,6 +30,12 @@ struct ObserverConfig {
   bool discard_top_warmup = true;
   // Core carrying the engine's LDISC side-band; oracles ignore it.
   int side_band_core = -1;
+  // Round-log retention: prune_log() keeps at most this many of the newest
+  // rounds. 0 = unlimited (every RoundResult kept forever, the historical
+  // behavior). Long campaigns set a bound once the flag scan consumes rounds
+  // incrementally — a RoundResult holds full programs + stats, so an
+  // unbounded log is the largest allocation in the process.
+  std::size_t max_log_rounds = 0;
 };
 
 struct RoundResult {
@@ -54,8 +60,17 @@ class Observer {
   void warm_up(Nanos duration);
 
   // Deque: RoundResult references returned by run_round stay valid as the
-  // log grows.
+  // log grows. Pruning (below) only ever drops the *oldest* rounds, so a
+  // reference stays valid as long as its round is within the retention
+  // window and prune_log() has not been called more recently.
   const std::deque<RoundResult>& log() const { return log_; }
+
+  // Drops the oldest rounds until at most config().max_log_rounds remain
+  // (no-op when max_log_rounds == 0). NEVER called implicitly: the caller
+  // decides the safe point (the campaign prunes at batch boundaries, after
+  // the incremental flag scan has consumed the batch's rounds and the
+  // fuzzer's round references are dead).
+  void prune_log();
   int rounds_run() const { return round_; }
   const ObserverConfig& config() const { return config_; }
   std::size_t executor_count() const { return executors_.size(); }

@@ -16,6 +16,17 @@ MutationOp Mutator::mutate(Program& program, std::span<const Program> corpus) {
   return last;
 }
 
+MutationOp Mutator::mutate(Program& program,
+                           std::span<const Program* const> corpus) {
+  Rng& rng = generator_.rng();
+  MutationOp last = MutationOp::kMutateArg;
+  int guard = 0;
+  do {
+    last = mutate_once(program, corpus);
+  } while (!rng.chance(1, 3) && ++guard < 6);
+  return last;
+}
+
 MutationOp Mutator::mutate_once(Program& program,
                                 std::span<const Program> corpus) {
   Rng& rng = generator_.rng();
@@ -34,6 +45,37 @@ MutationOp Mutator::mutate_once(Program& program,
   switch (pick) {
     case 0: {
       const Program& donor = corpus[rng.below(corpus.size())];
+      splice(program, donor);
+      return MutationOp::kSplice;
+    }
+    case 1:
+      insert_call(program);
+      return MutationOp::kInsertCall;
+    case 2:
+      remove_call(program);
+      return MutationOp::kRemoveCall;
+    default:
+      mutate_arg(program);
+      return MutationOp::kMutateArg;
+  }
+}
+
+MutationOp Mutator::mutate_once(Program& program,
+                                std::span<const Program* const> corpus) {
+  Rng& rng = generator_.rng();
+  double splice_w = corpus.empty() ? 0.0 : config_.splice_weight;
+  double insert_w = program.size() >= config_.max_calls
+                        ? config_.insert_weight * 0.1
+                        : config_.insert_weight;
+  double remove_w = program.size() <= 1 ? config_.remove_weight * 0.1
+                                        : config_.remove_weight;
+  const double weights[] = {splice_w, insert_w, remove_w,
+                            config_.mutate_arg_weight};
+  const std::size_t pick = rng.weighted(weights);
+
+  switch (pick) {
+    case 0: {
+      const Program& donor = *corpus[rng.below(corpus.size())];
       splice(program, donor);
       return MutationOp::kSplice;
     }

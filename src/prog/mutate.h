@@ -33,9 +33,15 @@ class Mutator {
   // one-in-three stop roll succeeds). `corpus` supplies splice donors (may
   // be empty, which disables splicing). Returns the last operation applied.
   MutationOp mutate(Program& program, std::span<const Program> corpus);
+  // Pointer-donor variant (the Corpus hands out pointers into its entries so
+  // programs are stored once; see Corpus::donors()).
+  MutationOp mutate(Program& program,
+                    std::span<const Program* const> corpus);
 
   // Applies exactly one random operation.
   MutationOp mutate_once(Program& program, std::span<const Program> corpus);
+  MutationOp mutate_once(Program& program,
+                         std::span<const Program* const> corpus);
 
   // Applies a specific operation (tests and ablations).
   void splice(Program& program, const Program& donor);

@@ -30,6 +30,20 @@ void LiveStatus::begin_campaign(int total_batches, std::size_t executors) {
   executors_.clear();
   samples_.clear();
   executions_.store(0, std::memory_order_relaxed);
+  done_.store(false, std::memory_order_release);
+}
+
+LiveStatus::Totals LiveStatus::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Totals t;
+  t.batch = batch_;
+  t.round = round_;
+  t.rounds_completed = rounds_completed_;
+  t.executions = executions_.load(std::memory_order_relaxed);
+  t.findings = findings_;
+  t.crashes = crashes_;
+  t.done = done_.load(std::memory_order_acquire);
+  return t;
 }
 
 void LiveStatus::on_batch(int batch) {
@@ -218,6 +232,11 @@ MonitorServer::MonitorServer(Config config) : config_(std::move(config)) {}
 
 MonitorServer::~MonitorServer() { stop(); }
 
+void MonitorServer::add_shard(int shard, LiveStatus* status,
+                              Watchdog* watchdog) {
+  shards_.push_back(ShardSlot{shard, status, watchdog});
+}
+
 bool MonitorServer::start() {
   if (running()) return true;
   exec_counter_ = &config_.registry->counter("exec.executions");
@@ -274,6 +293,11 @@ void MonitorServer::loop() {
     // Watchdog rides the serving loop: one progress sample per tick.
     if (watchdog_ != nullptr && exec_counter_ != nullptr)
       watchdog_->poll(exec_counter_->value());
+    // Per-shard watchdogs track per-shard progress. A finished shard stops
+    // executing forever — that is completion, not a stall, so it is muted.
+    for (const ShardSlot& slot : shards_)
+      if (slot.watchdog != nullptr && !slot.status->done())
+        slot.watchdog->poll(slot.status->executions());
     if (rc <= 0 || !(pfd.revents & POLLIN)) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
@@ -399,6 +423,98 @@ std::string MonitorServer::metrics_text() const {
   if (watchdog_ != nullptr)
     gauge("torpedo_watchdog_stalled", "1 while the campaign is stalled",
           watchdog_->stalled() ? 1 : 0);
+
+  if (!shards_.empty()) {
+    // One HELP/TYPE header per family, one {shard="k"} sample per shard.
+    auto family = [&out](std::string_view name, std::string_view help,
+                         std::string_view type,
+                         const std::vector<std::pair<int, double>>& samples) {
+      out += "# HELP " + std::string(name) + " " + std::string(help) + "\n";
+      out += "# TYPE " + std::string(name) + " " + std::string(type) + "\n";
+      for (const auto& [shard, v] : samples) {
+        std::ostringstream s;
+        s.imbue(std::locale::classic());
+        s << v;
+        out += std::string(name) + "{shard=\"" + std::to_string(shard) +
+               "\"} " + s.str() + "\n";
+      }
+    };
+    std::vector<LiveStatus::Totals> totals;
+    std::vector<double> rates;
+    for (const ShardSlot& slot : shards_) {
+      totals.push_back(slot.status->totals());
+      rates.push_back(slot.status->execs_per_sec());
+    }
+    auto column = [&](auto&& get) {
+      std::vector<std::pair<int, double>> samples;
+      for (std::size_t i = 0; i < shards_.size(); ++i)
+        samples.emplace_back(shards_[i].shard, get(i));
+      return samples;
+    };
+    gauge("torpedo_shards", "shard count of the running campaign",
+          static_cast<double>(shards_.size()));
+    family("torpedo_shard_executions_total",
+           "simulated program executions per shard", "counter",
+           column([&](std::size_t i) {
+             return static_cast<double>(totals[i].executions);
+           }));
+    family("torpedo_shard_rounds_total", "observed rounds per shard",
+           "counter", column([&](std::size_t i) {
+             return static_cast<double>(totals[i].rounds_completed);
+           }));
+    family("torpedo_shard_findings_total", "confirmed findings per shard",
+           "counter", column([&](std::size_t i) {
+             return static_cast<double>(totals[i].findings);
+           }));
+    family("torpedo_shard_crash_findings_total",
+           "distinct runtime crashes per shard", "counter",
+           column([&](std::size_t i) {
+             return static_cast<double>(totals[i].crashes);
+           }));
+    family("torpedo_shard_batch", "current batch index per shard", "gauge",
+           column([&](std::size_t i) {
+             return static_cast<double>(totals[i].batch);
+           }));
+    family("torpedo_shard_execs_per_second",
+           "per-shard execution rate over a 10s sliding window", "gauge",
+           column([&](std::size_t i) { return rates[i]; }));
+    family("torpedo_shard_done", "1 once the shard finished its batches",
+           "gauge", column([&](std::size_t i) {
+             return totals[i].done ? 1.0 : 0.0;
+           }));
+    std::vector<std::pair<int, double>> stalled;
+    for (const ShardSlot& slot : shards_)
+      if (slot.watchdog != nullptr)
+        stalled.emplace_back(slot.shard,
+                             slot.watchdog->stalled() ? 1.0 : 0.0);
+    if (!stalled.empty())
+      family("torpedo_shard_watchdog_stalled", "1 while the shard is stalled",
+             "gauge", stalled);
+
+    // No campaign-wide LiveStatus in sharded mode: synthesize the canonical
+    // unlabeled totals by summing shards so dashboards keep working.
+    if (status_ == nullptr) {
+      LiveStatus::Totals sum;
+      double rate_sum = 0;
+      for (std::size_t i = 0; i < totals.size(); ++i) {
+        sum.executions += totals[i].executions;
+        sum.rounds_completed += totals[i].rounds_completed;
+        sum.findings += totals[i].findings;
+        sum.crashes += totals[i].crashes;
+        rate_sum += rates[i];
+      }
+      counter("torpedo_executions_total",
+              "total simulated program executions", sum.executions);
+      counter("torpedo_rounds_total", "observed rounds completed",
+              static_cast<std::uint64_t>(sum.rounds_completed));
+      counter("torpedo_findings_total", "confirmed findings so far",
+              sum.findings);
+      counter("torpedo_crash_findings_total",
+              "distinct runtime crashes so far", sum.crashes);
+      gauge("torpedo_execs_per_second",
+            "execution rate over a 10s sliding window", rate_sum);
+    }
+  }
   if (extra_) out += extra_();
   return out;
 }
@@ -411,6 +527,29 @@ std::string MonitorServer::status_json() const {
   if (watchdog_ != nullptr) {
     out.set("stalled", watchdog_->stalled())
         .set("stalls", watchdog_->stalls());
+  }
+  if (!shards_.empty()) {
+    std::uint64_t executions = 0;
+    double rate = 0;
+    std::string shard_array = "[";
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const ShardSlot& slot = shards_[i];
+      JsonDict d = slot.status->to_json();
+      d.set("shard", slot.shard).set("done", slot.status->done());
+      if (slot.watchdog != nullptr) {
+        d.set("stalled", slot.watchdog->stalled())
+            .set("stalls", slot.watchdog->stalls());
+      }
+      if (i) shard_array += ",";
+      shard_array += d.to_string();
+      executions += slot.status->executions();
+      rate += slot.status->execs_per_sec();
+    }
+    shard_array += "]";
+    out.set("shard_count", static_cast<std::uint64_t>(shards_.size()))
+        .set_raw("shards", shard_array);
+    if (status_ == nullptr)
+      out.set("executions", executions).set("execs_per_sec", rate);
   }
   return out.to_string();
 }

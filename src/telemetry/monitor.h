@@ -65,10 +65,25 @@ class LiveStatus {
   void on_round(int round, Nanos sim_ns, std::uint64_t total_executions,
                 std::vector<ExecutorState> executors);
   void on_findings(std::uint64_t findings, std::uint64_t crashes);
+  // Marks this campaign finished: sharded runs flag completed shards so the
+  // per-shard watchdog stops treating "no new executions" as a stall.
+  void set_done() { done_.store(true, std::memory_order_release); }
+  bool done() const { return done_.load(std::memory_order_acquire); }
 
   std::uint64_t executions() const {
     return executions_.load(std::memory_order_relaxed);
   }
+  // Cheap scalar snapshot for aggregation (per-shard /metrics series).
+  struct Totals {
+    int batch = -1;
+    int round = -1;
+    int rounds_completed = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t findings = 0;
+    std::uint64_t crashes = 0;
+    bool done = false;
+  };
+  Totals totals() const;
   // Executions per wall second over the trailing window (default 10 s),
   // computed from round-boundary samples.
   double execs_per_sec(Nanos window_ns = 10 * kSecond) const;
@@ -92,6 +107,7 @@ class LiveStatus {
   // (wall_ns, total executions) samples for the sliding-window rate.
   std::deque<std::pair<Nanos, std::uint64_t>> samples_;
   std::atomic<std::uint64_t> executions_{0};
+  std::atomic<bool> done_{false};
 };
 
 // --- HeartbeatWriter ----------------------------------------------------------
@@ -191,6 +207,13 @@ class MonitorServer {
   // Wiring; call before start() (the monitor thread reads these unguarded).
   void set_status(LiveStatus* status) { status_ = status; }
   void set_watchdog(Watchdog* watchdog) { watchdog_ = watchdog; }
+  // Registers one shard of a sharded campaign. /metrics grows
+  // torpedo_shard_* series labeled {shard="k"}, /status grows a "shards"
+  // array, and when no campaign-wide LiveStatus is installed the unlabeled
+  // totals are synthesized by summing the shards. The watchdog (optional) is
+  // polled against this shard's execution count each loop tick, and muted
+  // once the shard reports done.
+  void add_shard(int shard, LiveStatus* status, Watchdog* watchdog = nullptr);
   // Extra exposition text appended to /metrics (e.g. the per-syscall
   // attribution series, which need a name table this layer can't see).
   // Must be thread-safe: runs on the monitor thread.
@@ -222,9 +245,16 @@ class MonitorServer {
   void loop();
   void serve_client(int fd);
 
+  struct ShardSlot {
+    int shard = 0;
+    LiveStatus* status = nullptr;
+    Watchdog* watchdog = nullptr;
+  };
+
   Config config_;
   LiveStatus* status_ = nullptr;
   Watchdog* watchdog_ = nullptr;
+  std::vector<ShardSlot> shards_;
   ExtraMetricsFn extra_;
   Counter* exec_counter_ = nullptr;  // watchdog progress source
   int listen_fd_ = -1;

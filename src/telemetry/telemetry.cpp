@@ -21,21 +21,27 @@ Nanos steady_now_ns() {
 // --- Histogram -------------------------------------------------------------
 
 void Histogram::record(std::uint64_t v) {
-  // Single writer: plain load/store relaxed. Readers (the monitor thread)
-  // tolerate a value landing in count_ one scrape before its bucket.
-  const std::uint64_t c = count_.load(std::memory_order_relaxed);
-  if (c == 0 || v < min_.load(std::memory_order_relaxed))
+  // Multi-writer: shards record into shared histograms concurrently, so
+  // count/sum/buckets use fetch_add and min/max a bounded CAS race. Readers
+  // (the monitor thread) tolerate a value landing in count_ one scrape
+  // before its bucket.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First recorder seeds min_; concurrent first records race benignly —
+    // the CAS loops below repair whichever direction lost.
     min_.store(v, std::memory_order_relaxed);
-  if (v > max_.load(std::memory_order_relaxed))
-    max_.store(v, std::memory_order_relaxed);
-  count_.store(c + 1, std::memory_order_relaxed);
-  sum_.store(sum_.load(std::memory_order_relaxed) + v,
-             std::memory_order_relaxed);
+  }
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  sum_.fetch_add(v, std::memory_order_relaxed);
   // Bucket k holds [2^(k-1), 2^k); bucket 0 holds the value 0.
-  std::atomic<std::uint64_t>& bucket =
-      buckets_[static_cast<std::size_t>(std::bit_width(v))];
-  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
-               std::memory_order_relaxed);
+  buckets_[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 std::uint64_t Histogram::percentile(double p) const {

@@ -9,13 +9,14 @@
 // lookup. Exports are dual-stamped: `sim_ns` (virtual host time) and
 // `wall_ns` (real time), so a trace can be correlated against both clocks.
 //
-// Threading model: one writer, many readers. The campaign runs on a single
-// thread; the live monitor (`telemetry/monitor.h`) scrapes from a background
-// thread. Instrument values are relaxed std::atomics so cross-thread reads
-// are race-free, and writes stay plain load/store (no RMW, no fence — the
-// single-threaded hot path compiles to the same mov/add it always was).
-// Registry name lookup takes a mutex, but probes resolve pointers once, so
-// the hot loop never touches it.
+// Threading model: many writers, many readers. Sharded campaigns
+// (`core/sharded.h`) run K campaign stacks concurrently against the same
+// process-global registry, and the live monitor (`telemetry/monitor.h`)
+// scrapes from a background thread. Instrument values are relaxed
+// std::atomics updated with fetch_add (a single lock-free RMW — `lock xadd`
+// on x86 — correct under any number of concurrent shards). Registry name
+// lookup takes a mutex, but probes resolve pointers once, so the hot loop
+// never touches it.
 //
 // Instruments registered here are process-global by default (see global());
 // consumers that need per-run numbers snapshot values before/after and take
@@ -42,10 +43,10 @@ Nanos steady_now_ns();
 
 class Counter {
  public:
-  // Single-writer: plain load+store keeps the uncontended path a plain add.
+  // Multi-writer safe: concurrent shards share process-global counters, so
+  // increments must be a single RMW, not load+store.
   void inc(std::uint64_t n = 1) {
-    value_.store(value_.load(std::memory_order_relaxed) + n,
-                 std::memory_order_relaxed);
+    value_.fetch_add(n, std::memory_order_relaxed);
   }
   std::uint64_t value() const {
     return value_.load(std::memory_order_relaxed);
@@ -65,10 +66,11 @@ class Gauge {
 };
 
 // Log2-bucketed histogram for latencies and sizes: O(1) record, ~2x relative
-// error on percentile estimates, no allocation. Single-writer like Counter;
-// a concurrent reader may see a value recorded in count_ before it lands in
-// sum_ or a bucket — each field is individually coherent, which is all a
-// monitoring scrape needs.
+// error on percentile estimates, no allocation. Multi-writer like Counter
+// (fetch_add for count/sum/buckets, CAS loops for min/max); a concurrent
+// reader may see a value recorded in count_ before it lands in sum_ or a
+// bucket — each field is individually coherent, which is all a monitoring
+// scrape needs.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 64;

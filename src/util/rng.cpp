@@ -19,6 +19,12 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream) {
+  if (stream == 0) return base;
+  std::uint64_t x = base ^ (stream * 0x9E3779B97F4A7C15ULL);
+  return splitmix64(x);
+}
+
 void Rng::reseed(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : state_) s = splitmix64(sm);

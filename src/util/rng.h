@@ -14,6 +14,12 @@
 
 namespace torpedo {
 
+// Derives an independent stream seed from a base seed (one SplitMix64 step
+// over base ^ mixed(stream)). Stream 0 returns the base unchanged, so
+// "stream 0 of N" reproduces the unsharded configuration exactly; every
+// other stream lands in an uncorrelated part of the seed space.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream);
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x7095ED0C0FFEEULL) { reseed(seed); }

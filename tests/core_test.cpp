@@ -585,6 +585,42 @@ TEST(CampaignTest, AttributionFollowsActualCpusets) {
             (std::vector<bool>{false, false, false}));
 }
 
+// Regression for the incremental flag scan: bounding the observer's round
+// log must not change what a campaign reports, because every round's
+// evidence is extracted by the scan hook before prune_log() can drop it.
+TEST(CampaignTest, LogRetentionDoesNotChangeReport) {
+  CampaignConfig cfg = fast_config();
+  cfg.batches = 1;
+  const std::vector<prog::Program> seeds = {*named_seed("sync"),
+                                            *named_seed("kcmp-pair"),
+                                            *named_seed("appendix-a1-prog2")};
+
+  Campaign unlimited(cfg);
+  unlimited.load_seeds(seeds);
+  unlimited.run_one_batch();
+  const CampaignReport a = unlimited.finalize();
+
+  cfg.observer.max_log_rounds = 1;  // prune as aggressively as possible
+  Campaign bounded(cfg);
+  bounded.load_seeds(seeds);
+  bounded.run_one_batch();
+  // The bound is enforced between batches.
+  EXPECT_EQ(bounded.observer().log().size(), 1u);
+  const CampaignReport b = bounded.finalize();
+
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.executions, b.executions);
+  EXPECT_EQ(a.suspects, b.suspects);
+  EXPECT_EQ(a.crash_suspects, b.crash_suspects);
+  EXPECT_EQ(a.confirmations_run, b.confirmations_run);
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].serialized, b.findings[i].serialized) << i;
+    EXPECT_EQ(a.findings[i].cause, b.findings[i].cause) << i;
+    EXPECT_EQ(a.findings[i].source_round, b.findings[i].source_round) << i;
+  }
+}
+
 TEST(CampaignTest, RunCFindsSyncFinding) {
   CampaignConfig cfg = fast_config();
   cfg.batches = 1;

@@ -51,7 +51,15 @@ TEST(Corpus, DedupsByContent) {
   EXPECT_EQ(corpus.size(), 1u);
   EXPECT_EQ(corpus.entry(0).best_score, 9.0);  // refreshed
   EXPECT_TRUE(corpus.add(*core::named_seed("audit-oob"), sig, 1.0));
-  EXPECT_EQ(corpus.programs().size(), 2u);
+  ASSERT_EQ(corpus.donors().size(), 2u);
+  // Donor pointers alias the stored entries (single-storage invariant) and
+  // stay stable as the corpus grows.
+  EXPECT_EQ(corpus.donors()[0], &corpus.entry(0).program);
+  const prog::Program* first = corpus.donors()[0];
+  for (const char* name : {"sync", "appendix-a1-prog0", "appendix-a1-prog2"})
+    corpus.add(*core::named_seed(name), sig, 1.0);
+  EXPECT_EQ(corpus.donors()[0], first);
+  EXPECT_EQ(first->hash(), core::named_seed("sync")->hash());
 }
 
 TEST(Corpus, CoverageAccumulates) {
@@ -71,7 +79,8 @@ TEST(Corpus, CoverageAccumulates) {
 
 struct Harness {
   explicit Harness(runtime::RuntimeKind rt = runtime::RuntimeKind::kRunc,
-                   int executors = 2, Nanos round = kSecond) {
+                   int executors = 2, Nanos round = kSecond,
+                   std::size_t max_log_rounds = 0) {
     kernel::KernelConfig cfg;
     cfg.host.num_cores = 8;
     kernel = std::make_unique<kernel::SimKernel>(cfg);
@@ -89,6 +98,7 @@ struct Harness {
     observer::ObserverConfig ocfg;
     ocfg.round_duration = round;
     ocfg.side_band_core = 3;
+    ocfg.max_log_rounds = max_log_rounds;
     observer = std::make_unique<observer::Observer>(*kernel, raw, ocfg);
     kernel->host().run_for(500 * kMillisecond);  // settle startup helpers
   }
@@ -341,6 +351,30 @@ TEST(Observer, RoundsAccumulateInLog) {
   EXPECT_EQ(h.observer->log()[2].round, 2);
   EXPECT_GT(h.observer->log()[2].observation.window_start,
             h.observer->log()[0].observation.window_end - kMillisecond);
+}
+
+TEST(Observer, LogRetentionPrunesOldestAndKeepsRecentReferencesValid) {
+  Harness h(runtime::RuntimeKind::kRunc, 2, kSecond, /*max_log_rounds=*/3);
+  const std::vector<prog::Program> programs = {
+      *core::named_seed("kcmp-pair"), *core::named_seed("kcmp-pair")};
+  for (int r = 0; r < 6; ++r) h.observer->run_round(programs);
+  // Pruning is explicit — nothing is dropped until the owner says so.
+  EXPECT_EQ(h.observer->log().size(), 6u);
+  h.observer->prune_log();
+  ASSERT_EQ(h.observer->log().size(), 3u);
+  EXPECT_EQ(h.observer->log().front().round, 3);
+  EXPECT_EQ(h.observer->log().back().round, 5);
+  // References returned by run_round stay valid within the retention
+  // window: only the *oldest* rounds are dropped, and the deque never
+  // reallocates elements.
+  const observer::RoundResult& r6 = h.observer->run_round(programs);
+  const observer::RoundResult& r7 = h.observer->run_round(programs);
+  h.observer->prune_log();  // retains rounds 5, 6, 7
+  EXPECT_EQ(r6.round, 6);
+  EXPECT_EQ(r6.stats.size(), 2u);
+  EXPECT_EQ(r7.round, 7);
+  EXPECT_EQ(h.observer->rounds_run(), 8);
+  EXPECT_EQ(h.observer->log().front().round, 5);
 }
 
 }  // namespace

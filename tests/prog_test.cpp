@@ -346,7 +346,7 @@ TEST(Mutator, EmptyCorpusDisablesSplice) {
   Program p = *core::named_seed("sync");
   // With an empty corpus, splice weight collapses and another op is chosen —
   // no crash, program stays valid.
-  mutator.mutate(p, {});
+  mutator.mutate(p, std::span<const Program>{});
   EXPECT_TRUE(p.valid());
 }
 

@@ -16,9 +16,11 @@
 //                   workdir's violation bundles, metrics.json, trace.jsonl
 //                   and chrome-trace spans, without re-running anything.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -30,6 +32,7 @@
 #include "core/campaign.h"
 #include "core/provenance.h"
 #include "core/seeds.h"
+#include "core/sharded.h"
 #include "core/workdir.h"
 #include "feedback/syscall_profile.h"
 #include "telemetry/monitor.h"
@@ -56,6 +59,7 @@ int usage() {
       "                [--chrome-trace FILE.json]\n"
       "                [--monitor-port N] [--watchdog-seconds S]\n"
       "                [--watchdog-abort]\n"
+      "                [--shards N] [--no-corpus-sync]\n"
       "  torpedo exec  [--runtime ...] [--round-seconds S] FILE.prog\n"
       "  torpedo seeds [--out DIR] [--count N]\n"
       "  torpedo report [--json] WORKDIR\n",
@@ -81,7 +85,8 @@ struct Args {
 
 // Flags that take no value.
 bool is_switch(const std::string& name) {
-  return name == "v" || name == "json" || name == "watchdog-abort";
+  return name == "v" || name == "json" || name == "watchdog-abort" ||
+         name == "no-corpus-sync";
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -137,10 +142,229 @@ struct ProfileGuard {
   ~ProfileGuard() { feedback::set_syscall_profile(nullptr); }
 };
 
+// `torpedo run --shards N` for N > 1: a ShardedCampaign fleet instead of one
+// Campaign. Per-shard observability (live status, heartbeat, trace sink,
+// watchdog) is wired on each shard's worker thread via the shard hooks; the
+// monitor aggregates everything under {shard="k"} labels. Workdir artifacts
+// are the deterministic merged report/corpus.
+int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
+                    int shards) {
+  // The span tracer is a process-wide single-writer sink; K campaign threads
+  // would corrupt it. Everything else sharded runs without it.
+  if (args.has("chrome-trace")) {
+    std::fprintf(stderr,
+                 "--chrome-trace is not supported with --shards > 1 "
+                 "(process-wide span tracer is single-threaded)\n");
+    return 2;
+  }
+
+  feedback::SyscallProfile profile;
+  ProfileGuard profile_guard;
+  feedback::set_syscall_profile(&profile);
+
+  core::ShardedConfig sharded_config;
+  sharded_config.base = config;
+  sharded_config.shards = shards;
+  sharded_config.corpus_sync = !args.has("no-corpus-sync");
+  core::ShardedCampaign sharded(sharded_config);
+
+  if (auto dir = args.get("seeds-dir")) {
+    std::vector<std::string> errors;
+    auto seeds = core::load_seed_files(*dir, &errors);
+    for (const std::string& e : errors)
+      std::fprintf(stderr, "warning: %s\n", e.c_str());
+    std::printf("loaded %zu seeds from %s\n", seeds.size(), dir->c_str());
+    sharded.set_seeds(std::move(seeds));
+  }
+
+  // Per-shard observability slots. deques: these types hold mutexes/atomics
+  // and their addresses are wired into campaigns and the monitor.
+  std::deque<telemetry::LiveStatus> statuses;
+  std::deque<telemetry::Watchdog> watchdogs;
+  std::deque<telemetry::HeartbeatWriter> heartbeats;
+  std::deque<telemetry::TraceSink> traces;
+  const long watchdog_seconds = args.num("watchdog-seconds", 0);
+  const auto workdir = args.get("workdir");
+  const auto trace_path = args.get("trace");
+
+  // "foo.jsonl" -> "foo.shard-3.jsonl"
+  auto shard_file = [](const std::string& base, int shard) {
+    const std::filesystem::path p(base);
+    std::filesystem::path out = p.parent_path() / p.stem();
+    out += ".shard-" + std::to_string(shard);
+    out += p.extension();
+    return out.string();
+  };
+  auto ensure_parent = [](const std::string& path) {
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+  };
+
+  for (int s = 0; s < shards; ++s) {
+    statuses.emplace_back();
+    if (watchdog_seconds > 0) {
+      telemetry::Watchdog::Config wd_config;
+      wd_config.stall_budget_wall_ns =
+          static_cast<Nanos>(watchdog_seconds) * kSecond;
+      wd_config.abort_on_stall = args.has("watchdog-abort");
+      watchdogs.emplace_back(wd_config);
+    }
+    if (workdir)
+      heartbeats.emplace_back(std::filesystem::path(*workdir) /
+                              format("heartbeat.shard-%d.json", s));
+    if (trace_path) {
+      const std::string path = shard_file(*trace_path, s);
+      ensure_parent(path);
+      traces.emplace_back(path);
+      if (!traces.back().ok()) {
+        std::fprintf(stderr, "cannot open trace file %s\n", path.c_str());
+        return 1;
+      }
+    }
+  }
+
+  sharded.set_shard_start_hook([&](int shard, core::Campaign& campaign) {
+    campaign.set_live_status(&statuses[static_cast<std::size_t>(shard)]);
+    if (!watchdogs.empty())
+      campaign.set_watchdog(&watchdogs[static_cast<std::size_t>(shard)]);
+    if (!heartbeats.empty())
+      campaign.set_heartbeat(&heartbeats[static_cast<std::size_t>(shard)]);
+    if (!traces.empty())
+      campaign.set_trace_sink(&traces[static_cast<std::size_t>(shard)]);
+  });
+  std::atomic<Nanos> max_sim_ns{0};
+  sharded.set_shard_finish_hook([&](int shard, core::Campaign& campaign) {
+    statuses[static_cast<std::size_t>(shard)].set_done();
+    const Nanos sim = campaign.kernel().host().now();
+    Nanos cur = max_sim_ns.load(std::memory_order_relaxed);
+    while (sim > cur &&
+           !max_sim_ns.compare_exchange_weak(cur, sim,
+                                             std::memory_order_relaxed)) {
+    }
+  });
+
+  std::optional<telemetry::MonitorServer> monitor;
+  if (args.has("monitor-port") || watchdog_seconds > 0) {
+    telemetry::MonitorServer::Config mon_config;
+    mon_config.port = static_cast<int>(args.num("monitor-port", 0));
+    monitor.emplace(mon_config);
+    for (int s = 0; s < shards; ++s)
+      monitor->add_shard(s, &statuses[static_cast<std::size_t>(s)],
+                         watchdogs.empty()
+                             ? nullptr
+                             : &watchdogs[static_cast<std::size_t>(s)]);
+    monitor->set_extra_metrics(
+        [&profile] { return profile.to_prometheus(&kernel::sysno_name); });
+    if (!monitor->start()) {
+      std::fprintf(stderr, "cannot bind monitor to 127.0.0.1:%d\n",
+                   mon_config.port);
+      return 1;
+    }
+    std::printf("monitor: http://127.0.0.1:%d/metrics (and /status, "
+                "/healthz; per-shard series under {shard=\"k\"})\n",
+                monitor->port());
+  }
+
+  std::printf("fuzzing: runtime=%s executors=%d T=%llds batches=%d "
+              "shards=%d sync=%s\n",
+              std::string(runtime::runtime_name(config.runtime)).c_str(),
+              config.num_executors,
+              static_cast<long long>(config.round_duration / kSecond),
+              config.batches, shards,
+              sharded_config.corpus_sync ? "on" : "off");
+
+  core::CampaignReport report;
+  try {
+    report = sharded.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    if (monitor) monitor->stop();
+    return 1;
+  }
+
+  for (int s = 0; s < shards; ++s) {
+    const core::CampaignReport& r =
+        sharded.shard_reports()[static_cast<std::size_t>(s)];
+    std::printf("shard %d: rounds=%d executions=%llu findings=%zu "
+                "crashes=%zu\n",
+                s, r.rounds, static_cast<unsigned long long>(r.executions),
+                r.findings.size(), r.crashes.size());
+  }
+  const feedback::CorpusHub::Stats hub_stats = sharded.hub().stats();
+  std::printf("hub: epochs=%llu published=%llu unique=%llu merged=%llu "
+              "pulled=%llu denylist=%zu\n",
+              static_cast<unsigned long long>(hub_stats.epochs),
+              static_cast<unsigned long long>(hub_stats.published),
+              static_cast<unsigned long long>(hub_stats.unique),
+              static_cast<unsigned long long>(hub_stats.merged),
+              static_cast<unsigned long long>(hub_stats.pulled),
+              hub_stats.denylist_size);
+
+  std::printf("\n%zu findings, %zu crashes over %d rounds (%llu executions)\n",
+              report.findings.size(), report.crashes.size(), report.rounds,
+              static_cast<unsigned long long>(report.executions));
+  for (const core::Finding& f : report.findings)
+    std::printf("  [shard %d] [%s] %s%s\n", f.shard,
+                f.syscall_list().c_str(), f.cause.c_str(),
+                f.is_new ? " (NEW)" : "");
+  for (const core::CrashFinding& c : report.crashes)
+    std::printf("  CRASH: [shard %d] %s\n", c.shard, c.message.c_str());
+
+  if (monitor) monitor->stop();
+
+  if (workdir) {
+    const std::filesystem::path dir(*workdir);
+    core::save_corpus(dir / "corpus.txt", sharded.merged_corpus());
+    core::save_report(dir / "report.txt", report);
+    const std::size_t bundles = core::write_violation_bundles(dir, report);
+    {
+      std::ofstream out(dir / "syscall_profile.json", std::ios::trunc);
+      if (out) out << profile.to_json(&kernel::sysno_name) << "\n";
+    }
+    std::printf("workdir written: %s (corpus.txt, report.txt, "
+                "syscall_profile.json, %zu violation bundle%s)\n",
+                dir.string().c_str(), bundles, bundles == 1 ? "" : "s");
+  }
+
+  if (auto path = args.get("metrics")) {
+    ensure_parent(*path);
+    std::ofstream out(*path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open metrics file %s\n", path->c_str());
+      return 1;
+    }
+    out << telemetry::global().to_json(
+               max_sim_ns.load(std::memory_order_relaxed))
+        << "\n";
+    std::printf("metrics written: %s\n", path->c_str());
+  }
+  if (trace_path) {
+    std::uint64_t records = 0;
+    for (const telemetry::TraceSink& t : traces) records += t.records();
+    std::printf("traces written: %s (%d shard files, %llu records)\n",
+                shard_file(*trace_path, 0).c_str(), shards,
+                static_cast<unsigned long long>(records));
+  }
+  return 0;
+}
+
 int cmd_run(const Args& args) {
   auto config = campaign_config(args);
   if (!config) return 2;
   if (args.has("v")) set_log_level(LogLevel::kInfo);
+
+  // --shards N forks off into the sharded driver; --shards 1 (the default)
+  // stays on this exact code path, artifacts byte-identical to before the
+  // flag existed.
+  const int shards = static_cast<int>(args.num("shards", 1));
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  if (shards > 1) return cmd_run_sharded(args, *config, shards);
 
   // The per-syscall attribution profiler is always on for `run`: relaxed
   // single-writer counters cost nothing measurable and /metrics + the report
