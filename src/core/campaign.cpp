@@ -214,7 +214,14 @@ void Campaign::set_heartbeat(telemetry::HeartbeatWriter* heartbeat) {
 
 void Campaign::set_watchdog(telemetry::Watchdog* watchdog) {
   watchdog_ = watchdog;
-  fuzzer_->set_abort_flag(watchdog_ ? &watchdog_->abort_flag() : nullptr);
+  const std::atomic<bool>* flag =
+      watchdog_ ? &watchdog_->abort_flag() : nullptr;
+  fuzzer_->set_abort_flag(flag);
+  // Also arm every executor: the fuzzer only polls the flag at round
+  // boundaries, so a single wall-expensive round (a fault-injected
+  // infinite-EINTR loop, say) would spin past the watchdog without the
+  // mid-round iteration check.
+  for (const auto& executor : executors_) executor->set_abort_flag(flag);
 }
 
 void Campaign::on_round(const observer::RoundResult& rr) {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 
+#include "telemetry/json.h"
 #include "util/strings.h"
 
 namespace torpedo::core {
@@ -127,6 +129,83 @@ void save_report(const fs::path& file, const CampaignReport& report) {
     if (crash.shard >= 0) out << format("shard: %d\n", crash.shard);
     out << crash.serialized << "\n";
   }
+}
+
+CampaignManifest CampaignManifest::from_config(const CampaignConfig& config) {
+  CampaignManifest m;
+  m.runtime = std::string(runtime::runtime_name(config.runtime));
+  m.batches = config.batches;
+  m.num_executors = config.num_executors;
+  m.round_duration = config.round_duration;
+  m.num_seeds = config.num_seeds;
+  m.seed = config.seed;
+  return m;
+}
+
+CampaignConfig CampaignManifest::to_config() const {
+  CampaignConfig config;
+  if (auto kind = runtime::runtime_from_name(runtime)) config.runtime = *kind;
+  config.batches = batches;
+  config.num_executors = num_executors;
+  config.round_duration = round_duration;
+  config.num_seeds = num_seeds;
+  config.seed = seed;
+  return config;
+}
+
+void save_campaign_manifest(const fs::path& file,
+                            const CampaignManifest& manifest) {
+  if (file.has_parent_path()) fs::create_directories(file.parent_path());
+  telemetry::JsonDict doc;
+  doc.set("runtime", manifest.runtime)
+      .set("batches", manifest.batches)
+      .set("num_executors", manifest.num_executors)
+      .set("round_duration_ns", manifest.round_duration)
+      .set("num_seeds", static_cast<std::int64_t>(manifest.num_seeds))
+      .set("seed", static_cast<std::int64_t>(manifest.seed))
+      .set("shards", manifest.shards)
+      .set("corpus_sync", manifest.corpus_sync)
+      .set("seeds_dir", manifest.seeds_dir);
+  std::ofstream out(file);
+  out << doc.to_string() << "\n";
+}
+
+std::optional<CampaignManifest> load_campaign_manifest(const fs::path& file) {
+  std::ifstream in(file);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto object = telemetry::parse_json_object(trim(buffer.str()));
+  if (!object) return std::nullopt;
+
+  CampaignManifest m;
+  auto num = [&](const char* key, auto& field) -> bool {
+    auto it = object->find(key);
+    if (it == object->end() ||
+        it->second.kind != telemetry::JsonValue::Kind::kNumber)
+      return false;
+    field = static_cast<std::remove_reference_t<decltype(field)>>(
+        it->second.integer);
+    return it->second.is_integer;
+  };
+  if (auto it = object->find("runtime");
+      it != object->end() &&
+      it->second.kind == telemetry::JsonValue::Kind::kString)
+    m.runtime = it->second.text;
+  if (!num("batches", m.batches) || !num("num_executors", m.num_executors) ||
+      !num("round_duration_ns", m.round_duration) ||
+      !num("num_seeds", m.num_seeds) || !num("seed", m.seed) ||
+      !num("shards", m.shards))
+    return std::nullopt;
+  if (auto it = object->find("corpus_sync");
+      it != object->end() &&
+      it->second.kind == telemetry::JsonValue::Kind::kBool)
+    m.corpus_sync = it->second.boolean;
+  if (auto it = object->find("seeds_dir");
+      it != object->end() &&
+      it->second.kind == telemetry::JsonValue::Kind::kString)
+    m.seeds_dir = it->second.text;
+  return m;
 }
 
 }  // namespace torpedo::core

@@ -7,7 +7,9 @@
 // program text format, so artifacts are human-readable and diffable.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,5 +51,34 @@ std::size_t load_corpus(const std::filesystem::path& file,
 // Human-readable findings report (one block per finding + crash).
 void save_report(const std::filesystem::path& file,
                  const CampaignReport& report);
+
+// --- campaign manifest --------------------------------------------------------
+
+// Everything `torpedo selftest --replay` needs to re-execute a recorded
+// campaign: the (seed, config) pair that, on the deterministic substrate,
+// regenerates every artifact byte-for-byte. Saved as workdir/campaign.json
+// by `torpedo run --workdir`.
+struct CampaignManifest {
+  std::string runtime = "runc";
+  int batches = 8;
+  int num_executors = 3;
+  Nanos round_duration = 5 * kSecond;
+  std::size_t num_seeds = 40;
+  std::uint64_t seed = 0x7095ED0;
+  int shards = 1;         // 1 == sequential campaign
+  bool corpus_sync = true;
+  std::string seeds_dir;  // empty == default Moonshine-like corpus
+
+  static CampaignManifest from_config(const CampaignConfig& config);
+  // Manifest fields over campaign defaults. Fields the manifest doesn't
+  // carry (cost model, oracle thresholds, ...) must match the recording
+  // binary's defaults for the replay to be byte-exact.
+  CampaignConfig to_config() const;
+};
+
+void save_campaign_manifest(const std::filesystem::path& file,
+                            const CampaignManifest& manifest);
+std::optional<CampaignManifest> load_campaign_manifest(
+    const std::filesystem::path& file);
 
 }  // namespace torpedo::core

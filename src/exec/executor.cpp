@@ -19,6 +19,7 @@ struct Executor::State {
   runtime::Container* container = nullptr;
   bool setup_paid = false;
   std::uint64_t iter_in_round = 0;
+  const std::atomic<bool>* abort_flag = nullptr;
   Rng rng{0xE8EC};
   telemetry::Counter* ctr_executions = nullptr;
   telemetry::Counter* ctr_crashes = nullptr;
@@ -172,6 +173,13 @@ sim::Supplier Executor::make_supplier() {
     }
 
     const Nanos now = host.now();
+    // Watchdog abort: retire the round at this iteration boundary instead of
+    // looping to stop_time (a stalled round never reaches it in wall time).
+    if (st.abort_flag && st.abort_flag->load(std::memory_order_relaxed)) {
+      st.finalize_round(host);
+      task.push(sim::Segment::block_wake());
+      return true;
+    }
     // Algorithm 1: stop when the *predicted* completion of one more
     // iteration would overrun the stop timestamp.
     if (now >= st.stop_time ||
@@ -261,6 +269,10 @@ RunStats Executor::take_stats() {
     round_begin_ns_ = -1;
   }
   return out;
+}
+
+void Executor::set_abort_flag(const std::atomic<bool>* flag) {
+  state_->abort_flag = flag;
 }
 
 void Executor::interrupt() {

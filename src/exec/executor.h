@@ -11,6 +11,7 @@
 // + stop time, executor latches ready) and start() (release).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,6 +93,13 @@ class Executor {
   // the next loop check terminate the round (syzkaller kills overrunning
   // programs the same way).
   void interrupt();
+
+  // Watchdog abort: when the flag is raised mid-round, the entrypoint
+  // retires the round at the next iteration boundary instead of looping to
+  // stop_time. Without this a wall-expensive round (e.g. a fault-injected
+  // infinite-EINTR loop) spins past the watchdog, which only gets honored at
+  // round boundaries. Caller keeps ownership; nullptr disables.
+  void set_abort_flag(const std::atomic<bool>* flag);
 
  private:
   struct State;

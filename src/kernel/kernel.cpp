@@ -155,6 +155,20 @@ SysResult SimKernel::do_syscall(Process& proc, const SysReq& req) {
     return res;
   }
 
+  // Selftest fault injection: fail the call before any kernel state changes.
+  // The caller still pays entry costs, as if the kernel bailed at the top of
+  // the handler.
+  if (fault_hook_) {
+    if (const int inject_err = fault_hook_->inject(proc, req);
+        inject_err != 0) {
+      res.err = inject_err;
+      res.ret = -inject_err;
+      res.sys_ns = jitter(config_.costs.entry);
+      res.user_ns = 600;
+      return res;
+    }
+  }
+
   res.sys_ns = jitter(config_.costs.entry);
   res.user_ns = 600;  // libc wrapper overhead
 

@@ -107,6 +107,15 @@ struct SysResult {
   int fatal_signal = 0;   // nonzero: caller was killed by this signal
 };
 
+// Selftest fault-injection tap, consulted at the top of do_syscall. A
+// non-zero return fails the call with that errno before any kernel state
+// changes — the syscall-error-injection knob of the selftest harness.
+class SyscallFaultHook {
+ public:
+  virtual ~SyscallFaultHook() = default;
+  virtual int inject(const Process& proc, const SysReq& req) = 0;
+};
+
 class SimKernel {
  public:
   explicit SimKernel(KernelConfig config = {});
@@ -150,6 +159,9 @@ class SimKernel {
   std::uint64_t modprobe_execs() const { return modprobe_execs_; }
   std::uint64_t coredumps() const { return coredumps_; }
 
+  // Selftest fault tap. Caller keeps ownership; nullptr removes the hook.
+  void set_fault_hook(SyscallFaultHook* hook) { fault_hook_ = hook; }
+
  private:
   Nanos jitter(Nanos base);
   Nanos disk_transfer_time(std::uint64_t bytes) const;
@@ -177,6 +189,8 @@ class SimKernel {
 
   std::uint64_t modprobe_execs_ = 0;
   std::uint64_t coredumps_ = 0;
+
+  SyscallFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace torpedo::kernel

@@ -84,6 +84,7 @@ class KernelTrace {
   }
 
   std::size_t size() const { return events_.size(); }
+  std::size_t capacity() const { return capacity_; }
   void clear() { events_.clear(); }
 
  private:

@@ -1,0 +1,116 @@
+#include "selftest/faultinject.h"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+
+#include "kernel/errno.h"
+#include "telemetry/telemetry.h"
+
+namespace torpedo::selftest {
+
+namespace fs = std::filesystem;
+
+FaultPlan FaultPlan::random(std::uint64_t seed) {
+  Rng rng(seed);
+  FaultPlan plan;
+  plan.seed = rng.next();
+  plan.syscall_error_pct = 0.02 + 0.18 * rng.uniform();  // 2% .. 20%
+  static constexpr int kErrnos[] = {
+      kernel::EINTR_, kernel::EIO_,    kernel::ENOMEM_,
+      kernel::EAGAIN_, kernel::ENOSPC_,
+  };
+  plan.error_errno = kErrnos[rng.below(std::size(kErrnos))];
+  // Half the plans target every syscall; the rest pick a few sysnos so the
+  // degradation path is exercised both broadly and surgically.
+  if (rng.uniform() < 0.5) {
+    const std::size_t n = 1 + rng.below(3);
+    for (std::size_t i = 0; i < n; ++i)
+      plan.target_sysnos.push_back(static_cast<int>(rng.below(330)));
+  }
+  plan.drop_wakeup_pct = rng.uniform() < 0.5 ? 0.05 + 0.45 * rng.uniform() : 0;
+  plan.irq_burst_pct = rng.uniform() < 0.5 ? 0.005 + 0.045 * rng.uniform() : 0;
+  return plan;
+}
+
+telemetry::JsonDict FaultPlan::to_json() const {
+  std::string sysnos = "[";
+  for (std::size_t i = 0; i < target_sysnos.size(); ++i) {
+    if (i > 0) sysnos += ",";
+    sysnos += std::to_string(target_sysnos[i]);
+  }
+  sysnos += "]";
+  telemetry::JsonDict d;
+  d.set("seed", static_cast<std::int64_t>(seed))
+      .set("syscall_error_pct", syscall_error_pct)
+      .set("error_errno", error_errno)
+      .set_raw("target_sysnos", sysnos)
+      .set("drop_wakeup_pct", drop_wakeup_pct)
+      .set("irq_burst_pct", irq_burst_pct)
+      .set("irq_burst_min_ns", irq_burst_min)
+      .set("irq_burst_max_ns", irq_burst_max);
+  return d;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void FaultInjector::install(kernel::SimKernel& kernel) {
+  kernel.set_fault_hook(this);
+  kernel.host().set_fault_hook(this);
+  if (plan_.irq_burst_pct > 0) {
+    kernel.host().set_tick_hook(
+        [this](sim::Host& host) { on_tick(host); });
+  }
+}
+
+void FaultInjector::uninstall(kernel::SimKernel& kernel) {
+  kernel.set_fault_hook(nullptr);
+  kernel.host().set_fault_hook(nullptr);
+  if (plan_.irq_burst_pct > 0) kernel.host().set_tick_hook(nullptr);
+}
+
+int FaultInjector::inject(const kernel::Process& proc,
+                          const kernel::SysReq& req) {
+  (void)proc;
+  ++stats_.syscalls_seen;
+  if (plan_.syscall_error_pct <= 0) return 0;
+  if (!plan_.target_sysnos.empty() &&
+      std::find(plan_.target_sysnos.begin(), plan_.target_sysnos.end(),
+                req.nr) == plan_.target_sysnos.end())
+    return 0;
+  if (rng_.uniform() >= plan_.syscall_error_pct) return 0;
+  ++stats_.errors_injected;
+  telemetry::global().counter("selftest.fault_syscall_errors").inc();
+  return plan_.error_errno;
+}
+
+bool FaultInjector::drop_kworker_wakeup(Nanos now) {
+  (void)now;
+  if (plan_.drop_wakeup_pct <= 0) return false;
+  if (rng_.uniform() >= plan_.drop_wakeup_pct) return false;
+  ++stats_.wakeups_dropped;
+  telemetry::global().counter("selftest.fault_dropped_wakeups").inc();
+  return true;
+}
+
+void FaultInjector::on_tick(sim::Host& host) {
+  if (rng_.uniform() >= plan_.irq_burst_pct) return;
+  ++stats_.irq_bursts;
+  const int core = static_cast<int>(
+      rng_.below(static_cast<std::uint64_t>(host.num_cores())));
+  const Nanos ns = rng_.range(plan_.irq_burst_min, plan_.irq_burst_max);
+  host.raise_irq(core, ns);
+}
+
+std::uintmax_t truncate_file(const fs::path& file, double keep_fraction) {
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(file, ec);
+  if (ec) return 0;
+  const auto keep = static_cast<std::uintmax_t>(
+      static_cast<double>(size) * std::clamp(keep_fraction, 0.0, 1.0));
+  fs::resize_file(file, keep, ec);
+  return ec ? size : keep;
+}
+
+}  // namespace torpedo::selftest

@@ -1,0 +1,82 @@
+// Seeded substrate fault injection (selftest pillar 3).
+//
+// A fuzzing campaign must degrade gracefully when the world misbehaves: the
+// FaultInjector perturbs the substrate under seeded, reproducible control —
+// syscall error injection by sysno/probability, IRQ clock jitter within the
+// noise model's burst bounds, dropped kworker wakeups — and the harness
+// asserts the campaign neither crashes nor hangs, and that its artifacts
+// still parse. truncate_file() simulates torn partial writes in the workdir
+// for the artifact-robustness half of the same property.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "telemetry/json.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace torpedo::selftest {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  // Per-syscall probability of failing with `error_errno` before the kernel
+  // touches any state.
+  double syscall_error_pct = 0;
+  int error_errno = 4;  // EINTR
+  // Empty == all syscalls eligible; otherwise only these sysnos.
+  std::vector<int> target_sysnos;
+  // Per-schedule_work probability of swallowing the kworker wakeup.
+  double drop_wakeup_pct = 0;
+  // Per-quantum probability of an out-of-band IRQ burst on a random core,
+  // bounded like NoiseConfig's burst range so jitter stays within the noise
+  // envelope the oracle already tolerates.
+  double irq_burst_pct = 0;
+  Nanos irq_burst_min = 50 * kMicrosecond;
+  Nanos irq_burst_max = 400 * kMicrosecond;
+
+  // Draws a randomized-but-bounded plan for one trial.
+  static FaultPlan random(std::uint64_t seed);
+  telemetry::JsonDict to_json() const;
+};
+
+class FaultInjector final : public kernel::SyscallFaultHook,
+                            public sim::FaultHook {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Wires the syscall tap, the wakeup-drop tap, and (when the plan jitters)
+  // the host tick hook. The injector must outlive the kernel or be
+  // uninstalled first.
+  void install(kernel::SimKernel& kernel);
+  void uninstall(kernel::SimKernel& kernel);
+
+  int inject(const kernel::Process& proc, const kernel::SysReq& req) override;
+  bool drop_kworker_wakeup(Nanos now) override;
+
+  struct Stats {
+    std::uint64_t syscalls_seen = 0;
+    std::uint64_t errors_injected = 0;
+    std::uint64_t wakeups_dropped = 0;
+    std::uint64_t irq_bursts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void on_tick(sim::Host& host);
+
+  FaultPlan plan_;
+  Rng rng_;
+  Stats stats_;
+};
+
+// Truncates `file` to floor(size * keep_fraction) bytes — a torn write, as
+// if the process died mid-flush. Returns the new size, or 0 if the file was
+// missing.
+std::uintmax_t truncate_file(const std::filesystem::path& file,
+                             double keep_fraction);
+
+}  // namespace torpedo::selftest

@@ -1,0 +1,52 @@
+// Selftest harness: randomized trial campaigns over the three pillars.
+//
+// run_selftest() drives N seeded trials per pillar against miniature
+// campaigns (small cores/seeds/rounds, one batch each):
+//
+//   invariants  the InvariantChecker audits every trial campaign; any
+//               violation fails the trial and is shrunk — by re-running the
+//               identical trial with single-check probes and bisecting — to
+//               the first tick where the invariant broke. One
+//               detector-validation trial deliberately breaks cgroup
+//               charging (a test-only host switch) and REQUIRES the
+//               charge-conservation oracle to catch it.
+//   faults      a seeded FaultPlan perturbs the substrate; the campaign
+//               must finish, its artifacts must parse, and torn (truncated)
+//               copies of them must be rejected cleanly.
+//   replay      a recorded mini campaign replayed through replay_workdir()
+//               must regenerate every artifact byte-for-byte.
+//
+// Everything in the report is derived from simulated state, so the same
+// (seed, trials) pair produces the same selftest_report.json byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace torpedo::selftest {
+
+struct SelftestOptions {
+  int trials = 25;          // per randomized pillar
+  std::uint64_t seed = 1;   // base seed; trial i uses mix_seed(seed, i)
+  // Scratch directory for fault/replay artifacts; empty == a
+  // "torpedo-selftest" directory under the system temp dir.
+  std::filesystem::path scratch;
+  bool keep_scratch = false;
+  // Pillar switches (all on by default).
+  bool run_invariants = true;
+  bool run_faults = true;
+  bool run_replay = true;
+  bool verbose = false;  // per-trial progress on stderr
+};
+
+struct SelftestResult {
+  bool passed = false;
+  int trials_run = 0;
+  int trials_failed = 0;
+  std::string report_json;  // selftest_report.json payload (deterministic)
+};
+
+SelftestResult run_selftest(const SelftestOptions& options);
+
+}  // namespace torpedo::selftest

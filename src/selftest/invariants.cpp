@@ -1,0 +1,203 @@
+#include "selftest/invariants.h"
+
+#include <utility>
+
+#include "telemetry/telemetry.h"
+#include "util/strings.h"
+
+namespace torpedo::selftest {
+
+telemetry::JsonDict InvariantViolation::to_json() const {
+  telemetry::JsonDict d;
+  d.set("invariant", invariant)
+      .set("subject", subject)
+      .set("value", value)
+      .set("expected", expected)
+      .set("time_ns", time)
+      .set("detail", detail);
+  return d;
+}
+
+std::string invariant_violations_to_json(
+    const std::vector<InvariantViolation>& violations) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) out += ",";
+    out += violations[i].to_json().to_string();
+  }
+  out += "]";
+  return out;
+}
+
+InvariantChecker::InvariantChecker(kernel::SimKernel& kernel,
+                                   InvariantConfig config)
+    : kernel_(kernel), config_(config) {
+  prev_times_.resize(static_cast<std::size_t>(kernel_.host().num_cores()));
+  telemetry::Registry& metrics = telemetry::global();
+  ctr_checks_ = &metrics.counter("selftest.invariant_checks");
+  ctr_violations_ = &metrics.counter("selftest.invariant_violations");
+}
+
+void InvariantChecker::install() {
+  kernel_.host().set_tick_hook(
+      [this](sim::Host& host) { on_tick(host); });
+}
+
+void InvariantChecker::uninstall() { kernel_.host().set_tick_hook(nullptr); }
+
+void InvariantChecker::on_tick(sim::Host& host) {
+  ++ticks_;
+  if (config_.probe_at_ns >= 0) {
+    if (probe_done_ || host.now() < config_.probe_at_ns) return;
+    probe_done_ = true;
+    check_now();
+    throw ProbeStop{.violated = !violations_.empty(), .tick_ns = host.now()};
+  }
+  if (config_.check_every_ticks > 0 &&
+      ticks_ % static_cast<std::uint64_t>(config_.check_every_ticks) != 0)
+    return;
+  check_now();
+}
+
+void InvariantChecker::check_now() {
+  ++checks_;
+  ctr_checks_->inc();
+  const std::size_t before = violations_.size();
+  check_core_conservation();
+  check_charge_conservation();
+  check_monotonicity();
+  check_cpuset_containment();
+  check_quota_accounting();
+  if (config_.check_signal_bookkeeping) check_signal_bookkeeping();
+  if (violations_.size() > before && first_violation_tick_ < 0)
+    first_violation_tick_ = kernel_.host().now();
+}
+
+void InvariantChecker::report(std::string invariant, std::string subject,
+                              double value, double expected,
+                              std::string detail) {
+  if (violations_.size() >= config_.max_violations) return;
+  ctr_violations_->inc();
+  violations_.push_back({.invariant = std::move(invariant),
+                         .subject = std::move(subject),
+                         .value = value,
+                         .expected = expected,
+                         .time = kernel_.host().now(),
+                         .detail = std::move(detail)});
+}
+
+void InvariantChecker::check_core_conservation() {
+  const sim::Host& host = kernel_.host();
+  const Nanos now = host.now();
+  for (int c = 0; c < host.num_cores(); ++c) {
+    const Nanos total = host.core_times(c).total();
+    if (total != now) {
+      report("core-time-conservation", format("core%d", c),
+             static_cast<double>(total), static_cast<double>(now),
+             "sum of /proc/stat categories must equal the host clock");
+    }
+  }
+}
+
+void InvariantChecker::check_charge_conservation() {
+  sim::Host& host = kernel_.host();
+  // Root cgroup usage must equal all *charged* core time: every category
+  // except IDLE and IOWAIT (nothing ran) and hard IRQ (by design charged to
+  // nobody — it preempts outside any process context).
+  Nanos charged = 0;
+  for (int c = 0; c < host.num_cores(); ++c) {
+    const sim::CoreTimes& t = host.core_times(c);
+    charged += t.total() - t[sim::CpuCategory::kIdle] -
+               t[sim::CpuCategory::kIoWait] - t[sim::CpuCategory::kIrq];
+  }
+  const Nanos root_usage = host.cgroups().root().cpu().usage;
+  if (root_usage != charged) {
+    report("charge-conservation", "/", static_cast<double>(root_usage),
+           static_cast<double>(charged),
+           "root cgroup usage must equal non-idle non-irq core time");
+  }
+}
+
+void InvariantChecker::check_monotonicity() {
+  const sim::Host& host = kernel_.host();
+  for (int c = 0; c < host.num_cores(); ++c) {
+    const sim::CoreTimes& cur = host.core_times(c);
+    sim::CoreTimes& prev = prev_times_[static_cast<std::size_t>(c)];
+    for (int i = 0; i < sim::kNumCpuCategories; ++i) {
+      if (cur.ns[static_cast<std::size_t>(i)] <
+          prev.ns[static_cast<std::size_t>(i)]) {
+        report("proc-stat-monotonicity",
+               format("core%d/%s", c,
+                      std::string(sim::cpu_category_name(
+                                      static_cast<sim::CpuCategory>(i)))
+                          .c_str()),
+               static_cast<double>(cur.ns[static_cast<std::size_t>(i)]),
+               static_cast<double>(prev.ns[static_cast<std::size_t>(i)]),
+               "/proc/stat counters never decrease");
+      }
+    }
+    prev = cur;
+  }
+}
+
+void InvariantChecker::check_cpuset_containment() {
+  sim::Host& host = kernel_.host();
+  host.for_each_task([&](const sim::Task& task) {
+    // Blocked tasks migrate lazily at wake(); only a task the scheduler can
+    // actually place on its core is a containment violation.
+    if (task.state() != sim::TaskState::kRunnable) return;
+    const cgroup::Cgroup* group = task.group();
+    if (!group) return;
+    if (!group->effective_cpuset().contains(task.core())) {
+      report("cpuset-containment", group->path(),
+             static_cast<double>(task.core()), -1,
+             format("task %llu (%s) runnable on core %d outside cpuset",
+                    static_cast<unsigned long long>(task.id()),
+                    task.name().c_str(), task.core()));
+    }
+  });
+}
+
+void InvariantChecker::check_quota_accounting() {
+  // Depth-first over the hierarchy: a bandwidth-limited group must never
+  // have consumed more than its quota within the current window.
+  std::vector<const cgroup::Cgroup*> stack = {&kernel_.host().cgroups().root()};
+  while (!stack.empty()) {
+    const cgroup::Cgroup* group = stack.back();
+    stack.pop_back();
+    for (const cgroup::Cgroup* child : group->children()) stack.push_back(child);
+    const cgroup::CpuController& cpu = group->cpu();
+    if (cpu.quota == cgroup::CpuController::kNoQuota) continue;
+    if (cpu.window_usage > cpu.quota) {
+      report("quota-accounting", group->path(),
+             static_cast<double>(cpu.window_usage),
+             static_cast<double>(cpu.quota),
+             "window usage exceeds CFS bandwidth quota");
+    }
+  }
+}
+
+void InvariantChecker::check_signal_bookkeeping() {
+  // Counter/trace pairing only holds while the trace ring hasn't evicted.
+  kernel::KernelTrace& trace = kernel_.trace();
+  if (trace.size() >= trace.capacity()) return;
+  const Nanos now = kernel_.host().now();
+  const std::size_t traced_cores =
+      trace.count(kernel::TraceKind::kCoredump, 0, now + 1);
+  if (traced_cores != kernel_.coredumps()) {
+    report("signal-bookkeeping", "coredump",
+           static_cast<double>(kernel_.coredumps()),
+           static_cast<double>(traced_cores),
+           "coredump counter must pair 1:1 with kCoredump trace events");
+  }
+  const std::size_t traced_mods =
+      trace.count(kernel::TraceKind::kModprobe, 0, now + 1);
+  if (traced_mods != kernel_.modprobe_execs()) {
+    report("signal-bookkeeping", "modprobe",
+           static_cast<double>(kernel_.modprobe_execs()),
+           static_cast<double>(traced_mods),
+           "modprobe counter must pair 1:1 with kModprobe trace events");
+  }
+}
+
+}  // namespace torpedo::selftest

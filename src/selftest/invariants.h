@@ -1,0 +1,122 @@
+// Invariant oracles for the simulated substrate (selftest pillar 1).
+//
+// Torpedo's findings are only as trustworthy as the simulator: the oracle
+// reads /proc/stat deltas and per-process samples, so a silent conservation
+// bug in sim/cgroup accounting fabricates — or hides — violations. The
+// InvariantChecker audits the substrate itself from a sim::Host tick hook,
+// against properties a correct simulator satisfies by construction:
+//
+//   core-time-conservation   every core's CoreTimes categories sum to the
+//                            host clock (each nanosecond lands in exactly
+//                            one category of exactly one core)
+//   charge-conservation      root cgroup usage equals all charged core time:
+//                            everything except IDLE, IOWAIT and hard IRQ,
+//                            which is by design charged to nobody
+//   proc-stat-monotonicity   per-core /proc/stat categories never decrease
+//   cpuset-containment       no runnable task sits on a core outside its
+//                            cgroup's effective cpuset
+//   quota-accounting         window_usage never exceeds quota for any
+//                            bandwidth-limited group
+//   signal-bookkeeping       SimKernel coredump/modprobe counters match the
+//                            KernelTrace event counts (while the trace ring
+//                            is unsaturated)
+//
+// Violations are reported as structured JSON, mirroring oracle findings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "telemetry/json.h"
+#include "util/time.h"
+
+namespace torpedo::telemetry {
+class Counter;
+}  // namespace torpedo::telemetry
+
+namespace torpedo::selftest {
+
+struct InvariantViolation {
+  std::string invariant;
+  std::string subject;  // "core3", "/docker/ctr-1", "coredump", ...
+  double value = 0;
+  double expected = 0;
+  Nanos time = 0;
+  std::string detail;
+
+  telemetry::JsonDict to_json() const;
+};
+
+// Renders a JSON array of violation objects (like oracle violations_to_json).
+std::string invariant_violations_to_json(
+    const std::vector<InvariantViolation>& violations);
+
+struct InvariantConfig {
+  // Checking cadence in scheduling quanta. The full catalog walks every task
+  // and cgroup, so trials check sparsely; the shrinker narrows a failure to
+  // its first tick with single-check probes.
+  int check_every_ticks = 8;
+  // Stop recording after this many violations: a broken invariant usually
+  // stays broken, and one precise report beats thousands of repeats.
+  std::size_t max_violations = 16;
+  // Probe mode (for the shrinker): skip periodic checks, run exactly one
+  // check at the first tick with now() >= probe_at_ns, then throw ProbeStop.
+  // -1 disables.
+  Nanos probe_at_ns = -1;
+  bool check_signal_bookkeeping = true;
+};
+
+// Thrown out of the tick hook in probe mode once the probe check has run.
+struct ProbeStop {
+  bool violated = false;
+  Nanos tick_ns = 0;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(kernel::SimKernel& kernel,
+                            InvariantConfig config = {});
+
+  // Installs the checker as the host's tick hook (replacing any previous
+  // hook). The checker must outlive the host or be uninstalled first.
+  void install();
+  void uninstall();
+
+  // Runs the full catalog at the current simulated instant.
+  void check_now();
+
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  // Host time of the first recorded violation; -1 if clean.
+  Nanos first_violation_tick() const { return first_violation_tick_; }
+  std::uint64_t checks_run() const { return checks_; }
+
+ private:
+  void on_tick(sim::Host& host);
+  void check_core_conservation();
+  void check_charge_conservation();
+  void check_monotonicity();
+  void check_cpuset_containment();
+  void check_quota_accounting();
+  void check_signal_bookkeeping();
+  void report(std::string invariant, std::string subject, double value,
+              double expected, std::string detail);
+
+  kernel::SimKernel& kernel_;
+  InvariantConfig config_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t checks_ = 0;
+  bool probe_done_ = false;
+  Nanos first_violation_tick_ = -1;
+  std::vector<InvariantViolation> violations_;
+  // Previous per-core snapshot for the monotonicity check.
+  std::vector<sim::CoreTimes> prev_times_;
+
+  telemetry::Counter* ctr_checks_ = nullptr;
+  telemetry::Counter* ctr_violations_ = nullptr;
+};
+
+}  // namespace torpedo::selftest

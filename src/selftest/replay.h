@@ -1,0 +1,61 @@
+// Deterministic replay differ (selftest pillar 2).
+//
+// The substrate is deterministic by construction: same (seed, config), same
+// artifacts, byte for byte. replay_workdir() turns that into a one-command
+// answer to "is this finding reproducible?" — it re-executes the campaign
+// recorded in a workdir's campaign.json manifest, regenerates the full
+// artifact stack into a scratch directory, and diffs it against the
+// original: report.txt and corpus.txt byte-wise, syscall_profile.json and
+// every violation bundle.json field-by-field (so a drifted Observation or
+// KernelTrace window names the exact field), plus a syscall-returns diff
+// that executes each bundle's minimized program in two fresh stacks and
+// compares the per-call records.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace torpedo::selftest {
+
+struct ReplayDiff {
+  std::string artifact;  // "report.txt", "violations/000/bundle.json", ...
+  std::string path;      // field path or "line N"
+  std::string original;
+  std::string replayed;
+
+  telemetry::JsonDict to_json() const;
+};
+
+struct ReplayResult {
+  bool ran = false;        // manifest found and the campaign re-executed
+  bool identical = false;  // ran and zero diffs
+  std::string error;
+  int artifacts_compared = 0;
+  std::vector<ReplayDiff> diffs;
+
+  telemetry::JsonDict to_json() const;
+};
+
+struct ReplayOptions {
+  std::filesystem::path workdir;
+  // Where the replayed artifacts land; empty == workdir/"replay".
+  std::filesystem::path scratch;
+  // Bundles whose minimized program gets the double-execution
+  // syscall-returns diff (each one costs two fresh campaign stacks).
+  int max_execution_diffs = 4;
+  bool keep_scratch = false;
+};
+
+ReplayResult replay_workdir(const ReplayOptions& options);
+
+// Structural diff of two rendered JSON objects. Nested raw values are
+// re-parsed and recursed; mismatches are appended to `out` (stopping at
+// `max_diffs` per call tree) with `prefix`-qualified field paths.
+void diff_json(const std::string& artifact, const std::string& prefix,
+               const std::string& a, const std::string& b,
+               std::vector<ReplayDiff>& out, std::size_t max_diffs = 32);
+
+}  // namespace torpedo::selftest

@@ -150,6 +150,9 @@ Task* Host::find_task(TaskId id) {
 
 void Host::schedule_work(WorkItem item) {
   workqueue_.push(std::move(item));
+  // A dropped wakeup leaves the item queued; it drains when the next
+  // schedule_work() wakeup lands or a kworker is already awake.
+  if (fault_hook_ && fault_hook_->drop_kworker_wakeup(now_)) return;
   for (Task* w : kworkers_) {
     if (w->state() == TaskState::kBlocked) {
       wake(*w);
@@ -180,6 +183,7 @@ void Host::run_until(Nanos t) {
     ctr_quanta_->inc();
     for (Core& core : cores_) simulate_core(core, start, end);
     now_ = end;
+    if (tick_hook_) tick_hook_(*this);
   }
 }
 
@@ -299,7 +303,7 @@ Nanos Host::run_task_slice(Core& core, Task& task, Nanos t, Nanos budget) {
     task.utime_ += allowed;
   else
     task.stime_ += allowed;
-  charge->consume_cpu(t, allowed);
+  if (!skip_cgroup_charging_) charge->consume_cpu(t, allowed);
   task.vruntime_ += static_cast<double>(allowed) / task.weight();
 
   seg.remaining -= allowed;
@@ -389,9 +393,14 @@ std::vector<TaskSample> Host::sample_tasks() const {
     s.start_time = task->start_time();
     s.end_time = task->end_time();
     s.alive = task->alive();
+    s.core = task->core_;
     out.push_back(std::move(s));
   }
   return out;
+}
+
+void Host::for_each_task(const std::function<void(const Task&)>& fn) const {
+  for (const auto& task : tasks_) fn(*task);
 }
 
 void Host::reap_dead_tasks_before(Nanos before) {

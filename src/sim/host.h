@@ -12,6 +12,7 @@
 // test suite checks.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -53,6 +54,24 @@ struct TaskSample {
   Nanos start_time = 0;
   Nanos end_time = -1;  // -1: still alive
   bool alive = false;
+  // Core the task is (or was last) assigned to; the selftest
+  // cpuset-containment invariant audits this against the cgroup's cpuset.
+  int core = -1;
+};
+
+// Substrate fault taps for selftest fault-injection campaigns. Every hook
+// defaults to "no fault"; the Host consults an installed hook at the named
+// decision points.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  // Return true to swallow the kworker wakeup schedule_work() would send.
+  // The work item stays queued until the next un-dropped wakeup — the
+  // "lost wakeup" failure mode deferral-heavy workloads are sensitive to.
+  virtual bool drop_kworker_wakeup(Nanos now) {
+    (void)now;
+    return false;
+  }
 };
 
 class Host {
@@ -113,6 +132,31 @@ class Host {
   CoreTimes aggregate_times() const;
   std::vector<TaskSample> sample_tasks() const;
 
+  // Read-only task walk; the selftest cpuset-containment invariant uses this
+  // instead of sample_tasks() to avoid string copies on the audit path.
+  void for_each_task(const std::function<void(const Task&)>& fn) const;
+
+  // --- selftest hook points ------------------------------------------------
+
+  // Invoked after every scheduling quantum, once all cores have advanced to
+  // now(). Single slot; installing replaces the previous hook, nullptr
+  // removes it. The selftest invariant checker and fault injector hang off
+  // this — the unset hook costs one branch per quantum.
+  void set_tick_hook(std::function<void(Host&)> hook) {
+    tick_hook_ = std::move(hook);
+  }
+
+  // Fault-injection tap (selftest pillar 3). Caller keeps ownership and must
+  // clear the hook before destroying it.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+
+  // Deliberately skip Cgroup::consume_cpu charging. Test-only: validates
+  // that the selftest charge-conservation invariant detects a broken
+  // accounting path. Never set outside the selftest harness.
+  void set_skip_cgroup_charging_for_selftest(bool skip) {
+    skip_cgroup_charging_ = skip;
+  }
+
   std::uint64_t tasks_spawned() const { return next_task_id_ - 1; }
 
   // Drop bookkeeping for dead tasks that ended before `before` (keeps long
@@ -156,6 +200,10 @@ class Host {
 
   WorkQueue workqueue_;
   std::vector<Task*> kworkers_;
+
+  std::function<void(Host&)> tick_hook_;
+  FaultHook* fault_hook_ = nullptr;
+  bool skip_cgroup_charging_ = false;
 
   // Telemetry probes, resolved once at construction (no lookups on the hot
   // path).

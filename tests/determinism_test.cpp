@@ -1,0 +1,143 @@
+// Golden byte-determinism tests: two campaigns with identical configs must
+// regenerate every workdir artifact byte-for-byte — report.txt, corpus.txt,
+// violation bundles, syscall_profile.json — for both the sequential and the
+// sharded engine, plus the final heartbeat modulo its wall-clock stamp.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/provenance.h"
+#include "core/sharded.h"
+#include "core/workdir.h"
+#include "feedback/syscall_profile.h"
+#include "kernel/syscalls.h"
+#include "telemetry/json.h"
+#include "telemetry/monitor.h"
+
+namespace torpedo {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::CampaignConfig golden_config() {
+  core::CampaignConfig config;
+  config.num_executors = 2;
+  config.round_duration = 50 * kMillisecond;
+  config.batches = 2;
+  config.num_seeds = 6;
+  config.seed = 0xD0D0;
+  config.max_confirmations = 6;
+  config.fuzzer.cycle_out_rounds = 3;
+  config.kernel.host.num_cores = 8;
+  config.kernel.host.num_kworkers = 4;
+  return config;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// One full campaign run writing the `torpedo run --workdir` artifact stack
+// (plus the final heartbeat for the sequential engine).
+void run_workdir(const fs::path& dir, int shards, bool heartbeat) {
+  const core::CampaignConfig config = golden_config();
+  feedback::SyscallProfile profile;
+  feedback::set_syscall_profile(&profile);
+  core::CampaignReport report;
+  if (shards > 1) {
+    core::ShardedConfig sharded_config;
+    sharded_config.base = config;
+    sharded_config.shards = shards;
+    core::ShardedCampaign sharded(sharded_config);
+    report = sharded.run();
+    core::save_corpus(dir / "corpus.txt", sharded.merged_corpus());
+  } else {
+    core::Campaign campaign(config);
+    std::optional<telemetry::HeartbeatWriter> hb;
+    if (heartbeat) {
+      hb.emplace(dir / "heartbeat.json");
+      campaign.set_heartbeat(&*hb);
+    }
+    campaign.load_default_seeds();
+    report = campaign.run();
+    core::save_corpus(dir / "corpus.txt", campaign.corpus());
+  }
+  feedback::set_syscall_profile(nullptr);
+  core::save_report(dir / "report.txt", report);
+  core::write_violation_bundles(dir, report);
+  std::ofstream out(dir / "syscall_profile.json", std::ios::trunc);
+  out << profile.to_json(&kernel::sysno_name) << "\n";
+}
+
+// Relative paths of every regular file under `dir`, sorted.
+std::vector<std::string> file_list(const fs::path& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir))
+    if (entry.is_regular_file())
+      files.push_back(fs::relative(entry.path(), dir).string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// Heartbeats are compared field-by-field minus wall_ns, the one
+// intentionally non-deterministic stamp.
+std::string heartbeat_minus_wall(const fs::path& file) {
+  const auto obj = telemetry::parse_json_object(slurp(file));
+  EXPECT_TRUE(obj.has_value()) << file;
+  std::string out;
+  for (const auto& [key, value] : *obj) {
+    if (key == "wall_ns") continue;
+    out += key + "=" + value.text +
+           (value.is_integer ? std::to_string(value.integer) : "") + ";";
+  }
+  return out;
+}
+
+void expect_identical_trees(const fs::path& a, const fs::path& b) {
+  const std::vector<std::string> files_a = file_list(a);
+  ASSERT_EQ(files_a, file_list(b));
+  for (const std::string& rel : files_a) {
+    if (rel == "heartbeat.json") {
+      EXPECT_EQ(heartbeat_minus_wall(a / rel), heartbeat_minus_wall(b / rel));
+      continue;
+    }
+    EXPECT_EQ(slurp(a / rel), slurp(b / rel)) << rel;
+  }
+}
+
+TEST(Determinism, SequentialCampaignIsByteIdentical) {
+  const fs::path a = fresh_dir("torpedo-golden-seq-a");
+  const fs::path b = fresh_dir("torpedo-golden-seq-b");
+  run_workdir(a, 1, true);
+  run_workdir(b, 1, true);
+  EXPECT_FALSE(slurp(a / "report.txt").empty());
+  expect_identical_trees(a, b);
+}
+
+TEST(Determinism, ShardedCampaignIsByteIdentical) {
+  const fs::path a = fresh_dir("torpedo-golden-sh-a");
+  const fs::path b = fresh_dir("torpedo-golden-sh-b");
+  run_workdir(a, 2, false);
+  run_workdir(b, 2, false);
+  expect_identical_trees(a, b);
+}
+
+}  // namespace
+}  // namespace torpedo

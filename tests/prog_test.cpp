@@ -2,7 +2,11 @@
 // the text serializer/parser, the generator, and the mutation operators.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "core/seeds.h"
+#include "core/workdir.h"
+#include "feedback/corpus.h"
 #include "prog/desc.h"
 #include "prog/generate.h"
 #include "prog/mutate.h"
@@ -233,6 +237,44 @@ TEST_P(GeneratorPropertyTest, GeneratedProgramsAreValid) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorPropertyTest,
                          ::testing::Values(1, 7, 42, 1337, 0xdead));
+
+// Property sweep: 500 seeded random programs, parse(serialize(p)) == p
+// exactly (call descs, every arg value, resource references).
+TEST(GeneratorProperty, FiveHundredProgramsRoundTripExactly) {
+  Generator gen{Rng(0x500)};
+  for (int i = 0; i < 500; ++i) {
+    const Program p = gen.generate();
+    const auto parsed = Program::parse(p.serialize());
+    ASSERT_TRUE(parsed.has_value()) << "program " << i << ":\n"
+                                    << p.serialize();
+    ASSERT_EQ(*parsed, p) << "program " << i;
+  }
+}
+
+// The same property through the corpus file format: save_corpus followed by
+// load_corpus preserves every program exactly and every score to the
+// serializer's %.4f precision (signal is re-learned, not persisted).
+TEST(GeneratorProperty, CorpusSaveLoadRoundTrips) {
+  Generator gen{Rng(0x501)};
+  Rng score_rng(0x502);
+  feedback::Corpus corpus;
+  while (corpus.size() < 60) {
+    feedback::SignalSet sig;
+    sig.add(score_rng.next());  // unique signal per entry
+    corpus.add(gen.generate(), sig, 100.0 * score_rng.uniform());
+  }
+  const std::filesystem::path file =
+      std::filesystem::path(::testing::TempDir()) / "corpus-roundtrip.txt";
+  core::save_corpus(file, corpus);
+  feedback::Corpus loaded;
+  ASSERT_EQ(core::load_corpus(file, loaded), corpus.size());
+  ASSERT_EQ(loaded.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(loaded.entry(i).program, corpus.entry(i).program) << i;
+    EXPECT_NEAR(loaded.entry(i).best_score, corpus.entry(i).best_score, 1e-4)
+        << i;
+  }
+}
 
 TEST(Generator, DenylistRespected) {
   GenConfig cfg;

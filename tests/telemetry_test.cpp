@@ -176,6 +176,64 @@ TEST(JsonTest, RejectsMalformedInput) {
   EXPECT_FALSE(parse_json_object("{\"a\":1}trailing").has_value());
 }
 
+// Property: every proper prefix of a valid render is rejected (returns
+// nullopt), never crashes — the torn-write case selftest's fault pillar
+// simulates with truncate_file().
+TEST(JsonTest, TruncatedObjectsAreRejectedCleanly) {
+  JsonDict inner;
+  inner.set("deep", std::int64_t{7}).set("s", "va\"lue\n");
+  JsonDict d;
+  d.set("a", std::int64_t{1})
+      .set("text", "hello \\ \"world\"")
+      .set_raw("nested", inner.to_string())
+      .set_raw("arr", "[{\"x\":1},{\"x\":2}]");
+  const std::string full = d.to_string();
+  ASSERT_TRUE(parse_json_object(full).has_value());
+  for (std::size_t len = 0; len < full.size(); ++len)
+    EXPECT_FALSE(parse_json_object(full.substr(0, len)).has_value())
+        << "prefix length " << len;
+}
+
+TEST(JsonTest, RejectsBadEscapesAndUnterminatedStrings) {
+  EXPECT_FALSE(parse_json_object("{\"a\":\"\\x\"}").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":\"\\q41\"}").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":\"\\u12G4\"}").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":\"\\u12\"}").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":\"unterminated}").has_value());
+  EXPECT_FALSE(parse_json_object("{\"a\":\"trailing backslash\\").has_value());
+}
+
+TEST(JsonTest, Int64BoundariesStayExact) {
+  JsonDict d;
+  d.set("max", std::int64_t{9223372036854775807LL})
+      .set("min", std::int64_t{-9223372036854775807LL - 1});
+  const auto parsed = parse_json_object(d.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->at("max").is_integer);
+  EXPECT_EQ(parsed->at("max").integer, 9223372036854775807LL);
+  ASSERT_TRUE(parsed->at("min").is_integer);
+  EXPECT_EQ(parsed->at("min").integer, -9223372036854775807LL - 1);
+  // One past int64 range: must degrade to double, not crash or wrap.
+  const auto over = parse_json_object("{\"v\":9223372036854775808}");
+  ASSERT_TRUE(over.has_value());
+  EXPECT_FALSE(over->at("v").is_integer);
+  EXPECT_DOUBLE_EQ(over->at("v").number, 9223372036854775808.0);
+}
+
+// The raw-value scanner is iterative, so pathological nesting depth must
+// not overflow the stack (a recursive parser dies around a few 10k deep).
+TEST(JsonTest, DeepNestingDoesNotCrash) {
+  std::string deep = "{\"v\":";
+  for (int i = 0; i < 200000; ++i) deep += "[";
+  for (int i = 0; i < 200000; ++i) deep += "]";
+  deep += "}";
+  const auto parsed = parse_json_object(deep);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at("v").kind, JsonValue::Kind::kRaw);
+  // Truncated deep nesting (unbalanced brackets) rejects, same as shallow.
+  EXPECT_FALSE(parse_json_object(deep.substr(0, deep.size() / 2)).has_value());
+}
+
 TEST(TraceSinkTest, WritesOneStampedRecordPerLine) {
   std::ostringstream out;
   TraceSink sink(out);

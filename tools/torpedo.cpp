@@ -15,6 +15,10 @@
 //   torpedo report — offline triage: rebuild a campaign summary from a
 //                   workdir's violation bundles, metrics.json, trace.jsonl
 //                   and chrome-trace spans, without re-running anything.
+//   torpedo selftest — the framework testing itself: randomized invariant
+//                   trials against the simulated substrate, fault-injection
+//                   campaigns, and deterministic replay of recorded
+//                   workdirs (`--replay WORKDIR`).
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -35,6 +39,8 @@
 #include "core/sharded.h"
 #include "core/workdir.h"
 #include "feedback/syscall_profile.h"
+#include "selftest/harness.h"
+#include "selftest/replay.h"
 #include "telemetry/monitor.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
@@ -62,7 +68,11 @@ int usage() {
       "                [--shards N] [--no-corpus-sync]\n"
       "  torpedo exec  [--runtime ...] [--round-seconds S] FILE.prog\n"
       "  torpedo seeds [--out DIR] [--count N]\n"
-      "  torpedo report [--json] WORKDIR\n",
+      "  torpedo report [--json] WORKDIR\n"
+      "  torpedo selftest [--trials N] [--seed N] [--scratch DIR]\n"
+      "                [--keep-scratch] [--report FILE.json] [--json] [-v]\n"
+      "                [--only invariants|faults|replay]\n"
+      "  torpedo selftest --replay WORKDIR [--json]\n",
       stderr);
   return 2;
 }
@@ -86,7 +96,7 @@ struct Args {
 // Flags that take no value.
 bool is_switch(const std::string& name) {
   return name == "v" || name == "json" || name == "watchdog-abort" ||
-         name == "no-corpus-sync";
+         name == "no-corpus-sync" || name == "keep-scratch";
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -324,8 +334,14 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
       std::ofstream out(dir / "syscall_profile.json", std::ios::trunc);
       if (out) out << profile.to_json(&kernel::sysno_name) << "\n";
     }
+    core::CampaignManifest manifest = core::CampaignManifest::from_config(config);
+    manifest.shards = shards;
+    manifest.corpus_sync = sharded_config.corpus_sync;
+    if (auto seeds_dir = args.get("seeds-dir")) manifest.seeds_dir = *seeds_dir;
+    core::save_campaign_manifest(dir / "campaign.json", manifest);
     std::printf("workdir written: %s (corpus.txt, report.txt, "
-                "syscall_profile.json, %zu violation bundle%s)\n",
+                "syscall_profile.json, campaign.json, %zu violation "
+                "bundle%s)\n",
                 dir.string().c_str(), bundles, bundles == 1 ? "" : "s");
   }
 
@@ -493,8 +509,15 @@ int cmd_run(const Args& args) {
       std::ofstream out(dir / "syscall_profile.json", std::ios::trunc);
       if (out) out << profile.to_json(&kernel::sysno_name) << "\n";
     }
+    // The manifest makes the workdir replayable: `torpedo selftest --replay`
+    // re-executes the campaign from it and diffs every artifact.
+    core::CampaignManifest manifest =
+        core::CampaignManifest::from_config(*config);
+    if (auto seeds_dir = args.get("seeds-dir")) manifest.seeds_dir = *seeds_dir;
+    core::save_campaign_manifest(dir / "campaign.json", manifest);
     std::printf("workdir written: %s (corpus.txt, report.txt, "
-                "syscall_profile.json, %zu violation bundle%s)\n",
+                "syscall_profile.json, campaign.json, %zu violation "
+                "bundle%s)\n",
                 dir.string().c_str(), bundles, bundles == 1 ? "" : "s");
   }
 
@@ -881,6 +904,88 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+// --- torpedo selftest -------------------------------------------------------
+
+// `--replay WORKDIR`: re-execute one recorded campaign and diff artifacts.
+int cmd_selftest_replay(const Args& args, const std::string& workdir) {
+  selftest::ReplayOptions options;
+  options.workdir = workdir;
+  if (auto scratch = args.get("scratch")) options.scratch = *scratch;
+  options.keep_scratch = true;  // the user will want to inspect the diff
+  const selftest::ReplayResult result = selftest::replay_workdir(options);
+  if (args.has("json")) {
+    std::printf("%s\n", result.to_json().to_string().c_str());
+    return result.identical ? 0 : 1;
+  }
+  if (!result.ran) {
+    std::fprintf(stderr, "replay failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  if (result.identical) {
+    std::printf("replay identical: %d artifact%s regenerated byte-for-byte\n",
+                result.artifacts_compared,
+                result.artifacts_compared == 1 ? "" : "s");
+    return 0;
+  }
+  std::printf("replay DIVERGED: %zu difference%s across %d artifacts\n",
+              result.diffs.size(), result.diffs.size() == 1 ? "" : "s",
+              result.artifacts_compared);
+  for (const selftest::ReplayDiff& diff : result.diffs)
+    std::printf("  %s %s: recorded %s, replayed %s\n", diff.artifact.c_str(),
+                diff.path.c_str(), diff.original.c_str(),
+                diff.replayed.c_str());
+  return 1;
+}
+
+int cmd_selftest(const Args& args) {
+  if (auto workdir = args.get("replay")) {
+    return cmd_selftest_replay(args, *workdir);
+  }
+  if (!args.positional.empty()) return usage();
+
+  selftest::SelftestOptions options;
+  options.trials = static_cast<int>(args.num("trials", options.trials));
+  options.seed = static_cast<std::uint64_t>(
+      args.num("seed", static_cast<long>(options.seed)));
+  if (auto scratch = args.get("scratch")) options.scratch = *scratch;
+  options.keep_scratch = args.has("keep-scratch");
+  options.verbose = args.has("v");
+  if (auto only = args.get("only")) {
+    options.run_invariants = *only == "invariants";
+    options.run_faults = *only == "faults";
+    options.run_replay = *only == "replay";
+    if (!options.run_invariants && !options.run_faults &&
+        !options.run_replay) {
+      std::fprintf(stderr, "unknown pillar: %s\n", only->c_str());
+      return 2;
+    }
+  }
+
+  const selftest::SelftestResult result = selftest::run_selftest(options);
+
+  const std::string report_path =
+      args.get("report").value_or("selftest_report.json");
+  {
+    std::ofstream out(report_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open report file %s\n",
+                   report_path.c_str());
+      return 1;
+    }
+    out << result.report_json;
+  }
+
+  if (args.has("json")) {
+    std::fputs(result.report_json.c_str(), stdout);
+  } else {
+    std::printf("selftest: %d trial%s, %d failed -> %s\n", result.trials_run,
+                result.trials_run == 1 ? "" : "s", result.trials_failed,
+                result.passed ? "PASS" : "FAIL");
+    std::printf("report written: %s\n", report_path.c_str());
+  }
+  return result.passed ? 0 : 1;
+}
+
 int cmd_seeds(const Args& args) {
   const std::string out = args.get("out").value_or("seeds");
   const std::size_t count =
@@ -902,5 +1007,6 @@ int main(int argc, char** argv) {
   if (command == "exec") return cmd_exec(*args);
   if (command == "seeds") return cmd_seeds(*args);
   if (command == "report") return cmd_report(*args);
+  if (command == "selftest") return cmd_selftest(*args);
   return usage();
 }
