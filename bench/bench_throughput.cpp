@@ -47,11 +47,13 @@ struct Result {
   }
 };
 
-Result run_campaign(int batches, bool with_tracer, bool with_monitor) {
+Result run_campaign(int batches, bool with_tracer, bool with_monitor,
+                    bool snapshot_exec = true) {
   core::CampaignConfig config;
   config.batches = batches;
   config.round_duration = 2 * kSecond;
   config.fuzzer.cycle_out_rounds = 4;
+  config.snapshot_exec = snapshot_exec;
   core::Campaign campaign(config);
   campaign.load_default_seeds();
 
@@ -126,8 +128,18 @@ int main(int argc, char** argv) {
 
   bench::print_header("Throughput", "host-side cost of the fuzzing loop");
 
+  // Untimed warmup batch so the first measured run isn't charged for process
+  // cold-start (allocator arenas, page faults, CPU frequency ramp) that the
+  // later runs in this process never pay.
+  (void)run_campaign(1, /*with_tracer=*/false, /*with_monitor=*/false);
+
+  // The plain run is snapshot-exec on (the default); the cold run re-executes
+  // the same campaign (byte-identical results) without any gated fast path.
   const Result r =
       run_campaign(batches, /*with_tracer=*/false, /*with_monitor=*/false);
+  const Result cold =
+      run_campaign(batches, /*with_tracer=*/false, /*with_monitor=*/false,
+                   /*snapshot_exec=*/false);
   const Result traced =
       run_campaign(batches, /*with_tracer=*/true, /*with_monitor=*/false);
   const Result monitored =
@@ -136,6 +148,11 @@ int main(int argc, char** argv) {
       r.wall_ms > 0 ? 100.0 * (traced.wall_ms - r.wall_ms) / r.wall_ms : 0;
   const double monitor_overhead_pct =
       r.wall_ms > 0 ? 100.0 * (monitored.wall_ms - r.wall_ms) / r.wall_ms : 0;
+  const double snapshot_speedup =
+      r.execs_per_sec() > 0 ? cold.execs_per_sec() > 0
+                                  ? r.execs_per_sec() / cold.execs_per_sec()
+                                  : 0
+                            : 0;
 
   std::printf(
       "%d batches, %d rounds, %llu executions in %.1f ms\n"
@@ -146,6 +163,10 @@ int main(int argc, char** argv) {
       r.wall_ms, r.rounds_per_sec(), r.execs_per_sec(), r.wall_ms_per_batch(),
       traced.wall_ms, traced.spans, overhead_pct, monitored.wall_ms,
       monitor_overhead_pct);
+  std::printf(
+      "without --snapshot-exec (cold boot per program): %.1f ms, "
+      "%.0f execs/sec (snapshot speedup %.2fx)\n",
+      cold.wall_ms, cold.execs_per_sec(), snapshot_speedup);
 
   telemetry::JsonDict json;
   json.set("bench", "throughput")
@@ -160,7 +181,11 @@ int main(int argc, char** argv) {
       .set("tracer_spans", static_cast<std::uint64_t>(traced.spans))
       .set("tracer_overhead_pct", overhead_pct)
       .set("monitor_wall_ms", monitored.wall_ms)
-      .set("monitor_overhead_pct", monitor_overhead_pct);
+      .set("monitor_overhead_pct", monitor_overhead_pct)
+      .set("snapshot_on_execs_per_sec", r.execs_per_sec())
+      .set("snapshot_off_wall_ms", cold.wall_ms)
+      .set("snapshot_off_execs_per_sec", cold.execs_per_sec())
+      .set("snapshot_speedup", snapshot_speedup);
 
   std::ofstream out(out_path, std::ios::trunc);
   if (!out) {

@@ -108,6 +108,11 @@ struct Campaign::ScanState {
 Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
   TORPEDO_CHECK(config_.num_executors > 0);
   config_.kernel.host.seed ^= config_.seed;
+  // One switch drives every snapshot-exec fast path in the stack.
+  config_.exec.snapshot_exec = config_.snapshot_exec;
+  config_.observer.snapshot_exec = config_.snapshot_exec;
+  config_.kernel.path_lookup_cache = config_.snapshot_exec;
+  config_.kernel.epoch_fd_restore = config_.snapshot_exec;
   kernel_ = std::make_unique<kernel::SimKernel>(config_.kernel);
   if (config_.install_noise)
     sim::install_noise(kernel_->host(), config_.noise);

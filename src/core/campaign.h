@@ -45,6 +45,15 @@ struct CampaignConfig {
   int batches = 8;
   std::uint64_t seed = 0x7095ED0;
 
+  // Snapshot-exec (--snapshot-exec, default on): boot-once / restore-per-
+  // program execution. Prime pre-lowers each program into a ProgramImage and
+  // iterations patch only the dirty result slots; the kernel caches VFS path
+  // resolutions behind a generation counter; the observer samples only live
+  // tasks. Every gated path is bit-exact in simulated behavior and consumes
+  // the same RNG stream, so artifacts are byte-identical with it off — only
+  // wall-clock changes. Verified by `torpedo selftest --replay`.
+  bool snapshot_exec = true;
+
   // Post-processing limits.
   std::size_t max_confirmations = 48;
 

@@ -51,6 +51,7 @@ void TorpedoFuzzer::learn_denylist(const prog::Program& program,
   if (stats.crashed) return;
   // The round was spent blocked: denylist this program's known-blocking
   // calls so neither generation nor future seeds repeat the mistake.
+  bool changed = false;
   for (const prog::Call& call : program.calls()) {
     if (!call.desc->blocks) continue;
     if (std::find(denylist_.begin(), denylist_.end(), call.desc->name) !=
@@ -60,9 +61,12 @@ void TorpedoFuzzer::learn_denylist(const prog::Program& program,
                 call.desc->name.c_str());
     denylist_.push_back(call.desc->name);
     ctr_denylist_adds_->inc();
+    changed = true;
   }
+  if (!changed) return;
   gauge_denylist_size_->set(static_cast<double>(denylist_.size()));
   generator_.set_denylist(denylist_);
+  refilter_queue();
 }
 
 void TorpedoFuzzer::adopt_denylist(std::span<const std::string> entries) {
@@ -77,6 +81,17 @@ void TorpedoFuzzer::adopt_denylist(std::span<const std::string> entries) {
   if (!changed) return;
   gauge_denylist_size_->set(static_cast<double>(denylist_.size()));
   generator_.set_denylist(denylist_);
+  refilter_queue();
+}
+
+void TorpedoFuzzer::refilter_queue() {
+  // A denylist grown mid-campaign must also apply to programs already queued
+  // (add_seed only filters on ingestion): without this, denylisted blocking
+  // calls keep re-entering batches from the queue until it drains.
+  std::erase_if(queue_, [&](prog::Program& program) {
+    program.filter_calls(denylist_);
+    return program.empty();
+  });
 }
 
 std::vector<prog::Program> TorpedoFuzzer::next_batch() {
@@ -151,12 +166,13 @@ BatchResult TorpedoFuzzer::run_batch() {
   // ("uninteresting candidate programs are ... removed from the work queue
   // before they are fuzzed").
   for (std::size_t i = 0; config_.use_coverage && i < n; ++i) {
-    if (corpus_.novelty(cand_signal[i]) == 0 && !corpus_.empty()) {
+    const std::size_t novelty = corpus_.novelty(cand_signal[i]);
+    if (novelty == 0 && !corpus_.empty()) {
       ctr_candidates_recycled_->inc();
       current[i] = queue_.empty() ? generator_.generate()
                                   : std::move(queue_.front());
       if (!queue_.empty()) queue_.pop_front();
-    } else if (corpus_.novelty(cand_signal[i]) > 0) {
+    } else if (novelty > 0) {
       ctr_novelty_hits_->inc();
     }
   }

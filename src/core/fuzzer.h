@@ -106,6 +106,9 @@ class TorpedoFuzzer {
   bool equivalent(double a, double b) const;
   void learn_denylist(const prog::Program& program,
                       const exec::RunStats& stats);
+  // Applies the current denylist to every queued program, dropping programs
+  // that become empty. Runs on every denylist change.
+  void refilter_queue();
 
   observer::Observer& observer_;
   oracle::Oracle& oracle_;

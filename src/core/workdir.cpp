@@ -139,6 +139,7 @@ CampaignManifest CampaignManifest::from_config(const CampaignConfig& config) {
   m.round_duration = config.round_duration;
   m.num_seeds = config.num_seeds;
   m.seed = config.seed;
+  m.snapshot_exec = config.snapshot_exec;
   return m;
 }
 
@@ -150,6 +151,7 @@ CampaignConfig CampaignManifest::to_config() const {
   config.round_duration = round_duration;
   config.num_seeds = num_seeds;
   config.seed = seed;
+  config.snapshot_exec = snapshot_exec;
   return config;
 }
 
@@ -165,6 +167,7 @@ void save_campaign_manifest(const fs::path& file,
       .set("seed", static_cast<std::int64_t>(manifest.seed))
       .set("shards", manifest.shards)
       .set("corpus_sync", manifest.corpus_sync)
+      .set("snapshot_exec", manifest.snapshot_exec)
       .set("seeds_dir", manifest.seeds_dir);
   std::ofstream out(file);
   out << doc.to_string() << "\n";
@@ -201,6 +204,12 @@ std::optional<CampaignManifest> load_campaign_manifest(const fs::path& file) {
       it != object->end() &&
       it->second.kind == telemetry::JsonValue::Kind::kBool)
     m.corpus_sync = it->second.boolean;
+  // Optional for manifests recorded before the snapshot-exec fast path
+  // existed; those campaigns ran the equivalent of snapshot-exec on.
+  if (auto it = object->find("snapshot_exec");
+      it != object->end() &&
+      it->second.kind == telemetry::JsonValue::Kind::kBool)
+    m.snapshot_exec = it->second.boolean;
   if (auto it = object->find("seeds_dir");
       it != object->end() &&
       it->second.kind == telemetry::JsonValue::Kind::kString)

@@ -67,6 +67,9 @@ struct CampaignManifest {
   std::uint64_t seed = 0x7095ED0;
   int shards = 1;         // 1 == sequential campaign
   bool corpus_sync = true;
+  // Snapshot-exec fast path. Artifacts are byte-identical either way; the
+  // replay differ regenerates with whatever the manifest recorded.
+  bool snapshot_exec = true;
   std::string seeds_dir;  // empty == default Moonshine-like corpus
 
   static CampaignManifest from_config(const CampaignConfig& config);

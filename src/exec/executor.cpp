@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include "exec/snapshot.h"
 #include "feedback/syscall_profile.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
@@ -20,6 +21,21 @@ struct Executor::State {
   bool setup_paid = false;
   std::uint64_t iter_in_round = 0;
   const std::atomic<bool>* abort_flag = nullptr;
+  // Snapshot-exec state: the lowered image of the primed program and the
+  // reusable result buffer it is patched from.
+  ProgramImage image;
+  std::vector<std::int64_t> results_buf;
+  runtime::ExecOutcome outcome_buf;  // reused across calls; see execute()
+
+  // Rebuilds stats.signal from the per-call sets. Every element ever added
+  // lands in call_signal[i], and prime() resets stats before the program
+  // (and thus call_signal's length) can change, so the union is exact.
+  // Deriving it here keeps an unordered_set insert off the per-call path.
+  void refresh_signal_union() {
+    stats.signal = feedback::SignalSet{};
+    for (const feedback::SmallSignalSet& cs : stats.call_signal)
+      for (std::uint64_t e : cs.elements()) stats.signal.add(e);
+  }
   Rng rng{0xE8EC};
   telemetry::Counter* ctr_executions = nullptr;
   telemetry::Counter* ctr_crashes = nullptr;
@@ -90,16 +106,22 @@ struct Executor::State {
     Nanos iter_time = config.iteration_user;
     task.push(sim::Segment::user(config.iteration_user));
 
-    std::vector<std::int64_t> results(program.size(), -1);
+    const bool snapshot = config.snapshot_exec && image.built();
+    results_buf.assign(program.size(), -1);
+    std::vector<std::int64_t>& results = results_buf;
+    kernel::SysReq cold_req;
     stats.call_signal.resize(program.size());
     stats.last_iteration.clear();
     feedback::SyscallProfile* profile = feedback::syscall_profile();
 
     for (std::size_t i = 0; i < program.size(); ++i) {
-      const prog::Call& call = program.calls()[i];
-      const kernel::SysReq req = lower(call, results);
-      runtime::ExecOutcome outcome =
-          container->runtime().execute(*proc, req, ctx);
+      // Snapshot restore: patch the dirty result slots of the pre-lowered
+      // request. Cold boot: rebuild the request from the program IR.
+      const kernel::SysReq& req =
+          snapshot ? image.materialize(i, results)
+                   : (cold_req = lower(program.calls()[i], results), cold_req);
+      runtime::ExecOutcome& outcome = outcome_buf;
+      container->runtime().execute(*proc, req, ctx, outcome);
       const kernel::SysResult& r = outcome.res;
 
       if (outcome.runtime_crashed) {
@@ -108,13 +130,23 @@ struct Executor::State {
         stats.crash_message = outcome.crash_message;
         phase = Phase::kCrashed;
         if (r.user_ns > 0) task.push(sim::Segment::user(r.user_ns));
+        // The entrypoint's crash handler flushes results buffered from the
+        // iterations that *completed* before the runtime died — without
+        // this, finalize_round never runs for a crashed round and the
+        // pending stream bytes (and their LDISC side-band) vanish.
+        if (streaming_enabled()) {
+          const std::uint64_t pending =
+              (iter_in_round - 1) % config.stream_every;
+          if (pending > 0)
+            engine->stream_output(*container,
+                                  pending * config.bytes_per_result);
+        }
         return false;
       }
 
       results[i] = r.ret;
       if (profile) profile->record_execution(req.nr);
       const std::uint64_t sig = feedback::fallback_signal(req.nr, r.err);
-      stats.signal.add(sig);
       stats.call_signal[i].add(sig);
       stats.last_iteration.push_back({req.nr, r.ret, r.err});
 
@@ -123,7 +155,12 @@ struct Executor::State {
       if (r.sys_ns > 0) task.push(sim::Segment::system(r.sys_ns));
       if (r.block_until > now) {
         task.push(sim::Segment::block_until(r.block_until, r.block_io));
-        iter_time += r.block_hint >= 0 ? r.block_hint : r.block_until - now;
+        // Charge the block from the call's virtual position (now +
+        // iter_time): time earlier calls already spent is not re-counted,
+        // keeping avg_execution_time — and the Algorithm 1 lookahead that
+        // retires rounds — honest for deep programs.
+        iter_time += blocking_charge(r.block_until, r.block_hint,
+                                     now + iter_time);
       }
 
       if (r.fatal_signal != 0) {
@@ -227,6 +264,12 @@ void Executor::prime(prog::Program program, Nanos stop_time) {
   state_->stats = RunStats{};
   state_->setup_paid = false;
   state_->iter_in_round = 0;
+  // Take the round's boot snapshot: lower the program once; iterations
+  // restore from it in O(dirty-state).
+  if (state_->config.snapshot_exec)
+    state_->image.build(state_->program);
+  else
+    state_->image.clear();
   state_->phase = State::Phase::kPrimed;
 }
 
@@ -248,9 +291,13 @@ bool Executor::running() const {
          state_->phase == State::Phase::kPrimed;
 }
 
-const RunStats& Executor::stats() const { return state_->stats; }
+const RunStats& Executor::stats() const {
+  state_->refresh_signal_union();
+  return state_->stats;
+}
 
 RunStats Executor::take_stats() {
+  state_->refresh_signal_union();
   RunStats out = std::move(state_->stats);
   state_->stats = RunStats{};
   // Retroactive per-executor span over the execution window (begin was

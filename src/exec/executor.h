@@ -37,7 +37,23 @@ struct ExecConfig {
                                           // 0 disables streaming
   std::uint64_t bytes_per_result = 32;    // 0 also disables streaming
   std::uint64_t seed = 0xE8EC;
+  // Fork-server analogue: lower the primed program into an arena-backed
+  // image once per round and restore it in O(dirty-state) per iteration
+  // instead of re-lowering every call. Execution is byte-identical either
+  // way (same requests, same RNG draws); only the wall-clock cost differs.
+  bool snapshot_exec = true;
 };
+
+// Accounting for one blocking call: the simulated time the caller spends
+// off-CPU, measured from its *virtual position* within the iteration
+// (round start + time already accumulated), not the iteration start.
+// `hint` overrides the deadline-based estimate when the kernel expects an
+// early wake (request_module); -1 means none. Exposed for the regression
+// test of the Algorithm 1 round-time accounting.
+inline Nanos blocking_charge(Nanos block_until, Nanos hint, Nanos position) {
+  if (hint >= 0) return hint;
+  return block_until > position ? block_until - position : 0;
+}
 
 struct CallRecord {
   int nr = 0;
@@ -51,7 +67,9 @@ struct RunStats {
   std::uint64_t executions = 0;
   Nanos total_execution_time = 0;
   Nanos avg_execution_time = 0;
-  feedback::SignalSet signal;  // union over iterations
+  // Union over iterations; derived from call_signal when stats are read
+  // (never maintained per call — see State::refresh_signal_union).
+  feedback::SignalSet signal;
   // Per call index. A call sees only a handful of distinct signal elements
   // per round, so the small sorted-vector set avoids an unordered_set's node
   // allocations on this per-call hot path.

@@ -1,0 +1,63 @@
+#include "exec/snapshot.h"
+
+namespace torpedo::exec {
+
+void ProgramImage::build(const prog::Program& program) {
+  const std::size_t n = program.size();
+  reqs_.clear();
+  reqs_.reserve(n);
+  arena_.reset();
+
+  std::size_t patch_count = 0;
+  for (const prog::Call& call : program.calls())
+    for (const prog::ArgValue& value : call.args)
+      if (value.kind == prog::ArgValue::Kind::kResult) ++patch_count;
+
+  patches_ = arena_.make_array<Patch>(patch_count);
+  patch_begin_ = arena_.make_array<std::uint32_t>(n + 1);
+  num_patches_ = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const prog::Call& call = program.calls()[i];
+    patch_begin_[i] = static_cast<std::uint32_t>(num_patches_);
+    kernel::SysReq req;
+    req.nr = call.desc->nr;
+    req.args.reserve(call.args.size());
+    for (std::uint32_t a = 0; a < call.args.size(); ++a) {
+      const prog::ArgValue& value = call.args[a];
+      switch (value.kind) {
+        case prog::ArgValue::Kind::kLiteral:
+          req.args.push_back(kernel::SysArg::num(value.literal));
+          break;
+        case prog::ArgValue::Kind::kString:
+          req.args.push_back(kernel::SysArg::text(value.str));
+          break;
+        case prog::ArgValue::Kind::kResult:
+          // Placeholder; materialize() patches this slot per iteration.
+          // References that can never resolve (out of range for this
+          // program) are baked as the constant -1 with no patch entry.
+          req.args.push_back(
+              kernel::SysArg::num(static_cast<std::uint64_t>(-1)));
+          if (value.result_of >= 0 &&
+              static_cast<std::size_t>(value.result_of) < n) {
+            patches_[num_patches_++] = {a, value.result_of};
+          }
+          break;
+      }
+    }
+    reqs_.push_back(std::move(req));
+  }
+  patch_begin_[n] = static_cast<std::uint32_t>(num_patches_);
+  built_ = true;
+}
+
+void ProgramImage::clear() {
+  reqs_.clear();
+  arena_.reset();
+  patches_ = nullptr;
+  patch_begin_ = nullptr;
+  num_patches_ = 0;
+  built_ = false;
+}
+
+}  // namespace torpedo::exec

@@ -1,0 +1,70 @@
+// Snapshot/restore execution support: the fork-server analogue.
+//
+// With --snapshot-exec the executor lowers the primed program into an
+// arena-backed image exactly once per round (the "boot snapshot" of its call
+// storage), then restores it in O(dirty-state) per iteration: only argument
+// slots that reference an earlier call's result are rewritten. The cold
+// path re-lowers every call of every iteration from scratch — the setup
+// cost the snapshot amortizes away.
+//
+// The restore must be byte-identical to a cold lowering: materialize(i)
+// yields exactly the SysReq lower() would have built for the same results
+// vector, so both execution modes drive the kernel through identical state
+// transitions and identical RNG draws. The selftest replay differ enforces
+// this end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "prog/program.h"
+#include "util/arena.h"
+
+namespace torpedo::exec {
+
+class ProgramImage {
+ public:
+  // Lowers every call of `program` into the image. Reuses the arena and the
+  // request vector from the previous build (reset, not freed).
+  void build(const prog::Program& program);
+  void clear();
+
+  bool built() const { return built_; }
+  std::size_t size() const { return reqs_.size(); }
+
+  // Restores call `i`'s request: patches the dirty argument slots (result
+  // references) from `results` and returns the materialized request. All
+  // other slots are immutable snapshot state and are never touched.
+  const kernel::SysReq& materialize(std::size_t i,
+                                    const std::vector<std::int64_t>& results) {
+    kernel::SysReq& req = reqs_[i];
+    for (std::uint32_t p = patch_begin_[i]; p < patch_begin_[i + 1]; ++p) {
+      const Patch& patch = patches_[p];
+      const std::int64_t r =
+          patch.result_of >= 0 &&
+                  static_cast<std::size_t>(patch.result_of) < results.size()
+              ? results[static_cast<std::size_t>(patch.result_of)]
+              : -1;
+      req.args[patch.arg].val = static_cast<std::uint64_t>(r);
+    }
+    return req;
+  }
+
+  std::size_t dirty_slots() const { return num_patches_; }
+
+ private:
+  struct Patch {
+    std::uint32_t arg = 0;       // argument index within the call
+    std::int32_t result_of = -1;  // producing call index
+  };
+
+  std::vector<kernel::SysReq> reqs_;
+  util::Arena arena_;
+  Patch* patches_ = nullptr;          // grouped by call, arena-backed
+  std::uint32_t* patch_begin_ = nullptr;  // size() + 1 prefix offsets
+  std::size_t num_patches_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace torpedo::exec

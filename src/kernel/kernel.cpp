@@ -36,6 +36,7 @@ SimKernel::SimKernel(KernelConfig config)
     : config_(config),
       host_(std::make_unique<sim::Host>(config.host)),
       cost_rng_(config.host.seed ^ 0xC057C057C057ULL) {
+  vfs_.set_lookup_cache(config_.path_lookup_cache);
   if (config_.install_services)
     services_ = std::make_unique<SystemServices>(*this, config_.services);
 }
@@ -53,6 +54,7 @@ Process& SimKernel::create_process(std::string name, cgroup::Cgroup* group,
                                    sim::TaskId task) {
   const std::uint64_t pid = task;  // pid == backing task id
   auto proc = std::make_unique<Process>(pid, std::move(name), group, task);
+  proc->set_epoch_fd_restore(config_.epoch_fd_restore);
   Process& ref = *proc;
   processes_[pid] = std::move(proc);
   return ref;
@@ -104,10 +106,11 @@ void SimKernel::request_module(Process& proc, const std::string& module) {
   helper.push(sim::Segment::system(jitter(config_.costs.modprobe_sys)));
   helper.push(sim::Segment::user(jitter(config_.costs.modprobe_user)));
   sim::Segment done = sim::Segment::system(0);
-  done.on_complete = [host, caller] {
-    if (sim::Task* t = host->find_task(caller)) host->wake(*t);
+  done.on_complete = [](sim::Host& h, std::uint64_t who) {
+    if (sim::Task* t = h.find_task(who)) h.wake(*t);
   };
-  helper.push(std::move(done));
+  done.payload = caller;
+  helper.push(done);
 }
 
 void SimKernel::deliver_fatal_signal(Process& proc, int sig) {
@@ -141,18 +144,17 @@ void SimKernel::deliver_fatal_signal(Process& proc, int sig) {
 }
 
 SysResult SimKernel::do_syscall(Process& proc, const SysReq& req) {
-  SysResult res;
-  const Nanos now = host_->now();
+  SyscallCtx ctx{.proc = proc, .req = req, .now = host_->now(), .res = {}};
 
   // Pending SIGALRM fires at the next syscall boundary.
-  if (proc.alarm_at != 0 && now >= proc.alarm_at) {
+  if (proc.alarm_at != 0 && ctx.now >= proc.alarm_at) {
     proc.alarm_at = 0;
     deliver_fatal_signal(proc, SIGALRM_);
-    res.err = EINTR_;
-    res.ret = -EINTR_;
-    res.fatal_signal = SIGALRM_;
-    res.sys_ns = jitter(config_.costs.trivial);
-    return res;
+    ctx.res.err = EINTR_;
+    ctx.res.ret = -EINTR_;
+    ctx.res.fatal_signal = SIGALRM_;
+    ctx.res.sys_ns = jitter(config_.costs.trivial);
+    return ctx.res;
   }
 
   // Selftest fault injection: fail the call before any kernel state changes.
@@ -161,419 +163,511 @@ SysResult SimKernel::do_syscall(Process& proc, const SysReq& req) {
   if (fault_hook_) {
     if (const int inject_err = fault_hook_->inject(proc, req);
         inject_err != 0) {
-      res.err = inject_err;
-      res.ret = -inject_err;
-      res.sys_ns = jitter(config_.costs.entry);
-      res.user_ns = 600;
-      return res;
+      ctx.res.err = inject_err;
+      ctx.res.ret = -inject_err;
+      ctx.res.sys_ns = jitter(config_.costs.entry);
+      ctx.res.user_ns = 600;
+      return ctx.res;
     }
   }
 
-  res.sys_ns = jitter(config_.costs.entry);
-  res.user_ns = 600;  // libc wrapper overhead
+  ctx.res.sys_ns = jitter(config_.costs.entry);
+  ctx.res.user_ns = 600;  // libc wrapper overhead
 
-  auto fail = [&](int err) {
-    res.err = err;
-    res.ret = -err;
-    return res;
-  };
-  auto ok = [&](std::int64_t ret = 0) {
-    res.err = 0;
-    res.ret = ret;
-    return res;
-  };
-  auto fatal = [&](int sig) {
-    deliver_fatal_signal(proc, sig);
-    res.fatal_signal = sig;
-    res.err = EINTR_;
-    res.ret = -EINTR_;
-    // do_coredump() writes the dump in the dying task's kernel context
-    // before handing it to the usermodehelper pipe.
-    if (signal_dumps_core(sig) && proc.host_coredumps)
-      res.sys_ns += jitter(config_.costs.coredump_caller_sys);
-    return res;
-  };
-  auto deadline = [&](Nanos want) {
-    const Nanos cap = proc.block_deadline > 0 ? proc.block_deadline
-                                              : now + config_.costs.nanosleep_cap;
-    return std::min(now + want, std::max(cap, now));
-  };
-
-  switch (req.nr) {
-    case kGetpid:
-      res.sys_ns = jitter(config_.costs.trivial);
-      return ok(static_cast<std::int64_t>(proc.pid()));
-    case kGetuid:
-    case kGeteuid:
-      res.sys_ns = jitter(config_.costs.trivial);
-      return ok(static_cast<std::int64_t>(proc.uid));
-    case kUname:
-    case kSysinfo:
-    case kTimes:
-    case kGetcwd:
-    case kClockGettime:
-    case kTimeOfDay:
-    case kSchedYield:
-      res.sys_ns = jitter(config_.costs.trivial);
-      return ok();
-    case kUmask: {
-      const std::uint64_t old = proc.umask;
-      proc.umask = req.val(0) & 0777;
-      res.sys_ns = jitter(config_.costs.trivial);
-      return ok(static_cast<std::int64_t>(old));
-    }
-
-    case kOpen:
-      return sys_file_open(proc, req, /*creat=*/false);
-    case kCreat:
-      return sys_file_open(proc, req, /*creat=*/true);
-
-    case kClose: {
-      const int err = proc.close_fd(static_cast<int>(req.val(0)));
-      return err ? fail(err) : ok();
-    }
-
-    case kDup:
-    case kDup3: {
-      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
-      if (!fd) return fail(EBADF_);
-      const int nfd = proc.install_fd(*fd);
-      if (nfd < 0) return fail(-nfd);
-      return ok(nfd);
-    }
-
-    case kRead:
-      return sys_read_write(proc, req, /*write=*/false);
-    case kWrite:
-      return sys_read_write(proc, req, /*write=*/true);
-
-    case kLseek: {
-      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
-      if (!fd) return fail(EBADF_);
-      if (fd->kind == FdKind::kSocket || fd->kind == FdKind::kPipe)
-        return fail(ESPIPE_);
-      const std::int64_t offset = static_cast<std::int64_t>(req.val(1));
-      const std::uint64_t whence = req.val(2);
-      std::int64_t base = 0;
-      if (whence == 0)
-        base = 0;  // SEEK_SET
-      else if (whence == 1)
-        base = static_cast<std::int64_t>(fd->offset);  // SEEK_CUR
-      else if (whence == 2)
-        base = fd->inode ? static_cast<std::int64_t>(fd->inode->size) : 0;
-      else
-        return fail(EINVAL_);
-      const std::int64_t target = base + offset;
-      if (target < 0) return fail(EINVAL_);
-      fd->offset = static_cast<std::uint64_t>(target);
-      return ok(target);
-    }
-
-    case kStat:
-    case kAccess: {
-      res.sys_ns += jitter(config_.costs.path_sys);
-      LookupResult lr = vfs_.lookup(req.str(0));
-      res.sys_ns += lr.follows * config_.costs.symlink_step;
-      if (!lr.inode) return fail(lr.error);
-      return ok();
-    }
-
-    case kFstat: {
-      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
-      if (!fd) return fail(EBADF_);
-      return ok();
-    }
-
-    case kReadlink: {
-      res.sys_ns += jitter(config_.costs.path_sys);
-      const std::string& path = req.str(0);
-      // readlink does NOT follow the final component, but does resolve the
-      // directory prefix. A chain of looping directory components burns the
-      // symlink budget.
-      LookupResult lr = vfs_.lookup(path);
-      res.sys_ns += lr.follows * config_.costs.symlink_step;
-      if (!lr.inode) {
-        if (lr.error == ELOOP_) return fail(ELOOP_);
-        return fail(lr.error);
-      }
-      if (lr.inode->kind != InodeKind::kSymlink) return fail(EINVAL_);
-      return ok(static_cast<std::int64_t>(lr.inode->symlink_target.size()));
-    }
-
-    case kChmod: {
-      res.sys_ns += jitter(config_.costs.path_sys);
-      LookupResult lr = vfs_.lookup(req.str(0));
-      res.sys_ns += lr.follows * config_.costs.symlink_step;
-      if (!lr.inode) return fail(lr.error);
-      lr.inode->mode = static_cast<std::uint32_t>(req.val(1)) & 07777;
-      return ok();
-    }
-
-    case kMkdir: {
-      res.sys_ns += jitter(config_.costs.path_sys);
-      const int err = vfs_.mkdir(req.str(0),
-                                 static_cast<std::uint32_t>(req.val(1)));
-      return err ? fail(err) : ok();
-    }
-
-    case kUnlink: {
-      res.sys_ns += jitter(config_.costs.path_sys);
-      const int err = vfs_.remove(req.str(0));
-      return err ? fail(err) : ok();
-    }
-
-    case kRename: {
-      res.sys_ns += jitter(config_.costs.path_sys);
-      LookupResult lr = vfs_.lookup(req.str(0));
-      if (!lr.inode) return fail(lr.error);
-      // Simplified: rename re-creates the target and drops the source.
-      Inode* out = nullptr;
-      vfs_.create(req.str(1), lr.inode->mode, &out);
-      if (out) out->size = lr.inode->size;
-      vfs_.remove(req.str(0));
-      return ok();
-    }
-
-    case kMmap:
-      return sys_mmap(proc, req);
-    case kMunmap: {
-      const std::uint64_t len = req.val(1);
-      if (len == 0) return fail(EINVAL_);
-      const std::uint64_t release = std::min(len, proc.mapped_bytes);
-      if (release > 0 && proc.group())
-        proc.group()->uncharge_memory(static_cast<std::int64_t>(release));
-      proc.mapped_bytes -= release;
-      res.sys_ns += jitter(config_.costs.mmap_sys / 2);
-      return ok();
-    }
-    case kMsync:
-    case kMadvise:
-      res.sys_ns += jitter(config_.costs.trivial * 2);
-      return ok();
-
-    case kSocket:
-      return sys_socket(proc, req, /*pair=*/false);
-    case kSocketpair:
-      return sys_socket(proc, req, /*pair=*/true);
-    case kSendto:
-      return sys_sendto(proc, req);
-
-    case kRecvfrom: {
-      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
-      if (!fd) return fail(EBADF_);
-      if (fd->kind != FdKind::kSocket) return fail(ENOTCONN_);
-      // Nothing ever arrives; block until the deadline then EAGAIN. These
-      // calls are "thoroughly uninteresting" (§4.1.2) and end up denylisted.
-      res.block_until = deadline(config_.costs.nanosleep_cap);
-      return fail(EAGAIN_);
-    }
-
-    case kConnect:
-    case kBind:
-    case kListen:
-    case kShutdown:
-    case kSetsockopt:
-    case kGetsockopt: {
-      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
-      if (!fd) return fail(EBADF_);
-      if (fd->kind != FdKind::kSocket) return fail(ENOTCONN_);
-      res.sys_ns += jitter(config_.costs.socket_sys / 2);
-      if (req.nr == kConnect) return fail(ETIMEDOUT_);
-      return ok();
-    }
-
-    case kSync:
-      return sys_sync(proc, -1, /*whole_system=*/true);
-    case kSyncfs: {
-      if (!proc.fd(static_cast<int>(req.val(0)))) return fail(EBADF_);
-      return sys_sync(proc, static_cast<int>(req.val(0)),
-                      /*whole_system=*/true);
-    }
-    case kFsync:
-    case kFdatasync: {
-      if (!proc.fd(static_cast<int>(req.val(0)))) return fail(EBADF_);
-      return sys_sync(proc, static_cast<int>(req.val(0)),
-                      /*whole_system=*/false);
-    }
-
-    case kFallocate:
-      return sys_size_change(proc, req, /*fallocate=*/true);
-    case kFtruncate:
-      return sys_size_change(proc, req, /*fallocate=*/false);
-
-    case kRtSigreturn:
-      // Outside a signal handler the restored context is garbage: SIGSEGV,
-      // whose default action dumps core (the paper's §4.3 "any usage" row).
-      res.sys_ns += jitter(config_.costs.trivial * 2);
-      if (!proc.in_signal_context) return fatal(SIGSEGV_);
-      proc.in_signal_context = false;
-      return ok();
-
-    case kRseq: {
-      // rseq(ptr, len, flags, sig): misaligned ptr or bad len/flags kill the
-      // caller with SIGSEGV on registration (matches the paper's finding).
-      const std::uint64_t ptr = req.val(0);
-      const std::uint64_t len = req.val(1);
-      const std::uint64_t flags = req.val(2);
-      res.sys_ns += jitter(config_.costs.trivial * 2);
-      if (flags != 0 && flags != 1) return fail(EINVAL_);
-      if ((ptr & 0x1F) != 0 || len != 32) return fatal(SIGSEGV_);
-      return ok();
-    }
-
-    case kKill:
-    case kTgkill: {
-      const std::uint64_t target = req.val(0);
-      const int sig = static_cast<int>(req.nr == kTgkill ? req.val(2)
-                                                         : req.val(1));
-      if (sig < 0 || sig > 64) return fail(EINVAL_);
-      if (target != proc.pid()) return fail(ESRCH_);  // PID-namespaced
-      if (sig == 0) return ok();
-      if (signal_is_fatal(sig)) return fatal(sig);
-      return ok();
-    }
-
-    case kExit:
-    case kExitGroup:
-      // Voluntary exit: no dump; the executor restarts the program process.
-      proc.pending_fatal = SIGKILL_;
-      res.fatal_signal = SIGKILL_;
-      return ok();
-
-    case kAlarm: {
-      const std::uint64_t secs = req.val(0);
-      const Nanos previous = proc.alarm_at;
-      proc.alarm_at = secs == 0 ? 0 : now + static_cast<Nanos>(secs) * kSecond;
-      res.sys_ns = jitter(config_.costs.trivial);
-      const Nanos remaining =
-          previous > now ? (previous - now + kSecond - 1) / kSecond : 0;
-      return ok(remaining);
-    }
-
-    case kPause:
-      res.block_until = deadline(kSecond * 3600);
-      return fail(EINTR_);
-
-    case kNanosleep: {
-      const Nanos want = static_cast<Nanos>(req.val(0));
-      res.block_until = deadline(std::max<Nanos>(want, kMicrosecond));
-      return ok();
-    }
-
-    case kPoll: {
-      const Nanos timeout_ms = static_cast<Nanos>(req.val(2));
-      res.block_until = deadline(timeout_ms * kMillisecond);
-      return ok(0);
-    }
-
-    case kGetrlimit: {
-      const std::uint64_t which = req.val(0);
-      if (which >= kNumRlimits) return fail(EINVAL_);
-      res.sys_ns = jitter(config_.costs.trivial);
-      return ok();
-    }
-    case kSetrlimit: {
-      const std::uint64_t which = req.val(0);
-      if (which >= kNumRlimits) return fail(EINVAL_);
-      proc.set_rlimit(static_cast<int>(which), req.val(1));
-      return ok();
-    }
-
-    case kSetuid: {
-      proc.uid = req.val(0);
-      // Credential changes are audited; the audit daemons do the work in
-      // their own cgroups (§2.4.3 "deferring work to other process cgroups").
-      if (services_ && proc.host_audit)
-        services_->audit_event(proc.pid(), "syscall=setuid");
-      res.sys_ns += jitter(config_.costs.trivial * 2);
-      return ok();
-    }
-    case kPrctl:
-      res.sys_ns = jitter(config_.costs.trivial);
-      return ok();
-
-    case kSetxattr:
-      return sys_xattr(proc, req, /*set=*/true);
-    case kGetxattr:
-      return sys_xattr(proc, req, /*set=*/false);
-
-    case kIoctl: {
-      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
-      if (!fd) return fail(EBADF_);
-      res.sys_ns += jitter(config_.costs.trivial * 3);
-      return fail(ENOTTY_);  // no simulated device implements ioctls
-    }
-
-    case kFcntl: {
-      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
-      if (!fd) return fail(EBADF_);
-      return ok(0);
-    }
-    case kFlock: {
-      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
-      if (!fd) return fail(EBADF_);
-      return ok();
-    }
-
-    case kInotifyInit: {
-      const int fd = proc.install_fd({.kind = FdKind::kInotify});
-      if (fd < 0) return fail(-fd);
-      return ok(fd);
-    }
-    case kInotifyAddWatch: {
-      FileDesc* fd = proc.fd(static_cast<int>(req.val(0)));
-      if (!fd) return fail(EBADF_);
-      if (fd->kind != FdKind::kInotify) return fail(EINVAL_);
-      LookupResult lr = vfs_.lookup(req.str(1));
-      if (!lr.inode) return fail(lr.error);
-      return ok(1);
-    }
-
-    case kPipe: {
-      const int r = proc.install_fd({.kind = FdKind::kPipe});
-      if (r < 0) return fail(-r);
-      const int w = proc.install_fd({.kind = FdKind::kPipe});
-      if (w < 0) return fail(-w);
-      return ok(0);
-    }
-
-    case kEpollCreate1: {
-      const int fd = proc.install_fd({.kind = FdKind::kEpoll});
-      if (fd < 0) return fail(-fd);
-      return ok(fd);
-    }
-    case kEventfd2: {
-      const int fd = proc.install_fd({.kind = FdKind::kEventfd});
-      if (fd < 0) return fail(-fd);
-      return ok(fd);
-    }
-    case kMemfdCreate: {
-      const int fd = proc.install_fd({.kind = FdKind::kMemfd});
-      if (fd < 0) return fail(-fd);
-      return ok(fd);
-    }
-    case kMqOpen: {
-      const int fd = proc.install_fd({.kind = FdKind::kMqueue});
-      if (fd < 0) return fail(-fd);
-      return ok(fd);
-    }
-
-    case kKcmp: {
-      const std::uint64_t pid1 = req.val(0);
-      const std::uint64_t pid2 = req.val(1);
-      const std::uint64_t type = req.val(2);
-      if (type > 7) return fail(EINVAL_);
-      if (pid1 != proc.pid() && !processes_.contains(pid1))
-        return fail(ESRCH_);
-      if (pid2 != proc.pid() && !processes_.contains(pid2))
-        return fail(ESRCH_);
-      return ok(0);
-    }
-
-    default:
-      res.sys_ns = jitter(config_.costs.trivial);
-      return fail(ENOSYS_);
+  if (req.nr >= 0 && req.nr < kMaxSysno) {
+    if (const SyscallHandler handler = syscall_table()[
+            static_cast<std::size_t>(req.nr)];
+        handler != nullptr)
+      return (this->*handler)(ctx);
   }
+  return h_enosys(ctx);
+}
+
+const std::array<SimKernel::SyscallHandler, SimKernel::kMaxSysno>&
+SimKernel::syscall_table() {
+  static const std::array<SyscallHandler, kMaxSysno> table = [] {
+    std::array<SyscallHandler, kMaxSysno> t{};
+    t[kGetpid] = &SimKernel::h_getpid;
+    t[kGetuid] = &SimKernel::h_getuid;
+    t[kGeteuid] = &SimKernel::h_getuid;
+    t[kUname] = &SimKernel::h_trivial;
+    t[kSysinfo] = &SimKernel::h_trivial;
+    t[kTimes] = &SimKernel::h_trivial;
+    t[kGetcwd] = &SimKernel::h_trivial;
+    t[kClockGettime] = &SimKernel::h_trivial;
+    t[kTimeOfDay] = &SimKernel::h_trivial;
+    t[kSchedYield] = &SimKernel::h_trivial;
+    t[kPrctl] = &SimKernel::h_trivial;
+    t[kUmask] = &SimKernel::h_umask;
+    t[kOpen] = &SimKernel::h_open;
+    t[kCreat] = &SimKernel::h_creat;
+    t[kClose] = &SimKernel::h_close;
+    t[kDup] = &SimKernel::h_dup;
+    t[kDup3] = &SimKernel::h_dup;
+    t[kRead] = &SimKernel::h_read;
+    t[kWrite] = &SimKernel::h_write;
+    t[kLseek] = &SimKernel::h_lseek;
+    t[kStat] = &SimKernel::h_path_stat;
+    t[kAccess] = &SimKernel::h_path_stat;
+    t[kFstat] = &SimKernel::h_fstat;
+    t[kReadlink] = &SimKernel::h_readlink;
+    t[kChmod] = &SimKernel::h_chmod;
+    t[kMkdir] = &SimKernel::h_mkdir;
+    t[kUnlink] = &SimKernel::h_unlink;
+    t[kRename] = &SimKernel::h_rename;
+    t[kMmap] = &SimKernel::h_mmap;
+    t[kMunmap] = &SimKernel::h_munmap;
+    t[kMsync] = &SimKernel::h_msync;
+    t[kMadvise] = &SimKernel::h_msync;
+    t[kSocket] = &SimKernel::h_socket;
+    t[kSocketpair] = &SimKernel::h_socketpair;
+    t[kSendto] = &SimKernel::h_sendto;
+    t[kRecvfrom] = &SimKernel::h_recvfrom;
+    t[kConnect] = &SimKernel::h_sockop;
+    t[kBind] = &SimKernel::h_sockop;
+    t[kListen] = &SimKernel::h_sockop;
+    t[kShutdown] = &SimKernel::h_sockop;
+    t[kSetsockopt] = &SimKernel::h_sockop;
+    t[kGetsockopt] = &SimKernel::h_sockop;
+    t[kSync] = &SimKernel::h_sync;
+    t[kSyncfs] = &SimKernel::h_syncfs;
+    t[kFsync] = &SimKernel::h_fsync;
+    t[kFdatasync] = &SimKernel::h_fsync;
+    t[kFallocate] = &SimKernel::h_fallocate;
+    t[kFtruncate] = &SimKernel::h_ftruncate;
+    t[kRtSigreturn] = &SimKernel::h_rt_sigreturn;
+    t[kRseq] = &SimKernel::h_rseq;
+    t[kKill] = &SimKernel::h_kill;
+    t[kTgkill] = &SimKernel::h_kill;
+    t[kExit] = &SimKernel::h_exit;
+    t[kExitGroup] = &SimKernel::h_exit;
+    t[kAlarm] = &SimKernel::h_alarm;
+    t[kPause] = &SimKernel::h_pause;
+    t[kNanosleep] = &SimKernel::h_nanosleep;
+    t[kPoll] = &SimKernel::h_poll;
+    t[kGetrlimit] = &SimKernel::h_getrlimit;
+    t[kSetrlimit] = &SimKernel::h_setrlimit;
+    t[kSetuid] = &SimKernel::h_setuid;
+    t[kSetxattr] = &SimKernel::h_setxattr;
+    t[kGetxattr] = &SimKernel::h_getxattr;
+    t[kIoctl] = &SimKernel::h_ioctl;
+    t[kFcntl] = &SimKernel::h_fdcheck_ok;
+    t[kFlock] = &SimKernel::h_fdcheck_ok;
+    t[kInotifyInit] = &SimKernel::h_inotify_init;
+    t[kInotifyAddWatch] = &SimKernel::h_inotify_add_watch;
+    t[kPipe] = &SimKernel::h_pipe;
+    t[kEpollCreate1] = &SimKernel::h_epoll_create1;
+    t[kEventfd2] = &SimKernel::h_eventfd2;
+    t[kMemfdCreate] = &SimKernel::h_memfd_create;
+    t[kMqOpen] = &SimKernel::h_mq_open;
+    t[kKcmp] = &SimKernel::h_kcmp;
+    return t;
+  }();
+  return table;
+}
+
+SysResult SimKernel::syscall_fatal(SyscallCtx& ctx, int sig) {
+  deliver_fatal_signal(ctx.proc, sig);
+  ctx.res.fatal_signal = sig;
+  ctx.res.err = EINTR_;
+  ctx.res.ret = -EINTR_;
+  // do_coredump() writes the dump in the dying task's kernel context
+  // before handing it to the usermodehelper pipe.
+  if (signal_dumps_core(sig) && ctx.proc.host_coredumps)
+    ctx.res.sys_ns += jitter(config_.costs.coredump_caller_sys);
+  return ctx.res;
+}
+
+Nanos SimKernel::syscall_deadline(const SyscallCtx& ctx, Nanos want) const {
+  const Nanos cap = ctx.proc.block_deadline > 0
+                        ? ctx.proc.block_deadline
+                        : ctx.now + config_.costs.nanosleep_cap;
+  return std::min(ctx.now + want, std::max(cap, ctx.now));
+}
+
+SysResult SimKernel::install_new_fd(SyscallCtx& ctx, FdKind kind) {
+  const int fd = ctx.proc.install_fd({.kind = kind});
+  if (fd < 0) return ctx.fail(-fd);
+  return ctx.ok(fd);
+}
+
+SysResult SimKernel::h_getpid(SyscallCtx& ctx) {
+  ctx.res.sys_ns = jitter(config_.costs.trivial);
+  return ctx.ok(static_cast<std::int64_t>(ctx.proc.pid()));
+}
+
+SysResult SimKernel::h_getuid(SyscallCtx& ctx) {
+  ctx.res.sys_ns = jitter(config_.costs.trivial);
+  return ctx.ok(static_cast<std::int64_t>(ctx.proc.uid));
+}
+
+SysResult SimKernel::h_trivial(SyscallCtx& ctx) {
+  ctx.res.sys_ns = jitter(config_.costs.trivial);
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_umask(SyscallCtx& ctx) {
+  const std::uint64_t old = ctx.proc.umask;
+  ctx.proc.umask = ctx.req.val(0) & 0777;
+  ctx.res.sys_ns = jitter(config_.costs.trivial);
+  return ctx.ok(static_cast<std::int64_t>(old));
+}
+
+SysResult SimKernel::h_open(SyscallCtx& ctx) {
+  return sys_file_open(ctx.proc, ctx.req, /*creat=*/false);
+}
+
+SysResult SimKernel::h_creat(SyscallCtx& ctx) {
+  return sys_file_open(ctx.proc, ctx.req, /*creat=*/true);
+}
+
+SysResult SimKernel::h_close(SyscallCtx& ctx) {
+  const int err = ctx.proc.close_fd(static_cast<int>(ctx.req.val(0)));
+  return err ? ctx.fail(err) : ctx.ok();
+}
+
+SysResult SimKernel::h_dup(SyscallCtx& ctx) {
+  FileDesc* fd = ctx.proc.fd(static_cast<int>(ctx.req.val(0)));
+  if (!fd) return ctx.fail(EBADF_);
+  const int nfd = ctx.proc.install_fd(*fd);
+  if (nfd < 0) return ctx.fail(-nfd);
+  return ctx.ok(nfd);
+}
+
+SysResult SimKernel::h_read(SyscallCtx& ctx) {
+  return sys_read_write(ctx.proc, ctx.req, /*write=*/false);
+}
+
+SysResult SimKernel::h_write(SyscallCtx& ctx) {
+  return sys_read_write(ctx.proc, ctx.req, /*write=*/true);
+}
+
+SysResult SimKernel::h_lseek(SyscallCtx& ctx) {
+  FileDesc* fd = ctx.proc.fd(static_cast<int>(ctx.req.val(0)));
+  if (!fd) return ctx.fail(EBADF_);
+  if (fd->kind == FdKind::kSocket || fd->kind == FdKind::kPipe)
+    return ctx.fail(ESPIPE_);
+  const std::int64_t offset = static_cast<std::int64_t>(ctx.req.val(1));
+  const std::uint64_t whence = ctx.req.val(2);
+  std::int64_t base = 0;
+  if (whence == 0)
+    base = 0;  // SEEK_SET
+  else if (whence == 1)
+    base = static_cast<std::int64_t>(fd->offset);  // SEEK_CUR
+  else if (whence == 2)
+    base = fd->inode ? static_cast<std::int64_t>(fd->inode->size) : 0;
+  else
+    return ctx.fail(EINVAL_);
+  const std::int64_t target = base + offset;
+  if (target < 0) return ctx.fail(EINVAL_);
+  fd->offset = static_cast<std::uint64_t>(target);
+  return ctx.ok(target);
+}
+
+SysResult SimKernel::h_path_stat(SyscallCtx& ctx) {
+  ctx.res.sys_ns += jitter(config_.costs.path_sys);
+  LookupResult lr = vfs_.lookup(ctx.req.str(0));
+  ctx.res.sys_ns += lr.follows * config_.costs.symlink_step;
+  if (!lr.inode) return ctx.fail(lr.error);
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_fstat(SyscallCtx& ctx) {
+  FileDesc* fd = ctx.proc.fd(static_cast<int>(ctx.req.val(0)));
+  if (!fd) return ctx.fail(EBADF_);
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_readlink(SyscallCtx& ctx) {
+  ctx.res.sys_ns += jitter(config_.costs.path_sys);
+  const std::string& path = ctx.req.str(0);
+  // readlink does NOT follow the final component, but does resolve the
+  // directory prefix. A chain of looping directory components burns the
+  // symlink budget.
+  LookupResult lr = vfs_.lookup(path);
+  ctx.res.sys_ns += lr.follows * config_.costs.symlink_step;
+  if (!lr.inode) {
+    if (lr.error == ELOOP_) return ctx.fail(ELOOP_);
+    return ctx.fail(lr.error);
+  }
+  if (lr.inode->kind != InodeKind::kSymlink) return ctx.fail(EINVAL_);
+  return ctx.ok(static_cast<std::int64_t>(lr.inode->symlink_target.size()));
+}
+
+SysResult SimKernel::h_chmod(SyscallCtx& ctx) {
+  ctx.res.sys_ns += jitter(config_.costs.path_sys);
+  LookupResult lr = vfs_.lookup(ctx.req.str(0));
+  ctx.res.sys_ns += lr.follows * config_.costs.symlink_step;
+  if (!lr.inode) return ctx.fail(lr.error);
+  lr.inode->mode = static_cast<std::uint32_t>(ctx.req.val(1)) & 07777;
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_mkdir(SyscallCtx& ctx) {
+  ctx.res.sys_ns += jitter(config_.costs.path_sys);
+  const int err = vfs_.mkdir(ctx.req.str(0),
+                             static_cast<std::uint32_t>(ctx.req.val(1)));
+  return err ? ctx.fail(err) : ctx.ok();
+}
+
+SysResult SimKernel::h_unlink(SyscallCtx& ctx) {
+  ctx.res.sys_ns += jitter(config_.costs.path_sys);
+  const int err = vfs_.remove(ctx.req.str(0));
+  return err ? ctx.fail(err) : ctx.ok();
+}
+
+SysResult SimKernel::h_rename(SyscallCtx& ctx) {
+  ctx.res.sys_ns += jitter(config_.costs.path_sys);
+  LookupResult lr = vfs_.lookup(ctx.req.str(0));
+  if (!lr.inode) return ctx.fail(lr.error);
+  // Simplified: rename re-creates the target and drops the source.
+  Inode* out = nullptr;
+  vfs_.create(ctx.req.str(1), lr.inode->mode, &out);
+  if (out) out->size = lr.inode->size;
+  vfs_.remove(ctx.req.str(0));
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_mmap(SyscallCtx& ctx) {
+  return sys_mmap(ctx.proc, ctx.req);
+}
+
+SysResult SimKernel::h_munmap(SyscallCtx& ctx) {
+  const std::uint64_t len = ctx.req.val(1);
+  if (len == 0) return ctx.fail(EINVAL_);
+  const std::uint64_t release = std::min(len, ctx.proc.mapped_bytes);
+  if (release > 0 && ctx.proc.group())
+    ctx.proc.group()->uncharge_memory(static_cast<std::int64_t>(release));
+  ctx.proc.mapped_bytes -= release;
+  ctx.res.sys_ns += jitter(config_.costs.mmap_sys / 2);
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_msync(SyscallCtx& ctx) {
+  ctx.res.sys_ns += jitter(config_.costs.trivial * 2);
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_socket(SyscallCtx& ctx) {
+  return sys_socket(ctx.proc, ctx.req, /*pair=*/false);
+}
+
+SysResult SimKernel::h_socketpair(SyscallCtx& ctx) {
+  return sys_socket(ctx.proc, ctx.req, /*pair=*/true);
+}
+
+SysResult SimKernel::h_sendto(SyscallCtx& ctx) {
+  return sys_sendto(ctx.proc, ctx.req);
+}
+
+SysResult SimKernel::h_recvfrom(SyscallCtx& ctx) {
+  FileDesc* fd = ctx.proc.fd(static_cast<int>(ctx.req.val(0)));
+  if (!fd) return ctx.fail(EBADF_);
+  if (fd->kind != FdKind::kSocket) return ctx.fail(ENOTCONN_);
+  // Nothing ever arrives; block until the deadline then EAGAIN. These
+  // calls are "thoroughly uninteresting" (§4.1.2) and end up denylisted.
+  ctx.res.block_until = syscall_deadline(ctx, config_.costs.nanosleep_cap);
+  return ctx.fail(EAGAIN_);
+}
+
+SysResult SimKernel::h_sockop(SyscallCtx& ctx) {
+  FileDesc* fd = ctx.proc.fd(static_cast<int>(ctx.req.val(0)));
+  if (!fd) return ctx.fail(EBADF_);
+  if (fd->kind != FdKind::kSocket) return ctx.fail(ENOTCONN_);
+  ctx.res.sys_ns += jitter(config_.costs.socket_sys / 2);
+  if (ctx.req.nr == kConnect) return ctx.fail(ETIMEDOUT_);
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_sync(SyscallCtx& ctx) {
+  return sys_sync(ctx.proc, -1, /*whole_system=*/true);
+}
+
+SysResult SimKernel::h_syncfs(SyscallCtx& ctx) {
+  if (!ctx.proc.fd(static_cast<int>(ctx.req.val(0)))) return ctx.fail(EBADF_);
+  return sys_sync(ctx.proc, static_cast<int>(ctx.req.val(0)),
+                  /*whole_system=*/true);
+}
+
+SysResult SimKernel::h_fsync(SyscallCtx& ctx) {
+  if (!ctx.proc.fd(static_cast<int>(ctx.req.val(0)))) return ctx.fail(EBADF_);
+  return sys_sync(ctx.proc, static_cast<int>(ctx.req.val(0)),
+                  /*whole_system=*/false);
+}
+
+SysResult SimKernel::h_fallocate(SyscallCtx& ctx) {
+  return sys_size_change(ctx.proc, ctx.req, /*fallocate=*/true);
+}
+
+SysResult SimKernel::h_ftruncate(SyscallCtx& ctx) {
+  return sys_size_change(ctx.proc, ctx.req, /*fallocate=*/false);
+}
+
+SysResult SimKernel::h_rt_sigreturn(SyscallCtx& ctx) {
+  // Outside a signal handler the restored context is garbage: SIGSEGV,
+  // whose default action dumps core (the paper's §4.3 "any usage" row).
+  ctx.res.sys_ns += jitter(config_.costs.trivial * 2);
+  if (!ctx.proc.in_signal_context) return syscall_fatal(ctx, SIGSEGV_);
+  ctx.proc.in_signal_context = false;
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_rseq(SyscallCtx& ctx) {
+  // rseq(ptr, len, flags, sig): misaligned ptr or bad len/flags kill the
+  // caller with SIGSEGV on registration (matches the paper's finding).
+  const std::uint64_t ptr = ctx.req.val(0);
+  const std::uint64_t len = ctx.req.val(1);
+  const std::uint64_t flags = ctx.req.val(2);
+  ctx.res.sys_ns += jitter(config_.costs.trivial * 2);
+  if (flags != 0 && flags != 1) return ctx.fail(EINVAL_);
+  if ((ptr & 0x1F) != 0 || len != 32) return syscall_fatal(ctx, SIGSEGV_);
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_kill(SyscallCtx& ctx) {
+  const std::uint64_t target = ctx.req.val(0);
+  const int sig = static_cast<int>(ctx.req.nr == kTgkill ? ctx.req.val(2)
+                                                         : ctx.req.val(1));
+  if (sig < 0 || sig > 64) return ctx.fail(EINVAL_);
+  if (target != ctx.proc.pid()) return ctx.fail(ESRCH_);  // PID-namespaced
+  if (sig == 0) return ctx.ok();
+  if (signal_is_fatal(sig)) return syscall_fatal(ctx, sig);
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_exit(SyscallCtx& ctx) {
+  // Voluntary exit: no dump; the executor restarts the program process.
+  ctx.proc.pending_fatal = SIGKILL_;
+  ctx.res.fatal_signal = SIGKILL_;
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_alarm(SyscallCtx& ctx) {
+  const std::uint64_t secs = ctx.req.val(0);
+  const Nanos previous = ctx.proc.alarm_at;
+  ctx.proc.alarm_at =
+      secs == 0 ? 0 : ctx.now + static_cast<Nanos>(secs) * kSecond;
+  ctx.res.sys_ns = jitter(config_.costs.trivial);
+  const Nanos remaining =
+      previous > ctx.now ? (previous - ctx.now + kSecond - 1) / kSecond : 0;
+  return ctx.ok(remaining);
+}
+
+SysResult SimKernel::h_pause(SyscallCtx& ctx) {
+  ctx.res.block_until = syscall_deadline(ctx, kSecond * 3600);
+  return ctx.fail(EINTR_);
+}
+
+SysResult SimKernel::h_nanosleep(SyscallCtx& ctx) {
+  const Nanos want = static_cast<Nanos>(ctx.req.val(0));
+  ctx.res.block_until =
+      syscall_deadline(ctx, std::max<Nanos>(want, kMicrosecond));
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_poll(SyscallCtx& ctx) {
+  const Nanos timeout_ms = static_cast<Nanos>(ctx.req.val(2));
+  ctx.res.block_until = syscall_deadline(ctx, timeout_ms * kMillisecond);
+  return ctx.ok(0);
+}
+
+SysResult SimKernel::h_getrlimit(SyscallCtx& ctx) {
+  const std::uint64_t which = ctx.req.val(0);
+  if (which >= kNumRlimits) return ctx.fail(EINVAL_);
+  ctx.res.sys_ns = jitter(config_.costs.trivial);
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_setrlimit(SyscallCtx& ctx) {
+  const std::uint64_t which = ctx.req.val(0);
+  if (which >= kNumRlimits) return ctx.fail(EINVAL_);
+  ctx.proc.set_rlimit(static_cast<int>(which), ctx.req.val(1));
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_setuid(SyscallCtx& ctx) {
+  ctx.proc.uid = ctx.req.val(0);
+  // Credential changes are audited; the audit daemons do the work in
+  // their own cgroups (§2.4.3 "deferring work to other process cgroups").
+  if (services_ && ctx.proc.host_audit)
+    services_->audit_event(ctx.proc.pid(), "syscall=setuid");
+  ctx.res.sys_ns += jitter(config_.costs.trivial * 2);
+  return ctx.ok();
+}
+
+SysResult SimKernel::h_setxattr(SyscallCtx& ctx) {
+  return sys_xattr(ctx.proc, ctx.req, /*set=*/true);
+}
+
+SysResult SimKernel::h_getxattr(SyscallCtx& ctx) {
+  return sys_xattr(ctx.proc, ctx.req, /*set=*/false);
+}
+
+SysResult SimKernel::h_ioctl(SyscallCtx& ctx) {
+  FileDesc* fd = ctx.proc.fd(static_cast<int>(ctx.req.val(0)));
+  if (!fd) return ctx.fail(EBADF_);
+  ctx.res.sys_ns += jitter(config_.costs.trivial * 3);
+  return ctx.fail(ENOTTY_);  // no simulated device implements ioctls
+}
+
+SysResult SimKernel::h_fdcheck_ok(SyscallCtx& ctx) {
+  FileDesc* fd = ctx.proc.fd(static_cast<int>(ctx.req.val(0)));
+  if (!fd) return ctx.fail(EBADF_);
+  return ctx.ok(0);
+}
+
+SysResult SimKernel::h_inotify_init(SyscallCtx& ctx) {
+  return install_new_fd(ctx, FdKind::kInotify);
+}
+
+SysResult SimKernel::h_inotify_add_watch(SyscallCtx& ctx) {
+  FileDesc* fd = ctx.proc.fd(static_cast<int>(ctx.req.val(0)));
+  if (!fd) return ctx.fail(EBADF_);
+  if (fd->kind != FdKind::kInotify) return ctx.fail(EINVAL_);
+  LookupResult lr = vfs_.lookup(ctx.req.str(1));
+  if (!lr.inode) return ctx.fail(lr.error);
+  return ctx.ok(1);
+}
+
+SysResult SimKernel::h_pipe(SyscallCtx& ctx) {
+  const int r = ctx.proc.install_fd({.kind = FdKind::kPipe});
+  if (r < 0) return ctx.fail(-r);
+  const int w = ctx.proc.install_fd({.kind = FdKind::kPipe});
+  if (w < 0) return ctx.fail(-w);
+  return ctx.ok(0);
+}
+
+SysResult SimKernel::h_epoll_create1(SyscallCtx& ctx) {
+  return install_new_fd(ctx, FdKind::kEpoll);
+}
+
+SysResult SimKernel::h_eventfd2(SyscallCtx& ctx) {
+  return install_new_fd(ctx, FdKind::kEventfd);
+}
+
+SysResult SimKernel::h_memfd_create(SyscallCtx& ctx) {
+  return install_new_fd(ctx, FdKind::kMemfd);
+}
+
+SysResult SimKernel::h_mq_open(SyscallCtx& ctx) {
+  return install_new_fd(ctx, FdKind::kMqueue);
+}
+
+SysResult SimKernel::h_kcmp(SyscallCtx& ctx) {
+  const std::uint64_t pid1 = ctx.req.val(0);
+  const std::uint64_t pid2 = ctx.req.val(1);
+  const std::uint64_t type = ctx.req.val(2);
+  if (type > 7) return ctx.fail(EINVAL_);
+  if (pid1 != ctx.proc.pid() && !processes_.contains(pid1))
+    return ctx.fail(ESRCH_);
+  if (pid2 != ctx.proc.pid() && !processes_.contains(pid2))
+    return ctx.fail(ESRCH_);
+  return ctx.ok(0);
+}
+
+SysResult SimKernel::h_enosys(SyscallCtx& ctx) {
+  ctx.res.sys_ns = jitter(config_.costs.trivial);
+  return ctx.fail(ENOSYS_);
 }
 
 SysResult SimKernel::sys_file_open(Process& proc, const SysReq& req,

@@ -8,6 +8,7 @@
 // records fanned out to the audit daemons.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -62,6 +63,14 @@ struct KernelConfig {
   KernelCosts costs;
   ServiceConfig services;
   bool install_services = true;
+  // Snapshot-exec fast path: cache VFS path resolutions, invalidated by the
+  // namespace generation counter. Resolution results are bit-exact and the
+  // lookup consumes no RNG, so enabling it cannot change simulated behavior.
+  bool path_lookup_cache = false;
+  // Snapshot-exec fast path: restore process fd tables with an epoch bump
+  // (O(dirty)) instead of the cold-boot teardown-and-reallocate. Descriptor
+  // numbering and limits are identical either way.
+  bool epoch_fd_restore = true;
 };
 
 // One argument of a syscall request: a number or a string (paths, buffers).
@@ -165,6 +174,99 @@ class SimKernel {
  private:
   Nanos jitter(Nanos base);
   Nanos disk_transfer_time(std::uint64_t bytes) const;
+
+  // --- table-driven dispatch -------------------------------------------------
+  //
+  // do_syscall runs the shared preamble (alarm delivery, fault injection,
+  // the entry-cost jitter draw) into a SyscallCtx, then indexes the handler
+  // table by syscall nr. Handlers mutate ctx.res in place. The RNG draw
+  // order is identical to the old switch: trivial handlers overwrite sys_ns
+  // with their own jitter(trivial) draw, and the sys_* helpers below still
+  // build their own SysResult with fresh draws (the preamble's entry draw is
+  // consumed either way).
+  struct SyscallCtx {
+    Process& proc;
+    const SysReq& req;
+    Nanos now;
+    SysResult res;
+
+    SysResult fail(int err) {
+      res.err = err;
+      res.ret = -err;
+      return res;
+    }
+    SysResult ok(std::int64_t ret = 0) {
+      res.err = 0;
+      res.ret = ret;
+      return res;
+    }
+  };
+  using SyscallHandler = SysResult (SimKernel::*)(SyscallCtx&);
+  static constexpr int kMaxSysno = 335;  // kRseq + 1; table is dense
+  static const std::array<SyscallHandler, kMaxSysno>& syscall_table();
+
+  // Fatal-signal path shared by handlers (the old `fatal` lambda).
+  SysResult syscall_fatal(SyscallCtx& ctx, int sig);
+  // Blocking deadline clamped to the process deadline / nanosleep cap.
+  Nanos syscall_deadline(const SyscallCtx& ctx, Nanos want) const;
+  // install_fd + ok/fail plumbing shared by the fd-creating handlers.
+  SysResult install_new_fd(SyscallCtx& ctx, FdKind kind);
+
+  SysResult h_getpid(SyscallCtx& ctx);
+  SysResult h_getuid(SyscallCtx& ctx);
+  SysResult h_trivial(SyscallCtx& ctx);
+  SysResult h_umask(SyscallCtx& ctx);
+  SysResult h_open(SyscallCtx& ctx);
+  SysResult h_creat(SyscallCtx& ctx);
+  SysResult h_close(SyscallCtx& ctx);
+  SysResult h_dup(SyscallCtx& ctx);
+  SysResult h_read(SyscallCtx& ctx);
+  SysResult h_write(SyscallCtx& ctx);
+  SysResult h_lseek(SyscallCtx& ctx);
+  SysResult h_path_stat(SyscallCtx& ctx);
+  SysResult h_fstat(SyscallCtx& ctx);
+  SysResult h_readlink(SyscallCtx& ctx);
+  SysResult h_chmod(SyscallCtx& ctx);
+  SysResult h_mkdir(SyscallCtx& ctx);
+  SysResult h_unlink(SyscallCtx& ctx);
+  SysResult h_rename(SyscallCtx& ctx);
+  SysResult h_mmap(SyscallCtx& ctx);
+  SysResult h_munmap(SyscallCtx& ctx);
+  SysResult h_msync(SyscallCtx& ctx);
+  SysResult h_socket(SyscallCtx& ctx);
+  SysResult h_socketpair(SyscallCtx& ctx);
+  SysResult h_sendto(SyscallCtx& ctx);
+  SysResult h_recvfrom(SyscallCtx& ctx);
+  SysResult h_sockop(SyscallCtx& ctx);
+  SysResult h_sync(SyscallCtx& ctx);
+  SysResult h_syncfs(SyscallCtx& ctx);
+  SysResult h_fsync(SyscallCtx& ctx);
+  SysResult h_fallocate(SyscallCtx& ctx);
+  SysResult h_ftruncate(SyscallCtx& ctx);
+  SysResult h_rt_sigreturn(SyscallCtx& ctx);
+  SysResult h_rseq(SyscallCtx& ctx);
+  SysResult h_kill(SyscallCtx& ctx);
+  SysResult h_exit(SyscallCtx& ctx);
+  SysResult h_alarm(SyscallCtx& ctx);
+  SysResult h_pause(SyscallCtx& ctx);
+  SysResult h_nanosleep(SyscallCtx& ctx);
+  SysResult h_poll(SyscallCtx& ctx);
+  SysResult h_getrlimit(SyscallCtx& ctx);
+  SysResult h_setrlimit(SyscallCtx& ctx);
+  SysResult h_setuid(SyscallCtx& ctx);
+  SysResult h_setxattr(SyscallCtx& ctx);
+  SysResult h_getxattr(SyscallCtx& ctx);
+  SysResult h_ioctl(SyscallCtx& ctx);
+  SysResult h_fdcheck_ok(SyscallCtx& ctx);
+  SysResult h_inotify_init(SyscallCtx& ctx);
+  SysResult h_inotify_add_watch(SyscallCtx& ctx);
+  SysResult h_pipe(SyscallCtx& ctx);
+  SysResult h_epoll_create1(SyscallCtx& ctx);
+  SysResult h_eventfd2(SyscallCtx& ctx);
+  SysResult h_memfd_create(SyscallCtx& ctx);
+  SysResult h_mq_open(SyscallCtx& ctx);
+  SysResult h_kcmp(SyscallCtx& ctx);
+  SysResult h_enosys(SyscallCtx& ctx);
 
   SysResult sys_file_open(Process& proc, const SysReq& req, bool creat);
   SysResult sys_read_write(Process& proc, const SysReq& req, bool write);

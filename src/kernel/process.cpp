@@ -5,25 +5,34 @@
 namespace torpedo::kernel {
 
 int Process::install_fd(FileDesc desc) {
-  if (fds_.size() >= rlimit(RLIMIT_NOFILE_)) return -EMFILE_;
-  int candidate = 3;
-  for (const auto& [n, _] : fds_) {
-    if (n > candidate) break;
-    if (n == candidate) ++candidate;
-  }
-  fds_[candidate] = desc;
+  if (open_fds_ >= rlimit(RLIMIT_NOFILE_)) return -EMFILE_;
+  // fd_scan_from_ is a floor: every fd in [3, fd_scan_from_) is live, so the
+  // first dead/absent slot from there is the lowest free descriptor.
+  int candidate = fd_scan_from_;
+  while (static_cast<std::size_t>(candidate) < fd_slots_.size() &&
+         fd_slots_[candidate].epoch == fd_epoch_)
+    ++candidate;
+  if (static_cast<std::size_t>(candidate) >= fd_slots_.size())
+    fd_slots_.resize(candidate + 1);
+  fd_slots_[candidate] = {desc, fd_epoch_};
+  fd_scan_from_ = candidate + 1;
+  ++open_fds_;
   return candidate;
 }
 
 FileDesc* Process::fd(int n) {
-  auto it = fds_.find(n);
-  return it == fds_.end() ? nullptr : &it->second;
+  if (n < 0 || static_cast<std::size_t>(n) >= fd_slots_.size()) return nullptr;
+  FdSlot& slot = fd_slots_[n];
+  return slot.epoch == fd_epoch_ ? &slot.desc : nullptr;
 }
 
 int Process::close_fd(int n) {
-  auto it = fds_.find(n);
-  if (it == fds_.end()) return EBADF_;
-  fds_.erase(it);
+  if (n < 0 || static_cast<std::size_t>(n) >= fd_slots_.size() ||
+      fd_slots_[n].epoch != fd_epoch_)
+    return EBADF_;
+  fd_slots_[n].epoch = 0;
+  --open_fds_;
+  if (n >= 3 && n < fd_scan_from_) fd_scan_from_ = n;
   return 0;
 }
 

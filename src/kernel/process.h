@@ -6,8 +6,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "cgroup/cgroup.h"
 #include "kernel/vfs.h"
@@ -63,11 +63,30 @@ class Process {
   sim::TaskId task() const { return task_; }
 
   // --- descriptor table ---
+  //
+  // Epoch-tagged slab: slot n is live iff its epoch matches the table's.
+  // With epoch restore on (snapshot-exec), close_all_fds() — the
+  // per-iteration restore the executor runs millions of times — is a single
+  // epoch bump, the O(dirty) restore of the process table. With it off, the
+  // table is torn down and reallocated like a freshly booted process. fd
+  // numbering (lowest free fd >= 3), the EMFILE limit, and every lookup
+  // behave identically either way.
   int install_fd(FileDesc desc);  // lowest free fd >= 3, or -EMFILE
   FileDesc* fd(int n);
   int close_fd(int n);  // errno
-  void close_all_fds() { fds_.clear(); }
-  std::size_t open_fd_count() const { return fds_.size(); }
+  void set_epoch_fd_restore(bool on) { epoch_fd_restore_ = on; }
+  void close_all_fds() {
+    if (epoch_fd_restore_) {
+      ++fd_epoch_;
+    } else {
+      fd_slots_.clear();
+      fd_slots_.shrink_to_fit();
+      fd_epoch_ = 1;
+    }
+    open_fds_ = 0;
+    fd_scan_from_ = 3;
+  }
+  std::size_t open_fd_count() const { return open_fds_; }
 
   // --- rlimits ---
   std::uint64_t rlimit(int which) const {
@@ -104,7 +123,15 @@ class Process {
   std::string name_;
   cgroup::Cgroup* cgroup_;
   sim::TaskId task_;
-  std::map<int, FileDesc> fds_;
+  struct FdSlot {
+    FileDesc desc;
+    std::uint64_t epoch = 0;  // live iff == fd_epoch_ (which starts at 1)
+  };
+  std::vector<FdSlot> fd_slots_;
+  std::uint64_t fd_epoch_ = 1;
+  std::size_t open_fds_ = 0;
+  int fd_scan_from_ = 3;  // no live fd below this is free
+  bool epoch_fd_restore_ = true;
   std::uint64_t rlimits_[kNumRlimits] = {
       kRlimInfinity, kRlimInfinity, kRlimInfinity, kRlimInfinity,
       kRlimInfinity, kRlimInfinity, kRlimInfinity, kRlimInfinity,

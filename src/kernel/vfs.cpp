@@ -49,10 +49,26 @@ Inode* Vfs::put(std::string path, InodeKind kind) {
   inode->ino = next_ino_++;
   Inode* raw = inode.get();
   files_[normalize_path(path)] = std::move(inode);
+  // Structural change (possibly freeing an overwritten inode): stale cached
+  // resolutions must not survive it.
+  ++generation_;
   return raw;
 }
 
 LookupResult Vfs::lookup(std::string_view path) {
+  if (!cache_enabled_) return resolve(path);
+  if (cache_generation_ != generation_) {
+    lookup_cache_.clear();
+    cache_generation_ = generation_;
+  }
+  if (auto it = lookup_cache_.find(path); it != lookup_cache_.end())
+    return it->second;
+  const LookupResult result = resolve(path);
+  lookup_cache_.emplace(std::string(path), result);
+  return result;
+}
+
+LookupResult Vfs::resolve(std::string_view path) const {
   std::string current = normalize_path(path);
   if (current.empty()) return {nullptr, ENOENT_, 0};
 
@@ -111,6 +127,7 @@ int Vfs::remove(std::string_view path) {
   if (it == files_.end()) return ENOENT_;
   if (it->second->kind == InodeKind::kDirectory) return EISDIR_;
   files_.erase(it);
+  ++generation_;
   return 0;
 }
 

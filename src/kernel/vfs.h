@@ -8,11 +8,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace torpedo::kernel {
@@ -43,6 +45,17 @@ class Vfs {
   // Resolve a path; applies the kernel's 40-link symlink budget so paths of
   // chained "test_eloop" links return ELOOP like the Moonshine seeds expect.
   LookupResult lookup(std::string_view path);
+
+  // Snapshot-exec dirty tracking for the inode table: every structural
+  // mutation (create/remove/overwrite) bumps the generation. The optional
+  // lookup cache memoizes resolutions per raw path string and is dropped
+  // wholesale whenever the generation moves, so a cached result is always
+  // exactly what a cold walk would produce (resolution consumes no RNG).
+  std::uint64_t generation() const { return generation_; }
+  void set_lookup_cache(bool enabled) {
+    cache_enabled_ = enabled;
+    if (!enabled) lookup_cache_.clear();
+  }
 
   // Create (or truncate) a regular file. Returns errno.
   int create(std::string_view path, std::uint32_t mode, Inode** out);
@@ -81,10 +94,25 @@ class Vfs {
 
  private:
   Inode* put(std::string path, InodeKind kind);
+  LookupResult resolve(std::string_view path) const;
+
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
 
   std::map<std::string, std::unique_ptr<Inode>, std::less<>> files_;
   std::uint64_t next_ino_ = 1;
   std::uint64_t dirty_bytes_ = 0;
+
+  std::uint64_t generation_ = 0;
+  bool cache_enabled_ = false;
+  std::uint64_t cache_generation_ = 0;
+  std::unordered_map<std::string, LookupResult, TransparentHash,
+                     std::equal_to<>>
+      lookup_cache_;
 };
 
 // Normalizes a path: strips duplicate slashes and a trailing slash. Paths in

@@ -39,7 +39,7 @@ Observer::Snapshot Observer::snapshot() const {
   auto parsed = kernel::parse_proc_stat(kernel::render_proc_stat(kernel_.host()));
   TORPEDO_CHECK(parsed.has_value());
   snap.stat = std::move(*parsed);
-  snap.tasks = kernel_.host().sample_tasks();
+  snap.tasks = kernel_.host().sample_tasks(config_.snapshot_exec);
   for (exec::Executor* e : executors_) {
     const cgroup::Cgroup& group = e->container().group();
     ContainerUsage usage;
@@ -145,7 +145,8 @@ const RoundResult& Observer::run_round(
     executors_[i]->prime(programs[i], stop);
 
   // top warm-up frame: taken and discarded before the measured window.
-  if (config_.discard_top_warmup) (void)kernel_.host().sample_tasks();
+  if (config_.discard_top_warmup)
+    (void)kernel_.host().sample_tasks(config_.snapshot_exec);
 
   Snapshot before;
   {

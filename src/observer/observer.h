@@ -36,6 +36,11 @@ struct ObserverConfig {
   // incrementally — a RoundResult holds full programs + stats, so an
   // unbounded log is the largest allocation in the process.
   std::size_t max_log_rounds = 0;
+  // Snapshot-exec fast path: sample only live tasks at the window edges.
+  // The diff reports exclusively tasks alive at both edges, so the
+  // Observation is byte-identical; what is skipped is copying name and
+  // cgroup-path strings for every dead-but-unreaped helper task.
+  bool snapshot_exec = true;
 };
 
 struct RoundResult {

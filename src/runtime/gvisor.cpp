@@ -44,10 +44,10 @@ GvisorRuntime::GvisorRuntime(kernel::SimKernel& kernel, std::uint64_t seed,
   };
 }
 
-ExecOutcome GvisorRuntime::execute(kernel::Process& proc,
-                                   const kernel::SysReq& req,
-                                   const ExecContext& ctx) {
-  ExecOutcome out;
+void GvisorRuntime::execute(kernel::Process& proc, const kernel::SysReq& req,
+                            const ExecContext& ctx, ExecOutcome& out) {
+  out.runtime_crashed = false;
+  out.res = kernel::SysResult{};
   kernel::SysResult& res = out.res;
 
   // --- sentry interception cost, paid on every call --------------------
@@ -58,7 +58,7 @@ ExecOutcome GvisorRuntime::execute(kernel::Process& proc,
     res.ret = -kernel::ENOSYS_;
     res.user_ns = intercept + 1'500;
     res.sys_ns = 400;  // a bare host futex/membarrier, nothing else
-    return out;
+    return;
   }
 
   // --- injected bugs (Table 4.3) ----------------------------------------
@@ -72,7 +72,7 @@ ExecOutcome GvisorRuntime::execute(kernel::Process& proc,
       res.user_ns = intercept;
       res.err = kernel::EINVAL_;
       res.ret = -kernel::EINVAL_;
-      return out;
+      return;
     }
     if (ctx.collider && rng_.uniform() < config_.collider_crash_chance) {
       out.runtime_crashed = true;
@@ -81,7 +81,7 @@ ExecOutcome GvisorRuntime::execute(kernel::Process& proc,
       res.user_ns = intercept;
       res.err = kernel::EINVAL_;
       res.ret = -kernel::EINVAL_;
-      return out;
+      return;
     }
   }
 
@@ -93,7 +93,7 @@ ExecOutcome GvisorRuntime::execute(kernel::Process& proc,
     res.user_ns = intercept + 90 * kMicrosecond;
     res.sys_ns = 8 * kMicrosecond;
     res.ret = 0;
-    return out;
+    return;
   }
 
   // --- forward to the host kernel with the cost transformation -----------
@@ -114,7 +114,6 @@ ExecOutcome GvisorRuntime::execute(kernel::Process& proc,
     res.block_until = kernel_.host().now() + config_.stall;
     res.block_io = false;
   }
-  return out;
 }
 
 }  // namespace torpedo::runtime

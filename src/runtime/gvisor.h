@@ -50,8 +50,8 @@ class GvisorRuntime : public Runtime {
 
   RuntimeKind kind() const override { return RuntimeKind::kGvisor; }
 
-  ExecOutcome execute(kernel::Process& proc, const kernel::SysReq& req,
-                      const ExecContext& ctx) override;
+  void execute(kernel::Process& proc, const kernel::SysReq& req,
+               const ExecContext& ctx, ExecOutcome& out) override;
 
   Nanos startup_cost() const override { return 120 * kMillisecond; }
 

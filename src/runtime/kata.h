@@ -18,10 +18,11 @@ class KataRuntime : public Runtime {
 
   RuntimeKind kind() const override { return RuntimeKind::kKata; }
 
-  ExecOutcome execute(kernel::Process& proc, const kernel::SysReq& req,
-                      const ExecContext& ctx) override {
+  void execute(kernel::Process& proc, const kernel::SysReq& req,
+               const ExecContext& ctx, ExecOutcome& out) override {
     (void)ctx;
-    ExecOutcome out;
+    out.runtime_crashed = false;
+    out.res = kernel::SysResult{};
     kernel::SysResult& res = out.res;
     // The guest kernel owns the page cache: sync lands on the virtio disk
     // image, never the host writeback path.
@@ -31,7 +32,7 @@ class KataRuntime : public Runtime {
       res.user_ns = 120 * kMicrosecond;  // guest flush, shows as VMM user
       res.sys_ns = 3'500;
       res.ret = 0;
-      return out;
+      return;
     }
     res = kernel_.do_syscall(proc, req);
     // Guest-kernel execution: the host sees mostly guest time; we account it
@@ -43,7 +44,6 @@ class KataRuntime : public Runtime {
       res.block_until += 80 * kMicrosecond;
     if (res.fatal_signal != 0 && kernel::signal_dumps_core(res.fatal_signal))
       res.user_ns += 600 * kMicrosecond;  // guest-side core dump
-    return out;
   }
 
   Nanos startup_cost() const override { return 450 * kMillisecond; }

@@ -15,12 +15,11 @@ class NativeRuntime : public Runtime {
 
   RuntimeKind kind() const override { return kind_; }
 
-  ExecOutcome execute(kernel::Process& proc, const kernel::SysReq& req,
-                      const ExecContext& ctx) override {
+  void execute(kernel::Process& proc, const kernel::SysReq& req,
+               const ExecContext& ctx, ExecOutcome& out) override {
     (void)ctx;
-    ExecOutcome out;
+    out.runtime_crashed = false;
     out.res = kernel_.do_syscall(proc, req);
-    return out;
   }
 
   Nanos startup_cost() const override {

@@ -55,9 +55,13 @@ class Runtime {
   virtual RuntimeKind kind() const = 0;
   std::string_view name() const { return runtime_name(kind()); }
 
-  // Service one system call for a containerized process.
-  virtual ExecOutcome execute(kernel::Process& proc, const kernel::SysReq& req,
-                              const ExecContext& ctx) = 0;
+  // Service one system call for a containerized process. Writes into a
+  // caller-owned outcome so the per-call hot path reuses one buffer instead
+  // of constructing a fresh ExecOutcome (and its string) per syscall; the
+  // implementation must reset runtime_crashed and fully set res, and only
+  // needs to touch crash_message when it crashes.
+  virtual void execute(kernel::Process& proc, const kernel::SysReq& req,
+                       const ExecContext& ctx, ExecOutcome& out) = 0;
 
   // Container creation cost paid by the engine (runc fork+exec vs sentry
   // boot vs a full VM boot).

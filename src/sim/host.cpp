@@ -50,10 +50,19 @@ Host::Host(HostConfig config)
                 task.push(Segment::block_until(done, /*io_wait=*/true));
               }
               if (item.on_complete) {
-                // Attach completion to the last queued segment.
+                // Attach completion to the last queued segment. The closure
+                // parks host-side; the marker carries the claim ticket.
+                const std::uint64_t ticket = host.next_work_ticket_++;
+                host.work_callbacks_[ticket] = std::move(item.on_complete);
                 Segment marker = Segment::system(0);
-                marker.on_complete = std::move(item.on_complete);
-                task.push(std::move(marker));
+                marker.on_complete = [](Host& h, std::uint64_t id) {
+                  auto it = h.work_callbacks_.find(id);
+                  std::function<void()> cb = std::move(it->second);
+                  h.work_callbacks_.erase(it);
+                  cb();
+                };
+                marker.payload = ticket;
+                task.push(marker);
               }
               return true;
             },
@@ -105,7 +114,7 @@ int Host::place_on_core(const Task& task) {
 
 void Host::wake(Task& task) {
   if (task.state() != TaskState::kBlocked) return;
-  ctr_wakeups_->inc();
+  ++n_wakeups_;
   task.state_ = TaskState::kRunnable;
   task.io_wait_ = false;
   task.wake_on_time_ = false;
@@ -130,6 +139,7 @@ void Host::wake(Task& task) {
       min_vr = std::min(min_vr, t->vruntime_);
   if (min_vr != std::numeric_limits<double>::max())
     task.vruntime_ = std::max(task.vruntime_, min_vr);
+  cores_[static_cast<std::size_t>(task.core_)].wake_count++;
 }
 
 void Host::kill(Task& task) {
@@ -180,11 +190,20 @@ void Host::run_until(Nanos t) {
   while (now_ < final_time) {
     const Nanos start = now_;
     const Nanos end = std::min(final_time, start + config_.quantum);
-    ctr_quanta_->inc();
+    ++n_quanta_;
     for (Core& core : cores_) simulate_core(core, start, end);
     now_ = end;
     if (tick_hook_) tick_hook_(*this);
   }
+  flush_tallies();
+}
+
+void Host::flush_tallies() {
+  if (n_quanta_) ctr_quanta_->inc(n_quanta_);
+  if (n_picks_) ctr_sched_picks_->inc(n_picks_);
+  if (n_wakeups_) ctr_wakeups_->inc(n_wakeups_);
+  if (n_segments_) ctr_segments_->inc(n_segments_);
+  n_quanta_ = n_picks_ = n_wakeups_ = n_segments_ = 0;
 }
 
 void Host::account(Core& core, CpuCategory cat, Nanos ns) {
@@ -193,11 +212,12 @@ void Host::account(Core& core, CpuCategory cat, Nanos ns) {
 
 void Host::finish_segment(Task& task) {
   TORPEDO_CHECK(!task.segments_.empty());
-  ctr_segments_->inc();
-  // Move the callback out before popping: on_complete may push new segments.
-  std::function<void()> cb = std::move(task.segments_.front().on_complete);
+  ++n_segments_;
+  // Read the callback before popping: on_complete may push new segments.
+  const Segment::Callback cb = task.segments_.front().on_complete;
+  const std::uint64_t payload = task.segments_.front().payload;
   task.segments_.pop_front();
-  if (cb) cb();
+  if (cb) cb(*this, payload);
 }
 
 bool Host::ensure_segment(Task& task, Nanos t) {
@@ -220,31 +240,32 @@ bool Host::ensure_segment(Task& task, Nanos t) {
   return true;
 }
 
-Task* Host::pick_runnable(Core& core, Nanos t) {
+Task* Host::pick_runnable(Core& core, Nanos t, bool& sole,
+                          Nanos& next_throttle_end) {
   Task* best = nullptr;
+  sole = true;
+  next_throttle_end = kForever;
   for (Task* task : core.tasks) {
     if (task->state() != TaskState::kRunnable) continue;
-    if (task->throttle_until_ > t) continue;
-    if (!best || task->vruntime_ < best->vruntime_) best = task;
+    if (task->throttle_until_ > t) {
+      next_throttle_end = std::min(next_throttle_end, task->throttle_until_);
+      continue;
+    }
+    if (!best) {
+      best = task;
+    } else {
+      sole = false;
+      if (task->vruntime_ < best->vruntime_) best = task;
+    }
   }
-  if (best) ctr_sched_picks_->inc();
+  if (best) ++n_picks_;
   return best;
 }
 
-Nanos Host::next_wake_time(const Core& core, Nanos t, Nanos end) const {
-  Nanos next = end;
-  for (const Task* task : core.tasks) {
-    if (task->state() == TaskState::kBlocked && task->wake_on_time_ &&
-        task->wake_time_ > t) {
-      next = std::min(next, task->wake_time_);
-    }
-    if (task->state() == TaskState::kRunnable && task->throttle_until_ > t)
-      next = std::min(next, task->throttle_until_);
-  }
-  return std::max(next, t);
-}
-
 void Host::process_wakeups(Core& core, Nanos t) {
+  // The cached bound turns the per-iteration task scan into one comparison
+  // for every scheduler step where no timer is due.
+  if (t < core.next_timed_wake) return;
   // Index-based: waking a task may fire callbacks that spawn tasks here.
   for (std::size_t i = 0; i < core.tasks.size(); ++i) {
     Task* task = core.tasks[i];
@@ -254,6 +275,13 @@ void Host::process_wakeups(Core& core, Nanos t) {
       wake(*task);
     }
   }
+  // Tasks only enter timed-blocked state in run_task_slice (which refreshes
+  // the bound), so recomputing from the survivors here is exact.
+  Nanos next = kForever;
+  for (const Task* task : core.tasks)
+    if (task->state() == TaskState::kBlocked && task->wake_on_time_)
+      next = std::min(next, task->wake_time_);
+  core.next_timed_wake = next;
 }
 
 Nanos Host::run_task_slice(Core& core, Task& task, Nanos t, Nanos budget) {
@@ -271,6 +299,7 @@ Nanos Host::run_task_slice(Core& core, Task& task, Nanos t, Nanos budget) {
       task.wake_on_time_ = true;
       task.wake_time_ = seg.until;
       task.io_wait_ = seg.io_wait;
+      core.next_timed_wake = std::min(core.next_timed_wake, seg.until);
       return 0;
     case SegmentKind::kBlockWake:
       task.state_ = TaskState::kBlocked;
@@ -341,9 +370,15 @@ void Host::simulate_core(Core& core, Nanos start, Nanos end) {
       continue;
     }
 
-    Task* task = pick_runnable(core, t);
+    bool sole = true;
+    Nanos next_throttle_end = kForever;
+    Task* task = pick_runnable(core, t, sole, next_throttle_end);
     if (!task) {
-      const Nanos next = next_wake_time(core, t, end);
+      // Nothing eligible: idle until the earliest timed wake (the cached
+      // bound; a stale-low value only splits the idle span into two hops
+      // with identical accounting) or throttle expiry, which pick_runnable
+      // reported. Both are strictly > t after process_wakeups ran.
+      const Nanos next = std::min(core.next_timed_wake, next_throttle_end);
       const Nanos idle_end = std::max(next, t + 1) > end ? end : std::max(next, t + 1);
       bool io = false;
       for (const Task* blocked : core.tasks) {
@@ -358,13 +393,35 @@ void Host::simulate_core(Core& core, Nanos start, Nanos end) {
       continue;
     }
 
-    const Nanos consumed = run_task_slice(core, *task, t, end - t);
+    Nanos consumed = run_task_slice(core, *task, t, end - t);
     t += consumed;
     if (consumed == 0) {
       TORPEDO_CHECK_MSG(++zero_progress < 200000,
                         "scheduler made no progress");
-    } else {
-      zero_progress = 0;
+      continue;
+    }
+    zero_progress = 0;
+
+    // Sole-runnable fast path: keep driving the picked task through
+    // consecutive segments while every step of the outer loop is provably a
+    // no-op — no timer due (process_wakeups would early-return), no pending
+    // irq/softirq, and a re-pick would return the same task because it is
+    // still the only eligible one: nothing woke anywhere (global wakeup
+    // counter), nothing joined this core (task-list size), no throttled
+    // sibling became eligible, and the task itself is still runnable.
+    // Budgets stay (end - t), so slice split points — and therefore the
+    // floating-point vruntime accumulation — are identical to the slow path.
+    if (sole) {
+      const std::uint64_t wake_mark = core.wake_count;
+      const std::size_t ntasks = core.tasks.size();
+      while (t < end && t < core.next_timed_wake && t < next_throttle_end &&
+             task->state_ == TaskState::kRunnable && core.pending_irq == 0 &&
+             core.pending_softirq == 0 && core.tasks.size() == ntasks &&
+             core.wake_count == wake_mark) {
+        consumed = run_task_slice(core, *task, t, end - t);
+        t += consumed;
+        if (consumed == 0) break;  // throttled or killed: outer loop decides
+      }
     }
   }
 }
@@ -380,10 +437,11 @@ CoreTimes Host::aggregate_times() const {
   return total;
 }
 
-std::vector<TaskSample> Host::sample_tasks() const {
+std::vector<TaskSample> Host::sample_tasks(bool alive_only) const {
   std::vector<TaskSample> out;
   out.reserve(tasks_.size());
   for (const auto& task : tasks_) {
+    if (alive_only && !task->alive()) continue;
     TaskSample s;
     s.id = task->id();
     s.name = task->name();

@@ -130,7 +130,11 @@ class Host {
 
   const CoreTimes& core_times(int core) const;
   CoreTimes aggregate_times() const;
-  std::vector<TaskSample> sample_tasks() const;
+  // With alive_only, dead-but-unreaped tasks (helper floods between reaps)
+  // are skipped. The observer's diff only reports tasks alive at both window
+  // edges, so alive-only snapshots are observationally identical and skip
+  // copying two strings per dead helper.
+  std::vector<TaskSample> sample_tasks(bool alive_only = false) const;
 
   // Read-only task walk; the selftest cpuset-containment invariant uses this
   // instead of sample_tasks() to avoid string copies on the audit path.
@@ -170,6 +174,15 @@ class Host {
     std::vector<Task*> tasks;  // all non-dead tasks assigned here
     Nanos pending_softirq = 0;
     Nanos pending_irq = 0;
+    // Conservative lower bound on the earliest pending timed wake of any
+    // task on this core; process_wakeups() skips its scan until it passes.
+    // Stale-low values (after an early wake or a kill) only cost a spurious
+    // scan, never a missed wakeup.
+    Nanos next_timed_wake = kMaxNanos;
+    // Bumped whenever a task on this core becomes runnable via wake();
+    // the sole-runnable fast path uses it to prove eligibility on this
+    // core is unchanged (wakes on other cores don't matter here).
+    std::uint64_t wake_count = 0;
   };
 
   void simulate_core(Core& core, Nanos start, Nanos end);
@@ -178,9 +191,12 @@ class Host {
   // Ensures the task has a current segment; may invoke the supplier or kill
   // the task. Returns false if the task can't run (blocked/dead/empty).
   bool ensure_segment(Task& task, Nanos t);
-  Task* pick_runnable(Core& core, Nanos t);
-  // Earliest time in (t, end] a blocked task on this core wakes; or `end`.
-  Nanos next_wake_time(const Core& core, Nanos t, Nanos end) const;
+  // Minimum-vruntime eligible task (first in list order wins ties). Also
+  // reports whether it was the only eligible task and the earliest throttle
+  // expiry among runnable-but-throttled tasks — the sole-runnable fast path
+  // in simulate_core needs both to prove a re-pick would be identical.
+  Task* pick_runnable(Core& core, Nanos t, bool& sole,
+                      Nanos& next_throttle_end);
   void process_wakeups(Core& core, Nanos t);
   int place_on_core(const Task& task);
   void account(Core& core, CpuCategory cat, Nanos ns);
@@ -200,10 +216,25 @@ class Host {
 
   WorkQueue workqueue_;
   std::vector<Task*> kworkers_;
+  // Parked workqueue completion closures; a marker segment's payload is the
+  // ticket (Segment carries only a raw callback pointer + one word).
+  std::unordered_map<std::uint64_t, std::function<void()>> work_callbacks_;
+  std::uint64_t next_work_ticket_ = 1;
 
   std::function<void(Host&)> tick_hook_;
   FaultHook* fault_hook_ = nullptr;
   bool skip_cgroup_charging_ = false;
+
+  // Hot-path event tallies, batched into the telemetry counters once per
+  // run_until() instead of one atomic RMW per event (tens of millions of
+  // segments per campaign batch). Readers between run_until() calls see
+  // fully up-to-date values; a mid-run scrape sees values at most one
+  // run_until() window stale.
+  std::uint64_t n_quanta_ = 0;
+  std::uint64_t n_picks_ = 0;
+  std::uint64_t n_wakeups_ = 0;
+  std::uint64_t n_segments_ = 0;
+  void flush_tallies();
 
   // Telemetry probes, resolved once at construction (no lookups on the hot
   // path).

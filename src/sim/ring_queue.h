@@ -1,0 +1,64 @@
+// FIFO ring buffer for per-task segment queues.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace torpedo::sim {
+
+// std::deque allocates and frees a backing chunk every few elements when a
+// queue cycles through push_back/pop_front — which is exactly what a task's
+// segment queue does tens of millions of times per campaign. The ring reuses
+// one allocation for the task's lifetime and only grows (by doubling) when a
+// burst outruns the capacity.
+//
+// pop_front() does not destroy the popped element; it stays in its slot until
+// overwritten or clear()ed. Callers that queue resource-owning elements must
+// move those resources out before popping (Host::finish_segment does).
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+
+  void push_back(T value) {
+    if (size_ == slots_.size()) grow();
+    slots_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  // Resets every slot so resources held by queued (or popped-but-not-yet-
+  // overwritten) elements are released, matching deque::clear semantics.
+  void clear() {
+    for (T& slot : slots_) slot = T{};
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t capacity = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<T> next(capacity);
+    for (std::size_t i = 0; i < size_; ++i)
+      next[i] = std::move(slots_[(head_ + i) & mask_]);
+    slots_ = std::move(next);
+    head_ = 0;
+    mask_ = capacity - 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace torpedo::sim

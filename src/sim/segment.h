@@ -7,12 +7,14 @@
 // the call finishes.
 #pragma once
 
-#include <functional>
+#include <cstdint>
 
 #include "cgroup/cgroup.h"
 #include "util/time.h"
 
 namespace torpedo::sim {
+
+class Host;
 
 enum class SegmentKind {
   kRunUser,     // on-CPU, userspace; charged to `charge` (or task cgroup)
@@ -22,16 +24,30 @@ enum class SegmentKind {
 };
 
 struct Segment {
+  // Completion callbacks are a plain function pointer plus one word of
+  // payload, keeping Segment trivially movable: tens of millions of segments
+  // flow through per-task ring queues per campaign, and a std::function here
+  // puts a branchy move on every push. Callers needing real closures park
+  // them host-side and pass a lookup key as the payload (see the workqueue
+  // completion marker in Host).
+  using Callback = void (*)(Host&, std::uint64_t);
+
   SegmentKind kind = SegmentKind::kRunUser;
-  Nanos remaining = 0;    // kRunUser / kRunSystem
-  Nanos until = 0;        // kBlockUntil
   bool io_wait = false;   // kBlockUntil: account idle time as iowait
+  // One timing word, disambiguated by kind: tens of millions of segments are
+  // written through the ring queues per batch, so every byte of Segment is
+  // push/pop memory traffic.
+  union {
+    Nanos remaining = 0;  // kRunUser / kRunSystem
+    Nanos until;          // kBlockUntil
+  };
   // Charge target for on-CPU segments; nullptr means the task's own cgroup.
   // Kernel-deferred work passes the root cgroup here — that is the
   // accounting gap Torpedo hunts for.
   cgroup::Cgroup* charge = nullptr;
   // Fired when the segment completes (time fully consumed or wake received).
-  std::function<void()> on_complete;
+  Callback on_complete = nullptr;
+  std::uint64_t payload = 0;
 
   static Segment user(Nanos ns, cgroup::Cgroup* charge_to = nullptr) {
     Segment s;
@@ -60,8 +76,9 @@ struct Segment {
     return s;
   }
 
-  Segment&& then(std::function<void()> fn) && {
-    on_complete = std::move(fn);
+  Segment&& then(Callback fn, std::uint64_t arg = 0) && {
+    on_complete = fn;
+    payload = arg;
     return std::move(*this);
   }
 };

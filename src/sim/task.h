@@ -2,11 +2,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 
 #include "cgroup/cgroup.h"
+#include "sim/ring_queue.h"
 #include "sim/segment.h"
 #include "util/time.h"
 
@@ -72,12 +72,9 @@ class Task {
  private:
   friend class Host;
 
-  TaskId id_;
-  std::string name_;
-  TaskKind kind_;
-  cgroup::Cgroup* cgroup_;
-  cgroup::CpuSet affinity_;
-
+  // Scheduler-hot fields first: pick_runnable scans state_, throttle_until_
+  // and vruntime_ across every task on a core, so they share the object's
+  // first cache line instead of sitting behind the name string.
   TaskState state_ = TaskState::kRunnable;
   int core_ = -1;
   Nanos wake_time_ = 0;     // valid when blocked on kBlockUntil
@@ -86,12 +83,18 @@ class Task {
   Nanos throttle_until_ = 0;
   double vruntime_ = 0;
 
+  TaskId id_;
+  std::string name_;
+  TaskKind kind_;
+  cgroup::Cgroup* cgroup_;
+  cgroup::CpuSet affinity_;
+
   Nanos utime_ = 0;
   Nanos stime_ = 0;
   Nanos start_time_ = 0;
   Nanos end_time_ = -1;
 
-  std::deque<Segment> segments_;
+  RingQueue<Segment> segments_;
   Supplier supplier_;
 };
 

@@ -1,0 +1,96 @@
+// Bump-pointer arena allocator.
+//
+// Backs the executor's pre-lowered program image (the fork-server snapshot
+// of call storage): a prime() lowers the program into arena memory once, and
+// every later reset() reuses the same chunks instead of returning them to
+// the heap — per-mutation lowering churn becomes pointer arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <vector>
+
+namespace torpedo::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 64 << 10)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw allocation; memory is uninitialized and freed only by the arena's
+  // destruction (reset() recycles it).
+  void* alloc(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    std::size_t offset = (offset_ + align - 1) & ~(align - 1);
+    if (current_ >= chunks_.size() || offset + bytes > chunks_[current_].size) {
+      if (!advance(bytes + align)) return nullptr;
+      offset = (offset_ + align - 1) & ~(align - 1);
+    }
+    offset_ = offset + bytes;
+    bytes_allocated_ += bytes;
+    return chunks_[current_].data.get() + offset;
+  }
+
+  // Typed array of default-constructed elements. T must be trivially
+  // destructible — the arena never runs destructors.
+  template <typename T>
+  T* make_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    T* out = static_cast<T*>(alloc(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) new (out + i) T();
+    return out;
+  }
+
+  // Copies `s` into the arena and returns a view of the stable copy.
+  std::string_view intern(std::string_view s) {
+    char* out = static_cast<char*>(alloc(s.size(), 1));
+    std::memcpy(out, s.data(), s.size());
+    return {out, s.size()};
+  }
+
+  // Recycle: every chunk is kept, all offsets rewind. Invalidates all
+  // outstanding allocations.
+  void reset() {
+    current_ = 0;
+    offset_ = 0;
+    bytes_allocated_ = 0;
+  }
+
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  std::size_t chunks() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  bool advance(std::size_t need) {
+    // Move to the next existing chunk that fits, or grow.
+    std::size_t next = chunks_.empty() ? 0 : current_ + 1;
+    while (next < chunks_.size() && chunks_[next].size < need) ++next;
+    if (next >= chunks_.size()) {
+      const std::size_t size = need > chunk_bytes_ ? need : chunk_bytes_;
+      chunks_.push_back({std::make_unique<char[]>(size), size});
+      next = chunks_.size() - 1;
+    }
+    current_ = next;
+    offset_ = 0;
+    return true;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t bytes_allocated_ = 0;
+};
+
+}  // namespace torpedo::util

@@ -12,6 +12,9 @@ namespace torpedo {
 
 using Nanos = std::int64_t;
 
+// Sentinel for "no deadline / never": later than any representable instant.
+inline constexpr Nanos kMaxNanos = INT64_MAX;
+
 inline constexpr Nanos kMicrosecond = 1'000;
 inline constexpr Nanos kMillisecond = 1'000'000;
 inline constexpr Nanos kSecond = 1'000'000'000;

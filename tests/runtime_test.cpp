@@ -39,8 +39,10 @@ class RuntimeTest : public ::testing::Test {
 
   ExecOutcome run_call(Container& ctr, const SysReq& req,
                        bool collider = false) {
-    return ctr.runtime().execute(*ctr.process(), req,
-                                 ExecContext{.collider = collider});
+    ExecOutcome out;
+    ctr.runtime().execute(*ctr.process(), req,
+                          ExecContext{.collider = collider}, out);
+    return out;
   }
 
   std::unique_ptr<kernel::SimKernel> kernel_;

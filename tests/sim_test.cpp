@@ -70,7 +70,10 @@ TEST(Host, SegmentCompletionCallbackFires) {
   Host host(small_host());
   bool fired = false;
   Task& t = host.spawn({.name = "t"});
-  t.push(std::move(Segment::user(kMillisecond).then([&] { fired = true; })));
+  t.push(std::move(Segment::user(kMillisecond)
+                       .then([](Host&, std::uint64_t flag) {
+                         *reinterpret_cast<bool*>(flag) = true;
+                       }, reinterpret_cast<std::uint64_t>(&fired))));
   host.run_for(10 * kMillisecond);
   EXPECT_TRUE(fired);
 }
@@ -268,8 +271,8 @@ TEST(Host, SupplierMustMakeProgress) {
 TEST(Host, SpawnFromCallback) {
   Host host(small_host());
   Task& t = host.spawn({.name = "parent"});
-  t.push(std::move(Segment::user(kMillisecond).then([&host] {
-    Task& child = host.spawn({.name = "child"});
+  t.push(std::move(Segment::user(kMillisecond).then([](Host& h, std::uint64_t) {
+    Task& child = h.spawn({.name = "child"});
     child.push(Segment::user(2 * kMillisecond));
   })));
   host.run_for(50 * kMillisecond);

@@ -66,6 +66,7 @@ int usage() {
       "                [--monitor-port N] [--watchdog-seconds S]\n"
       "                [--watchdog-abort]\n"
       "                [--shards N] [--no-corpus-sync]\n"
+      "                [--snapshot-exec | --no-snapshot-exec]\n"
       "  torpedo exec  [--runtime ...] [--round-seconds S] FILE.prog\n"
       "  torpedo seeds [--out DIR] [--count N]\n"
       "  torpedo report [--json] WORKDIR\n"
@@ -96,7 +97,8 @@ struct Args {
 // Flags that take no value.
 bool is_switch(const std::string& name) {
   return name == "v" || name == "json" || name == "watchdog-abort" ||
-         name == "no-corpus-sync" || name == "keep-scratch";
+         name == "no-corpus-sync" || name == "keep-scratch" ||
+         name == "snapshot-exec" || name == "no-snapshot-exec";
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -138,6 +140,9 @@ std::optional<core::CampaignConfig> campaign_config(const Args& args) {
   config.num_seeds = static_cast<std::size_t>(
       args.num("num-seeds", static_cast<long>(config.num_seeds)));
   config.seed = static_cast<std::uint64_t>(args.num("seed", 0x7095ED0));
+  // Default on; --no-snapshot-exec selects the cold boot-per-program path
+  // (same artifacts byte for byte, just slower).
+  if (args.has("no-snapshot-exec")) config.snapshot_exec = false;
   return config;
 }
 
