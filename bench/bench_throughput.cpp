@@ -19,10 +19,12 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "feedback/mutation_efficacy.h"
 #include "telemetry/json.h"
 #include "telemetry/monitor.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/timeseries.h"
 
 using namespace torpedo;
 
@@ -48,7 +50,8 @@ struct Result {
 };
 
 Result run_campaign(int batches, bool with_tracer, bool with_monitor,
-                    bool snapshot_exec = true) {
+                    bool snapshot_exec = true,
+                    bool with_introspection = false) {
   core::CampaignConfig config;
   config.batches = batches;
   config.round_duration = 2 * kSecond;
@@ -56,6 +59,16 @@ Result run_campaign(int batches, bool with_tracer, bool with_monitor,
   config.snapshot_exec = snapshot_exec;
   core::Campaign campaign(config);
   campaign.load_default_seeds();
+
+  // Introspection-on: the per-operator efficacy probes fire in the mutate
+  // loop and the time-series recorder samples every observer round — the
+  // exact wiring `torpedo run` always enables.
+  feedback::MutationEfficacy efficacy;
+  telemetry::TimeSeriesRecorder timeseries;
+  if (with_introspection) {
+    feedback::set_mutation_efficacy(&efficacy);
+    campaign.set_timeseries(&timeseries);
+  }
 
   telemetry::SpanTracer tracer;
   if (with_tracer) {
@@ -94,6 +107,7 @@ Result run_campaign(int batches, bool with_tracer, bool with_monitor,
   }
   const auto end = std::chrono::steady_clock::now();
   telemetry::set_spans(nullptr);
+  feedback::set_mutation_efficacy(nullptr);
   if (scraper.joinable()) {
     stop_scraper.store(true, std::memory_order_release);
     scraper.join();
@@ -144,10 +158,16 @@ int main(int argc, char** argv) {
       run_campaign(batches, /*with_tracer=*/true, /*with_monitor=*/false);
   const Result monitored =
       run_campaign(batches, /*with_tracer=*/false, /*with_monitor=*/true);
+  const Result introspected =
+      run_campaign(batches, /*with_tracer=*/false, /*with_monitor=*/false,
+                   /*snapshot_exec=*/true, /*with_introspection=*/true);
   const double overhead_pct =
       r.wall_ms > 0 ? 100.0 * (traced.wall_ms - r.wall_ms) / r.wall_ms : 0;
   const double monitor_overhead_pct =
       r.wall_ms > 0 ? 100.0 * (monitored.wall_ms - r.wall_ms) / r.wall_ms : 0;
+  const double introspection_overhead_pct =
+      r.wall_ms > 0 ? 100.0 * (introspected.wall_ms - r.wall_ms) / r.wall_ms
+                    : 0;
   const double snapshot_speedup =
       r.execs_per_sec() > 0 ? cold.execs_per_sec() > 0
                                   ? r.execs_per_sec() / cold.execs_per_sec()
@@ -167,6 +187,10 @@ int main(int argc, char** argv) {
       "without --snapshot-exec (cold boot per program): %.1f ms, "
       "%.0f execs/sec (snapshot speedup %.2fx)\n",
       cold.wall_ms, cold.execs_per_sec(), snapshot_speedup);
+  std::printf(
+      "with introspection (efficacy + time series): %.1f ms "
+      "(%+.1f%% wall overhead)\n",
+      introspected.wall_ms, introspection_overhead_pct);
 
   telemetry::JsonDict json;
   json.set("bench", "throughput")
@@ -185,7 +209,9 @@ int main(int argc, char** argv) {
       .set("snapshot_on_execs_per_sec", r.execs_per_sec())
       .set("snapshot_off_wall_ms", cold.wall_ms)
       .set("snapshot_off_execs_per_sec", cold.execs_per_sec())
-      .set("snapshot_speedup", snapshot_speedup);
+      .set("snapshot_speedup", snapshot_speedup)
+      .set("introspection_wall_ms", introspected.wall_ms)
+      .set("introspection_overhead_pct", introspection_overhead_pct);
 
   std::ofstream out(out_path, std::ios::trunc);
   if (!out) {

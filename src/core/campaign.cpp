@@ -4,10 +4,12 @@
 #include <unordered_set>
 
 #include "core/seeds.h"
+#include "feedback/mutation_efficacy.h"
 #include "feedback/syscall_profile.h"
 #include "telemetry/monitor.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -87,6 +89,7 @@ struct Campaign::ScanState {
     prog::Program program;
     int round;
     std::size_t severity = 0;  // violations in the source round
+    feedback::Lineage lineage;  // of the program in its flagged round
   };
 
   ScanState(oracle::CpuOracle& cpu, oracle::IoOracle& io,
@@ -217,6 +220,10 @@ void Campaign::set_heartbeat(telemetry::HeartbeatWriter* heartbeat) {
   heartbeat_ = heartbeat;
 }
 
+void Campaign::set_timeseries(telemetry::TimeSeriesRecorder* timeseries) {
+  timeseries_ = timeseries;
+}
+
 void Campaign::set_watchdog(telemetry::Watchdog* watchdog) {
   watchdog_ = watchdog;
   const std::atomic<bool>* flag =
@@ -232,6 +239,21 @@ void Campaign::set_watchdog(telemetry::Watchdog* watchdog) {
 void Campaign::on_round(const observer::RoundResult& rr) {
   if (scan_->enabled) scan_round(rr);
   for (const exec::RunStats& s : rr.stats) live_executions_ += s.executions;
+  if (timeseries_) {
+    telemetry::RoundSample sample;
+    sample.round = rr.round;
+    sample.sim_ns = kernel_->host().now();
+    sample.executions = live_executions_;
+    sample.corpus_size = corpus_.size();
+    sample.distinct_signals = corpus_.coverage().size();
+    sample.violations = violations_flagged_;
+    if (timeseries_->record(sample))
+      telemetry::global().counter("campaign.plateaus").inc();
+    if (live_status_)
+      live_status_->on_signal_growth(timeseries_->rounds_since_growth(),
+                                     timeseries_->plateaus(),
+                                     timeseries_->in_plateau());
+  }
   if (live_status_) {
     std::vector<telemetry::LiveStatus::ExecutorState> states;
     states.reserve(rr.stats.size());
@@ -263,8 +285,19 @@ void Campaign::scan_round(const observer::RoundResult& rr) {
   }
   const std::vector<oracle::Violation> violations =
       scan.oracle.flag(rr.observation);
+  violations_flagged_ += violations.size();
   const std::vector<bool> implicated =
       implicated_slots(violations, rr.programs.size(), scan.core_to_slot);
+  // Per-operator attribution: each implicated slot charges one violation to
+  // the operator that produced the program running there (slot order matches
+  // round_lineage(): the fuzzer rotates lineage with shuffle rounds).
+  const std::span<const feedback::Lineage> lineage = fuzzer_->round_lineage();
+  if (feedback::MutationEfficacy* eff = feedback::mutation_efficacy()) {
+    if (!violations.empty())
+      for (std::size_t i = 0; i < rr.programs.size() && i < lineage.size();
+           ++i)
+        if (implicated[i]) eff->record_violation(lineage[i].op);
+  }
   // Per-syscall attribution: each flag implication credits the distinct
   // syscall numbers of the implicated program.
   if (feedback::SyscallProfile* profile = feedback::syscall_profile()) {
@@ -278,14 +311,16 @@ void Campaign::scan_round(const observer::RoundResult& rr) {
   }
   for (std::size_t i = 0; i < rr.programs.size(); ++i) {
     const prog::Program& p = rr.programs[i];
+    const feedback::Lineage lin =
+        i < lineage.size() ? lineage[i] : feedback::Lineage{};
     if (i < rr.stats.size() && rr.stats[i].crashed) {
       if (scan.seen.insert(p.hash() ^ 0xC4A54ULL).second)
-        scan.crash_suspects.push_back({p, rr.round});
+        scan.crash_suspects.push_back({p, rr.round, 0, lin});
       continue;
     }
     if (implicated[i] && scan.seen.insert(p.hash()).second &&
         scan.shape_counts[shape_key(p)]++ < 3)
-      scan.suspects.push_back({p, rr.round, violations.size()});
+      scan.suspects.push_back({p, rr.round, violations.size(), lin});
   }
 }
 
@@ -454,6 +489,29 @@ CampaignReport Campaign::finalize() {
       prov.trace_events =
           kernel_->trace().window(window.window_start, window.window_end);
       prov.minimize_history = std::move(minimize_history);
+      // Ancestry chain: the suspect itself, then each splice donor walked
+      // through the corpus. Donors are corpus-resident by construction;
+      // the guard bounds pathological cycles.
+      {
+        feedback::Lineage lin = suspect.lineage;
+        std::uint64_t hash = suspect.program.hash();
+        for (int depth = 0; depth < 32; ++depth) {
+          LineageLink link;
+          link.hash = hash;
+          link.parent_hash = lin.parent_hash;
+          link.op = std::string(feedback::origin_op_name(lin.op));
+          // The suspect never retired into the corpus, so its own lineage
+          // carries no birth round; its flagged round stands in.
+          link.round = lin.birth_round >= 0 ? lin.birth_round : suspect.round;
+          link.shard = lin.birth_shard;
+          prov.lineage.push_back(std::move(link));
+          if (lin.parent_hash == 0) break;
+          const feedback::CorpusEntry* parent = corpus_.find(lin.parent_hash);
+          if (parent == nullptr) break;
+          hash = lin.parent_hash;
+          lin = parent->lineage;
+        }
+      }
       report.provenance.push_back(std::move(prov));
       report.findings.push_back(std::move(finding));
     }

@@ -27,6 +27,7 @@
 namespace torpedo::telemetry {
 class HeartbeatWriter;
 class LiveStatus;
+class TimeSeriesRecorder;
 class TraceSink;
 class Watchdog;
 }  // namespace torpedo::telemetry
@@ -124,6 +125,10 @@ class Campaign {
   void set_live_status(telemetry::LiveStatus* status);
   void set_heartbeat(telemetry::HeartbeatWriter* heartbeat);
   void set_watchdog(telemetry::Watchdog* watchdog);
+  // Signal-growth time series: fed one sample per round (sim stamps only —
+  // the flushed artifact stays byte-deterministic). Entering a plateau bumps
+  // the `campaign.plateaus` counter and updates the live status.
+  void set_timeseries(telemetry::TimeSeriesRecorder* timeseries);
 
   // Host core -> executor slot, derived from the containers' *actual*
   // effective cpusets. Empty unless every executor is pinned to its own
@@ -168,9 +173,12 @@ class Campaign {
   telemetry::LiveStatus* live_status_ = nullptr;
   telemetry::HeartbeatWriter* heartbeat_ = nullptr;
   telemetry::Watchdog* watchdog_ = nullptr;
+  telemetry::TimeSeriesRecorder* timeseries_ = nullptr;
   // Running execution total maintained at round boundaries (the fuzzer's own
   // total lags until its batch accounting runs).
   std::uint64_t live_executions_ = 0;
+  // Cumulative flag-scan violations (the timeseries' violations column).
+  std::uint64_t violations_flagged_ = 0;
 };
 
 }  // namespace torpedo::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "feedback/mutation_efficacy.h"
 #include "feedback/syscall_profile.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
@@ -10,6 +11,21 @@
 #include "util/log.h"
 
 namespace torpedo::core {
+
+namespace {
+feedback::OriginOp origin_of(prog::MutationOp op) {
+  switch (op) {
+    case prog::MutationOp::kSplice:
+      return feedback::OriginOp::kSplice;
+    case prog::MutationOp::kInsertCall:
+      return feedback::OriginOp::kInsertCall;
+    case prog::MutationOp::kRemoveCall:
+      return feedback::OriginOp::kRemoveCall;
+    default:
+      return feedback::OriginOp::kMutateArg;
+  }
+}
+}  // namespace
 
 TorpedoFuzzer::TorpedoFuzzer(observer::Observer& observer,
                              oracle::Oracle& oracle,
@@ -95,37 +111,57 @@ void TorpedoFuzzer::refilter_queue() {
 }
 
 std::vector<prog::Program> TorpedoFuzzer::next_batch() {
+  feedback::MutationEfficacy* eff = feedback::mutation_efficacy();
   const std::size_t n = observer_.executor_count();
   std::vector<prog::Program> batch;
+  slot_lineage_.clear();
   while (batch.size() < n && !queue_.empty()) {
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
+    slot_lineage_.push_back({0, feedback::OriginOp::kSeed, -1, -1});
+    if (eff) eff->record_attempt(feedback::OriginOp::kSeed);
   }
-  while (batch.size() < n) batch.push_back(generator_.generate());
+  while (batch.size() < n) {
+    batch.push_back(generator_.generate());
+    slot_lineage_.push_back({0, feedback::OriginOp::kGenerate, -1, -1});
+    if (eff) eff->record_attempt(feedback::OriginOp::kGenerate);
+  }
   return batch;
 }
 
 BatchResult TorpedoFuzzer::run_batch() {
   ctr_batches_->inc();
+  feedback::MutationEfficacy* eff = feedback::mutation_efficacy();
   BatchResult result;
   std::vector<prog::Program> current = next_batch();
   const std::size_t n = current.size();
 
   // `stage` labels the fuzzing-loop phase this round serves; the round span
   // itself is opened by the observer, so the stage span wraps it.
+  // `lineage[i]` describes programs[i]; it is published via round_lineage()
+  // before the round runs (the campaign's on_round scan reads it) and
+  // charges each slot's executions to its origin operator after.
   auto run = [&](const std::vector<prog::Program>& programs,
-                 std::string_view stage) -> const observer::RoundResult& {
+                 std::string_view stage,
+                 const std::vector<feedback::Lineage>& lineage)
+      -> const observer::RoundResult& {
     telemetry::ScopedSpan span(stage);
+    round_lineage_ = lineage;
     const observer::RoundResult& rr = observer_.run_round(programs);
     result.rounds++;
     result.round_numbers.push_back(rr.round);
     result.saw_crash = result.saw_crash || rr.any_crash;
-    for (const exec::RunStats& s : rr.stats) total_executions_ += s.executions;
+    for (std::size_t i = 0; i < rr.stats.size(); ++i) {
+      total_executions_ += rr.stats[i].executions;
+      if (eff && i < lineage.size())
+        eff->record_executions(lineage[i].op, rr.stats[i].executions);
+    }
     return rr;
   };
 
   // --- candidate stage: one run, gate on new coverage ------------------------
-  const observer::RoundResult& cand = run(current, "fuzz.candidate");
+  const observer::RoundResult& cand = run(current, "fuzz.candidate",
+                                          slot_lineage_);
   std::vector<feedback::SignalSet> cand_signal(n);
   for (std::size_t i = 0; i < n; ++i) {
     cand_signal[i] = cand.stats[i].signal;
@@ -134,7 +170,8 @@ BatchResult TorpedoFuzzer::run_batch() {
 
   // --- triage stage: rerun to verify the coverage reproduces -----------------
   if (config_.verify_triage) {
-    const observer::RoundResult& tri = run(current, "fuzz.triage");
+    const observer::RoundResult& tri = run(current, "fuzz.triage",
+                                           slot_lineage_);
     for (std::size_t i = 0; i < n; ++i) {
       // Keep only signal seen in both runs (syzkaller's flaky-coverage
       // filter).
@@ -169,16 +206,23 @@ BatchResult TorpedoFuzzer::run_batch() {
     const std::size_t novelty = corpus_.novelty(cand_signal[i]);
     if (novelty == 0 && !corpus_.empty()) {
       ctr_candidates_recycled_->inc();
-      current[i] = queue_.empty() ? generator_.generate()
-                                  : std::move(queue_.front());
-      if (!queue_.empty()) queue_.pop_front();
+      const bool from_queue = !queue_.empty();
+      current[i] = from_queue ? std::move(queue_.front())
+                              : generator_.generate();
+      if (from_queue) queue_.pop_front();
+      slot_lineage_[i] = {0,
+                          from_queue ? feedback::OriginOp::kSeed
+                                     : feedback::OriginOp::kGenerate,
+                          -1, -1};
+      if (eff) eff->record_attempt(slot_lineage_[i].op);
     } else if (novelty > 0) {
       ctr_novelty_hits_->inc();
     }
   }
 
   // --- batch loop: mutate <-> confirm(shuffle) -------------------------------
-  const observer::RoundResult& base = run(current, "fuzz.baseline");
+  const observer::RoundResult& base = run(current, "fuzz.baseline",
+                                          slot_lineage_);
   // The most recent round whose executor order matches `current` — the only
   // kind of round whose per-slot stats may retire the batch. A
   // shuffle-confirm round rotates programs across executors, so its
@@ -199,13 +243,35 @@ BatchResult TorpedoFuzzer::run_batch() {
       result.aborted = true;
       break;
     }
-    // Mutate every program in the batch.
+    // Mutate every program in the batch, capturing each slot's burst: the
+    // operations applied become efficacy attempts, and the burst's last
+    // operation plus splice donor (if any) become the slot's new lineage
+    // should the mutation be accepted.
     std::vector<prog::Program> mutated = current;
-    for (prog::Program& p : mutated)
-      mutator_.mutate(p, corpus_.donors());
+    std::vector<feedback::Lineage> mut_lineage = slot_lineage_;
+    std::vector<std::vector<prog::MutationOp>> bursts(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      mutator_.mutate(mutated[i], corpus_.donors());
+      bursts[i].assign(mutator_.last_ops().begin(),
+                       mutator_.last_ops().end());
+      if (!bursts[i].empty())
+        mut_lineage[i].op = origin_of(bursts[i].back());
+      const std::uint64_t donor = mutator_.last_splice_donor_hash();
+      if (donor != 0) mut_lineage[i].parent_hash = donor;
+      if (eff)
+        for (prog::MutationOp op : bursts[i])
+          eff->record_attempt(origin_of(op));
+    }
     ctr_mutations_tried_->inc(n);
 
-    const observer::RoundResult& mut = run(mutated, "fuzz.mutate");
+    auto accept_burst_ops = [&] {
+      if (!eff) return;
+      for (const std::vector<prog::MutationOp>& burst : bursts)
+        for (prog::MutationOp op : burst) eff->record_accept(origin_of(op));
+    };
+
+    const observer::RoundResult& mut = run(mutated, "fuzz.mutate",
+                                           mut_lineage);
     const double score = oracle_.score(mut.observation);
     for (std::size_t i = 0; i < n; ++i)
       learn_denylist(mutated[i], mut.stats[i]);
@@ -213,8 +279,10 @@ BatchResult TorpedoFuzzer::run_batch() {
     if (!config_.use_resource_score) {
       // Resource-blind ablation: accept every mutation unconditionally.
       current = std::move(mutated);
+      slot_lineage_ = mut_lineage;
       aligned = &mut;
       ctr_mutations_accepted_->inc(n);
+      accept_burst_ops();
       ++no_improvement;
       continue;
     }
@@ -229,8 +297,10 @@ BatchResult TorpedoFuzzer::run_batch() {
     if (!config_.confirm_shuffle) {
       // Shuffle-confirm disabled (ablation): trust the raw score.
       current = std::move(mutated);
+      slot_lineage_ = mut_lineage;
       aligned = &mut;
       ctr_mutations_accepted_->inc(n);
+      accept_burst_ops();
       best = score;
       result.improvements++;
       no_improvement = 0;
@@ -241,17 +311,23 @@ BatchResult TorpedoFuzzer::run_batch() {
     // therefore cores) so a noise spike pinned to one core can't fake an
     // improvement (§3.5.2).
     std::vector<prog::Program> shuffled(mutated.size());
-    for (std::size_t i = 0; i < mutated.size(); ++i)
+    std::vector<feedback::Lineage> shuffled_lineage(mutated.size());
+    for (std::size_t i = 0; i < mutated.size(); ++i) {
       shuffled[(i + 1) % mutated.size()] = mutated[i];
-    const observer::RoundResult& confirm = run(shuffled, "fuzz.confirm");
+      shuffled_lineage[(i + 1) % mutated.size()] = mut_lineage[i];
+    }
+    const observer::RoundResult& confirm = run(shuffled, "fuzz.confirm",
+                                               shuffled_lineage);
     const double confirm_score = oracle_.score(confirm.observation);
 
     if (confirm_score >= best + config_.significance_points ||
         equivalent(confirm_score, score)) {
       current = std::move(mutated);
+      slot_lineage_ = mut_lineage;
       // The confirm round ran rotated; the mutate round is the aligned one.
       aligned = &mut;
       ctr_mutations_accepted_->inc(n);
+      accept_burst_ops();
       best = std::max(score, confirm_score);
       result.improvements++;
       no_improvement = 0;
@@ -268,7 +344,18 @@ BatchResult TorpedoFuzzer::run_batch() {
   // (and possibly belong to rejected mutants), so each program would enter
   // the corpus with another program's coverage signal.
   for (std::size_t i = 0; i < n && i < aligned->stats.size(); ++i) {
-    corpus_.add(current[i], aligned->stats[i].signal, best);
+    feedback::Lineage lineage = slot_lineage_[i];
+    lineage.birth_round = aligned->round;
+    // Novelty must be read before add() merges the signal into coverage.
+    const std::size_t novel = corpus_.novelty(aligned->stats[i].signal);
+    const bool inserted =
+        corpus_.add(current[i], aligned->stats[i].signal, best, lineage);
+    if (eff) {
+      if (novel > 0)
+        eff->record_novel_signal(lineage.op,
+                                 static_cast<std::uint64_t>(novel));
+      if (inserted) eff->record_corpus_insert(lineage.op);
+    }
   }
   result.corpus_signal_round = aligned->round;
 

@@ -89,6 +89,15 @@ class TorpedoFuzzer {
   // evaluation, triage, and the mutate/confirm loop to exhaustion.
   BatchResult run_batch();
 
+  // Lineage of the programs in the most recent observer round, indexed by
+  // executor slot (rotated for shuffle-confirm rounds, so stats[i] and
+  // round_lineage()[i] always describe the same program). The campaign's
+  // flag scan uses this to attribute violations to mutation operators and
+  // to capture a suspect's ancestry.
+  std::span<const feedback::Lineage> round_lineage() const {
+    return round_lineage_;
+  }
+
   const std::vector<std::string>& denylist() const { return denylist_; }
   // Merges denylist entries learned elsewhere (another shard, via the
   // CorpusHub) and pushes the combined list into the generator.
@@ -118,6 +127,9 @@ class TorpedoFuzzer {
   FuzzerConfig config_;
 
   std::deque<prog::Program> queue_;
+  // Lineage of current[i] in the running batch / of the last round's slots.
+  std::vector<feedback::Lineage> slot_lineage_;
+  std::vector<feedback::Lineage> round_lineage_;
   std::vector<std::string> denylist_;
   std::uint64_t total_executions_ = 0;
   const std::atomic<bool>* abort_flag_ = nullptr;

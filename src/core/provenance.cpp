@@ -51,6 +51,25 @@ std::string minimize_history_to_json(const std::vector<MinimizeStep>& steps) {
   return out;
 }
 
+std::string lineage_to_json(const std::vector<LineageLink>& links) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (i) out += ",";
+    telemetry::JsonDict d;
+    d.set("hash", format("%016llx",
+                         static_cast<unsigned long long>(links[i].hash)))
+        .set("parent",
+             format("%016llx",
+                    static_cast<unsigned long long>(links[i].parent_hash)))
+        .set("op", links[i].op)
+        .set("round", links[i].round);
+    if (links[i].shard >= 0) d.set("shard", links[i].shard);
+    out += d.to_string();
+  }
+  out += "]";
+  return out;
+}
+
 }  // namespace
 
 telemetry::JsonDict observation_to_json(const observer::Observation& obs) {
@@ -156,7 +175,8 @@ telemetry::JsonDict provenance_to_json(const Provenance& p, int bundle_id) {
       .set_raw("observation", observation_to_json(p.observation).to_string())
       .set_raw("kernel_trace", trace_events_to_json(p.trace_events))
       .set_raw("minimize_history",
-               minimize_history_to_json(p.minimize_history));
+               minimize_history_to_json(p.minimize_history))
+      .set_raw("lineage", lineage_to_json(p.lineage));
   return d;
 }
 
@@ -207,6 +227,21 @@ std::string provenance_report_md(const Provenance& p, int bundle_id) {
                    static_cast<long long>(e.time),
                    std::string(kernel::trace_kind_name(e.kind)).c_str(),
                    static_cast<unsigned long long>(e.pid), e.detail.c_str());
+  }
+
+  if (!p.lineage.empty()) {
+    md += "\n## Ancestry (suspect first, oldest splice donor last)\n\n";
+    md += "| hash | op | round | shard | parent |\n|---|---|---|---|---|\n";
+    for (const LineageLink& link : p.lineage)
+      md += format("| %016llx | %s | %d | %s | %s |\n",
+                   static_cast<unsigned long long>(link.hash),
+                   link.op.c_str(), link.round,
+                   link.shard >= 0 ? std::to_string(link.shard).c_str() : "-",
+                   link.parent_hash != 0
+                       ? format("%016llx", static_cast<unsigned long long>(
+                                               link.parent_hash))
+                             .c_str()
+                       : "root");
   }
 
   if (!p.minimize_history.empty()) {

@@ -28,6 +28,17 @@ namespace torpedo::core {
 
 struct CampaignReport;
 
+// One step of a finding's ancestry chain, oldest last: the suspect program
+// itself first, then each splice donor walking parent_hash links through the
+// corpus. `parent_hash == 0` terminates (root seed / generated program).
+struct LineageLink {
+  std::uint64_t hash = 0;         // program content hash at this step
+  std::uint64_t parent_hash = 0;  // splice donor; 0 == root
+  std::string op;                 // origin operator name ("splice", ...)
+  int round = -1;                 // birth round (-1: suspect never retired)
+  int shard = -1;                 // birth shard (-1: unsharded)
+};
+
 // Everything needed to reproduce and explain one confirmed finding.
 struct Provenance {
   int finding_index = -1;  // index into CampaignReport::findings
@@ -46,6 +57,8 @@ struct Provenance {
   observer::Observation observation;                  // final window, full
   std::vector<kernel::TraceEvent> trace_events;       // KernelTrace window
   std::vector<MinimizeStep> minimize_history;
+  // Ancestry of the (un-minimized) suspect: suspect first, oldest donor last.
+  std::vector<LineageLink> lineage;
 };
 
 // --- JSON renderers (hand-rolled, exact int64 like the rest of telemetry) ---

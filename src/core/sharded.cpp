@@ -28,6 +28,9 @@ void ShardedCampaign::run_shard(int shard, ShardResult& result) {
     CampaignConfig cfg = config_.base;
     cfg.seed = shard_seed(config_.base.seed, shard);
     Campaign campaign(cfg);
+    // Entries born here carry this shard's index; entries pulled from a peer
+    // keep the birth_shard they arrived with.
+    campaign.corpus().set_shard(shard);
     if (start_hook_) start_hook_(shard, campaign);
     if (seeds_.has_value())
       campaign.load_seeds(*seeds_);
@@ -50,7 +53,8 @@ void ShardedCampaign::run_shard(int shard, ShardResult& result) {
       feedback::CorpusHub::Delta delta = hub_->exchange(
           shard, std::move(fresh), campaign.fuzzer().denylist());
       for (feedback::CorpusEntry& e : delta.entries)
-        campaign.corpus().add(std::move(e.program), e.signal, e.best_score);
+        campaign.corpus().add(std::move(e.program), e.signal, e.best_score,
+                              e.lineage);
       published = campaign.corpus().size();
       campaign.fuzzer().adopt_denylist(delta.denylist);
     }
@@ -125,7 +129,8 @@ CampaignReport ShardedCampaign::merge(std::vector<ShardResult>& results) {
 
     for (feedback::CorpusEntry& e :
          results[static_cast<std::size_t>(s)].corpus)
-      merged_corpus_.add(std::move(e.program), e.signal, e.best_score);
+      merged_corpus_.add(std::move(e.program), e.signal, e.best_score,
+                         e.lineage);
   }
 
   // Deterministic merged order: (shard, source_round), stable so a shard's

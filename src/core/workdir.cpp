@@ -1,11 +1,14 @@
 #include "core/workdir.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <type_traits>
 
+#include "feedback/mutation_efficacy.h"
 #include "telemetry/json.h"
+#include "telemetry/timeseries.h"
 #include "util/strings.h"
 
 namespace torpedo::core {
@@ -54,9 +57,18 @@ void save_corpus(const fs::path& file, const feedback::Corpus& corpus) {
   std::ofstream out(file);
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     const feedback::CorpusEntry& entry = corpus.entry(i);
-    out << format("# score=%.4f signal=%zu\n", entry.best_score,
-                  entry.signal.size());
-    out << entry.program.serialize() << "\n";
+    const feedback::Lineage& lin = entry.lineage;
+    out << format("# score=%.4f signal=%zu hash=%016llx parent=%016llx "
+                  "op=%s round=%d",
+                  entry.best_score, entry.signal.size(),
+                  static_cast<unsigned long long>(entry.program.hash()),
+                  static_cast<unsigned long long>(lin.parent_hash),
+                  std::string(feedback::origin_op_name(lin.op)).c_str(),
+                  lin.birth_round);
+    // The shard dimension exists only in sharded campaigns; unsharded
+    // corpus files keep their historical shape.
+    if (lin.birth_shard >= 0) out << format(" shard=%d", lin.birth_shard);
+    out << "\n" << entry.program.serialize() << "\n";
   }
 }
 
@@ -66,6 +78,7 @@ std::size_t load_corpus(const fs::path& file, feedback::Corpus& corpus) {
   std::size_t loaded = 0;
   std::string line;
   double score = 0;
+  feedback::Lineage lineage;
   std::string block;
   auto flush = [&] {
     if (block.empty()) return;
@@ -73,11 +86,13 @@ std::size_t load_corpus(const fs::path& file, feedback::Corpus& corpus) {
     if (program && !program->empty()) {
       // Coverage signal is execution-derived; start empty and let the next
       // campaign re-learn it.
-      if (corpus.add(std::move(*program), feedback::SignalSet{}, score))
+      if (corpus.add(std::move(*program), feedback::SignalSet{}, score,
+                     lineage))
         ++loaded;
     }
     block.clear();
     score = 0;
+    lineage = {};
   };
   while (std::getline(in, line)) {
     if (starts_with(line, "# score=")) {
@@ -86,6 +101,18 @@ std::size_t load_corpus(const fs::path& file, feedback::Corpus& corpus) {
       for (const auto field : fields) {
         if (starts_with(field, "score=")) {
           score = std::atof(std::string(field.substr(6)).c_str());
+        } else if (starts_with(field, "parent=")) {
+          lineage.parent_hash = std::strtoull(
+              std::string(field.substr(7)).c_str(), nullptr, 16);
+        } else if (starts_with(field, "op=")) {
+          if (auto op = feedback::origin_op_from_name(field.substr(3)))
+            lineage.op = *op;
+        } else if (starts_with(field, "round=")) {
+          lineage.birth_round =
+              std::atoi(std::string(field.substr(6)).c_str());
+        } else if (starts_with(field, "shard=")) {
+          lineage.birth_shard =
+              std::atoi(std::string(field.substr(6)).c_str());
         }
       }
       continue;
@@ -98,6 +125,22 @@ std::size_t load_corpus(const fs::path& file, feedback::Corpus& corpus) {
   }
   flush();
   return loaded;
+}
+
+void save_timeseries(
+    const fs::path& file,
+    std::span<const telemetry::TimeSeriesRecorder* const> recorders) {
+  if (file.has_parent_path()) fs::create_directories(file.parent_path());
+  std::ofstream out(file);
+  for (const telemetry::TimeSeriesRecorder* recorder : recorders)
+    if (recorder != nullptr) recorder->flush_jsonl(out);
+}
+
+void save_mutation_efficacy(const fs::path& file,
+                            const feedback::MutationEfficacy& efficacy) {
+  if (file.has_parent_path()) fs::create_directories(file.parent_path());
+  std::ofstream out(file);
+  out << efficacy.to_json() << "\n";
 }
 
 void save_report(const fs::path& file, const CampaignReport& report) {

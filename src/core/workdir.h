@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,10 @@
 #include "core/classify.h"
 #include "feedback/corpus.h"
 #include "prog/program.h"
+
+namespace torpedo::feedback {
+class MutationEfficacy;
+}  // namespace torpedo::feedback
 
 namespace torpedo::core {
 
@@ -36,15 +41,32 @@ std::vector<prog::Program> load_seed_files(
 // --- corpus -------------------------------------------------------------------
 
 // Serializes the corpus to a single text file: for each entry a header line
-// ("# score=<best> signal=<n>") followed by the program text and a blank
-// line.
+// ("# score=<best> signal=<n> hash=<hex> parent=<hex> op=<name> round=<r>",
+// plus " shard=<s>" for sharded campaigns) followed by the program text and
+// a blank line. The hash field makes each entry self-describing, so
+// `torpedo stats` can build lineage-depth histograms without re-hashing.
 void save_corpus(const std::filesystem::path& file,
                  const feedback::Corpus& corpus);
 
 // Reads a corpus file back; entries that fail to parse are skipped. Scores
-// round-trip; the coverage signal is re-learned by running the programs.
+// and lineage round-trip (older headers without lineage fields load as
+// roots); the coverage signal is re-learned by running the programs.
 std::size_t load_corpus(const std::filesystem::path& file,
                         feedback::Corpus& corpus);
+
+// --- introspection artifacts --------------------------------------------------
+
+// Writes the signal-growth time series as JSONL, shard-major: all of the
+// first recorder's retained samples, then the second's, ... (torpedo run,
+// the selftest replay, and the determinism tests share this so the artifact
+// has exactly one byte layout). Null recorders are skipped.
+void save_timeseries(
+    const std::filesystem::path& file,
+    std::span<const telemetry::TimeSeriesRecorder* const> recorders);
+
+// Writes the per-operator mutation-efficacy table as one JSON object.
+void save_mutation_efficacy(const std::filesystem::path& file,
+                            const feedback::MutationEfficacy& efficacy);
 
 // --- findings -----------------------------------------------------------------
 

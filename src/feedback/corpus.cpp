@@ -2,8 +2,25 @@
 
 namespace torpedo::feedback {
 
-bool Corpus::add(prog::Program program, const SignalSet& signal,
-                 double score) {
+namespace {
+constexpr std::string_view kOpNames[kNumOriginOps] = {
+    "seed", "generate", "splice", "insert_call", "remove_call", "mutate_arg"};
+}  // namespace
+
+std::string_view origin_op_name(OriginOp op) {
+  const auto i = static_cast<std::size_t>(op);
+  return i < kNumOriginOps ? kOpNames[i] : "unknown";
+}
+
+std::optional<OriginOp> origin_op_from_name(std::string_view name) {
+  for (int i = 0; i < kNumOriginOps; ++i)
+    if (kOpNames[static_cast<std::size_t>(i)] == name)
+      return static_cast<OriginOp>(i);
+  return std::nullopt;
+}
+
+bool Corpus::add(prog::Program program, const SignalSet& signal, double score,
+                 Lineage lineage) {
   coverage_.merge(signal);
   const std::uint64_t h = program.hash();
   auto it = by_hash_.find(h);
@@ -13,14 +30,33 @@ bool Corpus::add(prog::Program program, const SignalSet& signal,
     if (score > entry.best_score) entry.best_score = score;
     return false;
   }
+  if (lineage.birth_shard < 0) lineage.birth_shard = shard_;
   by_hash_[h] = entries_.size();
   CorpusEntry entry;
   entry.program = std::move(program);
   entry.signal = signal;
   entry.best_score = score;
+  entry.lineage = lineage;
   entries_.push_back(std::move(entry));
   donors_.push_back(&entries_.back().program);
   return true;
+}
+
+const CorpusEntry* Corpus::find(std::uint64_t hash) const {
+  auto it = by_hash_.find(hash);
+  return it == by_hash_.end() ? nullptr : &entries_[it->second];
+}
+
+std::size_t Corpus::depth(std::uint64_t hash) const {
+  std::size_t depth = 0;
+  const CorpusEntry* entry = find(hash);
+  while (entry != nullptr && entry->lineage.parent_hash != 0 && depth < 64) {
+    const CorpusEntry* parent = find(entry->lineage.parent_hash);
+    if (parent == nullptr || parent == entry) break;
+    ++depth;
+    entry = parent;
+  }
+  return depth;
 }
 
 }  // namespace torpedo::feedback

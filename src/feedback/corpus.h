@@ -1,14 +1,20 @@
 // The program corpus: the manager-side collection of interesting programs.
 //
 // Entries are deduplicated by content hash; each remembers the coverage
-// signal it contributed and the best oracle score it ever achieved (the
+// signal it contributed, the best oracle score it ever achieved (the
 // paper keeps "only the set of mutated workloads that generated the most
-// adversarial resource usage", §3.5.2).
+// adversarial resource usage", §3.5.2), and its lineage: which corpus
+// parent it was spliced from, which mutation operator produced it, and the
+// round/shard it was born in. Lineage is what the introspection layer
+// (mutation efficacy tables, ancestry chains in violation bundles,
+// `torpedo stats`) is built on.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -17,16 +23,49 @@
 
 namespace torpedo::feedback {
 
+// Where a program came from. The first two are batch origins (seed queue /
+// generator); the other four are the mutation operators (prog/mutate.h).
+enum class OriginOp : std::uint8_t {
+  kSeed = 0,
+  kGenerate,
+  kSplice,
+  kInsertCall,
+  kRemoveCall,
+  kMutateArg,
+};
+inline constexpr int kNumOriginOps = 6;
+
+// Stable short names ("seed", "splice", ...) used in corpus.txt headers,
+// mutation_efficacy.json, and /metrics labels.
+std::string_view origin_op_name(OriginOp op);
+std::optional<OriginOp> origin_op_from_name(std::string_view name);
+
+// Provenance of one corpus entry. `parent_hash == 0` means root: the entry
+// has no corpus parent (fresh seed or generated program). A non-zero parent
+// is always the content hash of a splice donor, which by construction was a
+// corpus entry when the splice happened — so parents resolve within the
+// corpus (or the merged corpus, for sharded campaigns).
+struct Lineage {
+  std::uint64_t parent_hash = 0;
+  OriginOp op = OriginOp::kSeed;
+  int birth_round = -1;  // observer round whose retirement inserted the entry
+  int birth_shard = -1;  // producing shard; -1 for unsharded campaigns
+};
+
 struct CorpusEntry {
   prog::Program program;
   SignalSet signal;
   double best_score = 0;
+  Lineage lineage;
 };
 
 class Corpus {
  public:
   // Adds (or refreshes) an entry. Returns true if the program was new.
-  bool add(prog::Program program, const SignalSet& signal, double score);
+  // On a duplicate hash the existing entry keeps its lineage (first birth
+  // wins — re-discovering a program does not rewrite its ancestry).
+  bool add(prog::Program program, const SignalSet& signal, double score,
+           Lineage lineage = {});
 
   // Global coverage accumulated across all added programs.
   const SignalSet& coverage() const { return coverage_; }
@@ -42,6 +81,20 @@ class Corpus {
   bool empty() const { return entries_.empty(); }
   const CorpusEntry& entry(std::size_t i) const { return entries_[i]; }
 
+  // Entry by content hash; nullptr when absent.
+  const CorpusEntry* find(std::uint64_t hash) const;
+
+  // Ancestry chain length of the entry with this hash: 0 for a root entry,
+  // 1 for a child of a root, ... Walks parent_hash links within this corpus;
+  // a dangling or cyclic link terminates the walk (cycle guard at 64).
+  std::size_t depth(std::uint64_t hash) const;
+
+  // Default birth_shard stamped onto entries added with birth_shard == -1
+  // (sharded campaigns set this once per shard stack; entries pulled from
+  // another shard keep their original birth_shard).
+  void set_shard(int shard) { shard_ = shard; }
+  int shard() const { return shard_; }
+
   // Splice-donor view: pointers into the entries (stable — entries live in a
   // deque and are never removed), so each program is stored exactly once.
   std::span<const prog::Program* const> donors() const { return donors_; }
@@ -51,6 +104,7 @@ class Corpus {
   std::vector<const prog::Program*> donors_;  // entries_[i].program
   std::unordered_map<std::uint64_t, std::size_t> by_hash_;
   SignalSet coverage_;
+  int shard_ = -1;
 };
 
 }  // namespace torpedo::feedback

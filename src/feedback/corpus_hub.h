@@ -44,7 +44,12 @@ class CorpusHub {
   // What a shard takes home from an exchange.
   struct Delta {
     // Novel entries committed since this shard's previous exchange,
-    // excluding its own publications, in deterministic commit order.
+    // excluding its own publications, in deterministic commit order. Whole
+    // CorpusEntry values travel through the hub, so lineage (parent hash,
+    // origin op, birth round/shard) survives cross-shard pulls; splice
+    // donors were corpus-resident before their children were born, so they
+    // were published no later than the child's batch — a pulled entry's
+    // parent always resolves once the puller's corpus catches up.
     std::vector<CorpusEntry> entries;
     // The full merged denylist (sorted), superset of what was published.
     std::vector<std::string> denylist;

@@ -1,0 +1,99 @@
+#include "feedback/mutation_efficacy.h"
+
+#include "telemetry/json.h"
+
+namespace torpedo::feedback {
+
+namespace {
+MutationEfficacy* g_efficacy = nullptr;
+}  // namespace
+
+MutationEfficacy* mutation_efficacy() { return g_efficacy; }
+void set_mutation_efficacy(MutationEfficacy* efficacy) {
+  g_efficacy = efficacy;
+}
+
+std::vector<MutationEfficacy::Row> MutationEfficacy::rows() const {
+  std::vector<Row> rows;
+  rows.reserve(kNumOriginOps);
+  for (int i = 0; i < kNumOriginOps; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    Row row;
+    row.op = static_cast<OriginOp>(i);
+    row.attempts = attempts_[idx].load(std::memory_order_relaxed);
+    row.accepted = accepted_[idx].load(std::memory_order_relaxed);
+    row.executions = executions_[idx].load(std::memory_order_relaxed);
+    row.novel_signal = novel_signal_[idx].load(std::memory_order_relaxed);
+    row.violations = violations_[idx].load(std::memory_order_relaxed);
+    row.corpus_inserts =
+        corpus_inserts_[idx].load(std::memory_order_relaxed);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string MutationEfficacy::to_json() const {
+  std::string ops = "[";
+  bool first = true;
+  for (const Row& row : rows()) {
+    telemetry::JsonDict d;
+    d.set("op", origin_op_name(row.op))
+        .set("attempts", row.attempts)
+        .set("accepted", row.accepted)
+        .set("executions", row.executions)
+        .set("novel_signal", row.novel_signal)
+        .set("violations", row.violations)
+        .set("corpus_inserts", row.corpus_inserts);
+    if (!first) ops += ",";
+    first = false;
+    ops += d.to_string();
+  }
+  ops += "]";
+  telemetry::JsonDict out;
+  out.set_raw("ops", ops);
+  return out.to_string();
+}
+
+std::string MutationEfficacy::to_prometheus() const {
+  const std::vector<Row> all = rows();
+  std::string out;
+  struct Family {
+    const char* name;
+    const char* help;
+    std::uint64_t Row::* column;
+  };
+  static constexpr Family kFamilies[] = {
+      {"torpedo_mutation_attempts_total",
+       "operator applications inside mutation bursts", &Row::attempts},
+      {"torpedo_mutation_accepted_total",
+       "operator applications inside accepted bursts", &Row::accepted},
+      {"torpedo_mutation_executions_total",
+       "executions attributed to the operator's programs", &Row::executions},
+      {"torpedo_mutation_novel_signal_total",
+       "novel coverage signal contributed at corpus retirement",
+       &Row::novel_signal},
+      {"torpedo_mutation_violations_total",
+       "flag-scan violations attributed to the operator's programs",
+       &Row::violations},
+      {"torpedo_mutation_corpus_inserts_total",
+       "corpus insertions of the operator's programs", &Row::corpus_inserts},
+  };
+  for (const Family& family : kFamilies) {
+    out += "# HELP " + std::string(family.name) + " " + family.help + "\n";
+    out += "# TYPE " + std::string(family.name) + " counter\n";
+    for (const Row& row : all) {
+      out += std::string(family.name) + "{op=\"" +
+             std::string(origin_op_name(row.op)) + "\"} " +
+             std::to_string(row.*family.column) + "\n";
+    }
+  }
+  return out;
+}
+
+void MutationEfficacy::reset() {
+  for (Cells* cells : {&attempts_, &accepted_, &executions_, &novel_signal_,
+                       &violations_, &corpus_inserts_})
+    for (auto& cell : *cells) cell.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace torpedo::feedback

@@ -8,10 +8,12 @@ namespace torpedo::prog {
 
 MutationOp Mutator::mutate(Program& program, std::span<const Program> corpus) {
   Rng& rng = generator_.rng();
+  last_ops_.clear();
+  last_donor_hash_ = 0;
   MutationOp last = MutationOp::kMutateArg;
   int guard = 0;
   do {
-    last = mutate_once(program, corpus);
+    last = apply_once(program, corpus);
   } while (!rng.chance(1, 3) && ++guard < 6);
   return last;
 }
@@ -19,16 +21,32 @@ MutationOp Mutator::mutate(Program& program, std::span<const Program> corpus) {
 MutationOp Mutator::mutate(Program& program,
                            std::span<const Program* const> corpus) {
   Rng& rng = generator_.rng();
+  last_ops_.clear();
+  last_donor_hash_ = 0;
   MutationOp last = MutationOp::kMutateArg;
   int guard = 0;
   do {
-    last = mutate_once(program, corpus);
+    last = apply_once(program, corpus);
   } while (!rng.chance(1, 3) && ++guard < 6);
   return last;
 }
 
 MutationOp Mutator::mutate_once(Program& program,
                                 std::span<const Program> corpus) {
+  last_ops_.clear();
+  last_donor_hash_ = 0;
+  return apply_once(program, corpus);
+}
+
+MutationOp Mutator::mutate_once(Program& program,
+                                std::span<const Program* const> corpus) {
+  last_ops_.clear();
+  last_donor_hash_ = 0;
+  return apply_once(program, corpus);
+}
+
+MutationOp Mutator::apply_once(Program& program,
+                               std::span<const Program> corpus) {
   Rng& rng = generator_.rng();
   double splice_w = corpus.empty() ? 0.0 : config_.splice_weight;
   // "Add a call ... is less likely when the program is at or near max
@@ -45,23 +63,28 @@ MutationOp Mutator::mutate_once(Program& program,
   switch (pick) {
     case 0: {
       const Program& donor = corpus[rng.below(corpus.size())];
+      last_donor_hash_ = donor.hash();
       splice(program, donor);
+      last_ops_.push_back(MutationOp::kSplice);
       return MutationOp::kSplice;
     }
     case 1:
       insert_call(program);
+      last_ops_.push_back(MutationOp::kInsertCall);
       return MutationOp::kInsertCall;
     case 2:
       remove_call(program);
+      last_ops_.push_back(MutationOp::kRemoveCall);
       return MutationOp::kRemoveCall;
     default:
       mutate_arg(program);
+      last_ops_.push_back(MutationOp::kMutateArg);
       return MutationOp::kMutateArg;
   }
 }
 
-MutationOp Mutator::mutate_once(Program& program,
-                                std::span<const Program* const> corpus) {
+MutationOp Mutator::apply_once(Program& program,
+                               std::span<const Program* const> corpus) {
   Rng& rng = generator_.rng();
   double splice_w = corpus.empty() ? 0.0 : config_.splice_weight;
   double insert_w = program.size() >= config_.max_calls
@@ -76,17 +99,22 @@ MutationOp Mutator::mutate_once(Program& program,
   switch (pick) {
     case 0: {
       const Program& donor = *corpus[rng.below(corpus.size())];
+      last_donor_hash_ = donor.hash();
       splice(program, donor);
+      last_ops_.push_back(MutationOp::kSplice);
       return MutationOp::kSplice;
     }
     case 1:
       insert_call(program);
+      last_ops_.push_back(MutationOp::kInsertCall);
       return MutationOp::kInsertCall;
     case 2:
       remove_call(program);
+      last_ops_.push_back(MutationOp::kRemoveCall);
       return MutationOp::kRemoveCall;
     default:
       mutate_arg(program);
+      last_ops_.push_back(MutationOp::kMutateArg);
       return MutationOp::kMutateArg;
   }
 }

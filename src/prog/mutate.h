@@ -4,7 +4,9 @@
 // programs, add a biased call, remove a call, and mutate one argument.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "prog/generate.h"
 #include "prog/program.h"
@@ -49,12 +51,26 @@ class Mutator {
   void remove_call(Program& program);
   void mutate_arg(Program& program);
 
+  // Introspection of the most recent mutate()/mutate_once() burst: every
+  // operation applied, in order, and the content hash of the last splice
+  // donor used (0 when the burst did not splice). Valid until the next
+  // mutate call on this Mutator.
+  std::span<const MutationOp> last_ops() const { return last_ops_; }
+  std::uint64_t last_splice_donor_hash() const { return last_donor_hash_; }
+
   const MutateConfig& config() const { return config_; }
   void set_config(const MutateConfig& config) { config_ = config; }
 
  private:
+  // Shared body of mutate_once; records into last_ops_/last_donor_hash_.
+  MutationOp apply_once(Program& program, std::span<const Program> corpus);
+  MutationOp apply_once(Program& program,
+                        std::span<const Program* const> corpus);
+
   Generator& generator_;
   MutateConfig config_;
+  std::vector<MutationOp> last_ops_;
+  std::uint64_t last_donor_hash_ = 0;
 };
 
 }  // namespace torpedo::prog

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -11,7 +12,9 @@
 #include "core/sharded.h"
 #include "core/workdir.h"
 #include "exec/executor.h"
+#include "feedback/mutation_efficacy.h"
 #include "feedback/syscall_profile.h"
+#include "telemetry/timeseries.h"
 #include "prog/program.h"
 #include "kernel/syscalls.h"
 #include "util/strings.h"
@@ -227,6 +230,13 @@ void regenerate(const core::CampaignManifest& manifest,
   feedback::SyscallProfile profile;
   feedback::SyscallProfile* previous = feedback::syscall_profile();
   feedback::set_syscall_profile(&profile);
+  feedback::MutationEfficacy efficacy;
+  feedback::MutationEfficacy* previous_efficacy =
+      feedback::mutation_efficacy();
+  feedback::set_mutation_efficacy(&efficacy);
+  // One recorder per shard, pre-created so the shard-start hook (which runs
+  // on the shard's worker thread) only hands out stable pointers.
+  std::vector<std::unique_ptr<telemetry::TimeSeriesRecorder>> recorders;
   try {
     if (manifest.shards > 1) {
       core::ShardedConfig sharded_config;
@@ -234,12 +244,24 @@ void regenerate(const core::CampaignManifest& manifest,
       sharded_config.shards = manifest.shards;
       sharded_config.corpus_sync = manifest.corpus_sync;
       core::ShardedCampaign sharded(sharded_config);
+      for (int s = 0; s < manifest.shards; ++s) {
+        telemetry::TimeSeriesRecorder::Config ts_config;
+        ts_config.shard = s;
+        recorders.push_back(
+            std::make_unique<telemetry::TimeSeriesRecorder>(ts_config));
+      }
+      sharded.set_shard_start_hook([&](int shard, core::Campaign& campaign) {
+        campaign.set_timeseries(
+            recorders[static_cast<std::size_t>(shard)].get());
+      });
       if (!manifest.seeds_dir.empty())
         sharded.set_seeds(core::load_seed_files(manifest.seeds_dir));
       report = sharded.run();
       core::save_corpus(scratch / "corpus.txt", sharded.merged_corpus());
     } else {
       core::Campaign campaign(config);
+      recorders.push_back(std::make_unique<telemetry::TimeSeriesRecorder>());
+      campaign.set_timeseries(recorders.back().get());
       if (!manifest.seeds_dir.empty())
         campaign.load_seeds(core::load_seed_files(manifest.seeds_dir));
       else
@@ -249,13 +271,20 @@ void regenerate(const core::CampaignManifest& manifest,
     }
     core::save_report(scratch / "report.txt", report);
     core::write_violation_bundles(scratch, report);
+    std::vector<const telemetry::TimeSeriesRecorder*> recorder_ptrs;
+    for (const auto& r : recorders) recorder_ptrs.push_back(r.get());
+    core::save_timeseries(scratch / "timeseries.jsonl", recorder_ptrs);
+    core::save_mutation_efficacy(scratch / "mutation_efficacy.json",
+                                 efficacy);
     std::ofstream out(scratch / "syscall_profile.json", std::ios::trunc);
     if (out) out << profile.to_json(&kernel::sysno_name) << "\n";
   } catch (...) {
     feedback::set_syscall_profile(previous);
+    feedback::set_mutation_efficacy(previous_efficacy);
     throw;
   }
   feedback::set_syscall_profile(previous);
+  feedback::set_mutation_efficacy(previous_efficacy);
 }
 
 // Runs `program` once on a fresh campaign stack and returns the per-call
@@ -332,6 +361,22 @@ ReplayResult replay_workdir(const ReplayOptions& options) {
     const auto b = slurp(scratch / "syscall_profile.json");
     if (a && b) {
       diff_json("syscall_profile.json", "", *a, *b, result.diffs);
+      ++result.artifacts_compared;
+    }
+  }
+
+  // Introspection artifacts: only compared when the recorded workdir has
+  // them (workdirs recorded before campaign introspection existed don't).
+  if (fs::exists(options.workdir / "timeseries.jsonl")) {
+    diff_bytes("timeseries.jsonl", options.workdir / "timeseries.jsonl",
+               scratch / "timeseries.jsonl", result.diffs);
+    ++result.artifacts_compared;
+  }
+  {
+    const auto a = slurp(options.workdir / "mutation_efficacy.json");
+    const auto b = slurp(scratch / "mutation_efficacy.json");
+    if (a && b) {
+      diff_json("mutation_efficacy.json", "", *a, *b, result.diffs);
       ++result.artifacts_compared;
     }
   }

@@ -74,6 +74,14 @@ void LiveStatus::on_findings(std::uint64_t findings, std::uint64_t crashes) {
   crashes_ = crashes;
 }
 
+void LiveStatus::on_signal_growth(int rounds_since_growth,
+                                  std::uint64_t plateaus, bool in_plateau) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rounds_since_growth_ = rounds_since_growth;
+  plateaus_ = plateaus;
+  in_plateau_ = in_plateau;
+}
+
 double LiveStatus::execs_per_sec(Nanos window_ns) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (samples_.size() < 2) return 0;
@@ -123,6 +131,9 @@ JsonDict LiveStatus::to_json() const {
                : -1.0)
       .set("findings", findings_)
       .set("crashes", crashes_)
+      .set("rounds_since_signal_growth", rounds_since_growth_)
+      .set("plateaus", plateaus_)
+      .set("in_plateau", in_plateau_)
       .set_raw("executors", executor_array);
   return out;
 }

@@ -65,6 +65,10 @@ class LiveStatus {
   void on_round(int round, Nanos sim_ns, std::uint64_t total_executions,
                 std::vector<ExecutorState> executors);
   void on_findings(std::uint64_t findings, std::uint64_t crashes);
+  // Signal-growth / plateau state from the timeseries recorder, surfaced in
+  // /status so an operator can see a stuck search without reading files.
+  void on_signal_growth(int rounds_since_growth, std::uint64_t plateaus,
+                        bool in_plateau);
   // Marks this campaign finished: sharded runs flag completed shards so the
   // per-shard watchdog stops treating "no new executions" as a stall.
   void set_done() { done_.store(true, std::memory_order_release); }
@@ -103,6 +107,9 @@ class LiveStatus {
   Nanos last_round_wall_ns_ = 0;
   std::uint64_t findings_ = 0;
   std::uint64_t crashes_ = 0;
+  int rounds_since_growth_ = 0;
+  std::uint64_t plateaus_ = 0;
+  bool in_plateau_ = false;
   std::vector<ExecutorState> executors_;
   // (wall_ns, total executions) samples for the sliding-window rate.
   std::deque<std::pair<Nanos, std::uint64_t>> samples_;

@@ -6,10 +6,46 @@ namespace torpedo::telemetry {
 
 namespace {
 SpanTracer* g_spans = nullptr;
+thread_local SpanTracer* t_spans = nullptr;
+
+// Emits one trace_event "X" object for `span` under process lane `pid`.
+void write_trace_event(std::ostream& out, const Span& span, int pid,
+                       bool& first) {
+  JsonDict args;
+  args.set("id", span.id)
+      .set("parent", span.parent)
+      .set("sim_begin_ns", span.sim_begin_ns)
+      .set("sim_end_ns", span.sim_end_ns)
+      .set("wall_begin_ns", span.wall_begin_ns)
+      .set("wall_end_ns", span.wall_end_ns);
+
+  JsonDict event;
+  event.set("name", span.name)
+      .set("cat", "torpedo")
+      .set("ph", "X")
+      .set("ts", span.sim_begin_ns / 1000)
+      .set("dur", span.sim_duration() / 1000)
+      .set("pid", pid)
+      .set("tid", 1);
+  if (span.args_json.empty()) {
+    event.set_raw("args", args.to_string());
+  } else {
+    // Merge user args after the span bookkeeping fields.
+    std::string merged = args.to_string();
+    merged.pop_back();  // drop '}'
+    merged += ",";
+    merged += std::string_view(span.args_json).substr(1);  // drop '{'
+    event.set_raw("args", merged);
+  }
+  if (!first) out << ",\n";
+  first = false;
+  out << event.to_string();
+}
 }  // namespace
 
-SpanTracer* spans() { return g_spans; }
+SpanTracer* spans() { return t_spans ? t_spans : g_spans; }
 void set_spans(SpanTracer* tracer) { g_spans = tracer; }
+void set_thread_spans(SpanTracer* tracer) { t_spans = tracer; }
 
 std::uint64_t SpanTracer::begin_impl(std::string_view name,
                                      std::string args_json) {
@@ -99,42 +135,25 @@ void SpanTracer::clear() {
   next_id_ = 1;
 }
 
-void SpanTracer::write_chrome_trace(std::ostream& out) const {
+void SpanTracer::write_chrome_trace(std::ostream& out, int pid) const {
   // trace_event's ts/dur are microseconds; the exact nanosecond stamps ride
   // in args so tooling can round-trip int64 precision (telemetry_test pins
   // this).
   out << "[";
   bool first = true;
-  for (const Span& span : done_) {
-    JsonDict args;
-    args.set("id", span.id)
-        .set("parent", span.parent)
-        .set("sim_begin_ns", span.sim_begin_ns)
-        .set("sim_end_ns", span.sim_end_ns)
-        .set("wall_begin_ns", span.wall_begin_ns)
-        .set("wall_end_ns", span.wall_end_ns);
+  for (const Span& span : done_) write_trace_event(out, span, pid, first);
+  out << "]\n";
+}
 
-    JsonDict event;
-    event.set("name", span.name)
-        .set("cat", "torpedo")
-        .set("ph", "X")
-        .set("ts", span.sim_begin_ns / 1000)
-        .set("dur", span.sim_duration() / 1000)
-        .set("pid", 1)
-        .set("tid", 1);
-    if (span.args_json.empty()) {
-      event.set_raw("args", args.to_string());
-    } else {
-      // Merge user args after the span bookkeeping fields.
-      std::string merged = args.to_string();
-      merged.pop_back();  // drop '}'
-      merged += ",";
-      merged += std::string_view(span.args_json).substr(1);  // drop '{'
-      event.set_raw("args", merged);
-    }
-    if (!first) out << ",\n";
-    first = false;
-    out << event.to_string();
+void write_merged_chrome_trace(
+    std::ostream& out,
+    const std::vector<std::pair<int, const SpanTracer*>>& tracers) {
+  out << "[";
+  bool first = true;
+  for (const auto& [pid, tracer] : tracers) {
+    if (tracer == nullptr) continue;
+    for (const Span& span : tracer->spans())
+      write_trace_event(out, span, pid, first);
   }
   out << "]\n";
 }

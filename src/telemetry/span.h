@@ -20,6 +20,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "telemetry/json.h"
@@ -79,8 +80,9 @@ class SpanTracer {
 
   // Renders the Chrome trace_event JSON array: one "X" (complete) event per
   // span, `ts`/`dur` in sim microseconds, exact nanosecond stamps under
-  // `args`. Loads in Perfetto and chrome://tracing as-is.
-  void write_chrome_trace(std::ostream& out) const;
+  // `args`. Loads in Perfetto and chrome://tracing as-is. Sharded campaigns
+  // pass their shard index as `pid` so each shard gets its own process lane.
+  void write_chrome_trace(std::ostream& out, int pid = 1) const;
 
  private:
   struct OpenSpan {
@@ -105,9 +107,20 @@ class SpanTracer {
   std::vector<Span> done_;
 };
 
-// The process-wide tracer probes default to; nullptr == tracing disabled.
+// The tracer probes default to: a thread-local override when installed
+// (sharded campaigns give each shard thread its own tracer), otherwise the
+// process-wide tracer; nullptr == tracing disabled.
 SpanTracer* spans();
 void set_spans(SpanTracer* tracer);
+// Installs `tracer` for the calling thread only (nullptr removes the
+// override and falls back to the process-wide tracer).
+void set_thread_spans(SpanTracer* tracer);
+
+// Renders one Chrome trace_event array merging several tracers, each under
+// its own pid lane (sharded campaigns merge trace.shard-k into one file).
+void write_merged_chrome_trace(
+    std::ostream& out,
+    const std::vector<std::pair<int, const SpanTracer*>>& tracers);
 
 // RAII probe: opens a span on the installed tracer (no-op when none).
 class ScopedSpan {

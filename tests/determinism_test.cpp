@@ -1,9 +1,11 @@
 // Golden byte-determinism tests: two campaigns with identical configs must
 // regenerate every workdir artifact byte-for-byte — report.txt, corpus.txt,
-// violation bundles, syscall_profile.json — for both the sequential and the
-// sharded engine, plus the final heartbeat modulo its wall-clock stamp.
+// violation bundles, syscall_profile.json, timeseries.jsonl,
+// mutation_efficacy.json — for both the sequential and the sharded engine,
+// plus the final heartbeat modulo its wall-clock stamp.
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -15,10 +17,12 @@
 #include "core/provenance.h"
 #include "core/sharded.h"
 #include "core/workdir.h"
+#include "feedback/mutation_efficacy.h"
 #include "feedback/syscall_profile.h"
 #include "kernel/syscalls.h"
 #include "telemetry/json.h"
 #include "telemetry/monitor.h"
+#include "telemetry/timeseries.h"
 
 namespace torpedo {
 namespace {
@@ -60,16 +64,29 @@ void run_workdir(const fs::path& dir, int shards, bool heartbeat) {
   const core::CampaignConfig config = golden_config();
   feedback::SyscallProfile profile;
   feedback::set_syscall_profile(&profile);
+  feedback::MutationEfficacy efficacy;
+  feedback::set_mutation_efficacy(&efficacy);
+  std::deque<telemetry::TimeSeriesRecorder> recorders;
   core::CampaignReport report;
   if (shards > 1) {
     core::ShardedConfig sharded_config;
     sharded_config.base = config;
     sharded_config.shards = shards;
     core::ShardedCampaign sharded(sharded_config);
+    for (int s = 0; s < shards; ++s) {
+      telemetry::TimeSeriesRecorder::Config ts_config;
+      ts_config.shard = s;
+      recorders.emplace_back(ts_config);
+    }
+    sharded.set_shard_start_hook([&](int shard, core::Campaign& campaign) {
+      campaign.set_timeseries(&recorders[static_cast<std::size_t>(shard)]);
+    });
     report = sharded.run();
     core::save_corpus(dir / "corpus.txt", sharded.merged_corpus());
   } else {
     core::Campaign campaign(config);
+    recorders.emplace_back();
+    campaign.set_timeseries(&recorders.back());
     std::optional<telemetry::HeartbeatWriter> hb;
     if (heartbeat) {
       hb.emplace(dir / "heartbeat.json");
@@ -80,8 +97,14 @@ void run_workdir(const fs::path& dir, int shards, bool heartbeat) {
     core::save_corpus(dir / "corpus.txt", campaign.corpus());
   }
   feedback::set_syscall_profile(nullptr);
+  feedback::set_mutation_efficacy(nullptr);
   core::save_report(dir / "report.txt", report);
   core::write_violation_bundles(dir, report);
+  std::vector<const telemetry::TimeSeriesRecorder*> recorder_ptrs;
+  for (const telemetry::TimeSeriesRecorder& r : recorders)
+    recorder_ptrs.push_back(&r);
+  core::save_timeseries(dir / "timeseries.jsonl", recorder_ptrs);
+  core::save_mutation_efficacy(dir / "mutation_efficacy.json", efficacy);
   std::ofstream out(dir / "syscall_profile.json", std::ios::trunc);
   out << profile.to_json(&kernel::sysno_name) << "\n";
 }

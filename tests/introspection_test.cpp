@@ -1,0 +1,324 @@
+// Campaign introspection tests: seed lineage (corpus, hub exchange, sharded
+// merge), the per-operator mutation-efficacy profiler, and the signal-growth
+// time-series recorder with its plateau detector.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/seeds.h"
+#include "core/sharded.h"
+#include "feedback/corpus.h"
+#include "feedback/corpus_hub.h"
+#include "feedback/mutation_efficacy.h"
+#include "telemetry/json.h"
+#include "telemetry/timeseries.h"
+#include "util/time.h"
+
+using namespace torpedo;
+
+namespace {
+
+core::CampaignConfig fast_config() {
+  core::CampaignConfig cfg;
+  cfg.round_duration = kSecond;
+  cfg.fuzzer.cycle_out_rounds = 3;
+  cfg.num_seeds = 6;
+  cfg.batches = 2;
+  return cfg;
+}
+
+feedback::SignalSet signal_of(std::uint64_t element) {
+  feedback::SignalSet signal;
+  signal.add(element);
+  return signal;
+}
+
+// --- origin ops -------------------------------------------------------------
+
+TEST(OriginOp, NamesRoundTrip) {
+  for (int i = 0; i < feedback::kNumOriginOps; ++i) {
+    const auto op = static_cast<feedback::OriginOp>(i);
+    const auto name = feedback::origin_op_name(op);
+    EXPECT_FALSE(name.empty());
+    const auto back = feedback::origin_op_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, op);
+  }
+  EXPECT_FALSE(feedback::origin_op_from_name("quantum_leap").has_value());
+}
+
+// --- corpus lineage ---------------------------------------------------------
+
+TEST(CorpusLineage, ParentsResolveAndDepthCounts) {
+  feedback::Corpus corpus;
+  const prog::Program a = *core::named_seed("sync");
+  const prog::Program b = *core::named_seed("kcmp-pair");
+  const prog::Program c = *core::named_seed("readlink-eloop");
+
+  ASSERT_TRUE(corpus.add(a, signal_of(1), 1.0,
+                         {0, feedback::OriginOp::kSeed, 0, -1}));
+  ASSERT_TRUE(corpus.add(b, signal_of(2), 1.0,
+                         {a.hash(), feedback::OriginOp::kSplice, 3, -1}));
+  ASSERT_TRUE(corpus.add(c, signal_of(3), 1.0,
+                         {b.hash(), feedback::OriginOp::kMutateArg, 5, -1}));
+
+  const feedback::CorpusEntry* entry = corpus.find(c.hash());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->lineage.parent_hash, b.hash());
+  EXPECT_EQ(entry->lineage.op, feedback::OriginOp::kMutateArg);
+  EXPECT_EQ(entry->lineage.birth_round, 5);
+
+  EXPECT_EQ(corpus.depth(a.hash()), 0u);
+  EXPECT_EQ(corpus.depth(b.hash()), 1u);
+  EXPECT_EQ(corpus.depth(c.hash()), 2u);
+}
+
+TEST(CorpusLineage, FirstBirthWinsOnDuplicates) {
+  feedback::Corpus corpus;
+  const prog::Program a = *core::named_seed("sync");
+  ASSERT_TRUE(corpus.add(a, signal_of(1), 1.0,
+                         {0, feedback::OriginOp::kGenerate, 7, 2}));
+  // Re-discovering the same program must not rewrite its ancestry.
+  EXPECT_FALSE(corpus.add(a, signal_of(2), 2.0,
+                          {42, feedback::OriginOp::kSplice, 9, 0}));
+  const feedback::CorpusEntry* entry = corpus.find(a.hash());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->lineage.parent_hash, 0u);
+  EXPECT_EQ(entry->lineage.op, feedback::OriginOp::kGenerate);
+  EXPECT_EQ(entry->lineage.birth_round, 7);
+  EXPECT_EQ(entry->lineage.birth_shard, 2);
+}
+
+TEST(CorpusLineage, ShardStampsOnlyUnstampedEntries) {
+  feedback::Corpus corpus;
+  corpus.set_shard(3);
+  const prog::Program a = *core::named_seed("sync");
+  const prog::Program b = *core::named_seed("kcmp-pair");
+  // birth_shard -1: the corpus stamps its own shard.
+  corpus.add(a, signal_of(1), 1.0, {0, feedback::OriginOp::kSeed, 0, -1});
+  // An entry pulled from another shard keeps its original birth_shard.
+  corpus.add(b, signal_of(2), 1.0, {0, feedback::OriginOp::kSeed, 0, 1});
+  EXPECT_EQ(corpus.find(a.hash())->lineage.birth_shard, 3);
+  EXPECT_EQ(corpus.find(b.hash())->lineage.birth_shard, 1);
+}
+
+// --- hub exchange preserves lineage ------------------------------------------
+
+TEST(CorpusHubLineage, LineageSurvivesPublishAndPull) {
+  feedback::CorpusHub hub(2);
+  feedback::CorpusEntry entry;
+  entry.program = *core::named_seed("sync");
+  entry.signal.add(entry.program.hash());
+  entry.best_score = 4.5;
+  entry.lineage = {0xDEAD, feedback::OriginOp::kInsertCall, 11, 0};
+
+  feedback::CorpusHub::Delta pulled;
+  std::thread other([&] { pulled = hub.exchange(1, {}, {}); });
+  (void)hub.exchange(0, {entry}, {});
+  other.join();
+
+  ASSERT_EQ(pulled.entries.size(), 1u);
+  const feedback::Lineage& lin = pulled.entries[0].lineage;
+  EXPECT_EQ(lin.parent_hash, 0xDEADu);
+  EXPECT_EQ(lin.op, feedback::OriginOp::kInsertCall);
+  EXPECT_EQ(lin.birth_round, 11);
+  EXPECT_EQ(lin.birth_shard, 0);
+}
+
+// --- mutation efficacy -------------------------------------------------------
+
+TEST(MutationEfficacy, RowsComeBackInFixedOrderWithSums) {
+  feedback::MutationEfficacy eff;
+  eff.record_attempt(feedback::OriginOp::kSplice);
+  eff.record_attempt(feedback::OriginOp::kSplice);
+  eff.record_accept(feedback::OriginOp::kSplice);
+  eff.record_executions(feedback::OriginOp::kSplice, 100);
+  eff.record_novel_signal(feedback::OriginOp::kSplice, 7);
+  eff.record_violation(feedback::OriginOp::kMutateArg);
+  eff.record_corpus_insert(feedback::OriginOp::kSeed);
+
+  const auto rows = eff.rows();
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(feedback::kNumOriginOps));
+  for (int i = 0; i < feedback::kNumOriginOps; ++i)
+    EXPECT_EQ(rows[static_cast<std::size_t>(i)].op,
+              static_cast<feedback::OriginOp>(i));
+  const auto& splice = rows[static_cast<std::size_t>(
+      feedback::OriginOp::kSplice)];
+  EXPECT_EQ(splice.attempts, 2u);
+  EXPECT_EQ(splice.accepted, 1u);
+  EXPECT_EQ(splice.executions, 100u);
+  EXPECT_EQ(splice.novel_signal, 7u);
+  EXPECT_EQ(
+      rows[static_cast<std::size_t>(feedback::OriginOp::kMutateArg)]
+          .violations,
+      1u);
+  EXPECT_EQ(
+      rows[static_cast<std::size_t>(feedback::OriginOp::kSeed)].corpus_inserts,
+      1u);
+
+  eff.reset();
+  for (const auto& row : eff.rows()) {
+    EXPECT_EQ(row.attempts, 0u);
+    EXPECT_EQ(row.executions, 0u);
+  }
+}
+
+TEST(MutationEfficacy, JsonAndPrometheusRender) {
+  feedback::MutationEfficacy eff;
+  eff.record_attempt(feedback::OriginOp::kGenerate);
+  const auto obj = telemetry::parse_json_object(eff.to_json());
+  ASSERT_TRUE(obj.has_value());
+  ASSERT_TRUE(obj->count("ops"));
+  const auto rows =
+      telemetry::parse_json_array_of_objects(obj->at("ops").text);
+  ASSERT_TRUE(rows.has_value());
+  EXPECT_EQ(rows->size(), static_cast<std::size_t>(feedback::kNumOriginOps));
+
+  const std::string prom = eff.to_prometheus();
+  EXPECT_NE(prom.find("torpedo_mutation_attempts_total{op=\"generate\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE torpedo_mutation_executions_total counter"),
+            std::string::npos);
+}
+
+// --- time series -------------------------------------------------------------
+
+telemetry::RoundSample sample(int round, std::uint64_t signals) {
+  telemetry::RoundSample s;
+  s.round = round;
+  s.sim_ns = static_cast<Nanos>(round) * kSecond;
+  s.executions = static_cast<std::uint64_t>(round) * 100;
+  s.corpus_size = signals / 2;
+  s.distinct_signals = signals;
+  s.violations = 0;
+  return s;
+}
+
+TEST(TimeSeries, PlateauEnteredOnceAndExitsOnGrowth) {
+  telemetry::TimeSeriesRecorder::Config config;
+  config.plateau_rounds = 3;
+  telemetry::TimeSeriesRecorder rec(config);
+
+  EXPECT_FALSE(rec.record(sample(0, 1)));  // growth (from 0)
+  EXPECT_FALSE(rec.record(sample(1, 1)));  // stagnant x1
+  EXPECT_FALSE(rec.record(sample(2, 1)));  // stagnant x2
+  EXPECT_TRUE(rec.record(sample(3, 1)));   // stagnant x3 -> plateau
+  EXPECT_FALSE(rec.record(sample(4, 1)));  // still stagnant, already entered
+  EXPECT_TRUE(rec.in_plateau());
+  EXPECT_EQ(rec.plateaus(), 1u);
+
+  EXPECT_FALSE(rec.record(sample(5, 2)));  // growth exits the plateau
+  EXPECT_FALSE(rec.in_plateau());
+  EXPECT_EQ(rec.rounds_since_growth(), 0);
+
+  EXPECT_FALSE(rec.record(sample(6, 2)));
+  EXPECT_FALSE(rec.record(sample(7, 2)));
+  EXPECT_TRUE(rec.record(sample(8, 2)));  // second plateau
+  EXPECT_EQ(rec.plateaus(), 2u);
+}
+
+TEST(TimeSeries, StrideDoublingKeepsABoundedSpanningSet) {
+  telemetry::TimeSeriesRecorder::Config config;
+  config.capacity = 4;
+  telemetry::TimeSeriesRecorder rec(config);
+  for (int r = 0; r < 64; ++r) rec.record(sample(r, 1));
+
+  EXPECT_LE(rec.size(), 4u);
+  EXPECT_GT(rec.stride(), 1u);
+  ASSERT_FALSE(rec.samples().empty());
+  // The retained set still spans the whole run: first sample is round 0 and
+  // rounds are strictly increasing.
+  EXPECT_EQ(rec.samples().front().round, 0);
+  for (std::size_t i = 1; i < rec.samples().size(); ++i)
+    EXPECT_LT(rec.samples()[i - 1].round, rec.samples()[i].round);
+}
+
+TEST(TimeSeries, FlushIsDeterministicAndStampsShard) {
+  telemetry::TimeSeriesRecorder::Config config;
+  config.shard = 1;
+  telemetry::TimeSeriesRecorder a(config), b(config);
+  for (int r = 0; r < 10; ++r) {
+    a.record(sample(r, static_cast<std::uint64_t>(r)));
+    b.record(sample(r, static_cast<std::uint64_t>(r)));
+  }
+  std::ostringstream out_a, out_b;
+  a.flush_jsonl(out_a);
+  b.flush_jsonl(out_b);
+  EXPECT_EQ(out_a.str(), out_b.str());
+  EXPECT_NE(out_a.str().find("\"shard\":1"), std::string::npos);
+
+  telemetry::TimeSeriesRecorder unsharded;
+  unsharded.record(sample(0, 1));
+  std::ostringstream out_c;
+  unsharded.flush_jsonl(out_c);
+  EXPECT_EQ(out_c.str().find("\"shard\""), std::string::npos);
+}
+
+// --- end-to-end through the campaign -----------------------------------------
+
+TEST(Introspection, EfficacyExecutionsMatchTheFuzzerExactly) {
+  feedback::MutationEfficacy efficacy;
+  feedback::set_mutation_efficacy(&efficacy);
+  core::Campaign campaign(fast_config());
+  campaign.load_default_seeds();
+  (void)campaign.run();
+  feedback::set_mutation_efficacy(nullptr);
+
+  std::uint64_t executions = 0, attempts = 0;
+  for (const auto& row : efficacy.rows()) {
+    executions += row.executions;
+    EXPECT_LE(row.accepted, row.attempts) << origin_op_name(row.op);
+    attempts += row.attempts;
+  }
+  EXPECT_GT(attempts, 0u);
+  // Every simulated execution is attributed to exactly one operator.
+  EXPECT_EQ(executions, campaign.fuzzer().total_executions());
+}
+
+TEST(Introspection, CampaignFeedsTheTimeSeries) {
+  telemetry::TimeSeriesRecorder recorder;
+  core::Campaign campaign(fast_config());
+  campaign.set_timeseries(&recorder);
+  campaign.load_default_seeds();
+  (void)campaign.run();
+
+  ASSERT_GT(recorder.size(), 0u);
+  const auto& samples = recorder.samples();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].round, samples[i].round);
+    EXPECT_LE(samples[i - 1].executions, samples[i].executions);
+    EXPECT_LE(samples[i - 1].sim_ns, samples[i].sim_ns);
+  }
+  EXPECT_GT(samples.back().executions, 0u);
+}
+
+TEST(Introspection, ShardedMergeKeepsParentsResolvable) {
+  core::ShardedConfig config;
+  config.base = fast_config();
+  config.shards = 2;
+  core::ShardedCampaign sharded(config);
+  (void)sharded.run();
+
+  const feedback::Corpus& merged = sharded.merged_corpus();
+  ASSERT_GT(merged.size(), 0u);
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const feedback::CorpusEntry& entry = merged.entry(i);
+    // Every entry was born on a real shard...
+    EXPECT_GE(entry.lineage.birth_shard, 0);
+    EXPECT_LT(entry.lineage.birth_shard, 2);
+    // ...and every non-root parent link resolves in the merged corpus (no
+    // dangling ancestry after cross-shard pulls + the final merge).
+    if (entry.lineage.parent_hash != 0)
+      EXPECT_NE(merged.find(entry.lineage.parent_hash), nullptr)
+          << "dangling parent of entry " << i;
+    EXPECT_LT(merged.depth(entry.program.hash()), 64u);
+  }
+}
+
+}  // namespace

@@ -15,6 +15,10 @@
 //   torpedo report — offline triage: rebuild a campaign summary from a
 //                   workdir's violation bundles, metrics.json, trace.jsonl
 //                   and chrome-trace spans, without re-running anything.
+//   torpedo stats — campaign introspection: ASCII signal-growth curves from
+//                   timeseries.jsonl, the per-operator mutation-efficacy
+//                   table, lineage-depth histograms from corpus.txt, and
+//                   each finding's ancestry chain.
 //   torpedo selftest — the framework testing itself: randomized invariant
 //                   trials against the simulated substrate, fault-injection
 //                   campaigns, and deterministic replay of recorded
@@ -38,12 +42,14 @@
 #include "core/seeds.h"
 #include "core/sharded.h"
 #include "core/workdir.h"
+#include "feedback/mutation_efficacy.h"
 #include "feedback/syscall_profile.h"
 #include "selftest/harness.h"
 #include "selftest/replay.h"
 #include "telemetry/monitor.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 #include "kernel/errno.h"
 #include "kernel/syscalls.h"
@@ -70,6 +76,7 @@ int usage() {
       "  torpedo exec  [--runtime ...] [--round-seconds S] FILE.prog\n"
       "  torpedo seeds [--out DIR] [--count N]\n"
       "  torpedo report [--json] WORKDIR\n"
+      "  torpedo stats WORKDIR\n"
       "  torpedo selftest [--trials N] [--seed N] [--scratch DIR]\n"
       "                [--keep-scratch] [--report FILE.json] [--json] [-v]\n"
       "                [--only invariants|faults|replay]\n"
@@ -157,6 +164,11 @@ struct ProfileGuard {
   ~ProfileGuard() { feedback::set_syscall_profile(nullptr); }
 };
 
+// ... and for the process-wide mutation-efficacy profiler.
+struct EfficacyGuard {
+  ~EfficacyGuard() { feedback::set_mutation_efficacy(nullptr); }
+};
+
 // `torpedo run --shards N` for N > 1: a ShardedCampaign fleet instead of one
 // Campaign. Per-shard observability (live status, heartbeat, trace sink,
 // watchdog) is wired on each shard's worker thread via the shard hooks; the
@@ -164,18 +176,12 @@ struct ProfileGuard {
 // are the deterministic merged report/corpus.
 int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
                     int shards) {
-  // The span tracer is a process-wide single-writer sink; K campaign threads
-  // would corrupt it. Everything else sharded runs without it.
-  if (args.has("chrome-trace")) {
-    std::fprintf(stderr,
-                 "--chrome-trace is not supported with --shards > 1 "
-                 "(process-wide span tracer is single-threaded)\n");
-    return 2;
-  }
-
   feedback::SyscallProfile profile;
   ProfileGuard profile_guard;
   feedback::set_syscall_profile(&profile);
+  feedback::MutationEfficacy efficacy;
+  EfficacyGuard efficacy_guard;
+  feedback::set_mutation_efficacy(&efficacy);
 
   core::ShardedConfig sharded_config;
   sharded_config.base = config;
@@ -198,9 +204,15 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
   std::deque<telemetry::Watchdog> watchdogs;
   std::deque<telemetry::HeartbeatWriter> heartbeats;
   std::deque<telemetry::TraceSink> traces;
+  // The process-wide span tracer is single-writer, so each shard thread gets
+  // its own tracer via the thread-local override; finalize merges them into
+  // one Chrome trace with pid = shard.
+  std::deque<telemetry::SpanTracer> tracers;
+  std::deque<telemetry::TimeSeriesRecorder> timeseries;
   const long watchdog_seconds = args.num("watchdog-seconds", 0);
   const auto workdir = args.get("workdir");
   const auto trace_path = args.get("trace");
+  const auto chrome_trace = args.get("chrome-trace");
 
   // "foo.jsonl" -> "foo.shard-3.jsonl"
   auto shard_file = [](const std::string& base, int shard) {
@@ -220,6 +232,12 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
 
   for (int s = 0; s < shards; ++s) {
     statuses.emplace_back();
+    {
+      telemetry::TimeSeriesRecorder::Config ts_config;
+      ts_config.shard = s;
+      timeseries.emplace_back(ts_config);
+    }
+    if (chrome_trace) tracers.emplace_back();
     if (watchdog_seconds > 0) {
       telemetry::Watchdog::Config wd_config;
       wd_config.stall_budget_wall_ns =
@@ -243,16 +261,26 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
 
   sharded.set_shard_start_hook([&](int shard, core::Campaign& campaign) {
     campaign.set_live_status(&statuses[static_cast<std::size_t>(shard)]);
+    campaign.set_timeseries(&timeseries[static_cast<std::size_t>(shard)]);
     if (!watchdogs.empty())
       campaign.set_watchdog(&watchdogs[static_cast<std::size_t>(shard)]);
     if (!heartbeats.empty())
       campaign.set_heartbeat(&heartbeats[static_cast<std::size_t>(shard)]);
     if (!traces.empty())
       campaign.set_trace_sink(&traces[static_cast<std::size_t>(shard)]);
+    if (!tracers.empty()) {
+      telemetry::SpanTracer& tracer =
+          tracers[static_cast<std::size_t>(shard)];
+      tracer.set_sim_clock(
+          [](void* ctx) { return static_cast<sim::Host*>(ctx)->now(); },
+          &campaign.kernel().host());
+      telemetry::set_thread_spans(&tracer);
+    }
   });
   std::atomic<Nanos> max_sim_ns{0};
   sharded.set_shard_finish_hook([&](int shard, core::Campaign& campaign) {
     statuses[static_cast<std::size_t>(shard)].set_done();
+    if (!tracers.empty()) telemetry::set_thread_spans(nullptr);
     const Nanos sim = campaign.kernel().host().now();
     Nanos cur = max_sim_ns.load(std::memory_order_relaxed);
     while (sim > cur &&
@@ -271,8 +299,10 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
                          watchdogs.empty()
                              ? nullptr
                              : &watchdogs[static_cast<std::size_t>(s)]);
-    monitor->set_extra_metrics(
-        [&profile] { return profile.to_prometheus(&kernel::sysno_name); });
+    monitor->set_extra_metrics([&profile, &efficacy] {
+      return profile.to_prometheus(&kernel::sysno_name) +
+             efficacy.to_prometheus();
+    });
     if (!monitor->start()) {
       std::fprintf(stderr, "cannot bind monitor to 127.0.0.1:%d\n",
                    mon_config.port);
@@ -339,13 +369,19 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
       std::ofstream out(dir / "syscall_profile.json", std::ios::trunc);
       if (out) out << profile.to_json(&kernel::sysno_name) << "\n";
     }
+    std::vector<const telemetry::TimeSeriesRecorder*> recorder_ptrs;
+    for (const telemetry::TimeSeriesRecorder& r : timeseries)
+      recorder_ptrs.push_back(&r);
+    core::save_timeseries(dir / "timeseries.jsonl", recorder_ptrs);
+    core::save_mutation_efficacy(dir / "mutation_efficacy.json", efficacy);
     core::CampaignManifest manifest = core::CampaignManifest::from_config(config);
     manifest.shards = shards;
     manifest.corpus_sync = sharded_config.corpus_sync;
     if (auto seeds_dir = args.get("seeds-dir")) manifest.seeds_dir = *seeds_dir;
     core::save_campaign_manifest(dir / "campaign.json", manifest);
     std::printf("workdir written: %s (corpus.txt, report.txt, "
-                "syscall_profile.json, campaign.json, %zu violation "
+                "syscall_profile.json, timeseries.jsonl, "
+                "mutation_efficacy.json, campaign.json, %zu violation "
                 "bundle%s)\n",
                 dir.string().c_str(), bundles, bundles == 1 ? "" : "s");
   }
@@ -368,6 +404,37 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
     std::printf("traces written: %s (%d shard files, %llu records)\n",
                 shard_file(*trace_path, 0).c_str(), shards,
                 static_cast<unsigned long long>(records));
+  }
+  if (chrome_trace) {
+    ensure_parent(*chrome_trace);
+    // One file per shard (its own spans, pid = shard) plus a merged trace at
+    // the requested path with every shard in its own process lane.
+    std::size_t span_count = 0;
+    for (int s = 0; s < shards; ++s) {
+      const std::string path = shard_file(*chrome_trace, s);
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot open chrome trace file %s\n",
+                     path.c_str());
+        return 1;
+      }
+      tracers[static_cast<std::size_t>(s)].write_chrome_trace(out, s);
+      span_count += tracers[static_cast<std::size_t>(s)].spans().size();
+    }
+    std::ofstream out(*chrome_trace, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open chrome trace file %s\n",
+                   chrome_trace->c_str());
+      return 1;
+    }
+    std::vector<std::pair<int, const telemetry::SpanTracer*>> lanes;
+    for (int s = 0; s < shards; ++s)
+      lanes.emplace_back(s, &tracers[static_cast<std::size_t>(s)]);
+    telemetry::write_merged_chrome_trace(out, lanes);
+    std::printf("chrome trace written: %s (%zu spans across %d shard lanes; "
+                "per-shard files %s...)\n",
+                chrome_trace->c_str(), span_count, shards,
+                shard_file(*chrome_trace, 0).c_str());
   }
   return 0;
 }
@@ -393,8 +460,16 @@ int cmd_run(const Args& args) {
   feedback::SyscallProfile profile;
   ProfileGuard profile_guard;
   feedback::set_syscall_profile(&profile);
+  // Likewise the per-operator efficacy profiler and the signal-growth
+  // recorder: always-on introspection, pointer-check cheap.
+  feedback::MutationEfficacy efficacy;
+  EfficacyGuard efficacy_guard;
+  feedback::set_mutation_efficacy(&efficacy);
 
   core::Campaign campaign(*config);
+
+  telemetry::TimeSeriesRecorder timeseries;
+  campaign.set_timeseries(&timeseries);
 
   const long watchdog_seconds = args.num("watchdog-seconds", 0);
   telemetry::SpanTracer tracer;
@@ -437,8 +512,10 @@ int cmd_run(const Args& args) {
     monitor.emplace(mon_config);
     monitor->set_status(&status);
     if (watchdog) monitor->set_watchdog(&*watchdog);
-    monitor->set_extra_metrics(
-        [&profile] { return profile.to_prometheus(&kernel::sysno_name); });
+    monitor->set_extra_metrics([&profile, &efficacy] {
+      return profile.to_prometheus(&kernel::sysno_name) +
+             efficacy.to_prometheus();
+    });
     if (!monitor->start()) {
       std::fprintf(stderr, "cannot bind monitor to 127.0.0.1:%d\n",
                    mon_config.port);
@@ -514,6 +591,9 @@ int cmd_run(const Args& args) {
       std::ofstream out(dir / "syscall_profile.json", std::ios::trunc);
       if (out) out << profile.to_json(&kernel::sysno_name) << "\n";
     }
+    const telemetry::TimeSeriesRecorder* recorder_ptrs[] = {&timeseries};
+    core::save_timeseries(dir / "timeseries.jsonl", recorder_ptrs);
+    core::save_mutation_efficacy(dir / "mutation_efficacy.json", efficacy);
     // The manifest makes the workdir replayable: `torpedo selftest --replay`
     // re-executes the campaign from it and diffs every artifact.
     core::CampaignManifest manifest =
@@ -521,7 +601,8 @@ int cmd_run(const Args& args) {
     if (auto seeds_dir = args.get("seeds-dir")) manifest.seeds_dir = *seeds_dir;
     core::save_campaign_manifest(dir / "campaign.json", manifest);
     std::printf("workdir written: %s (corpus.txt, report.txt, "
-                "syscall_profile.json, campaign.json, %zu violation "
+                "syscall_profile.json, timeseries.jsonl, "
+                "mutation_efficacy.json, campaign.json, %zu violation "
                 "bundle%s)\n",
                 dir.string().c_str(), bundles, bundles == 1 ? "" : "s");
   }
@@ -888,6 +969,98 @@ void report_syscall_profile(const std::filesystem::path& workdir, bool json,
               table.to_string().c_str());
 }
 
+// Ancestry chains from the `lineage` arrays in violation bundles: per
+// finding, the suspect first, then each splice donor back to a root. In json
+// mode the per-bundle chain lengths land under out["lineage_depth"].
+void report_lineage(const std::filesystem::path& workdir, bool json,
+                    telemetry::JsonDict& out) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> bundle_files;
+  const fs::path violations = workdir / "violations";
+  if (fs::exists(violations))
+    for (const auto& entry : fs::directory_iterator(violations))
+      if (fs::exists(entry.path() / "bundle.json"))
+        bundle_files.push_back(entry.path() / "bundle.json");
+  std::sort(bundle_files.begin(), bundle_files.end());
+
+  std::vector<std::string> depth_objects;
+  bool printed_header = false;
+  for (const fs::path& file : bundle_files) {
+    const auto text = slurp(file);
+    const auto obj = text ? telemetry::parse_json_object(*text) : std::nullopt;
+    if (!obj) continue;
+    auto lineage_it = obj->find("lineage");
+    if (lineage_it == obj->end()) continue;
+    const auto links =
+        telemetry::parse_json_array_of_objects(trim(lineage_it->second.text));
+    if (!links || links->empty()) continue;
+    const int bundle = static_cast<int>(num_field(*obj, "bundle"));
+    depth_objects.push_back(
+        telemetry::JsonDict{}
+            .set("bundle", bundle)
+            .set("depth", static_cast<std::int64_t>(links->size()))
+            .to_string());
+    if (json) continue;
+    if (!printed_header) {
+      std::printf("ancestry (suspect first, oldest splice donor last):\n");
+      printed_header = true;
+    }
+    std::string chain;
+    for (const JsonObject& link : *links) {
+      if (!chain.empty()) chain += " <- ";
+      chain += str_field(link, "hash");
+      chain += format("(%s r%d)", str_field(link, "op").c_str(),
+                      static_cast<int>(num_field(link, "round")));
+    }
+    std::printf("  bundle %03d: %s\n", bundle, chain.c_str());
+  }
+  if (json)
+    out.set_raw("lineage_depth", json_array(depth_objects));
+  else if (printed_header)
+    std::printf("\n");
+}
+
+// Per-operator efficacy table from mutation_efficacy.json (written by
+// `run --workdir`): which mutation operators earn their keep.
+void report_efficacy(const std::filesystem::path& workdir, bool json,
+                     telemetry::JsonDict& out) {
+  const auto text = slurp(workdir / "mutation_efficacy.json");
+  if (!text) return;
+  const auto obj = telemetry::parse_json_object(*text);
+  if (!obj) {
+    std::fprintf(stderr, "warning: unparseable %s\n",
+                 (workdir / "mutation_efficacy.json").string().c_str());
+    return;
+  }
+  auto ops_it = obj->find("ops");
+  const auto rows = ops_it != obj->end()
+                        ? telemetry::parse_json_array_of_objects(
+                              trim(ops_it->second.text))
+                        : std::nullopt;
+  if (!rows) return;
+  if (json) {
+    out.set_raw("mutation_efficacy", ops_it->second.text);
+    return;
+  }
+  TextTable table({"operator", "attempts", "accepted", "executions",
+                   "novel signal", "violations", "inserts"});
+  for (const JsonObject& row : *rows)
+    table.add_row(
+        {str_field(row, "op"),
+         format("%lld", static_cast<long long>(num_field(row, "attempts"))),
+         format("%lld", static_cast<long long>(num_field(row, "accepted"))),
+         format("%lld",
+                static_cast<long long>(num_field(row, "executions"))),
+         format("%lld",
+                static_cast<long long>(num_field(row, "novel_signal"))),
+         format("%lld",
+                static_cast<long long>(num_field(row, "violations"))),
+         format("%lld",
+                static_cast<long long>(num_field(row, "corpus_inserts")))});
+  std::printf("mutation efficacy (%zu operators):\n\n%s\n", rows->size(),
+              table.to_string().c_str());
+}
+
 int cmd_report(const Args& args) {
   if (args.positional.size() != 1) return usage();
   const bool json = args.has("json");
@@ -900,12 +1073,151 @@ int cmd_report(const Args& args) {
   out.set("workdir", workdir.string());
   if (!json) std::printf("torpedo report: %s\n\n", workdir.string().c_str());
   report_bundles(workdir, json, out);
+  report_lineage(workdir, json, out);
   report_metrics(workdir, json, out);
   report_round_trace(workdir, json, out);
   if (!json) std::printf("\n");
   report_spans(workdir, json, out);
   report_syscall_profile(workdir, json, out);
+  report_efficacy(workdir, json, out);
   if (json) std::printf("%s\n", out.to_string().c_str());
+  return 0;
+}
+
+// --- torpedo stats ----------------------------------------------------------
+
+// Scales `values` into a one-line ASCII curve of `width` columns using a
+// ten-level density ramp. Deterministic: pure function of the sample values.
+std::string ascii_curve(const std::vector<double>& values, std::size_t width) {
+  static const char kRamp[] = " .:-=+*#%@";
+  if (values.empty()) return "";
+  double max = 0;
+  for (double v : values) max = std::max(max, v);
+  if (width > values.size()) width = values.size();
+  std::string curve;
+  for (std::size_t col = 0; col < width; ++col) {
+    // Last value in this column's bucket: growth curves are cumulative, so
+    // the bucket's end is the honest summary.
+    const std::size_t i = (col + 1) * values.size() / width - 1;
+    const double v = values[i];
+    const std::size_t level =
+        max <= 0 ? 0
+                 : std::min<std::size_t>(9, static_cast<std::size_t>(
+                                                v / max * 9.0 + 0.5));
+    curve += kRamp[level];
+  }
+  return curve;
+}
+
+// `torpedo stats WORKDIR`: growth curves from timeseries.jsonl, the
+// mutation-efficacy table, lineage-depth histogram from corpus.txt headers,
+// and each finding's ancestry chain.
+int cmd_stats(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const std::filesystem::path workdir(args.positional[0]);
+  if (!std::filesystem::exists(workdir)) {
+    std::fprintf(stderr, "no such workdir: %s\n", workdir.string().c_str());
+    return 1;
+  }
+  std::printf("torpedo stats: %s\n\n", workdir.string().c_str());
+
+  // --- signal-growth curves, one block per shard ---
+  std::map<int, std::vector<JsonObject>> by_shard;
+  {
+    std::ifstream in(workdir / "timeseries.jsonl");
+    std::string line;
+    while (in && std::getline(in, line)) {
+      if (trim(line).empty()) continue;
+      if (auto obj = telemetry::parse_json_object(line)) {
+        const int shard = obj->count("shard")
+                              ? static_cast<int>(num_field(*obj, "shard"))
+                              : -1;
+        by_shard[shard].push_back(std::move(*obj));
+      }
+    }
+  }
+  if (by_shard.empty()) {
+    std::printf("no timeseries.jsonl (record one with `torpedo run "
+                "--workdir DIR`)\n\n");
+  }
+  for (const auto& [shard, samples] : by_shard) {
+    std::vector<double> signals, corpus;
+    for (const JsonObject& s : samples) {
+      signals.push_back(num_field(s, "distinct_signals"));
+      corpus.push_back(num_field(s, "corpus_size"));
+    }
+    const JsonObject& last = samples.back();
+    const double sim_s = num_field(last, "sim_ns") / 1e9;
+    const double execs = num_field(last, "executions");
+    if (shard < 0)
+      std::printf("campaign (%zu samples):\n", samples.size());
+    else
+      std::printf("shard %d (%zu samples):\n", shard, samples.size());
+    std::printf("  distinct signals |%s| %lld\n",
+                ascii_curve(signals, 60).c_str(),
+                static_cast<long long>(signals.back()));
+    std::printf("  corpus size      |%s| %lld\n",
+                ascii_curve(corpus, 60).c_str(),
+                static_cast<long long>(corpus.back()));
+    std::printf("  rounds=%d executions=%lld violations=%lld sim=%.1fs "
+                "(%.0f exec/sim-s)\n\n",
+                static_cast<int>(num_field(last, "round")),
+                static_cast<long long>(execs),
+                static_cast<long long>(num_field(last, "violations")), sim_s,
+                sim_s > 0 ? execs / sim_s : 0.0);
+  }
+
+  // --- mutation efficacy ---
+  telemetry::JsonDict scratch_out;
+  report_efficacy(workdir, /*json=*/false, scratch_out);
+
+  // --- lineage depth histogram from corpus.txt headers ---
+  {
+    std::map<unsigned long long, unsigned long long> parent_of;
+    std::ifstream in(workdir / "corpus.txt");
+    std::string line;
+    while (in && std::getline(in, line)) {
+      if (!starts_with(line, "# score=")) continue;
+      unsigned long long hash = 0, parent = 0;
+      for (const auto field : split_ws(line)) {
+        if (starts_with(field, "hash="))
+          hash = std::strtoull(std::string(field.substr(5)).c_str(), nullptr,
+                               16);
+        else if (starts_with(field, "parent="))
+          parent = std::strtoull(std::string(field.substr(7)).c_str(),
+                                 nullptr, 16);
+      }
+      if (hash != 0) parent_of[hash] = parent;
+    }
+    if (!parent_of.empty()) {
+      std::map<int, int> histogram;
+      for (const auto& [hash, parent] : parent_of) {
+        int depth = 0;
+        unsigned long long cursor = parent;
+        while (cursor != 0 && depth < 64) {
+          auto it = parent_of.find(cursor);
+          if (it == parent_of.end()) break;
+          ++depth;
+          cursor = it->second;
+        }
+        histogram[depth]++;
+      }
+      TextTable table({"depth", "entries", ""});
+      int max_count = 0;
+      for (const auto& [depth, n] : histogram)
+        max_count = std::max(max_count, n);
+      for (const auto& [depth, n] : histogram)
+        table.add_row({format("%d", depth), format("%d", n),
+                       std::string(static_cast<std::size_t>(
+                                       max_count > 0 ? n * 40 / max_count : 0),
+                                   '#')});
+      std::printf("corpus lineage depth (%zu entries):\n\n%s\n",
+                  parent_of.size(), table.to_string().c_str());
+    }
+  }
+
+  // --- ancestry per finding ---
+  report_lineage(workdir, /*json=*/false, scratch_out);
   return 0;
 }
 
@@ -1012,6 +1324,7 @@ int main(int argc, char** argv) {
   if (command == "exec") return cmd_exec(*args);
   if (command == "seeds") return cmd_seeds(*args);
   if (command == "report") return cmd_report(*args);
+  if (command == "stats") return cmd_stats(*args);
   if (command == "selftest") return cmd_selftest(*args);
   return usage();
 }
