@@ -3,11 +3,12 @@
 // Runs a stock campaign (paper §4.2 defaults, scaled down) and measures the
 // host-side cost of the simulation: observed rounds per wall second,
 // simulated executions per wall second, and wall milliseconds per batch.
-// The campaign runs three times — plain, with the span tracer, and with the
-// live monitor serving /metrics under a once-per-second scraper — so both
-// observability layers' overhead is measured by the same harness that would
-// catch any other regression. Results land in BENCH_throughput.json so CI
-// and the telemetry layer's consumers can chart regressions.
+// The campaign runs several times — plain, with the span tracer, with the
+// live monitor serving /metrics under a once-per-second scraper, and with
+// post-campaign triage clustering — so every observability layer's overhead
+// is measured by the same harness that would catch any other regression.
+// Results land in BENCH_throughput.json so CI and the telemetry layer's
+// consumers can chart regressions.
 //
 //   bench_throughput [--quick] [--out FILE.json]
 #include <atomic>
@@ -23,8 +24,10 @@
 #include "telemetry/json.h"
 #include "telemetry/monitor.h"
 #include "telemetry/span.h"
+#include "runtime/runtime.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/timeseries.h"
+#include "triage/cluster.h"
 
 using namespace torpedo;
 
@@ -51,7 +54,8 @@ struct Result {
 
 Result run_campaign(int batches, bool with_tracer, bool with_monitor,
                     bool snapshot_exec = true,
-                    bool with_introspection = false) {
+                    bool with_introspection = false,
+                    double* triage_ms = nullptr) {
   core::CampaignConfig config;
   config.batches = batches;
   config.round_duration = 2 * kSecond;
@@ -106,6 +110,20 @@ Result run_campaign(int batches, bool with_tracer, bool with_monitor,
     result.batches++;
   }
   const auto end = std::chrono::steady_clock::now();
+  // Triage-on: finalize the campaign (minimize + provenance, the same work
+  // every `torpedo run` does) and time only the clustering pass on top.
+  if (triage_ms != nullptr) {
+    const core::CampaignReport report = campaign.finalize();
+    const auto triage_start = std::chrono::steady_clock::now();
+    const triage::TriageResult tri = triage::cluster_report(
+        report, runtime::runtime_name(config.runtime));
+    const auto triage_end = std::chrono::steady_clock::now();
+    *triage_ms = std::chrono::duration<double, std::milli>(triage_end -
+                                                           triage_start)
+                     .count();
+    // Keep the clustering observable so the optimizer cannot elide it.
+    if (tri.findings < 0) std::abort();
+  }
   telemetry::set_spans(nullptr);
   feedback::set_mutation_efficacy(nullptr);
   if (scraper.joinable()) {
@@ -161,6 +179,11 @@ int main(int argc, char** argv) {
   const Result introspected =
       run_campaign(batches, /*with_tracer=*/false, /*with_monitor=*/false,
                    /*snapshot_exec=*/true, /*with_introspection=*/true);
+  double triage_ms = 0;
+  const Result triaged =
+      run_campaign(batches, /*with_tracer=*/false, /*with_monitor=*/false,
+                   /*snapshot_exec=*/true, /*with_introspection=*/false,
+                   &triage_ms);
   const double overhead_pct =
       r.wall_ms > 0 ? 100.0 * (traced.wall_ms - r.wall_ms) / r.wall_ms : 0;
   const double monitor_overhead_pct =
@@ -168,6 +191,11 @@ int main(int argc, char** argv) {
   const double introspection_overhead_pct =
       r.wall_ms > 0 ? 100.0 * (introspected.wall_ms - r.wall_ms) / r.wall_ms
                     : 0;
+  // Triage runs once after the campaign, so its honest overhead is the
+  // clustering wall time relative to the campaign wall time — not a
+  // campaign-vs-campaign delta, which would drown in run-to-run noise.
+  const double triage_overhead_pct =
+      triaged.wall_ms > 0 ? 100.0 * triage_ms / triaged.wall_ms : 0;
   const double snapshot_speedup =
       r.execs_per_sec() > 0 ? cold.execs_per_sec() > 0
                                   ? r.execs_per_sec() / cold.execs_per_sec()
@@ -191,6 +219,10 @@ int main(int argc, char** argv) {
       "with introspection (efficacy + time series): %.1f ms "
       "(%+.1f%% wall overhead)\n",
       introspected.wall_ms, introspection_overhead_pct);
+  std::printf(
+      "with triage clustering after finalize: %.2f ms "
+      "(%+.2f%% of campaign wall)\n",
+      triage_ms, triage_overhead_pct);
 
   telemetry::JsonDict json;
   json.set("bench", "throughput")
@@ -211,7 +243,9 @@ int main(int argc, char** argv) {
       .set("snapshot_off_execs_per_sec", cold.execs_per_sec())
       .set("snapshot_speedup", snapshot_speedup)
       .set("introspection_wall_ms", introspected.wall_ms)
-      .set("introspection_overhead_pct", introspection_overhead_pct);
+      .set("introspection_overhead_pct", introspection_overhead_pct)
+      .set("triage_wall_ms", triage_ms)
+      .set("triage_overhead_pct", triage_overhead_pct);
 
   std::ofstream out(out_path, std::ios::trunc);
   if (!out) {

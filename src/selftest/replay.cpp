@@ -15,9 +15,11 @@
 #include "feedback/mutation_efficacy.h"
 #include "feedback/syscall_profile.h"
 #include "telemetry/timeseries.h"
+#include "triage/cluster.h"
 #include "prog/program.h"
 #include "kernel/syscalls.h"
 #include "util/strings.h"
+#include "runtime/runtime.h"
 
 namespace torpedo::selftest {
 
@@ -270,6 +272,10 @@ void regenerate(const core::CampaignManifest& manifest,
       core::save_corpus(scratch / "corpus.txt", campaign.corpus());
     }
     core::save_report(scratch / "report.txt", report);
+    triage::save_clusters(
+        scratch / "clusters.json",
+        triage::cluster_report(report,
+                               runtime::runtime_name(config.runtime)));
     core::write_violation_bundles(scratch, report);
     std::vector<const telemetry::TimeSeriesRecorder*> recorder_ptrs;
     for (const auto& r : recorders) recorder_ptrs.push_back(r.get());
@@ -378,6 +384,20 @@ ReplayResult replay_workdir(const ReplayOptions& options) {
     if (a && b) {
       diff_json("mutation_efficacy.json", "", *a, *b, result.diffs);
       ++result.artifacts_compared;
+    }
+  }
+  // Triage clusters: compared when the recorded workdir has them (workdirs
+  // recorded before the triage engine existed don't).
+  if (fs::exists(options.workdir / "clusters.json")) {
+    const auto a = slurp(options.workdir / "clusters.json");
+    const auto b = slurp(scratch / "clusters.json");
+    if (a && b) {
+      diff_json("clusters.json", "", *a, *b, result.diffs);
+      ++result.artifacts_compared;
+    } else {
+      result.diffs.push_back({"clusters.json", "(file)",
+                              a ? "present" : "missing",
+                              b ? "present" : "missing"});
     }
   }
 

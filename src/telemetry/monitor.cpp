@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -336,13 +337,25 @@ std::string read_request(int fd) {
   return request;
 }
 
+// Writes the whole response, riding out EINTR and short sends to slow
+// clients: a partial send() is progress, not failure, and a full socket
+// buffer earns a bounded poll(POLLOUT) wait rather than a dropped response.
+// Gives up only on a hard error or a client that stays unwritable for 2 s.
 void write_all(int fd, std::string_view data) {
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
                              MSG_NOSIGNAL);
-    if (n <= 0) return;
-    off += static_cast<std::size_t>(n);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, 2000) > 0) continue;
+    }
+    return;  // hard error, hangup, or a client stalled past the budget
   }
 }
 
@@ -567,15 +580,30 @@ std::string MonitorServer::status_json() const {
 
 MonitorServer::Response MonitorServer::handle(std::string_view method,
                                               std::string_view path) const {
-  if (method != "GET")
-    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  if (method != "GET") {
+    JsonDict err;
+    err.set("error", "method not allowed").set("method", method);
+    return {405, "application/json", err.to_string() + "\n"};
+  }
   if (path == "/metrics")
     return {200, "text/plain; version=0.0.4; charset=utf-8", metrics_text()};
   if (path == "/status")
     return {200, "application/json", status_json() + "\n"};
   if (path == "/healthz")
     return {200, "text/plain; charset=utf-8", "ok\n"};
-  return {404, "text/plain; charset=utf-8", "not found\n"};
+  for (const auto& [prefix, handler] : endpoints_) {
+    const bool exact = path == prefix;
+    const bool subpath = path.size() > prefix.size() &&
+                         path.substr(0, prefix.size()) == prefix &&
+                         path[prefix.size()] == '/';
+    if (!exact && !subpath) continue;
+    if (auto body = handler(path))
+      return {200, "application/json", *body + "\n"};
+    break;  // known prefix, unknown subpath: structured 404
+  }
+  JsonDict err;
+  err.set("error", "not found").set("path", path);
+  return {404, "application/json", err.to_string() + "\n"};
 }
 
 // --- http_get -----------------------------------------------------------------

@@ -36,6 +36,7 @@
 #include <filesystem>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -226,6 +227,16 @@ class MonitorServer {
   // Must be thread-safe: runs on the monitor thread.
   using ExtraMetricsFn = std::function<std::string()>;
   void set_extra_metrics(ExtraMetricsFn fn) { extra_ = std::move(fn); }
+  // Registers a JSON endpoint under `prefix`: GET requests for `prefix`
+  // itself or any `prefix/...` subpath are routed to the handler, which
+  // returns the JSON body or nullopt (-> structured 404). Handlers must be
+  // thread-safe (they run on the monitor thread) and installed before
+  // start(). First matching prefix wins.
+  using JsonEndpointFn =
+      std::function<std::optional<std::string>(std::string_view path)>;
+  void add_json_endpoint(std::string prefix, JsonEndpointFn handler) {
+    endpoints_.emplace_back(std::move(prefix), std::move(handler));
+  }
 
   // Binds, listens, and spawns the serving thread. False on bind failure.
   bool start();
@@ -263,6 +274,7 @@ class MonitorServer {
   Watchdog* watchdog_ = nullptr;
   std::vector<ShardSlot> shards_;
   ExtraMetricsFn extra_;
+  std::vector<std::pair<std::string, JsonEndpointFn>> endpoints_;
   Counter* exec_counter_ = nullptr;  // watchdog progress source
   int listen_fd_ = -1;
   int port_ = 0;

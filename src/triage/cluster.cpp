@@ -1,0 +1,422 @@
+#include "triage/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "core/campaign.h"
+#include "core/workdir.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace torpedo::triage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+double num_field(const std::map<std::string, telemetry::JsonValue>& obj,
+                 const std::string& key, double fallback = 0) {
+  auto it = obj.find(key);
+  if (it == obj.end()) return fallback;
+  const telemetry::JsonValue& v = it->second;
+  return v.is_integer ? static_cast<double>(v.integer) : v.number;
+}
+
+std::string str_field(const std::map<std::string, telemetry::JsonValue>& obj,
+                      const std::string& key) {
+  auto it = obj.find(key);
+  return it == obj.end() ? std::string() : it->second.text;
+}
+
+telemetry::JsonDict member_to_json(const ClusterMember& m) {
+  telemetry::JsonDict d;
+  d.set("bundle", m.features.bundle)
+      .set("program_hash", m.features.program_hash)
+      .set("shard", m.features.shard)
+      .set("source_round", m.features.source_round)
+      .set("similarity", m.similarity)
+      .set("oracle_score", m.features.oracle_score)
+      .set("escape", m.features.escape_magnitude)
+      .set("confirm_rounds", m.features.confirm_rounds)
+      .set("calls", m.features.minimized_calls);
+  return d;
+}
+
+telemetry::JsonDict cluster_to_json(const Cluster& c, bool with_members) {
+  telemetry::JsonDict d;
+  d.set("cluster", c.id)
+      .set("severity", c.severity)
+      .set("size", static_cast<std::int64_t>(c.members.size()))
+      .set("escape", c.escape)
+      .set("reproducibility", c.reproducibility)
+      .set("concision", c.concision)
+      .set("breadth", c.breadth)
+      .set("representative", c.centroid.program_hash)
+      .set("cause", c.centroid.cause)
+      .set("heuristics", join_facet(c.centroid.heuristics))
+      .set("syscalls", join_multiset(c.centroid.syscalls))
+      .set("signals", join_facet(c.centroid.signals))
+      .set("subjects", join_facet(c.centroid.subjects));
+  if (with_members) {
+    std::string members = "[";
+    for (std::size_t i = 0; i < c.members.size(); ++i) {
+      if (i) members += ",";
+      members += member_to_json(c.members[i]).to_string();
+    }
+    members += "]";
+    d.set_raw("members", members);
+  }
+  return d;
+}
+
+}  // namespace
+
+double severity_score(double escape, double reproducibility, double concision,
+                      double breadth) {
+  return 100.0 * (0.40 * clamp01(escape) + 0.25 * clamp01(reproducibility) +
+                  0.20 * clamp01(concision) + 0.15 * clamp01(breadth));
+}
+
+TriageResult ClusterEngine::cluster(
+    std::vector<FindingFeatures> findings) const {
+  TriageResult result;
+  result.similarity_threshold = config_.similarity_threshold;
+  if (!findings.empty()) result.runtime = findings.front().runtime;
+
+  // Hash order makes the assignment independent of bundle numbering (and
+  // therefore of shard interleaving in a merged report).
+  std::sort(findings.begin(), findings.end(),
+            [](const FindingFeatures& a, const FindingFeatures& b) {
+              if (a.program_hash != b.program_hash)
+                return a.program_hash < b.program_hash;
+              return a.bundle < b.bundle;
+            });
+
+  std::vector<Cluster> clusters;
+  std::string last_hash;
+  for (FindingFeatures& f : findings) {
+    if (!f.program_hash.empty() && f.program_hash == last_hash) {
+      ++result.duplicates;
+      continue;
+    }
+    last_hash = f.program_hash;
+    ++result.findings;
+
+    int best = -1;
+    double best_sim = 0;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      const double sim =
+          weighted_jaccard(f, clusters[c].centroid, config_.weights);
+      if (sim > best_sim) {  // strict: ties keep the lowest cluster index
+        best_sim = sim;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best >= 0 && best_sim >= config_.similarity_threshold) {
+      clusters[static_cast<std::size_t>(best)].members.push_back(
+          {std::move(f), best_sim});
+    } else {
+      Cluster c;
+      c.centroid = f;
+      c.members.push_back({std::move(f), 1.0});
+      clusters.push_back(std::move(c));
+    }
+  }
+
+  for (Cluster& c : clusters) {
+    double max_escape = 1.0;
+    double repro_sum = 0, concision_sum = 0;
+    std::vector<std::string> subjects;
+    for (const ClusterMember& m : c.members) {
+      max_escape = std::max(max_escape, m.features.escape_magnitude);
+      repro_sum +=
+          std::min(1.0, 3.0 / std::max(1, m.features.confirm_rounds));
+      concision_sum +=
+          1.0 / (1.0 + 0.25 * (std::max(1, m.features.minimized_calls) - 1));
+      subjects.insert(subjects.end(), m.features.subjects.begin(),
+                      m.features.subjects.end());
+    }
+    std::sort(subjects.begin(), subjects.end());
+    subjects.erase(std::unique(subjects.begin(), subjects.end()),
+                   subjects.end());
+    const double n = static_cast<double>(c.members.size());
+    c.escape = clamp01((std::min(max_escape, 4.0) - 1.0) / 3.0);
+    c.reproducibility = n > 0 ? repro_sum / n : 0;
+    c.concision = n > 0 ? concision_sum / n : 0;
+    c.breadth = std::min<std::size_t>(subjects.size(), 4) / 4.0;
+    c.severity =
+        severity_score(c.escape, c.reproducibility, c.concision, c.breadth);
+  }
+
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              if (a.severity != b.severity) return a.severity > b.severity;
+              return a.centroid.program_hash < b.centroid.program_hash;
+            });
+  for (std::size_t i = 0; i < clusters.size(); ++i)
+    clusters[i].id = static_cast<int>(i);
+  result.clusters = std::move(clusters);
+  return result;
+}
+
+TriageResult cluster_report(const core::CampaignReport& report,
+                            std::string_view runtime, ClusterConfig config) {
+  std::vector<FindingFeatures> features;
+  for (std::size_t i = 0; i < report.provenance.size(); ++i)
+    features.push_back(features_from_provenance(
+        report.provenance[i], static_cast<int>(i), runtime));
+  TriageResult result = ClusterEngine(config).cluster(std::move(features));
+  result.runtime = std::string(runtime);
+  return result;
+}
+
+std::string clusters_to_json_array(const TriageResult& result) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+    if (i) out += ",";
+    out += cluster_to_json(result.clusters[i], /*with_members=*/true)
+               .to_string();
+  }
+  return out + "]";
+}
+
+std::string clusters_to_json(const TriageResult& result) {
+  telemetry::JsonDict d;
+  d.set("artifact", "clusters")
+      .set("findings", result.findings)
+      .set("duplicates", result.duplicates)
+      .set("similarity_threshold", result.similarity_threshold)
+      .set("runtime", result.runtime)
+      .set_raw("clusters", clusters_to_json_array(result));
+  return d.to_string();
+}
+
+void save_clusters(const fs::path& file, const TriageResult& result) {
+  std::error_code ec;
+  if (file.has_parent_path()) fs::create_directories(file.parent_path(), ec);
+  std::ofstream out(file, std::ios::trunc);
+  if (out) out << clusters_to_json(result) << "\n";
+}
+
+std::optional<TriageResult> load_clusters(const fs::path& file) {
+  std::ifstream in(file);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto obj = telemetry::parse_json_object(trim(buffer.str()));
+  if (!obj) return std::nullopt;
+
+  TriageResult result;
+  result.findings = static_cast<int>(num_field(*obj, "findings"));
+  result.duplicates = static_cast<int>(num_field(*obj, "duplicates"));
+  result.similarity_threshold = num_field(*obj, "similarity_threshold");
+  result.runtime = str_field(*obj, "runtime");
+
+  auto clusters_it = obj->find("clusters");
+  if (clusters_it == obj->end()) return result;
+  const auto rows = telemetry::parse_json_array_of_objects(
+      trim(clusters_it->second.text));
+  if (!rows) return std::nullopt;
+  for (const auto& row : *rows) {
+    Cluster c;
+    c.id = static_cast<int>(num_field(row, "cluster"));
+    c.severity = num_field(row, "severity");
+    c.escape = num_field(row, "escape");
+    c.reproducibility = num_field(row, "reproducibility");
+    c.concision = num_field(row, "concision");
+    c.breadth = num_field(row, "breadth");
+    c.centroid.program_hash = str_field(row, "representative");
+    c.centroid.cause = str_field(row, "cause");
+    c.centroid.heuristics = parse_facet(str_field(row, "heuristics"));
+    c.centroid.syscalls = parse_multiset(str_field(row, "syscalls"));
+    c.centroid.signals = parse_facet(str_field(row, "signals"));
+    c.centroid.subjects = parse_facet(str_field(row, "subjects"));
+    c.centroid.runtime = result.runtime;
+    auto members_it = row.find("members");
+    if (members_it != row.end()) {
+      if (const auto members = telemetry::parse_json_array_of_objects(
+              trim(members_it->second.text))) {
+        for (const auto& m : *members) {
+          ClusterMember member;
+          member.similarity = num_field(m, "similarity", 1.0);
+          member.features.bundle = static_cast<int>(num_field(m, "bundle"));
+          member.features.program_hash = str_field(m, "program_hash");
+          member.features.shard = static_cast<int>(num_field(m, "shard", -1));
+          member.features.source_round =
+              static_cast<int>(num_field(m, "source_round", -1));
+          member.features.oracle_score = num_field(m, "oracle_score");
+          member.features.escape_magnitude = num_field(m, "escape", 1.0);
+          member.features.confirm_rounds =
+              static_cast<int>(num_field(m, "confirm_rounds"));
+          member.features.minimized_calls =
+              static_cast<int>(num_field(m, "calls"));
+          c.members.push_back(std::move(member));
+        }
+      }
+    }
+    result.clusters.push_back(std::move(c));
+  }
+  return result;
+}
+
+std::optional<TriageResult> triage_workdir(const fs::path& workdir,
+                                           ClusterConfig config) {
+  if (auto loaded = load_clusters(workdir / "clusters.json")) return loaded;
+  if (!fs::exists(workdir)) return std::nullopt;
+
+  std::string runtime = "runc";
+  if (const auto manifest =
+          core::load_campaign_manifest(workdir / "campaign.json"))
+    runtime = manifest->runtime;
+
+  std::vector<fs::path> bundle_files;
+  const fs::path violations = workdir / "violations";
+  if (fs::exists(violations))
+    for (const auto& entry : fs::directory_iterator(violations))
+      if (fs::exists(entry.path() / "bundle.json"))
+        bundle_files.push_back(entry.path() / "bundle.json");
+  std::sort(bundle_files.begin(), bundle_files.end());
+
+  std::vector<FindingFeatures> features;
+  for (const fs::path& file : bundle_files) {
+    std::ifstream in(file);
+    if (!in) continue;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto obj = telemetry::parse_json_object(trim(buffer.str()));
+    if (!obj) continue;
+    if (auto f = features_from_bundle(*obj, runtime))
+      features.push_back(std::move(*f));
+  }
+  TriageResult result = ClusterEngine(config).cluster(std::move(features));
+  result.runtime = runtime;
+  return result;
+}
+
+std::string cluster_table(const TriageResult& result) {
+  std::string out =
+      format("clusters: %zu (from %d finding%s", result.clusters.size(),
+             result.findings, result.findings == 1 ? "" : "s");
+  if (result.duplicates)
+    out += format(", +%d exact duplicate%s", result.duplicates,
+                  result.duplicates == 1 ? "" : "s");
+  out += ")\n";
+  if (result.clusters.empty()) return out;
+  TextTable table({"cluster", "severity", "size", "syscalls", "cause",
+                   "heuristics", "escape", "repro"});
+  for (const Cluster& c : result.clusters)
+    table.add_row({format("%d", c.id), format("%.1f", c.severity),
+                   format("%zu", c.members.size()),
+                   join_multiset(c.centroid.syscalls), c.centroid.cause,
+                   join_facet(c.centroid.heuristics),
+                   format("%.2f", c.escape), format("%.2f",
+                                                    c.reproducibility)});
+  out += "\n";
+  out += table.to_string();
+  out += "\n";
+  return out;
+}
+
+std::string clusters_to_prometheus(const TriageResult& result) {
+  std::string out;
+  out += "# HELP torpedo_clusters Distinct violation clusters after triage.\n";
+  out += "# TYPE torpedo_clusters gauge\n";
+  out += format("torpedo_clusters %zu\n", result.clusters.size());
+  if (result.clusters.empty()) return out;
+  out += "# HELP torpedo_cluster_severity Severity score (0-100) per "
+         "cluster.\n";
+  out += "# TYPE torpedo_cluster_severity gauge\n";
+  for (const Cluster& c : result.clusters)
+    out += format("torpedo_cluster_severity{cluster=\"%d\"} %.4f\n", c.id,
+                  c.severity);
+  out += "# HELP torpedo_cluster_size Findings per cluster.\n";
+  out += "# TYPE torpedo_cluster_size gauge\n";
+  for (const Cluster& c : result.clusters)
+    out += format("torpedo_cluster_size{cluster=\"%d\"} %zu\n", c.id,
+                  c.members.size());
+  out += "# HELP torpedo_cluster_escape Normalized escape magnitude per "
+         "cluster.\n";
+  out += "# TYPE torpedo_cluster_escape gauge\n";
+  for (const Cluster& c : result.clusters)
+    out += format("torpedo_cluster_escape{cluster=\"%d\"} %.4f\n", c.id,
+                  c.escape);
+  return out;
+}
+
+void LiveTriage::install(TriageResult result) {
+  auto snapshot = std::make_shared<const TriageResult>(std::move(result));
+  std::lock_guard<std::mutex> lock(mu_);
+  result_ = std::move(snapshot);
+}
+
+std::shared_ptr<const TriageResult> LiveTriage::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return result_;
+}
+
+std::optional<std::string> LiveTriage::handle(std::string_view path) const {
+  const std::shared_ptr<const TriageResult> result = snapshot();
+  static const TriageResult kEmpty;
+  const TriageResult& tri = result ? *result : kEmpty;
+
+  if (path == "/findings") {
+    std::string findings = "[";
+    bool first = true;
+    for (const Cluster& c : tri.clusters) {
+      for (const ClusterMember& m : c.members) {
+        if (!first) findings += ",";
+        first = false;
+        findings += telemetry::JsonDict{}
+                        .set("bundle", m.features.bundle)
+                        .set("cluster", c.id)
+                        .set("severity", c.severity)
+                        .set("program_hash", m.features.program_hash)
+                        .set("shard", m.features.shard)
+                        .set("source_round", m.features.source_round)
+                        .to_string();
+      }
+    }
+    findings += "]";
+    telemetry::JsonDict d;
+    d.set("ready", result != nullptr)
+        .set("count", tri.findings)
+        .set_raw("findings", findings);
+    return d.to_string();
+  }
+  if (path == "/clusters") {
+    std::string clusters = "[";
+    for (std::size_t i = 0; i < tri.clusters.size(); ++i) {
+      if (i) clusters += ",";
+      clusters += cluster_to_json(tri.clusters[i], /*with_members=*/false)
+                      .to_string();
+    }
+    clusters += "]";
+    telemetry::JsonDict d;
+    d.set("ready", result != nullptr)
+        .set("count", static_cast<std::int64_t>(tri.clusters.size()))
+        .set_raw("clusters", clusters);
+    return d.to_string();
+  }
+  if (starts_with(path, "/clusters/")) {
+    const auto id = parse_u64(path.substr(std::string_view("/clusters/")
+                                              .size()));
+    if (!id) return std::nullopt;
+    for (const Cluster& c : tri.clusters)
+      if (c.id == static_cast<int>(*id))
+        return cluster_to_json(c, /*with_members=*/true).to_string();
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string LiveTriage::to_prometheus() const {
+  const std::shared_ptr<const TriageResult> result = snapshot();
+  if (!result) return "";
+  return clusters_to_prometheus(*result);
+}
+
+}  // namespace torpedo::triage

@@ -1,0 +1,143 @@
+// ClusterEngine: weighted-Jaccard clustering + severity scoring.
+//
+// Findings are sorted by program hash (so the outcome is independent of
+// bundle numbering and shard interleaving), deduplicated by exact hash, and
+// greedily assigned to the most similar existing cluster centroid — the
+// first member of each cluster — when the similarity clears the threshold;
+// otherwise they seed a new cluster. Every step is deterministic: ties break
+// toward the lowest cluster index, and the final ordering is severity
+// descending with the representative hash as tiebreak. The same (seed,
+// config) campaign therefore always produces a byte-identical clusters.json,
+// sharded or not.
+//
+// Severity ranks clusters by what makes a finding actionable:
+//   escape     how far past its threshold the worst violation landed
+//   repro      how quickly confirmation succeeded (fewer rounds = better)
+//   concision  how small the minimized program is (smaller = crisper)
+//   breadth    how many distinct subjects (cores/processes/containers) the
+//              cluster's violations implicate
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "triage/features.h"
+
+namespace torpedo::core {
+struct CampaignReport;
+}  // namespace torpedo::core
+
+namespace torpedo::triage {
+
+struct ClusterConfig {
+  // Minimum weighted-Jaccard similarity to join an existing cluster.
+  double similarity_threshold = 0.72;
+  SimilarityWeights weights;
+};
+
+struct ClusterMember {
+  FindingFeatures features;
+  double similarity = 1.0;  // to the cluster centroid (1 for the centroid)
+};
+
+struct Cluster {
+  int id = 0;
+  double severity = 0;  // 0-100
+  // Severity components, each normalized to [0, 1].
+  double escape = 0;
+  double reproducibility = 0;
+  double concision = 0;
+  double breadth = 0;
+  // The centroid: the features of the cluster's first (hash-lowest) member.
+  FindingFeatures centroid;
+  std::vector<ClusterMember> members;
+};
+
+struct TriageResult {
+  std::vector<Cluster> clusters;  // severity descending
+  int findings = 0;               // distinct findings clustered
+  int duplicates = 0;             // exact program-hash duplicates collapsed
+  double similarity_threshold = 0;
+  std::string runtime;
+};
+
+class ClusterEngine {
+ public:
+  explicit ClusterEngine(ClusterConfig config = {}) : config_(config) {}
+
+  TriageResult cluster(std::vector<FindingFeatures> findings) const;
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  ClusterConfig config_;
+};
+
+// Severity in [0, 100] from the four normalized components; exposed so the
+// ordering is unit-testable without building whole clusters.
+double severity_score(double escape, double reproducibility, double concision,
+                      double breadth);
+
+// Convenience: extract features from every provenance record of a finalized
+// report and cluster them.
+TriageResult cluster_report(const core::CampaignReport& report,
+                            std::string_view runtime,
+                            ClusterConfig config = {});
+
+// --- persistence (workdir/clusters.json) -------------------------------------
+
+// The "clusters" array alone, rendered (for `torpedo report --json`).
+std::string clusters_to_json_array(const TriageResult& result);
+
+// The whole clusters.json document (single JSON object, one line).
+std::string clusters_to_json(const TriageResult& result);
+
+void save_clusters(const std::filesystem::path& file,
+                   const TriageResult& result);
+
+// Parses a clusters.json back. Member lists and centroid facets round-trip;
+// enough for `torpedo report` tables and `torpedo diff` matching.
+std::optional<TriageResult> load_clusters(const std::filesystem::path& file);
+
+// Loads workdir/clusters.json, or recomputes from violations/*/bundle.json
+// (runtime from campaign.json) when the file is absent. Returns nullopt when
+// the workdir has neither clusters nor bundles to triage — an empty campaign
+// yields a present-but-empty result, not nullopt.
+std::optional<TriageResult> triage_workdir(
+    const std::filesystem::path& workdir, ClusterConfig config = {});
+
+// --- rendering ----------------------------------------------------------------
+
+// Severity-ranked text table for `torpedo report` / `torpedo stats`.
+std::string cluster_table(const TriageResult& result);
+
+// torpedo_clusters, torpedo_cluster_severity{cluster="N"},
+// torpedo_cluster_size{cluster="N"}, torpedo_cluster_escape{cluster="N"}.
+std::string clusters_to_prometheus(const TriageResult& result);
+
+// --- live endpoint holder -----------------------------------------------------
+
+// Thread-safe triage snapshot for MonitorServer JSON endpoints. The campaign
+// thread installs the result after finalize; the monitor thread serves
+// GET /findings, GET /clusters and GET /clusters/N from the snapshot (empty
+// arrays before install). handle() returns nullopt for unknown paths.
+class LiveTriage {
+ public:
+  void install(TriageResult result);
+  std::optional<std::string> handle(std::string_view path) const;
+  std::string to_prometheus() const;
+
+ private:
+  std::shared_ptr<const TriageResult> snapshot() const;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const TriageResult> result_;
+};
+
+}  // namespace torpedo::triage

@@ -1,0 +1,294 @@
+#include "triage/diff.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace torpedo::triage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+double num_field(const std::map<std::string, telemetry::JsonValue>& obj,
+                 const std::string& key, double fallback = 0) {
+  auto it = obj.find(key);
+  if (it == obj.end()) return fallback;
+  const telemetry::JsonValue& v = it->second;
+  return v.is_integer ? static_cast<double>(v.integer) : v.number;
+}
+
+std::string str_field(const std::map<std::string, telemetry::JsonValue>& obj,
+                      const std::string& key) {
+  auto it = obj.find(key);
+  return it == obj.end() ? std::string() : it->second.text;
+}
+
+std::string cluster_label(const Cluster& c) {
+  const std::string syscalls = join_multiset(c.centroid.syscalls);
+  if (c.centroid.cause.empty()) return syscalls;
+  if (syscalls.empty()) return c.centroid.cause;
+  return syscalls + " | " + c.centroid.cause;
+}
+
+// Executions per simulated second: per shard, the last timeseries sample's
+// executions divided by its sim time, summed. A pure function of the
+// recorded artifact — no wall clock involved, so the self-diff is exact.
+bool throughput_of(const fs::path& workdir, double* out) {
+  std::ifstream in(workdir / "timeseries.jsonl");
+  if (!in) return false;
+  struct Last {
+    double executions = 0;
+    double sim_ns = 0;
+  };
+  std::map<int, Last> by_shard;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    const auto obj = telemetry::parse_json_object(line);
+    if (!obj) continue;
+    const int shard = obj->count("shard")
+                          ? static_cast<int>(num_field(*obj, "shard"))
+                          : -1;
+    by_shard[shard] = {num_field(*obj, "executions"),
+                       num_field(*obj, "sim_ns")};
+  }
+  if (by_shard.empty()) return false;
+  double rate = 0;
+  for (const auto& [shard, last] : by_shard) {
+    (void)shard;
+    if (last.sim_ns > 0) rate += last.executions / (last.sim_ns / 1e9);
+  }
+  *out = rate;
+  return true;
+}
+
+struct EfficacyRow {
+  double attempts = 0;
+  double accepted = 0;
+  std::uint64_t novel = 0;
+};
+
+std::map<std::string, EfficacyRow> efficacy_of(const fs::path& workdir) {
+  std::map<std::string, EfficacyRow> rows;
+  std::ifstream in(workdir / "mutation_efficacy.json");
+  if (!in) return rows;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto obj = telemetry::parse_json_object(trim(buffer.str()));
+  if (!obj) return rows;
+  auto ops_it = obj->find("ops");
+  if (ops_it == obj->end()) return rows;
+  const auto ops =
+      telemetry::parse_json_array_of_objects(trim(ops_it->second.text));
+  if (!ops) return rows;
+  for (const auto& op : *ops) {
+    EfficacyRow row;
+    row.attempts = num_field(op, "attempts");
+    row.accepted = num_field(op, "accepted");
+    row.novel = static_cast<std::uint64_t>(num_field(op, "novel_signal"));
+    rows[str_field(op, "op")] = row;
+  }
+  return rows;
+}
+
+}  // namespace
+
+telemetry::JsonDict DiffResult::to_json() const {
+  auto matched_array = [](const std::vector<MatchedCluster>& v) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) out += ",";
+      out += telemetry::JsonDict{}
+                 .set("cluster_a", v[i].id_a)
+                 .set("cluster_b", v[i].id_b)
+                 .set("similarity", v[i].similarity)
+                 .set("severity_a", v[i].severity_a)
+                 .set("severity_b", v[i].severity_b)
+                 .set("size_a", static_cast<std::int64_t>(v[i].size_a))
+                 .set("size_b", static_cast<std::int64_t>(v[i].size_b))
+                 .set("label", v[i].label)
+                 .to_string();
+    }
+    return out + "]";
+  };
+  auto unmatched_array = [](const std::vector<UnmatchedCluster>& v) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) out += ",";
+      out += telemetry::JsonDict{}
+                 .set("cluster", v[i].id)
+                 .set("severity", v[i].severity)
+                 .set("size", static_cast<std::int64_t>(v[i].size))
+                 .set("label", v[i].label)
+                 .to_string();
+    }
+    return out + "]";
+  };
+  std::string reasons = "[";
+  for (std::size_t i = 0; i < regression_reasons.size(); ++i) {
+    if (i) reasons += ",";
+    reasons += "\"" + telemetry::json_escape(regression_reasons[i]) + "\"";
+  }
+  reasons += "]";
+  std::string ops = "[";
+  for (std::size_t i = 0; i < efficacy.size(); ++i) {
+    if (i) ops += ",";
+    ops += telemetry::JsonDict{}
+               .set("op", efficacy[i].op)
+               .set("accept_rate_a", efficacy[i].accept_rate_a)
+               .set("accept_rate_b", efficacy[i].accept_rate_b)
+               .set("novel_signal_a", efficacy[i].novel_a)
+               .set("novel_signal_b", efficacy[i].novel_b)
+               .to_string();
+  }
+  ops += "]";
+
+  telemetry::JsonDict d;
+  d.set("ran", ran)
+      .set("error", error)
+      .set("regression", regression)
+      .set_raw("regression_reasons", reasons)
+      .set_raw("persisting", matched_array(persisting))
+      .set_raw("fixed", unmatched_array(fixed))
+      .set_raw("added", unmatched_array(added))
+      .set("have_throughput", have_throughput)
+      .set("execs_per_sim_sec_a", execs_per_sim_sec_a)
+      .set("execs_per_sim_sec_b", execs_per_sim_sec_b)
+      .set_raw("mutation_efficacy", ops);
+  return d;
+}
+
+DiffResult diff_workdirs(const fs::path& a, const fs::path& b,
+                         const DiffOptions& options) {
+  DiffResult result;
+  const auto tri_a = triage_workdir(a, options.cluster);
+  if (!tri_a) {
+    result.error = "cannot triage " + a.string() +
+                   " (no clusters.json and no violation bundles)";
+    return result;
+  }
+  const auto tri_b = triage_workdir(b, options.cluster);
+  if (!tri_b) {
+    result.error = "cannot triage " + b.string() +
+                   " (no clusters.json and no violation bundles)";
+    return result;
+  }
+  result.ran = true;
+
+  // Greedy best-pair matching: repeatedly take the highest-similarity
+  // (cluster_a, cluster_b) pair above the threshold, ties toward the lowest
+  // (id_a, id_b). Deterministic and order-independent.
+  struct Pair {
+    double sim;
+    std::size_t ia, ib;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t ia = 0; ia < tri_a->clusters.size(); ++ia)
+    for (std::size_t ib = 0; ib < tri_b->clusters.size(); ++ib) {
+      const double sim = weighted_jaccard(tri_a->clusters[ia].centroid,
+                                          tri_b->clusters[ib].centroid,
+                                          options.cluster.weights);
+      if (sim >= options.match_threshold) pairs.push_back({sim, ia, ib});
+    }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) {
+    if (x.sim != y.sim) return x.sim > y.sim;
+    if (x.ia != y.ia) return x.ia < y.ia;
+    return x.ib < y.ib;
+  });
+  std::vector<bool> used_a(tri_a->clusters.size(), false);
+  std::vector<bool> used_b(tri_b->clusters.size(), false);
+  for (const Pair& p : pairs) {
+    if (used_a[p.ia] || used_b[p.ib]) continue;
+    used_a[p.ia] = true;
+    used_b[p.ib] = true;
+    const Cluster& ca = tri_a->clusters[p.ia];
+    const Cluster& cb = tri_b->clusters[p.ib];
+    result.persisting.push_back({ca.id, cb.id, p.sim, ca.severity,
+                                 cb.severity, ca.members.size(),
+                                 cb.members.size(), cluster_label(cb)});
+  }
+  std::sort(result.persisting.begin(), result.persisting.end(),
+            [](const MatchedCluster& x, const MatchedCluster& y) {
+              return x.id_a < y.id_a;
+            });
+  for (std::size_t ia = 0; ia < tri_a->clusters.size(); ++ia)
+    if (!used_a[ia]) {
+      const Cluster& c = tri_a->clusters[ia];
+      result.fixed.push_back(
+          {c.id, c.severity, c.members.size(), cluster_label(c)});
+    }
+  for (std::size_t ib = 0; ib < tri_b->clusters.size(); ++ib)
+    if (!used_b[ib]) {
+      const Cluster& c = tri_b->clusters[ib];
+      result.added.push_back(
+          {c.id, c.severity, c.members.size(), cluster_label(c)});
+    }
+
+  double rate_a = 0, rate_b = 0;
+  if (throughput_of(a, &rate_a) && throughput_of(b, &rate_b)) {
+    result.have_throughput = true;
+    result.execs_per_sim_sec_a = rate_a;
+    result.execs_per_sim_sec_b = rate_b;
+  }
+
+  const auto eff_a = efficacy_of(a);
+  const auto eff_b = efficacy_of(b);
+  std::map<std::string, bool> ops_seen;
+  for (const auto& [op, row] : eff_a) {
+    (void)row;
+    ops_seen[op] = true;
+  }
+  for (const auto& [op, row] : eff_b) {
+    (void)row;
+    ops_seen[op] = true;
+  }
+  for (const auto& [op, seen] : ops_seen) {
+    (void)seen;
+    EfficacyDelta delta;
+    delta.op = op;
+    if (auto it = eff_a.find(op); it != eff_a.end()) {
+      delta.accept_rate_a = it->second.attempts > 0
+                                ? it->second.accepted / it->second.attempts
+                                : 0;
+      delta.novel_a = it->second.novel;
+    }
+    if (auto it = eff_b.find(op); it != eff_b.end()) {
+      delta.accept_rate_b = it->second.attempts > 0
+                                ? it->second.accepted / it->second.attempts
+                                : 0;
+      delta.novel_b = it->second.novel;
+    }
+    result.efficacy.push_back(std::move(delta));
+  }
+
+  // Regression verdict.
+  if (!result.added.empty())
+    result.regression_reasons.push_back(
+        format("%zu new cluster%s", result.added.size(),
+               result.added.size() == 1 ? "" : "s"));
+  for (const MatchedCluster& m : result.persisting)
+    if (m.severity_b - m.severity_a > options.severity_regression)
+      result.regression_reasons.push_back(
+          format("cluster severity rose %.1f -> %.1f (%s)", m.severity_a,
+                 m.severity_b, m.label.c_str()));
+  if (options.max_throughput_drop_pct >= 0 && result.have_throughput &&
+      result.execs_per_sim_sec_a > 0) {
+    const double drop_pct =
+        100.0 *
+        (result.execs_per_sim_sec_a - result.execs_per_sim_sec_b) /
+        result.execs_per_sim_sec_a;
+    if (drop_pct > options.max_throughput_drop_pct)
+      result.regression_reasons.push_back(
+          format("throughput dropped %.1f%% (%.0f -> %.0f exec/sim-s)",
+                 drop_pct, result.execs_per_sim_sec_a,
+                 result.execs_per_sim_sec_b));
+  }
+  result.regression = !result.regression_reasons.empty();
+  return result;
+}
+
+}  // namespace torpedo::triage

@@ -1,0 +1,89 @@
+// Cross-campaign diffing: `torpedo diff WD_A WD_B`.
+//
+// Matches the triage clusters of two workdirs (greedy best-pair matching on
+// centroid weighted-Jaccard similarity) and classifies each as persisting
+// (in both), fixed (only in A) or new (only in B), alongside throughput and
+// mutation-efficacy deltas read from the workdirs' introspection artifacts.
+// Everything is deterministic, so CI can gate on the regression verdict:
+// new clusters — and, optionally, severity jumps or throughput drops — make
+// `torpedo diff` exit nonzero.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "triage/cluster.h"
+
+namespace torpedo::triage {
+
+struct DiffOptions {
+  // Minimum centroid similarity for two clusters to count as the same
+  // finding class across campaigns. Lower than the clustering threshold:
+  // matching across independently-minimized campaigns is fuzzier than
+  // clustering within one.
+  double match_threshold = 0.60;
+  // A persisting cluster whose severity rose by more than this counts as a
+  // regression.
+  double severity_regression = 5.0;
+  // When >= 0: a throughput (execs per sim-second) drop beyond this percent
+  // counts as a regression. Negative disables the gate.
+  double max_throughput_drop_pct = -1;
+  ClusterConfig cluster;  // used when a workdir lacks clusters.json
+};
+
+struct MatchedCluster {
+  int id_a = -1;
+  int id_b = -1;
+  double similarity = 0;
+  double severity_a = 0;
+  double severity_b = 0;
+  std::size_t size_a = 0;
+  std::size_t size_b = 0;
+  std::string label;  // centroid summary: "syscalls | cause"
+};
+
+struct UnmatchedCluster {
+  int id = -1;
+  double severity = 0;
+  std::size_t size = 0;
+  std::string label;
+};
+
+struct EfficacyDelta {
+  std::string op;
+  double accept_rate_a = 0;  // accepted / attempts
+  double accept_rate_b = 0;
+  std::uint64_t novel_a = 0;  // novel_signal
+  std::uint64_t novel_b = 0;
+};
+
+struct DiffResult {
+  bool ran = false;
+  std::string error;
+
+  std::vector<MatchedCluster> persisting;
+  std::vector<UnmatchedCluster> fixed;  // clusters only in A
+  std::vector<UnmatchedCluster> added;  // clusters only in B
+
+  bool have_throughput = false;
+  double execs_per_sim_sec_a = 0;
+  double execs_per_sim_sec_b = 0;
+
+  std::vector<EfficacyDelta> efficacy;
+
+  bool regression = false;
+  std::vector<std::string> regression_reasons;
+
+  telemetry::JsonDict to_json() const;
+};
+
+// Diffs two workdirs. Each side's clusters come from clusters.json, falling
+// back to recomputing from violation bundles. `error` is set (ran == false)
+// when either side cannot be triaged at all.
+DiffResult diff_workdirs(const std::filesystem::path& a,
+                         const std::filesystem::path& b,
+                         const DiffOptions& options = {});
+
+}  // namespace torpedo::triage

@@ -1,0 +1,271 @@
+#include "triage/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace torpedo::triage {
+
+namespace {
+
+// Sorted + deduplicated copy.
+std::vector<std::string> distinct_sorted(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+// Plain Jaccard over sorted string sets; two empty sets are identical (1).
+double jaccard(const std::vector<std::string>& a,
+               const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t i = 0, j = 0, both = 0, either = 0;
+  while (i < a.size() || j < b.size()) {
+    ++either;
+    if (i == a.size()) {
+      ++j;
+    } else if (j == b.size()) {
+      ++i;
+    } else if (a[i] == b[j]) {
+      ++both;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return either == 0 ? 1.0 : static_cast<double>(both) / either;
+}
+
+// Multiset Jaccard: sum(min(count)) / sum(max(count)) over the union of
+// names. Two empty multisets are identical (1).
+double multiset_jaccard(const std::vector<std::pair<std::string, int>>& a,
+                        const std::vector<std::pair<std::string, int>>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t i = 0, j = 0;
+  long sum_min = 0, sum_max = 0;
+  while (i < a.size() || j < b.size()) {
+    if (i == a.size()) {
+      sum_max += b[j++].second;
+    } else if (j == b.size()) {
+      sum_max += a[i++].second;
+    } else if (a[i].first == b[j].first) {
+      sum_min += std::min(a[i].second, b[j].second);
+      sum_max += std::max(a[i].second, b[j].second);
+      ++i;
+      ++j;
+    } else if (a[i].first < b[j].first) {
+      sum_max += a[i++].second;
+    } else {
+      sum_max += b[j++].second;
+    }
+  }
+  return sum_max == 0 ? 1.0 : static_cast<double>(sum_min) / sum_max;
+}
+
+double num_field(const std::map<std::string, telemetry::JsonValue>& obj,
+                 const std::string& key, double fallback = 0) {
+  auto it = obj.find(key);
+  if (it == obj.end()) return fallback;
+  const telemetry::JsonValue& v = it->second;
+  return v.is_integer ? static_cast<double>(v.integer) : v.number;
+}
+
+std::string str_field(const std::map<std::string, telemetry::JsonValue>& obj,
+                      const std::string& key) {
+  auto it = obj.find(key);
+  return it == obj.end() ? std::string() : it->second.text;
+}
+
+}  // namespace
+
+double violation_excess(double value, double threshold) {
+  constexpr double kCap = 10.0;
+  constexpr double kEps = 1e-9;
+  double ratio;
+  if (threshold <= kEps) {
+    // A zero threshold means any positive value is a violation; treat the
+    // magnitude itself as the ratio so the cap still applies.
+    ratio = value > kEps ? kCap : 1.0;
+  } else if (value >= threshold) {
+    ratio = value / threshold;
+  } else {
+    ratio = threshold / std::max(value, kEps);
+  }
+  return std::min(ratio, kCap);
+}
+
+std::vector<std::pair<std::string, int>> syscall_multiset(
+    std::string_view serialized_program) {
+  std::map<std::string, int> counts;
+  for (const auto line_view : split(serialized_program, '\n')) {
+    std::string_view line = trim(line_view);
+    if (line.empty()) continue;
+    // Strip the "rN = " result prefix if present.
+    if (const auto eq = line.find('='); eq != std::string_view::npos &&
+                                        !line.empty() && line[0] == 'r') {
+      line = trim(line.substr(eq + 1));
+    }
+    const auto paren = line.find('(');
+    if (paren == std::string_view::npos || paren == 0) continue;
+    counts[std::string(trim(line.substr(0, paren)))]++;
+  }
+  return {counts.begin(), counts.end()};
+}
+
+FindingFeatures features_from_provenance(const core::Provenance& p,
+                                         int bundle_id,
+                                         std::string_view runtime) {
+  FindingFeatures f;
+  f.bundle = bundle_id;
+  f.program_hash =
+      format("%016llx", static_cast<unsigned long long>(p.program_hash));
+  f.source_round = p.source_round;
+  f.shard = p.shard;
+  f.oracle_score = p.oracle_score;
+  f.cause = p.cause;
+  f.runtime = std::string(runtime);
+  f.confirm_rounds = p.confirm_rounds;
+
+  std::vector<std::string> heuristics, subjects;
+  double escape = 1.0;
+  for (const oracle::Violation& v : p.final_violations) {
+    heuristics.push_back(v.heuristic);
+    subjects.push_back(v.subject);
+    escape = std::max(escape, violation_excess(v.value, v.threshold));
+  }
+  f.heuristics = distinct_sorted(std::move(heuristics));
+  f.subjects = distinct_sorted(std::move(subjects));
+  f.escape_magnitude = escape;
+
+  f.syscalls = syscall_multiset(p.minimized_serialized);
+  for (const auto& [name, count] : f.syscalls) {
+    (void)name;
+    f.minimized_calls += count;
+  }
+
+  std::vector<std::string> signals;
+  for (const kernel::TraceEvent& e : p.trace_events)
+    signals.push_back(std::string(kernel::trace_kind_name(e.kind)));
+  f.signals = distinct_sorted(std::move(signals));
+  return f;
+}
+
+std::optional<FindingFeatures> features_from_bundle(
+    const std::map<std::string, telemetry::JsonValue>& bundle,
+    std::string_view runtime) {
+  const std::string hash = str_field(bundle, "program_hash");
+  if (hash.empty()) return std::nullopt;
+
+  FindingFeatures f;
+  f.bundle = static_cast<int>(num_field(bundle, "bundle", -1));
+  f.program_hash = hash;
+  f.source_round = static_cast<int>(num_field(bundle, "source_round", -1));
+  f.shard = static_cast<int>(num_field(bundle, "shard", -1));
+  f.oracle_score = num_field(bundle, "oracle_score");
+  f.cause = str_field(bundle, "cause");
+  f.runtime = std::string(runtime);
+  f.confirm_rounds = static_cast<int>(num_field(bundle, "confirm_rounds"));
+
+  std::vector<std::string> heuristics, subjects;
+  double escape = 1.0;
+  auto violations_it = bundle.find("violations");
+  if (violations_it != bundle.end()) {
+    if (const auto rows = telemetry::parse_json_array_of_objects(
+            trim(violations_it->second.text))) {
+      for (const auto& row : *rows) {
+        heuristics.push_back(str_field(row, "heuristic"));
+        subjects.push_back(str_field(row, "subject"));
+        escape = std::max(escape, violation_excess(num_field(row, "value"),
+                                                   num_field(row,
+                                                             "threshold")));
+      }
+    }
+  }
+  f.heuristics = distinct_sorted(std::move(heuristics));
+  f.subjects = distinct_sorted(std::move(subjects));
+  f.escape_magnitude = escape;
+
+  f.syscalls = syscall_multiset(str_field(bundle, "program"));
+  for (const auto& [name, count] : f.syscalls) {
+    (void)name;
+    f.minimized_calls += count;
+  }
+
+  std::vector<std::string> signals;
+  auto trace_it = bundle.find("kernel_trace");
+  if (trace_it != bundle.end()) {
+    if (const auto rows = telemetry::parse_json_array_of_objects(
+            trim(trace_it->second.text))) {
+      for (const auto& row : *rows) {
+        const std::string kind = str_field(row, "kind");
+        if (!kind.empty()) signals.push_back(kind);
+      }
+    }
+  }
+  f.signals = distinct_sorted(std::move(signals));
+  return f;
+}
+
+double weighted_jaccard(const FindingFeatures& a, const FindingFeatures& b,
+                        const SimilarityWeights& weights) {
+  double score = 0;
+  score += weights.heuristics * jaccard(a.heuristics, b.heuristics);
+  score += weights.syscalls * multiset_jaccard(a.syscalls, b.syscalls);
+  score += weights.cause * (a.cause == b.cause ? 1.0 : 0.0);
+  score += weights.signals * jaccard(a.signals, b.signals);
+  score += weights.subjects * jaccard(a.subjects, b.subjects);
+  score += weights.runtime * (a.runtime == b.runtime ? 1.0 : 0.0);
+  const double total = weights.heuristics + weights.syscalls + weights.cause +
+                       weights.signals + weights.subjects + weights.runtime;
+  return total > 0 ? score / total : 0;
+}
+
+std::string join_facet(const std::vector<std::string>& facet) {
+  std::string out;
+  for (const std::string& s : facet) {
+    if (!out.empty()) out += ",";
+    out += s;
+  }
+  return out;
+}
+
+std::vector<std::string> parse_facet(std::string_view text) {
+  std::vector<std::string> out;
+  for (const auto field : split(text, ','))
+    if (!trim(field).empty()) out.emplace_back(trim(field));
+  return out;
+}
+
+std::string join_multiset(
+    const std::vector<std::pair<std::string, int>>& ms) {
+  std::string out;
+  for (const auto& [name, count] : ms) {
+    if (!out.empty()) out += ",";
+    out += name + ":" + std::to_string(count);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int>> parse_multiset(
+    std::string_view text) {
+  std::vector<std::pair<std::string, int>> out;
+  for (const auto field : split(text, ',')) {
+    const auto entry = trim(field);
+    if (entry.empty()) continue;
+    const auto colon = entry.rfind(':');
+    if (colon == std::string_view::npos) {
+      out.emplace_back(std::string(entry), 1);
+      continue;
+    }
+    const auto count = parse_u64(entry.substr(colon + 1));
+    out.emplace_back(std::string(entry.substr(0, colon)),
+                     count ? static_cast<int>(*count) : 1);
+  }
+  return out;
+}
+
+}  // namespace torpedo::triage

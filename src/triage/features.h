@@ -1,0 +1,104 @@
+// Triage feature vectors (the clustering half of fuzzing-as-a-service).
+//
+// A campaign at scale produces far more confirmed findings than a human can
+// read; the report layer's exact-program-hash dedup only collapses literal
+// re-discoveries. This module extracts a deterministic feature vector per
+// finding from its provenance bundle — the oracle heuristics that fired, the
+// minimized program's syscall multiset, the KernelTrace signal set, the
+// violated subjects, the runtime, and the interference magnitude — so that
+// near-duplicate findings (same root cause, different program text) can be
+// grouped by weighted-Jaccard similarity.
+//
+// Two extraction paths produce the *same* vector: features_from_provenance
+// (in-process, `torpedo run` right after finalize) and features_from_bundle
+// (offline, `torpedo report`/`torpedo diff` re-reading bundle.json). Both
+// sort every set facet, so the vector is a pure function of the finding and
+// clustering is independent of bundle numbering or shard interleaving.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/provenance.h"
+#include "telemetry/json.h"
+
+namespace torpedo::triage {
+
+// Deterministic per-finding feature vector. String-vector facets are sorted
+// and deduplicated; the syscall multiset is sorted by name and keeps counts.
+struct FindingFeatures {
+  // Identity / metadata (not part of similarity).
+  int bundle = -1;           // violations/NNN bundle id
+  std::string program_hash;  // 16-hex-digit minimized-program signature
+  int source_round = -1;
+  int shard = -1;  // -1 == unsharded
+  double oracle_score = 0;
+
+  // Similarity facets.
+  std::vector<std::string> heuristics;  // distinct oracle heuristics fired
+  std::vector<std::pair<std::string, int>> syscalls;  // minimized multiset
+  std::vector<std::string> signals;   // distinct KernelTrace event kinds
+  std::vector<std::string> subjects;  // distinct violated subjects
+  std::string cause;                  // KernelTrace classification
+  std::string runtime;                // container runtime under test
+
+  // Severity inputs.
+  double escape_magnitude = 1.0;  // worst violation excess ratio (>= 1)
+  int minimized_calls = 0;        // calls in the minimized program
+  int confirm_rounds = 0;         // observer rounds spent confirming
+};
+
+// Direction-agnostic violation excess: how far `value` escaped `threshold`,
+// as a ratio >= 1. Handles both "expect below" heuristics (value above the
+// threshold is bad) and "expect above" ones (value below is bad) without
+// knowing which kind fired, because either direction lands at ratio > 1.
+// Capped at 10 so one absurd outlier cannot dominate severity.
+double violation_excess(double value, double threshold);
+
+// Syscall-name multiset of a serialized program ("r0 = open(...)" lines),
+// sorted by name. Returns pairs of (name, count).
+std::vector<std::pair<std::string, int>> syscall_multiset(
+    std::string_view serialized_program);
+
+// In-process extraction from a finalized campaign's provenance record.
+FindingFeatures features_from_provenance(const core::Provenance& p,
+                                         int bundle_id,
+                                         std::string_view runtime);
+
+// Offline extraction from a parsed bundle.json object (parse_json_object
+// output). Returns nullopt when the object lacks the mandatory fields.
+std::optional<FindingFeatures> features_from_bundle(
+    const std::map<std::string, telemetry::JsonValue>& bundle,
+    std::string_view runtime);
+
+// Facet weights for the similarity metric. The defaults emphasize what the
+// oracle saw (heuristics) and what the program did (syscall multiset) over
+// circumstantial facets; they sum to 1.
+struct SimilarityWeights {
+  double heuristics = 0.30;
+  double syscalls = 0.30;
+  double cause = 0.20;
+  double signals = 0.10;
+  double subjects = 0.05;
+  double runtime = 0.05;
+};
+
+// Weighted-Jaccard similarity in [0, 1]: per-facet Jaccard (sets) or
+// sum-min/sum-max (the syscall multiset), combined by the weights. Two
+// findings with identical facets score 1; fully disjoint facets score 0.
+// Symmetric, deterministic.
+double weighted_jaccard(const FindingFeatures& a, const FindingFeatures& b,
+                        const SimilarityWeights& weights = {});
+
+// Comma-joined renderers for persistence ("a,b" / "open:2,sync:1") and their
+// parsers, used by clusters.json round-tripping.
+std::string join_facet(const std::vector<std::string>& facet);
+std::vector<std::string> parse_facet(std::string_view text);
+std::string join_multiset(const std::vector<std::pair<std::string, int>>& ms);
+std::vector<std::pair<std::string, int>> parse_multiset(std::string_view text);
+
+}  // namespace torpedo::triage

@@ -1,6 +1,6 @@
 // Golden byte-determinism tests: two campaigns with identical configs must
 // regenerate every workdir artifact byte-for-byte — report.txt, corpus.txt,
-// violation bundles, syscall_profile.json, timeseries.jsonl,
+// violation bundles, clusters.json, syscall_profile.json, timeseries.jsonl,
 // mutation_efficacy.json — for both the sequential and the sharded engine,
 // plus the final heartbeat modulo its wall-clock stamp.
 #include <gtest/gtest.h>
@@ -20,9 +20,11 @@
 #include "feedback/mutation_efficacy.h"
 #include "feedback/syscall_profile.h"
 #include "kernel/syscalls.h"
+#include "runtime/runtime.h"
 #include "telemetry/json.h"
 #include "telemetry/monitor.h"
 #include "telemetry/timeseries.h"
+#include "triage/cluster.h"
 
 namespace torpedo {
 namespace {
@@ -99,6 +101,10 @@ void run_workdir(const fs::path& dir, int shards, bool heartbeat) {
   feedback::set_syscall_profile(nullptr);
   feedback::set_mutation_efficacy(nullptr);
   core::save_report(dir / "report.txt", report);
+  triage::save_clusters(
+      dir / "clusters.json",
+      triage::cluster_report(report,
+                             runtime::runtime_name(config.runtime)));
   core::write_violation_bundles(dir, report);
   std::vector<const telemetry::TimeSeriesRecorder*> recorder_ptrs;
   for (const telemetry::TimeSeriesRecorder& r : recorders)

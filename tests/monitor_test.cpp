@@ -314,6 +314,50 @@ TEST(MonitorServerTest, HandleRoutes) {
   EXPECT_EQ(server.handle("POST", "/metrics").code, 405);
 }
 
+TEST(MonitorServerTest, ErrorBodiesAreStructuredJson) {
+  MonitorServer server;
+  const MonitorServer::Response missing = server.handle("GET", "/nope");
+  EXPECT_EQ(missing.code, 404);
+  EXPECT_EQ(missing.content_type, "application/json");
+  const auto missing_obj = parse_json_object(missing.body);
+  ASSERT_TRUE(missing_obj.has_value()) << missing.body;
+  EXPECT_EQ(missing_obj->at("error").text, "not found");
+  EXPECT_EQ(missing_obj->at("path").text, "/nope");
+
+  const MonitorServer::Response bad = server.handle("POST", "/metrics");
+  EXPECT_EQ(bad.code, 405);
+  EXPECT_EQ(bad.content_type, "application/json");
+  const auto bad_obj = parse_json_object(bad.body);
+  ASSERT_TRUE(bad_obj.has_value()) << bad.body;
+  EXPECT_EQ(bad_obj->at("error").text, "method not allowed");
+  EXPECT_EQ(bad_obj->at("method").text, "POST");
+}
+
+TEST(MonitorServerTest, JsonEndpointsRouteByPrefix) {
+  MonitorServer server;
+  server.add_json_endpoint(
+      "/things", [](std::string_view path) -> std::optional<std::string> {
+        if (path == "/things") return std::string("{\"all\":true}");
+        if (path == "/things/7") return std::string("{\"id\":7}");
+        return std::nullopt;
+      });
+
+  const MonitorServer::Response all = server.handle("GET", "/things");
+  EXPECT_EQ(all.code, 200);
+  EXPECT_EQ(all.content_type, "application/json");
+  EXPECT_EQ(all.body, "{\"all\":true}\n");
+  EXPECT_EQ(server.handle("GET", "/things/7").body, "{\"id\":7}\n");
+
+  // A handler returning nullopt is a structured 404, and a prefix match
+  // requires a path-segment boundary ("/thingsies" is not "/things/...").
+  const MonitorServer::Response gone = server.handle("GET", "/things/8");
+  EXPECT_EQ(gone.code, 404);
+  const auto gone_obj = parse_json_object(gone.body);
+  ASSERT_TRUE(gone_obj.has_value()) << gone.body;
+  EXPECT_EQ(gone_obj->at("error").text, "not found");
+  EXPECT_EQ(server.handle("GET", "/thingsies").code, 404);
+}
+
 TEST(MonitorServerTest, MetricsSynthesizesCampaignSeries) {
   Registry reg;
   reg.counter("exec.executions").inc(7);

@@ -19,10 +19,18 @@
 //                   timeseries.jsonl, the per-operator mutation-efficacy
 //                   table, lineage-depth histograms from corpus.txt, and
 //                   each finding's ancestry chain.
+//   torpedo diff  — cross-campaign triage diff: match clusters across two
+//                   workdirs, report new/fixed/persisting findings plus
+//                   throughput and mutation-efficacy deltas, and exit
+//                   nonzero on regression so CI can gate on it.
 //   torpedo selftest — the framework testing itself: randomized invariant
 //                   trials against the simulated substrate, fault-injection
 //                   campaigns, and deterministic replay of recorded
 //                   workdirs (`--replay WORKDIR`).
+//
+// Argument handling is table-driven: every subcommand declares its flags in
+// one SubcommandSpec, which feeds the parser, the per-subcommand --help
+// text, and the unknown-flag error path alike.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -48,6 +56,8 @@
 #include "selftest/replay.h"
 #include "telemetry/monitor.h"
 #include "telemetry/span.h"
+#include "triage/cluster.h"
+#include "triage/diff.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
@@ -61,33 +71,135 @@ using namespace torpedo;
 
 namespace {
 
-int usage() {
-  std::fputs(
-      "usage:\n"
-      "  torpedo run   [--runtime runc|crun|runsc|kata] [--batches N]\n"
-      "                [--executors N] [--round-seconds S] [--num-seeds N]\n"
-      "                [--seeds-dir DIR] [--workdir DIR] [--seed N] [-v]\n"
-      "                [--trace FILE.jsonl] [--metrics FILE.json]\n"
-      "                [--chrome-trace FILE.json]\n"
-      "                [--monitor-port N] [--watchdog-seconds S]\n"
-      "                [--watchdog-abort]\n"
-      "                [--shards N] [--no-corpus-sync]\n"
-      "                [--snapshot-exec | --no-snapshot-exec]\n"
-      "  torpedo exec  [--runtime ...] [--round-seconds S] FILE.prog\n"
-      "  torpedo seeds [--out DIR] [--count N]\n"
-      "  torpedo report [--json] WORKDIR\n"
-      "  torpedo stats WORKDIR\n"
-      "  torpedo selftest [--trials N] [--seed N] [--scratch DIR]\n"
-      "                [--keep-scratch] [--report FILE.json] [--json] [-v]\n"
-      "                [--only invariants|faults|replay]\n"
-      "  torpedo selftest --replay WORKDIR [--json]\n",
-      stderr);
-  return 2;
+// One flag of one subcommand: drives parsing, --help, and error text.
+struct FlagSpec {
+  const char* name;        // long name, without the leading --
+  bool is_switch;          // true: takes no value
+  const char* value_name;  // "N", "DIR", ... (nullptr for switches)
+  const char* help;
+};
+
+struct SubcommandSpec {
+  const char* name;
+  const char* positional;  // positional-argument summary ("" if none)
+  const char* brief;
+  std::vector<FlagSpec> flags;
+};
+
+const std::vector<SubcommandSpec>& subcommands() {
+  static const std::vector<SubcommandSpec> kSpecs = {
+      {"run", "",
+       "full fuzzing campaign: seeds in, mutate/confirm batches, then the "
+       "flag/minimize/classify/triage pipeline",
+       {
+           {"runtime", false, "NAME", "runc|crun|runsc|kata (default runc)"},
+           {"batches", false, "N", "fuzzing batches to run"},
+           {"executors", false, "N", "parallel executors per round"},
+           {"round-seconds", false, "S", "observer round duration"},
+           {"num-seeds", false, "N", "seed programs to generate"},
+           {"seeds-dir", false, "DIR", "load .prog seed files from DIR"},
+           {"workdir", false, "DIR", "write campaign artifacts to DIR"},
+           {"seed", false, "N", "campaign RNG seed"},
+           {"v", true, nullptr, "verbose logging"},
+           {"trace", false, "FILE", "round-by-round JSONL trace"},
+           {"metrics", false, "FILE", "final telemetry counters as JSON"},
+           {"chrome-trace", false, "FILE", "phase spans as a Chrome trace"},
+           {"monitor-port", false, "N",
+            "serve live /metrics, /status, /findings, /clusters"},
+           {"watchdog-seconds", false, "S", "stall-detector budget"},
+           {"watchdog-abort", true, nullptr, "abort the batch on stall"},
+           {"shards", false, "N", "parallel campaign shards"},
+           {"no-corpus-sync", true, nullptr, "isolate shard corpora"},
+           {"snapshot-exec", true, nullptr, "snapshot fast path (default)"},
+           {"no-snapshot-exec", true, nullptr, "cold boot per program"},
+       }},
+      {"exec", "FILE.prog",
+       "manual execution of one serialized program: one observed round plus "
+       "oracle verdicts",
+       {
+           {"runtime", false, "NAME", "runc|crun|runsc|kata (default runc)"},
+           {"round-seconds", false, "S", "observer round duration"},
+           {"executors", false, "N", "parallel executors"},
+           {"seed", false, "N", "RNG seed"},
+           {"snapshot-exec", true, nullptr, "snapshot fast path (default)"},
+           {"no-snapshot-exec", true, nullptr, "cold boot per program"},
+       }},
+      {"seeds", "",
+       "materialize the Moonshine-like seed corpus as .prog files",
+       {
+           {"out", false, "DIR", "output directory (default seeds)"},
+           {"count", false, "N", "seeds to write (default 200)"},
+       }},
+      {"report", "WORKDIR",
+       "offline triage: findings, clusters, lineage and metrics from a "
+       "recorded workdir",
+       {
+           {"json", true, nullptr, "machine-readable output"},
+       }},
+      {"stats", "WORKDIR",
+       "campaign introspection: growth curves, efficacy, lineage, clusters",
+       {}},
+      {"diff", "WORKDIR_A WORKDIR_B",
+       "cross-campaign diff: new/fixed/persisting clusters plus throughput "
+       "and efficacy deltas; exits 2 on regression",
+       {
+           {"json", true, nullptr, "machine-readable output"},
+           {"similarity", false, "X",
+            "cluster match threshold (default 0.60)"},
+           {"severity-regression", false, "X",
+            "severity rise counting as regression (default 5)"},
+           {"max-throughput-drop", false, "PCT",
+            "also gate on throughput drops beyond PCT"},
+       }},
+      {"selftest", "",
+       "the framework testing itself: invariant trials, fault injection, "
+       "workdir replay",
+       {
+           {"trials", false, "N", "randomized trials per pillar"},
+           {"seed", false, "N", "trial RNG seed"},
+           {"scratch", false, "DIR", "scratch directory"},
+           {"keep-scratch", true, nullptr, "keep scratch on success"},
+           {"report", false, "FILE", "JSON report path"},
+           {"json", true, nullptr, "print the JSON report"},
+           {"v", true, nullptr, "verbose logging"},
+           {"only", false, "PILLAR", "invariants|faults|replay"},
+           {"replay", false, "WORKDIR",
+            "replay one recorded workdir and diff every artifact"},
+       }},
+  };
+  return kSpecs;
+}
+
+int usage(FILE* out = stderr) {
+  std::fputs("usage: torpedo <command> [flags] [args]\n\ncommands:\n", out);
+  for (const SubcommandSpec& spec : subcommands())
+    std::fprintf(out, "  %-9s %-21s %s\n", spec.name, spec.positional,
+                 spec.brief);
+  std::fputs("\nrun 'torpedo <command> --help' for that command's flags\n",
+             out);
+  return out == stderr ? 2 : 0;
+}
+
+int subcommand_help(const SubcommandSpec& spec) {
+  std::printf("usage: torpedo %s%s%s%s\n\n%s\n", spec.name,
+              spec.flags.empty() ? "" : " [flags]",
+              *spec.positional ? " " : "", spec.positional, spec.brief);
+  if (!spec.flags.empty()) {
+    std::printf("\nflags:\n");
+    for (const FlagSpec& flag : spec.flags) {
+      std::string left = std::string("--") + flag.name;
+      if (!flag.is_switch && flag.value_name != nullptr)
+        left += std::string(" ") + flag.value_name;
+      std::printf("  %-26s %s\n", left.c_str(), flag.help);
+    }
+  }
+  return 0;
 }
 
 struct Args {
   std::vector<std::string> positional;
   std::vector<std::pair<std::string, std::string>> options;
+  bool help = false;
 
   std::optional<std::string> get(const std::string& name) const {
     for (const auto& [k, v] : options)
@@ -99,31 +211,49 @@ struct Args {
     auto v = get(name);
     return v ? std::atol(v->c_str()) : fallback;
   }
+  double fnum(const std::string& name, double fallback) const {
+    auto v = get(name);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
 };
 
-// Flags that take no value.
-bool is_switch(const std::string& name) {
-  return name == "v" || name == "json" || name == "watchdog-abort" ||
-         name == "no-corpus-sync" || name == "keep-scratch" ||
-         name == "snapshot-exec" || name == "no-snapshot-exec";
-}
-
-std::optional<Args> parse_args(int argc, char** argv) {
+// Parses against the subcommand's spec: switches take no value, unknown
+// flags share one error path, --help/-h anywhere prints the command's help.
+std::optional<Args> parse_args(int argc, char** argv,
+                               const SubcommandSpec& spec) {
   Args args;
   for (int i = 2; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (starts_with(arg, "--") || (arg.size() == 2 && arg[0] == '-')) {
-      const std::string name = arg.substr(arg[1] == '-' ? 2 : 1);
-      if (is_switch(name)) {
-        args.options.emplace_back(name, "1");
-      } else if (i + 1 < argc) {
-        args.options.emplace_back(name, argv[++i]);
-      } else {
-        std::fprintf(stderr, "missing value for --%s\n", name.c_str());
-        return std::nullopt;
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--") && !(arg.size() == 2 && arg[0] == '-')) {
+      args.positional.push_back(arg);
+      continue;
+    }
+    const std::string name = arg.substr(arg[1] == '-' ? 2 : 1);
+    if (name == "help" || name == "h") {
+      args.help = true;
+      continue;
+    }
+    const FlagSpec* flag = nullptr;
+    for (const FlagSpec& f : spec.flags)
+      if (name == f.name) {
+        flag = &f;
+        break;
       }
+    if (flag == nullptr) {
+      std::fprintf(
+          stderr,
+          "unknown flag --%s for 'torpedo %s' (see 'torpedo %s --help')\n",
+          name.c_str(), spec.name, spec.name);
+      return std::nullopt;
+    }
+    if (flag->is_switch) {
+      args.options.emplace_back(name, "1");
+    } else if (i + 1 < argc) {
+      args.options.emplace_back(name, argv[++i]);
     } else {
-      args.positional.push_back(std::move(arg));
+      std::fprintf(stderr, "missing value for --%s (torpedo %s)\n",
+                   name.c_str(), spec.name);
+      return std::nullopt;
     }
   }
   return args;
@@ -289,6 +419,10 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
     }
   });
 
+  // Triage snapshot holder: /findings and /clusters serve empty arrays
+  // until the merged report is clustered below.
+  triage::LiveTriage live_triage;
+
   std::optional<telemetry::MonitorServer> monitor;
   if (args.has("monitor-port") || watchdog_seconds > 0) {
     telemetry::MonitorServer::Config mon_config;
@@ -299,9 +433,17 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
                          watchdogs.empty()
                              ? nullptr
                              : &watchdogs[static_cast<std::size_t>(s)]);
-    monitor->set_extra_metrics([&profile, &efficacy] {
+    monitor->set_extra_metrics([&profile, &efficacy, &live_triage] {
       return profile.to_prometheus(&kernel::sysno_name) +
-             efficacy.to_prometheus();
+             efficacy.to_prometheus() + live_triage.to_prometheus();
+    });
+    monitor->add_json_endpoint("/findings", [&live_triage](
+                                                std::string_view p) {
+      return live_triage.handle(p);
+    });
+    monitor->add_json_endpoint("/clusters", [&live_triage](
+                                                std::string_view p) {
+      return live_triage.handle(p);
     });
     if (!monitor->start()) {
       std::fprintf(stderr, "cannot bind monitor to 127.0.0.1:%d\n",
@@ -309,7 +451,8 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
       return 1;
     }
     std::printf("monitor: http://127.0.0.1:%d/metrics (and /status, "
-                "/healthz; per-shard series under {shard=\"k\"})\n",
+                "/healthz, /findings, /clusters; per-shard series under "
+                "{shard=\"k\"})\n",
                 monitor->port());
   }
 
@@ -329,6 +472,12 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
     if (monitor) monitor->stop();
     return 1;
   }
+  // Cluster the merged report: the sort-by-hash pass inside makes the
+  // outcome independent of shard interleaving, so shards=N matches the
+  // equivalent unsharded campaign byte for byte.
+  const triage::TriageResult tri =
+      triage::cluster_report(report, runtime::runtime_name(config.runtime));
+  live_triage.install(tri);
 
   for (int s = 0; s < shards; ++s) {
     const core::CampaignReport& r =
@@ -357,6 +506,8 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
                 f.is_new ? " (NEW)" : "");
   for (const core::CrashFinding& c : report.crashes)
     std::printf("  CRASH: [shard %d] %s\n", c.shard, c.message.c_str());
+  if (!tri.clusters.empty())
+    std::printf("%s", triage::cluster_table(tri).c_str());
 
   if (monitor) monitor->stop();
 
@@ -364,6 +515,7 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
     const std::filesystem::path dir(*workdir);
     core::save_corpus(dir / "corpus.txt", sharded.merged_corpus());
     core::save_report(dir / "report.txt", report);
+    triage::save_clusters(dir / "clusters.json", tri);
     const std::size_t bundles = core::write_violation_bundles(dir, report);
     {
       std::ofstream out(dir / "syscall_profile.json", std::ios::trunc);
@@ -380,7 +532,7 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
     if (auto seeds_dir = args.get("seeds-dir")) manifest.seeds_dir = *seeds_dir;
     core::save_campaign_manifest(dir / "campaign.json", manifest);
     std::printf("workdir written: %s (corpus.txt, report.txt, "
-                "syscall_profile.json, timeseries.jsonl, "
+                "clusters.json, syscall_profile.json, timeseries.jsonl, "
                 "mutation_efficacy.json, campaign.json, %zu violation "
                 "bundle%s)\n",
                 dir.string().c_str(), bundles, bundles == 1 ? "" : "s");
@@ -502,6 +654,10 @@ int cmd_run(const Args& args) {
     campaign.set_watchdog(&*watchdog);
   }
 
+  // Triage snapshot holder: /findings and /clusters serve empty arrays
+  // until finalize() installs the clustered result.
+  triage::LiveTriage live_triage;
+
   // The watchdog samples progress on the monitor thread, so asking for a
   // watchdog without --monitor-port still starts the server (ephemeral
   // port).
@@ -512,9 +668,17 @@ int cmd_run(const Args& args) {
     monitor.emplace(mon_config);
     monitor->set_status(&status);
     if (watchdog) monitor->set_watchdog(&*watchdog);
-    monitor->set_extra_metrics([&profile, &efficacy] {
+    monitor->set_extra_metrics([&profile, &efficacy, &live_triage] {
       return profile.to_prometheus(&kernel::sysno_name) +
-             efficacy.to_prometheus();
+             efficacy.to_prometheus() + live_triage.to_prometheus();
+    });
+    monitor->add_json_endpoint("/findings", [&live_triage](
+                                                std::string_view p) {
+      return live_triage.handle(p);
+    });
+    monitor->add_json_endpoint("/clusters", [&live_triage](
+                                                std::string_view p) {
+      return live_triage.handle(p);
     });
     if (!monitor->start()) {
       std::fprintf(stderr, "cannot bind monitor to 127.0.0.1:%d\n",
@@ -522,7 +686,7 @@ int cmd_run(const Args& args) {
       return 1;
     }
     std::printf("monitor: http://127.0.0.1:%d/metrics (and /status, "
-                "/healthz)\n",
+                "/healthz, /findings, /clusters)\n",
                 monitor->port());
   }
 
@@ -570,6 +734,12 @@ int cmd_run(const Args& args) {
                 batch.improvements, batch.saw_crash ? " [crash]" : "");
   }
   const core::CampaignReport report = campaign.finalize();
+  // Cluster the findings while the provenance records are still in memory;
+  // the same result feeds the live endpoints, the stdout table, and
+  // workdir/clusters.json.
+  const triage::TriageResult tri = triage::cluster_report(
+      report, runtime::runtime_name(config->runtime));
+  live_triage.install(tri);
 
   std::printf("\n%zu findings, %zu crashes over %d rounds (%llu executions)\n",
               report.findings.size(), report.crashes.size(), report.rounds,
@@ -579,6 +749,8 @@ int cmd_run(const Args& args) {
                 f.is_new ? " (NEW)" : "");
   for (const core::CrashFinding& c : report.crashes)
     std::printf("  CRASH: %s\n", c.message.c_str());
+  if (!tri.clusters.empty())
+    std::printf("%s", triage::cluster_table(tri).c_str());
 
   if (monitor) monitor->stop();
 
@@ -586,6 +758,7 @@ int cmd_run(const Args& args) {
     const std::filesystem::path dir(*workdir);
     core::save_corpus(dir / "corpus.txt", campaign.corpus());
     core::save_report(dir / "report.txt", report);
+    triage::save_clusters(dir / "clusters.json", tri);
     const std::size_t bundles = core::write_violation_bundles(dir, report);
     {
       std::ofstream out(dir / "syscall_profile.json", std::ios::trunc);
@@ -601,7 +774,7 @@ int cmd_run(const Args& args) {
     if (auto seeds_dir = args.get("seeds-dir")) manifest.seeds_dir = *seeds_dir;
     core::save_campaign_manifest(dir / "campaign.json", manifest);
     std::printf("workdir written: %s (corpus.txt, report.txt, "
-                "syscall_profile.json, timeseries.jsonl, "
+                "clusters.json, syscall_profile.json, timeseries.jsonl, "
                 "mutation_efficacy.json, campaign.json, %zu violation "
                 "bundle%s)\n",
                 dir.string().c_str(), bundles, bundles == 1 ? "" : "s");
@@ -1061,6 +1234,31 @@ void report_efficacy(const std::filesystem::path& workdir, bool json,
               table.to_string().c_str());
 }
 
+// Severity-ranked cluster table from clusters.json, recomputed from the
+// violation bundles when the file is absent. In json mode the rendered
+// clusters land under out["clusters"] plus a flat bundle -> cluster
+// assignment list (what a dashboard joins against the findings array).
+void report_clusters(const std::filesystem::path& workdir, bool json,
+                     telemetry::JsonDict& out) {
+  const auto tri = triage::triage_workdir(workdir);
+  if (!tri) return;
+  if (json) {
+    out.set_raw("clusters", triage::clusters_to_json_array(*tri));
+    std::vector<std::string> assignments;
+    for (const triage::Cluster& c : tri->clusters)
+      for (const triage::ClusterMember& m : c.members)
+        assignments.push_back(telemetry::JsonDict{}
+                                  .set("bundle", m.features.bundle)
+                                  .set("cluster", c.id)
+                                  .set("severity", c.severity)
+                                  .set("similarity", m.similarity)
+                                  .to_string());
+    out.set_raw("cluster_assignments", json_array(assignments));
+    return;
+  }
+  std::printf("%s", triage::cluster_table(*tri).c_str());
+}
+
 int cmd_report(const Args& args) {
   if (args.positional.size() != 1) return usage();
   const bool json = args.has("json");
@@ -1073,6 +1271,8 @@ int cmd_report(const Args& args) {
   out.set("workdir", workdir.string());
   if (!json) std::printf("torpedo report: %s\n\n", workdir.string().c_str());
   report_bundles(workdir, json, out);
+  report_clusters(workdir, json, out);
+  if (!json) std::printf("\n");
   report_lineage(workdir, json, out);
   report_metrics(workdir, json, out);
   report_round_trace(workdir, json, out);
@@ -1167,8 +1367,12 @@ int cmd_stats(const Args& args) {
                 sim_s > 0 ? execs / sim_s : 0.0);
   }
 
-  // --- mutation efficacy ---
+  // --- violation clusters, severity-ranked ---
   telemetry::JsonDict scratch_out;
+  report_clusters(workdir, /*json=*/false, scratch_out);
+  std::printf("\n");
+
+  // --- mutation efficacy ---
   report_efficacy(workdir, /*json=*/false, scratch_out);
 
   // --- lineage depth histogram from corpus.txt headers ---
@@ -1218,6 +1422,90 @@ int cmd_stats(const Args& args) {
 
   // --- ancestry per finding ---
   report_lineage(workdir, /*json=*/false, scratch_out);
+  return 0;
+}
+
+// --- torpedo diff -----------------------------------------------------------
+
+// `torpedo diff WD_A WD_B`: cross-campaign triage diff. Exit codes: 0 clean,
+// 1 error (a workdir could not be triaged), 2 regression — so CI can gate a
+// change on "no new violation clusters, no severity jumps".
+int cmd_diff(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  triage::DiffOptions options;
+  options.match_threshold =
+      args.fnum("similarity", options.match_threshold);
+  options.severity_regression =
+      args.fnum("severity-regression", options.severity_regression);
+  options.max_throughput_drop_pct =
+      args.fnum("max-throughput-drop", options.max_throughput_drop_pct);
+  const std::filesystem::path a(args.positional[0]);
+  const std::filesystem::path b(args.positional[1]);
+  const triage::DiffResult result = triage::diff_workdirs(a, b, options);
+
+  if (args.has("json")) {
+    std::printf("%s\n", result.to_json().to_string().c_str());
+    return result.ran ? (result.regression ? 2 : 0) : 1;
+  }
+  if (!result.ran) {
+    std::fprintf(stderr, "diff failed: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  std::printf("torpedo diff: %s -> %s\n\n", a.string().c_str(),
+              b.string().c_str());
+  std::printf("clusters: %zu persisting, %zu fixed, %zu new\n",
+              result.persisting.size(), result.fixed.size(),
+              result.added.size());
+  if (!result.persisting.empty()) {
+    TextTable table({"A", "B", "match", "severity A", "severity B", "delta",
+                     "label"});
+    for (const triage::MatchedCluster& m : result.persisting)
+      table.add_row({format("%d", m.id_a), format("%d", m.id_b),
+                     format("%.2f", m.similarity),
+                     format("%.1f", m.severity_a),
+                     format("%.1f", m.severity_b),
+                     format("%+.1f", m.severity_b - m.severity_a), m.label});
+    std::printf("\n%s\n", table.to_string().c_str());
+  }
+  for (const triage::UnmatchedCluster& c : result.fixed)
+    std::printf("  FIXED: cluster %d (severity %.1f, size %zu) %s\n", c.id,
+                c.severity, c.size, c.label.c_str());
+  for (const triage::UnmatchedCluster& c : result.added)
+    std::printf("  NEW:   cluster %d (severity %.1f, size %zu) %s\n", c.id,
+                c.severity, c.size, c.label.c_str());
+
+  if (result.have_throughput) {
+    const double delta_pct =
+        result.execs_per_sim_sec_a > 0
+            ? 100.0 *
+                  (result.execs_per_sim_sec_b - result.execs_per_sim_sec_a) /
+                  result.execs_per_sim_sec_a
+            : 0.0;
+    std::printf("\nthroughput: %.0f -> %.0f exec/sim-s (%+.1f%%)\n",
+                result.execs_per_sim_sec_a, result.execs_per_sim_sec_b,
+                delta_pct);
+  }
+  if (!result.efficacy.empty()) {
+    TextTable table({"operator", "accept A", "accept B", "novel A",
+                     "novel B"});
+    for (const triage::EfficacyDelta& e : result.efficacy)
+      table.add_row(
+          {e.op, format("%.1f%%", 100.0 * e.accept_rate_a),
+           format("%.1f%%", 100.0 * e.accept_rate_b),
+           format("%llu", static_cast<unsigned long long>(e.novel_a)),
+           format("%llu", static_cast<unsigned long long>(e.novel_b))});
+    std::printf("\nmutation efficacy deltas:\n\n%s\n",
+                table.to_string().c_str());
+  }
+
+  if (result.regression) {
+    std::printf("\nREGRESSION:\n");
+    for (const std::string& reason : result.regression_reasons)
+      std::printf("  %s\n", reason.c_str());
+    return 2;
+  }
+  std::printf("\nno regression\n");
   return 0;
 }
 
@@ -1318,13 +1606,26 @@ int cmd_seeds(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  auto args = parse_args(argc, argv);
+  if (command == "help" || command == "--help" || command == "-h")
+    return usage(stdout);
+  const SubcommandSpec* spec = nullptr;
+  for (const SubcommandSpec& s : subcommands())
+    if (command == s.name) {
+      spec = &s;
+      break;
+    }
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+    return usage();
+  }
+  auto args = parse_args(argc, argv, *spec);
   if (!args) return 2;
+  if (args->help) return subcommand_help(*spec);
   if (command == "run") return cmd_run(*args);
   if (command == "exec") return cmd_exec(*args);
   if (command == "seeds") return cmd_seeds(*args);
   if (command == "report") return cmd_report(*args);
   if (command == "stats") return cmd_stats(*args);
-  if (command == "selftest") return cmd_selftest(*args);
-  return usage();
+  if (command == "diff") return cmd_diff(*args);
+  return cmd_selftest(*args);
 }
