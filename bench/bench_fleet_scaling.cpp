@@ -1,0 +1,209 @@
+// Fleet scaling bench: what multi-process campaigns buy over one process.
+//
+// ShardedCampaign scales to the thread ceiling of one address space;
+// `torpedo fleet` (fleet/coordinator.h) scales past it with N worker
+// processes trading corpus entries through the coordinator's Unix socket.
+// This bench runs fork-mode fleets for worker counts {1, 2, 4}, measuring
+// wall time, aggregate executions per wall second, speedup versus one
+// worker, and the file-level merge cost — then probes the crash/restart
+// path with the deterministic crash_after_batch hook and reports how long
+// the fleet takes to get a dead worker publishing again. Results land in
+// BENCH_fleet.json; CI charts them and fails the build when the 4-worker
+// speedup drops below its floor.
+//
+//   bench_fleet_scaling [--quick] [--batches N] [--max-workers N]
+//                       [--out FILE.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "fleet/coordinator.h"
+#include "fleet/manifest.h"
+#include "telemetry/json.h"
+
+using namespace torpedo;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Result {
+  int workers = 0;
+  bool ok = false;
+  int restarts = 0;
+  std::uint64_t executions = 0;
+  double wall_ms = 0;
+  double merge_ms = 0;
+  double recovery_ms = 0;
+  feedback::CorpusLedger::Stats hub;
+
+  double execs_per_sec() const {
+    return wall_ms > 0 ? static_cast<double>(executions) / (wall_ms / 1000.0)
+                       : 0;
+  }
+};
+
+fleet::Manifest bench_manifest(int workers, int batches) {
+  fleet::Manifest manifest;
+  manifest.workers = workers;
+  manifest.defaults.batches = batches;
+  manifest.defaults.round_duration = 2 * kSecond;
+  manifest.defaults.num_seeds = 12;
+  manifest.defaults.seed = 0xF1EE7;
+  return manifest;
+}
+
+// One fork-mode fleet run into a scratch workdir. crash_worker >= 0 arms the
+// crash_after_batch hook on that worker's first incarnation, so the run also
+// exercises detection + respawn + committed-stream replay.
+Result run_fleet(int workers, int batches, int crash_worker) {
+  const fs::path workdir =
+      fs::temp_directory_path() /
+      ("torpedo-bench-fleet-" + std::to_string(workers) +
+       (crash_worker >= 0 ? "-crash" : ""));
+  fs::remove_all(workdir);
+
+  fleet::FleetConfig config;
+  config.manifest = bench_manifest(workers, batches);
+  config.workdir = workdir;  // empty worker_binary => fork mode
+  if (crash_worker >= 0) {
+    config.manifest.max_restarts = 2;
+    config.test_crash_worker = crash_worker;
+    config.test_crash_batch = 0;
+  }
+  fleet::Coordinator coordinator(std::move(config));
+
+  const auto start = std::chrono::steady_clock::now();
+  const fleet::Coordinator::Result fleet_result = coordinator.run();
+  const auto end = std::chrono::steady_clock::now();
+
+  Result result;
+  result.workers = workers;
+  result.ok = fleet_result.ok;
+  result.restarts = fleet_result.restarts;
+  result.executions = fleet_result.executions;
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  result.merge_ms =
+      static_cast<double>(fleet_result.merge_wall_ns) / 1e6;
+  result.recovery_ms =
+      static_cast<double>(fleet_result.max_recovery_wall_ns) / 1e6;
+  result.hub = coordinator.ledger().stats();
+  fs::remove_all(workdir);
+  return result;
+}
+
+std::string result_json(const Result& r, double baseline_execs_per_sec) {
+  telemetry::JsonDict d;
+  d.set("workers", r.workers)
+      .set("ok", r.ok)
+      .set("restarts", r.restarts)
+      .set("executions", r.executions)
+      .set("wall_ms", r.wall_ms)
+      .set("execs_per_sec", r.execs_per_sec())
+      .set("speedup", baseline_execs_per_sec > 0
+                          ? r.execs_per_sec() / baseline_execs_per_sec
+                          : 0.0)
+      .set("merge_wall_ms", r.merge_ms)
+      .set("recovery_ms", r.recovery_ms)
+      .set("hub_epochs", r.hub.epochs)
+      .set("hub_published", r.hub.published)
+      .set("hub_unique", r.hub.unique)
+      .set("hub_merged", r.hub.merged)
+      .set("hub_pulled", r.hub.pulled);
+  return d.to_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int batches = 2;
+  int max_workers = 4;
+  std::string out_path = "BENCH_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      batches = 1;
+      max_workers = 2;
+    } else if (std::strcmp(argv[i], "--batches") == 0 && i + 1 < argc) {
+      batches = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-workers") == 0 && i + 1 < argc) {
+      max_workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fleet_scaling [--quick] [--batches N] "
+                   "[--max-workers N] [--out FILE.json]\n");
+      return 2;
+    }
+  }
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  bench::print_header("Fleet scaling",
+                      "multi-process campaign throughput vs worker count");
+  std::printf("host: %u hardware threads\n\n", cores);
+
+  std::vector<Result> results;
+  double baseline = 0;
+  for (int workers : {1, 2, 4}) {
+    if (workers > max_workers) break;
+    const Result r = run_fleet(workers, batches, /*crash_worker=*/-1);
+    if (workers == 1) baseline = r.execs_per_sec();
+    std::printf("workers=%d: %.1f ms, %llu execs, %.0f execs/sec (%.2fx), "
+                "merge %.1f ms, hub epochs=%llu pulled=%llu%s\n",
+                workers, r.wall_ms,
+                static_cast<unsigned long long>(r.executions),
+                r.execs_per_sec(),
+                baseline > 0 ? r.execs_per_sec() / baseline : 0.0,
+                r.merge_ms, static_cast<unsigned long long>(r.hub.epochs),
+                static_cast<unsigned long long>(r.hub.pulled),
+                r.ok ? "" : "  [INCOMPLETE]");
+    results.push_back(r);
+  }
+
+  if (results.empty()) {
+    std::fprintf(stderr, "--max-workers must be >= 1\n");
+    return 2;
+  }
+
+  // Restart probe: kill one of two workers mid-epoch via the deterministic
+  // crash hook, measure failure-detection -> next publish of the respawn.
+  const int probe_workers = std::min(2, max_workers);
+  const Result probe = run_fleet(probe_workers, batches,
+                                 /*crash_worker=*/probe_workers - 1);
+  std::printf("restart probe: workers=%d, %d restart(s), recovery %.1f ms%s\n",
+              probe.workers, probe.restarts, probe.recovery_ms,
+              probe.ok ? "" : "  [INCOMPLETE]");
+
+  std::string worker_array = "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i) worker_array += ",";
+    worker_array += result_json(results[i], baseline);
+  }
+  worker_array += "]";
+
+  telemetry::JsonDict json;
+  json.set("bench", "fleet_scaling")
+      .set("cores", static_cast<std::uint64_t>(cores))
+      .set("batches", batches)
+      .set_raw("worker_counts", worker_array)
+      .set_raw("restart_probe", result_json(probe, baseline));
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json.to_string() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  bool ok = probe.ok && probe.restarts >= 1;
+  for (const Result& r : results) ok = ok && r.ok;
+  return ok ? 0 : 1;
+}

@@ -198,41 +198,48 @@ CampaignConfig CampaignManifest::to_config() const {
   return config;
 }
 
+telemetry::JsonDict campaign_manifest_to_dict(const CampaignManifest& m) {
+  telemetry::JsonDict doc;
+  doc.set("runtime", m.runtime)
+      .set("batches", m.batches)
+      .set("num_executors", m.num_executors)
+      .set("round_duration_ns", m.round_duration)
+      .set("num_seeds", static_cast<std::int64_t>(m.num_seeds))
+      .set("seed", static_cast<std::int64_t>(m.seed))
+      .set("shards", m.shards)
+      .set("corpus_sync", m.corpus_sync)
+      .set("snapshot_exec", m.snapshot_exec)
+      .set("seeds_dir", m.seeds_dir);
+  // Only fleet merged workdirs carry the marker; sequential and sharded
+  // manifests keep their pre-fleet byte layout.
+  if (m.fleet_workers > 0) doc.set("fleet_workers", m.fleet_workers);
+  return doc;
+}
+
 void save_campaign_manifest(const fs::path& file,
                             const CampaignManifest& manifest) {
   if (file.has_parent_path()) fs::create_directories(file.parent_path());
-  telemetry::JsonDict doc;
-  doc.set("runtime", manifest.runtime)
-      .set("batches", manifest.batches)
-      .set("num_executors", manifest.num_executors)
-      .set("round_duration_ns", manifest.round_duration)
-      .set("num_seeds", static_cast<std::int64_t>(manifest.num_seeds))
-      .set("seed", static_cast<std::int64_t>(manifest.seed))
-      .set("shards", manifest.shards)
-      .set("corpus_sync", manifest.corpus_sync)
-      .set("snapshot_exec", manifest.snapshot_exec)
-      .set("seeds_dir", manifest.seeds_dir);
   std::ofstream out(file);
-  out << doc.to_string() << "\n";
+  out << campaign_manifest_to_dict(manifest).to_string() << "\n";
 }
 
-std::optional<CampaignManifest> load_campaign_manifest(const fs::path& file) {
-  std::ifstream in(file);
-  if (!in) return std::nullopt;
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  auto object = telemetry::parse_json_object(trim(buffer.str()));
+namespace {
+
+std::optional<CampaignManifest> parse_manifest_impl(std::string_view text,
+                                                    bool require_all) {
+  auto object = telemetry::parse_json_object(trim(text));
   if (!object) return std::nullopt;
 
   CampaignManifest m;
   auto num = [&](const char* key, auto& field) -> bool {
     auto it = object->find(key);
-    if (it == object->end() ||
-        it->second.kind != telemetry::JsonValue::Kind::kNumber)
+    if (it == object->end()) return !require_all;
+    if (it->second.kind != telemetry::JsonValue::Kind::kNumber ||
+        !it->second.is_integer)
       return false;
     field = static_cast<std::remove_reference_t<decltype(field)>>(
         it->second.integer);
-    return it->second.is_integer;
+    return true;
   };
   if (auto it = object->find("runtime");
       it != object->end() &&
@@ -257,7 +264,32 @@ std::optional<CampaignManifest> load_campaign_manifest(const fs::path& file) {
       it != object->end() &&
       it->second.kind == telemetry::JsonValue::Kind::kString)
     m.seeds_dir = it->second.text;
+  // Optional: absent in every pre-fleet manifest.
+  if (auto it = object->find("fleet_workers");
+      it != object->end() &&
+      it->second.kind == telemetry::JsonValue::Kind::kNumber)
+    m.fleet_workers = static_cast<int>(it->second.integer);
   return m;
+}
+
+}  // namespace
+
+std::optional<CampaignManifest> parse_campaign_manifest(
+    std::string_view text) {
+  return parse_manifest_impl(text, /*require_all=*/true);
+}
+
+std::optional<CampaignManifest> parse_campaign_manifest_lenient(
+    std::string_view text) {
+  return parse_manifest_impl(text, /*require_all=*/false);
+}
+
+std::optional<CampaignManifest> load_campaign_manifest(const fs::path& file) {
+  std::ifstream in(file);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_campaign_manifest(buffer.str());
 }
 
 }  // namespace torpedo::core

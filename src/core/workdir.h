@@ -18,6 +18,7 @@
 #include "core/classify.h"
 #include "feedback/corpus.h"
 #include "prog/program.h"
+#include "telemetry/json.h"
 
 namespace torpedo::feedback {
 class MutationEfficacy;
@@ -93,6 +94,10 @@ struct CampaignManifest {
   // replay differ regenerates with whatever the manifest recorded.
   bool snapshot_exec = true;
   std::string seeds_dir;  // empty == default Moonshine-like corpus
+  // > 0 marks a fleet merged workdir: the campaign was N coordinator-driven
+  // worker processes (fleet/coordinator.h) and replay must re-run the fleet
+  // from workdir/fleet.json instead of one Campaign.
+  int fleet_workers = 0;
 
   static CampaignManifest from_config(const CampaignConfig& config);
   // Manifest fields over campaign defaults. Fields the manifest doesn't
@@ -105,5 +110,18 @@ void save_campaign_manifest(const std::filesystem::path& file,
                             const CampaignManifest& manifest);
 std::optional<CampaignManifest> load_campaign_manifest(
     const std::filesystem::path& file);
+
+// The manifest as a JSON object / parsed back from one, without the file
+// I/O — the fleet manifest (fleet/manifest.h) embeds the same object as its
+// "defaults" field.
+telemetry::JsonDict campaign_manifest_to_dict(const CampaignManifest& m);
+std::optional<CampaignManifest> parse_campaign_manifest(std::string_view text);
+// Lenient variant for hand-written documents (the fleet manifest's
+// "defaults"): missing keys keep their CampaignManifest defaults; keys that
+// are present must still have the right type. campaign.json stays on the
+// strict parser — it is always machine-written complete, and a replay must
+// not silently fill in defaults for a field the recording carried.
+std::optional<CampaignManifest> parse_campaign_manifest_lenient(
+    std::string_view text);
 
 }  // namespace torpedo::core

@@ -6,7 +6,9 @@
 
 namespace torpedo::feedback {
 
-CorpusHub::CorpusHub(int shards)
+// --- CorpusLedger -------------------------------------------------------------
+
+CorpusLedger::CorpusLedger(int shards)
     : shards_(shards),
       active_(shards),
       pending_(static_cast<std::size_t>(shards)),
@@ -15,7 +17,20 @@ CorpusHub::CorpusHub(int shards)
   TORPEDO_CHECK(shards > 0);
 }
 
-void CorpusHub::commit_epoch_locked() {
+void CorpusLedger::publish(int shard, std::vector<CorpusEntry> entries,
+                           std::vector<std::string> denylist) {
+  TORPEDO_CHECK(shard >= 0 && shard < shards_);
+  TORPEDO_CHECK_MSG(!left_[static_cast<std::size_t>(shard)],
+                    "publish() after leave()");
+  Pending& p = pending_[static_cast<std::size_t>(shard)];
+  TORPEDO_CHECK_MSG(!p.present, "double publish() in one epoch");
+  p.entries = std::move(entries);
+  p.denylist = std::move(denylist);
+  p.present = true;
+  ++arrived_;
+}
+
+void CorpusLedger::commit_epoch() {
   for (int s = 0; s < shards_; ++s) {
     Pending& p = pending_[static_cast<std::size_t>(s)];
     if (!p.present) continue;
@@ -46,31 +61,11 @@ void CorpusHub::commit_epoch_locked() {
   arrived_ = 0;
   ++epoch_;
   ++stats_.epochs;
-  cv_.notify_all();
 }
 
-CorpusHub::Delta CorpusHub::exchange(int shard,
-                                     std::vector<CorpusEntry> entries,
-                                     std::vector<std::string> denylist) {
-  std::unique_lock<std::mutex> lock(mu_);
+CorpusDelta CorpusLedger::pull(int shard) {
   TORPEDO_CHECK(shard >= 0 && shard < shards_);
-  TORPEDO_CHECK_MSG(!left_[static_cast<std::size_t>(shard)],
-                    "exchange() after leave()");
-  Pending& p = pending_[static_cast<std::size_t>(shard)];
-  TORPEDO_CHECK_MSG(!p.present, "double exchange() in one epoch");
-  p.entries = std::move(entries);
-  p.denylist = std::move(denylist);
-  p.present = true;
-  ++arrived_;
-
-  const std::uint64_t my_epoch = epoch_;
-  if (arrived_ >= active_) {
-    commit_epoch_locked();
-  } else {
-    cv_.wait(lock, [&] { return epoch_ > my_epoch; });
-  }
-
-  Delta delta;
+  CorpusDelta delta;
   delta.epoch = epoch_;
   std::size_t& cursor = cursor_[static_cast<std::size_t>(shard)];
   for (; cursor < committed_.size(); ++cursor) {
@@ -83,10 +78,9 @@ CorpusHub::Delta CorpusHub::exchange(int shard,
   return delta;
 }
 
-void CorpusHub::leave(int shard) {
-  std::lock_guard<std::mutex> lock(mu_);
+bool CorpusLedger::leave(int shard) {
   TORPEDO_CHECK(shard >= 0 && shard < shards_);
-  if (left_[static_cast<std::size_t>(shard)]) return;
+  if (left_[static_cast<std::size_t>(shard)]) return false;
   left_[static_cast<std::size_t>(shard)] = true;
   --active_;
   // A pending publication from a leaving shard would stall the epoch count;
@@ -97,13 +91,64 @@ void CorpusHub::leave(int shard) {
     --arrived_;
   }
   // The departure may be exactly what the barrier was waiting for.
-  if (active_ > 0 && arrived_ >= active_) commit_epoch_locked();
-  if (active_ == 0) cv_.notify_all();
+  if (epoch_ready()) {
+    commit_epoch();
+    return true;
+  }
+  return false;
+}
+
+void CorpusLedger::rejoin(int shard) {
+  TORPEDO_CHECK(shard >= 0 && shard < shards_);
+  TORPEDO_CHECK_MSG(left_[static_cast<std::size_t>(shard)],
+                    "rejoin() of a shard that never left");
+  left_[static_cast<std::size_t>(shard)] = false;
+  pending_[static_cast<std::size_t>(shard)] = Pending{};
+  // Rewind: the restarted shard rebuilds its corpus from the whole
+  // committed stream on its first pull.
+  cursor_[static_cast<std::size_t>(shard)] = 0;
+  ++active_;
+}
+
+bool CorpusLedger::left(int shard) const {
+  TORPEDO_CHECK(shard >= 0 && shard < shards_);
+  return left_[static_cast<std::size_t>(shard)];
+}
+
+bool CorpusLedger::published(int shard) const {
+  TORPEDO_CHECK(shard >= 0 && shard < shards_);
+  return pending_[static_cast<std::size_t>(shard)].present;
+}
+
+// --- CorpusHub ----------------------------------------------------------------
+
+CorpusHub::CorpusHub(int shards) : ledger_(shards) {}
+
+CorpusHub::Delta CorpusHub::exchange(int shard,
+                                     std::vector<CorpusEntry> entries,
+                                     std::vector<std::string> denylist) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint64_t my_epoch = ledger_.epoch();
+  ledger_.publish(shard, std::move(entries), std::move(denylist));
+  if (ledger_.epoch_ready()) {
+    ledger_.commit_epoch();
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return ledger_.epoch() > my_epoch; });
+  }
+  return ledger_.pull(shard);
+}
+
+void CorpusHub::leave(int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ledger_.left(shard)) return;
+  const bool committed = ledger_.leave(shard);
+  if (committed || ledger_.active() == 0) cv_.notify_all();
 }
 
 CorpusHub::Stats CorpusHub::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  return ledger_.stats();
 }
 
 }  // namespace torpedo::feedback

@@ -21,6 +21,13 @@
 // A shard that finishes (or dies) calls leave(); the barrier shrinks so the
 // remaining shards cannot deadlock, and a leave that satisfies the barrier
 // commits the epoch on behalf of the waiters.
+//
+// The protocol state machine itself lives in CorpusLedger — a plain,
+// non-blocking object with explicit publish/commit/pull/leave/rejoin steps.
+// CorpusHub wraps it with a mutex + condvar for the in-process threaded
+// case; the fleet coordinator (fleet/coordinator.h) drives the same ledger
+// from its poll() loop, with workers on the far side of a socket instead of
+// a condition variable.
 #pragma once
 
 #include <condition_variable>
@@ -34,6 +41,105 @@
 
 namespace torpedo::feedback {
 
+// What a shard takes home from an exchange.
+struct CorpusDelta {
+  // Novel entries committed since this shard's previous exchange,
+  // excluding its own publications, in deterministic commit order. Whole
+  // CorpusEntry values travel through the hub, so lineage (parent hash,
+  // origin op, birth round/shard) survives cross-shard pulls; splice
+  // donors were corpus-resident before their children were born, so they
+  // were published no later than the child's batch — a pulled entry's
+  // parent always resolves once the puller's corpus catches up.
+  std::vector<CorpusEntry> entries;
+  // The full merged denylist (sorted), superset of what was published.
+  std::vector<std::string> denylist;
+  std::uint64_t epoch = 0;  // epoch this exchange completed
+};
+
+// The epoch-commit merge state machine, single-threaded and non-blocking.
+// The owner decides when an epoch is ready (epoch_ready()) and commits it;
+// the determinism contract above is entirely in here.
+class CorpusLedger {
+ public:
+  explicit CorpusLedger(int shards);
+
+  CorpusLedger(const CorpusLedger&) = delete;
+  CorpusLedger& operator=(const CorpusLedger&) = delete;
+
+  // Stages one shard's publication for the current epoch. Publishing twice
+  // in one epoch or after leaving (without rejoin) is a checked error.
+  void publish(int shard, std::vector<CorpusEntry> entries,
+               std::vector<std::string> denylist);
+
+  // True when every active shard has published the current epoch.
+  bool epoch_ready() const { return active_ > 0 && arrived_ >= active_; }
+
+  // Commits every pending publication in ascending shard order and opens
+  // the next epoch. Caller decides readiness (normally epoch_ready()).
+  void commit_epoch();
+
+  // Everything committed since this shard's previous pull, excluding its
+  // own publications, in commit order. Advances the shard's cursor.
+  CorpusDelta pull(int shard);
+
+  // Permanently removes a shard from the barrier (done or dying) until
+  // rejoin(). Drops its pending publication. Returns true when the
+  // departure was exactly what the barrier waited for and this call
+  // committed the epoch. Idempotent.
+  bool leave(int shard);
+
+  // Re-activates a left shard (a restarted fleet worker). Its pull cursor
+  // rewinds to zero, so the first pull replays the entire committed stream
+  // — the restart checkpoint is the ledger itself.
+  void rejoin(int shard);
+
+  bool left(int shard) const;
+  bool published(int shard) const;
+  int shards() const { return shards_; }
+  int active() const { return active_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  // One committed entry (merged signal/score), in commit order.
+  struct Committed {
+    CorpusEntry entry;
+    int source_shard = -1;
+  };
+  const std::vector<Committed>& committed() const { return committed_; }
+  const std::vector<std::string>& denylist() const { return denylist_; }
+
+  // Aggregate counters (monitor / bench).
+  struct Stats {
+    std::uint64_t epochs = 0;     // completed exchange epochs
+    std::uint64_t published = 0;  // entries shards pushed in
+    std::uint64_t unique = 0;     // distinct program hashes committed
+    std::uint64_t merged = 0;     // publications that hit an existing hash
+    std::uint64_t pulled = 0;     // entries handed back out
+    std::uint64_t denylist_size = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    std::vector<CorpusEntry> entries;
+    std::vector<std::string> denylist;
+    bool present = false;
+  };
+
+  const int shards_;
+  int active_;
+  int arrived_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::vector<Pending> pending_;      // indexed by shard
+  std::vector<bool> left_;            // indexed by shard
+  std::vector<Committed> committed_;  // append-only
+  std::unordered_map<std::uint64_t, std::size_t> by_hash_;
+  std::vector<std::string> denylist_;  // kept sorted
+  std::vector<std::size_t> cursor_;    // per-shard pull position
+  Stats stats_;
+};
+
+// The threaded wrapper: exchange() blocks at the epoch barrier on a
+// condition variable. This is what ShardedCampaign's shard threads share.
 class CorpusHub {
  public:
   explicit CorpusHub(int shards);
@@ -41,20 +147,8 @@ class CorpusHub {
   CorpusHub(const CorpusHub&) = delete;
   CorpusHub& operator=(const CorpusHub&) = delete;
 
-  // What a shard takes home from an exchange.
-  struct Delta {
-    // Novel entries committed since this shard's previous exchange,
-    // excluding its own publications, in deterministic commit order. Whole
-    // CorpusEntry values travel through the hub, so lineage (parent hash,
-    // origin op, birth round/shard) survives cross-shard pulls; splice
-    // donors were corpus-resident before their children were born, so they
-    // were published no later than the child's batch — a pulled entry's
-    // parent always resolves once the puller's corpus catches up.
-    std::vector<CorpusEntry> entries;
-    // The full merged denylist (sorted), superset of what was published.
-    std::vector<std::string> denylist;
-    std::uint64_t epoch = 0;  // epoch this exchange completed
-  };
+  using Delta = CorpusDelta;
+  using Stats = CorpusLedger::Stats;
 
   // Publishes `entries` + `denylist`, blocks until every active shard has
   // arrived at this epoch, then returns the pull. Call exactly once per
@@ -67,45 +161,14 @@ class CorpusHub {
   void leave(int shard);
 
   // Aggregate counters (monitor / bench). Safe to call concurrently.
-  struct Stats {
-    std::uint64_t epochs = 0;     // completed exchange epochs
-    std::uint64_t published = 0;  // entries shards pushed in
-    std::uint64_t unique = 0;     // distinct program hashes committed
-    std::uint64_t merged = 0;     // publications that hit an existing hash
-    std::uint64_t pulled = 0;     // entries handed back out
-    std::uint64_t denylist_size = 0;
-  };
   Stats stats() const;
 
-  int shards() const { return shards_; }
+  int shards() const { return ledger_.shards(); }
 
  private:
-  struct Pending {
-    std::vector<CorpusEntry> entries;
-    std::vector<std::string> denylist;
-    bool present = false;
-  };
-  struct Committed {
-    CorpusEntry entry;
-    int source_shard = -1;
-  };
-
-  // Commits every pending publication in shard order. Caller holds mu_.
-  void commit_epoch_locked();
-
-  const int shards_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  int active_;
-  int arrived_ = 0;
-  std::uint64_t epoch_ = 0;
-  std::vector<Pending> pending_;    // indexed by shard
-  std::vector<bool> left_;          // indexed by shard
-  std::vector<Committed> committed_;  // append-only
-  std::unordered_map<std::uint64_t, std::size_t> by_hash_;
-  std::vector<std::string> denylist_;  // kept sorted
-  std::vector<std::size_t> cursor_;    // per-shard pull position
-  Stats stats_;
+  CorpusLedger ledger_;
 };
 
 }  // namespace torpedo::feedback

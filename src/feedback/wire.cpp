@@ -1,0 +1,205 @@
+#include "feedback/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace torpedo::feedback {
+
+namespace {
+// Entry/denylist counts are length-prefixed; a hostile or corrupt prefix
+// must not drive a multi-gigabyte reserve. Real batches publish a handful
+// of entries.
+constexpr std::uint32_t kMaxListLength = 1u << 20;
+}  // namespace
+
+// --- WireWriter ---------------------------------------------------------------
+
+void WireWriter::u32(std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 4);
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 8);
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+// --- WireReader ---------------------------------------------------------------
+
+bool WireReader::take(std::size_t n, const char** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t WireReader::u8() {
+  const char* p = nullptr;
+  if (!take(1, &p)) return 0;
+  return static_cast<std::uint8_t>(*p);
+}
+
+std::uint32_t WireReader::u32() {
+  const char* p = nullptr;
+  if (!take(4, &p)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  const char* p = nullptr;
+  if (!take(8, &p)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  const char* p = nullptr;
+  if (!take(n, &p)) return {};
+  return std::string(p, n);
+}
+
+// --- corpus-entry codec -------------------------------------------------------
+
+void encode_corpus_entry(WireWriter& w, const CorpusEntry& entry) {
+  w.str(entry.program.serialize());
+  w.f64(entry.best_score);
+  w.u64(entry.lineage.parent_hash);
+  w.u8(static_cast<std::uint8_t>(entry.lineage.op));
+  w.i32(entry.lineage.birth_round);
+  w.i32(entry.lineage.birth_shard);
+  // SignalSet iterates in hash order; sort so identical sets always encode
+  // to identical bytes.
+  std::vector<std::uint64_t> elements(entry.signal.elements().begin(),
+                                      entry.signal.elements().end());
+  std::sort(elements.begin(), elements.end());
+  w.u32(static_cast<std::uint32_t>(elements.size()));
+  for (std::uint64_t e : elements) w.u64(e);
+}
+
+std::optional<CorpusEntry> decode_corpus_entry(WireReader& r) {
+  const std::string text = r.str();
+  CorpusEntry entry;
+  entry.best_score = r.f64();
+  entry.lineage.parent_hash = r.u64();
+  const std::uint8_t op = r.u8();
+  entry.lineage.birth_round = r.i32();
+  entry.lineage.birth_shard = r.i32();
+  const std::uint32_t signals = r.u32();
+  // Each signal element is 8 bytes; reject counts the buffer cannot hold
+  // before reserving.
+  if (!r.ok() || signals > r.remaining() / 8) return std::nullopt;
+  for (std::uint32_t i = 0; i < signals; ++i) entry.signal.add(r.u64());
+  if (!r.ok() || op >= kNumOriginOps) return std::nullopt;
+  entry.lineage.op = static_cast<OriginOp>(op);
+  auto program = prog::Program::parse(text);
+  if (!program) return std::nullopt;
+  entry.program = std::move(*program);
+  return entry;
+}
+
+// --- message bodies -----------------------------------------------------------
+
+namespace {
+
+void encode_string_list(WireWriter& w, const std::vector<std::string>& list) {
+  w.u32(static_cast<std::uint32_t>(list.size()));
+  for (const std::string& s : list) w.str(s);
+}
+
+bool decode_string_list(WireReader& r, std::vector<std::string>& out) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > kMaxListLength) return false;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(r.str());
+    if (!r.ok()) return false;
+  }
+  return true;
+}
+
+void encode_entry_list(WireWriter& w, const std::vector<CorpusEntry>& list) {
+  w.u32(static_cast<std::uint32_t>(list.size()));
+  for (const CorpusEntry& e : list) encode_corpus_entry(w, e);
+}
+
+bool decode_entry_list(WireReader& r, std::vector<CorpusEntry>& out) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > kMaxListLength) return false;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto entry = decode_corpus_entry(r);
+    if (!entry) return false;
+    out.push_back(std::move(*entry));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_publish(const PublishBody& body) {
+  WireWriter w;
+  encode_entry_list(w, body.entries);
+  encode_string_list(w, body.denylist);
+  return w.take();
+}
+
+std::optional<PublishBody> decode_publish(std::string_view payload) {
+  WireReader r(payload);
+  PublishBody body;
+  if (!decode_entry_list(r, body.entries)) return std::nullopt;
+  if (!decode_string_list(r, body.denylist)) return std::nullopt;
+  if (!r.at_end()) return std::nullopt;
+  return body;
+}
+
+std::string encode_delta(const DeltaBody& body) {
+  WireWriter w;
+  w.u64(body.epoch);
+  encode_entry_list(w, body.entries);
+  encode_string_list(w, body.denylist);
+  return w.take();
+}
+
+std::optional<DeltaBody> decode_delta(std::string_view payload) {
+  WireReader r(payload);
+  DeltaBody body;
+  body.epoch = r.u64();
+  if (!decode_entry_list(r, body.entries)) return std::nullopt;
+  if (!decode_string_list(r, body.denylist)) return std::nullopt;
+  if (!r.at_end()) return std::nullopt;
+  return body;
+}
+
+}  // namespace torpedo::feedback

@@ -1,0 +1,106 @@
+// Wire codec for the corpus-exchange protocol.
+//
+// Fleet mode (fleet/coordinator.h) runs the CorpusHub epoch protocol across
+// processes: workers publish corpus entries and denylist deltas to the
+// coordinator over a Unix-domain socket and pull merged deltas back. This
+// header is the byte layer of that conversation — a little-endian,
+// length-delimited encoding of CorpusEntry values, publish bodies, and
+// delta bodies.
+//
+// Determinism contract: encoding is a pure function of the value. Signal
+// elements are sorted before they are written (SignalSet iterates in hash
+// order), so the same entry always encodes to the same bytes and the
+// coordinator's merge sees a schedule-independent stream.
+//
+// Robustness contract: decoding never trusts the peer. Every read is
+// bounds-checked; a truncated or oversized buffer flips the reader's ok()
+// flag and the decode_* helpers return nullopt instead of tearing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "feedback/corpus.h"
+
+namespace torpedo::feedback {
+
+// --- primitive writer/reader --------------------------------------------------
+
+// Appends little-endian primitives to a growing byte string.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v);  // IEEE-754 bits as u64
+  // u32 length prefix + raw bytes.
+  void str(std::string_view s);
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// Bounds-checked reads over a byte view. The first out-of-range read flips
+// ok() to false; subsequent reads return zero values. Callers check ok()
+// once at the end instead of after every field.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64();
+  std::string str();
+
+  bool ok() const { return ok_; }
+  // All bytes consumed and no read ever ran short.
+  bool at_end() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool take(std::size_t n, const char** out);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- corpus-entry codec -------------------------------------------------------
+
+// Program text, score, lineage, and the full signal set (sorted).
+void encode_corpus_entry(WireWriter& w, const CorpusEntry& entry);
+// nullopt on truncation, a program that fails to parse, or an unknown
+// origin-op byte.
+std::optional<CorpusEntry> decode_corpus_entry(WireReader& r);
+
+// --- message bodies -----------------------------------------------------------
+
+// What one worker pushes at a batch boundary.
+struct PublishBody {
+  std::vector<CorpusEntry> entries;
+  std::vector<std::string> denylist;
+};
+
+// What the coordinator hands back after the epoch commits.
+struct DeltaBody {
+  std::uint64_t epoch = 0;
+  std::vector<CorpusEntry> entries;
+  std::vector<std::string> denylist;  // full merged denylist, sorted
+};
+
+std::string encode_publish(const PublishBody& body);
+std::optional<PublishBody> decode_publish(std::string_view payload);
+
+std::string encode_delta(const DeltaBody& body);
+std::optional<DeltaBody> decode_delta(std::string_view payload);
+
+}  // namespace torpedo::feedback

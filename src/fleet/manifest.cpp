@@ -1,0 +1,155 @@
+#include "fleet/manifest.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "runtime/runtime.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace torpedo::fleet {
+
+const WorkerSpec* Manifest::spec(int worker) const {
+  for (const WorkerSpec& s : matrix)
+    if (s.worker == worker) return &s;
+  return nullptr;
+}
+
+core::CampaignConfig Manifest::worker_config(int worker) const {
+  core::CampaignConfig config = defaults.to_config();
+  config.seed = mix_seed(defaults.seed, static_cast<std::uint64_t>(worker));
+  if (const WorkerSpec* s = spec(worker)) {
+    if (s->runtime) {
+      if (auto kind = runtime::runtime_from_name(*s->runtime))
+        config.runtime = *kind;
+    }
+    if (s->seed) config.seed = *s->seed;
+    if (s->batches) config.batches = *s->batches;
+    if (s->cpus) config.cpus_per_container = *s->cpus;
+  }
+  return config;
+}
+
+std::string Manifest::worker_runtime(int worker) const {
+  if (const WorkerSpec* s = spec(worker); s != nullptr && s->runtime)
+    return *s->runtime;
+  return defaults.runtime;
+}
+
+std::string Manifest::worker_cpuset(int worker) const {
+  if (const WorkerSpec* s = spec(worker)) return s->cpuset;
+  return {};
+}
+
+std::string manifest_to_json(const Manifest& manifest) {
+  telemetry::JsonDict doc;
+  doc.set("workers", manifest.workers)
+      .set("max_restarts", manifest.max_restarts)
+      .set_raw("defaults",
+               core::campaign_manifest_to_dict(manifest.defaults).to_string());
+  std::string matrix = "[";
+  bool first = true;
+  for (const WorkerSpec& s : manifest.matrix) {
+    telemetry::JsonDict d;
+    d.set("worker", s.worker);
+    if (s.runtime) d.set("runtime", *s.runtime);
+    if (s.seed) d.set("seed", static_cast<std::int64_t>(*s.seed));
+    if (s.batches) d.set("batches", *s.batches);
+    if (s.cpus) d.set("cpus", *s.cpus);
+    if (!s.cpuset.empty()) d.set("cpuset", s.cpuset);
+    if (!first) matrix += ",";
+    first = false;
+    matrix += d.to_string();
+  }
+  matrix += "]";
+  doc.set_raw("matrix", matrix);
+  return doc.to_string();
+}
+
+std::optional<Manifest> manifest_from_json(std::string_view text) {
+  auto object = telemetry::parse_json_object(trim(text));
+  if (!object) return std::nullopt;
+
+  Manifest m;
+  auto it = object->find("workers");
+  if (it == object->end() ||
+      it->second.kind != telemetry::JsonValue::Kind::kNumber)
+    return std::nullopt;
+  m.workers = static_cast<int>(it->second.integer);
+  if (m.workers < 1) return std::nullopt;
+
+  if (auto r = object->find("max_restarts");
+      r != object->end() &&
+      r->second.kind == telemetry::JsonValue::Kind::kNumber)
+    m.max_restarts = static_cast<int>(r->second.integer);
+
+  if (auto d = object->find("defaults");
+      d != object->end() &&
+      d->second.kind == telemetry::JsonValue::Kind::kRaw) {
+    // Lenient: the fleet manifest is the hand-written surface — users list
+    // only the defaults they override.
+    auto defaults = core::parse_campaign_manifest_lenient(d->second.text);
+    if (!defaults) return std::nullopt;
+    m.defaults = *defaults;
+  }
+
+  if (auto mx = object->find("matrix");
+      mx != object->end() &&
+      mx->second.kind == telemetry::JsonValue::Kind::kRaw) {
+    auto rows = telemetry::parse_json_array_of_objects(mx->second.text);
+    if (!rows) return std::nullopt;
+    for (const auto& row : *rows) {
+      WorkerSpec s;
+      auto w = row.find("worker");
+      if (w == row.end() ||
+          w->second.kind != telemetry::JsonValue::Kind::kNumber)
+        return std::nullopt;
+      s.worker = static_cast<int>(w->second.integer);
+      if (s.worker < 0 || s.worker >= m.workers) return std::nullopt;
+      if (auto f = row.find("runtime");
+          f != row.end() &&
+          f->second.kind == telemetry::JsonValue::Kind::kString) {
+        if (!runtime::runtime_from_name(f->second.text)) return std::nullopt;
+        s.runtime = f->second.text;
+      }
+      if (auto f = row.find("seed");
+          f != row.end() &&
+          f->second.kind == telemetry::JsonValue::Kind::kNumber)
+        s.seed = static_cast<std::uint64_t>(f->second.integer);
+      if (auto f = row.find("batches");
+          f != row.end() &&
+          f->second.kind == telemetry::JsonValue::Kind::kNumber)
+        s.batches = static_cast<int>(f->second.integer);
+      if (auto f = row.find("cpus");
+          f != row.end() &&
+          f->second.kind == telemetry::JsonValue::Kind::kNumber)
+        s.cpus = f->second.number;
+      if (auto f = row.find("cpuset");
+          f != row.end() &&
+          f->second.kind == telemetry::JsonValue::Kind::kString)
+        s.cpuset = f->second.text;
+      m.matrix.push_back(std::move(s));
+    }
+  }
+  return m;
+}
+
+void save_manifest(const std::filesystem::path& file,
+                   const Manifest& manifest) {
+  if (file.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(file.parent_path(), ec);
+  }
+  std::ofstream out(file);
+  out << manifest_to_json(manifest) << "\n";
+}
+
+std::optional<Manifest> load_manifest(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return manifest_from_json(buffer.str());
+}
+
+}  // namespace torpedo::fleet

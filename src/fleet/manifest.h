@@ -1,0 +1,74 @@
+// The fleet experiment-matrix manifest.
+//
+// One fleet campaign runs N workers; by default every worker runs the same
+// campaign template with seed mix_seed(base, worker) — the process analogue
+// of ShardedCampaign's shard seeds. The manifest's matrix overrides that
+// uniformity per worker, spanning the experiment axes the paper sweeps:
+// runtime (runc/crun/runsc/kata), CPU quota (--cpus), host cpuset
+// (affinity pinning), and seed — plus batch count for asymmetric-length
+// sweeps.
+//
+// JSON shape (workdir/fleet.json, also accepted via `torpedo fleet
+// --manifest FILE`):
+//
+//   {"workers":4,"max_restarts":2,
+//    "defaults":{"runtime":"runc","batches":8,"num_executors":3,
+//                "round_duration_ns":5000000000,"num_seeds":40,
+//                "seed":118185680,"snapshot_exec":true,"seeds_dir":""},
+//    "matrix":[{"worker":1,"runtime":"runsc","seed":7,"cpus":0.5,
+//               "cpuset":"2,3","batches":4}]}
+//
+// `defaults` reuses the CampaignManifest keys; `matrix` entries name a
+// worker index and override only the fields they carry. The manifest is
+// what the selftest replay differ re-executes, so worker_config() must be a
+// pure function of (manifest, worker).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/workdir.h"
+
+namespace torpedo::fleet {
+
+// Per-worker overrides; unset fields fall back to the defaults.
+struct WorkerSpec {
+  int worker = -1;
+  std::optional<std::string> runtime;
+  std::optional<std::uint64_t> seed;
+  std::optional<int> batches;
+  std::optional<double> cpus;  // container CPU quota (the paper's --cpus)
+  std::string cpuset;          // host CPU affinity list, "" = unpinned
+};
+
+struct Manifest {
+  int workers = 2;
+  int max_restarts = 2;
+  core::CampaignManifest defaults;
+  std::vector<WorkerSpec> matrix;
+
+  // The matrix row for `worker`, or nullptr when it runs pure defaults.
+  const WorkerSpec* spec(int worker) const;
+
+  // Worker k's resolved campaign config: defaults, matrix overrides, and —
+  // when the matrix names no explicit seed — mix_seed(defaults.seed, k), so
+  // worker 0 of a uniform fleet reproduces the sequential campaign exactly.
+  core::CampaignConfig worker_config(int worker) const;
+
+  // Resolved runtime name / cpuset for `worker` (for triage and affinity).
+  std::string worker_runtime(int worker) const;
+  std::string worker_cpuset(int worker) const;
+};
+
+std::string manifest_to_json(const Manifest& manifest);
+std::optional<Manifest> manifest_from_json(std::string_view text);
+
+void save_manifest(const std::filesystem::path& file,
+                   const Manifest& manifest);
+std::optional<Manifest> load_manifest(const std::filesystem::path& file);
+
+}  // namespace torpedo::fleet

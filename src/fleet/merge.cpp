@@ -1,0 +1,348 @@
+#include "fleet/merge.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/workdir.h"
+#include "feedback/corpus.h"
+#include "kernel/syscalls.h"
+#include "telemetry/json.h"
+#include "triage/cluster.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace torpedo::fleet {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool write_file(const fs::path& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(out);
+}
+
+int worker_id_of(const fs::path& dir) {
+  return std::atoi(dir.filename().string().c_str());
+}
+
+// --- report.txt ---------------------------------------------------------------
+
+struct ReportPieces {
+  int batches = 0;
+  int rounds = 0;
+  unsigned long long executions = 0;
+  std::vector<std::string> finding_blocks;
+  std::vector<std::string> crash_blocks;  // "== crash ==" blocks, in order
+};
+
+// Splits a report body into "== ..."-headed blocks, preserving each block's
+// bytes exactly (the merge must not reformat what save_report wrote).
+std::optional<ReportPieces> parse_report(const std::string& text) {
+  ReportPieces pieces;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "# TORPEDO campaign report")
+    return std::nullopt;
+  if (!std::getline(in, line)) return std::nullopt;
+  std::size_t corpus = 0;
+  if (std::sscanf(line.c_str(), "# batches=%d rounds=%d executions=%llu "
+                  "corpus=%zu",
+                  &pieces.batches, &pieces.rounds, &pieces.executions,
+                  &corpus) != 4)
+    return std::nullopt;
+
+  std::string block;
+  bool is_crash = false;
+  auto flush = [&] {
+    if (block.empty()) return;
+    (is_crash ? pieces.crash_blocks : pieces.finding_blocks)
+        .push_back(std::move(block));
+    block.clear();
+  };
+  bool in_body = false;
+  while (std::getline(in, line)) {
+    if (starts_with(line, "== ")) {
+      flush();
+      in_body = true;
+      is_crash = starts_with(line, "== crash ==");
+    }
+    if (in_body) block += line + "\n";
+  }
+  flush();
+  return pieces;
+}
+
+// The crash's identity for cross-worker dedup (ShardedCampaign::merge dedups
+// crashes by message; the block's "message: " line carries it verbatim).
+std::string crash_message(const std::string& block) {
+  std::istringstream in(block);
+  std::string line;
+  while (std::getline(in, line))
+    if (starts_with(line, "message: ")) return line;
+  return block;
+}
+
+bool merge_reports(const MergeOptions& options, std::size_t merged_corpus) {
+  ReportPieces total;
+  std::vector<std::string> crashes;
+  std::set<std::string> crash_seen;
+  for (const fs::path& dir : options.worker_dirs) {
+    const auto text = read_file(dir / "report.txt");
+    if (!text) continue;
+    auto pieces = parse_report(*text);
+    if (!pieces) {
+      TORPEDO_LOG(LogLevel::kWarn, "fleet merge: unparseable %s",
+                  (dir / "report.txt").c_str());
+      continue;
+    }
+    total.batches += pieces->batches;
+    total.rounds += pieces->rounds;
+    total.executions += pieces->executions;
+    for (std::string& b : pieces->finding_blocks)
+      total.finding_blocks.push_back(std::move(b));
+    for (std::string& b : pieces->crash_blocks) {
+      if (!crash_seen.insert(crash_message(b)).second) continue;
+      crashes.push_back(std::move(b));
+    }
+  }
+  std::string out = format(
+      "# TORPEDO campaign report\n# batches=%d rounds=%d executions=%llu "
+      "corpus=%zu\n\n",
+      total.batches, total.rounds, total.executions, merged_corpus);
+  for (const std::string& b : total.finding_blocks) out += b;
+  for (const std::string& b : crashes) out += b;
+  return write_file(options.workdir / "report.txt", out);
+}
+
+// --- violation bundles --------------------------------------------------------
+
+std::size_t merge_bundles(const MergeOptions& options) {
+  int next_id = 0;
+  for (const fs::path& dir : options.worker_dirs) {
+    const fs::path src_root = dir / "violations";
+    if (!fs::exists(src_root)) continue;
+    std::vector<fs::path> bundles;
+    for (const auto& entry : fs::directory_iterator(src_root))
+      if (entry.is_directory()) bundles.push_back(entry.path());
+    std::sort(bundles.begin(), bundles.end());
+    for (const fs::path& src : bundles) {
+      const int id = next_id++;
+      const fs::path dst =
+          options.workdir / "violations" / format("%03d", id);
+      std::error_code ec;
+      fs::create_directories(dst, ec);
+      if (ec) continue;
+      // bundle.json leads with {"bundle":<old-id>, — renumber it so ids are
+      // unique across the merged set (torpedo report keys tables on them).
+      if (auto text = read_file(src / "bundle.json")) {
+        const std::string prefix = "{\"bundle\":";
+        if (starts_with(*text, prefix)) {
+          std::size_t end = prefix.size();
+          while (end < text->size() && std::isdigit((*text)[end])) ++end;
+          *text = prefix + std::to_string(id) + text->substr(end);
+        }
+        write_file(dst / "bundle.json", *text);
+      }
+      if (auto text = read_file(src / "report.md")) {
+        const std::size_t eol = text->find('\n');
+        if (starts_with(*text, "# Violation bundle ") &&
+            eol != std::string::npos)
+          *text = format("# Violation bundle %03d", id) + text->substr(eol);
+        write_file(dst / "report.md", *text);
+      }
+      for (const char* name : {"program.prog", "original.prog"})
+        if (auto text = read_file(src / name)) write_file(dst / name, *text);
+    }
+  }
+  return static_cast<std::size_t>(next_id);
+}
+
+// --- counter-table artifacts --------------------------------------------------
+
+std::optional<std::vector<std::map<std::string, telemetry::JsonValue>>>
+load_json_rows(const fs::path& file, const char* array_key) {
+  const auto text = read_file(file);
+  if (!text) return std::nullopt;
+  auto object = telemetry::parse_json_object(trim(*text));
+  if (!object) return std::nullopt;
+  auto it = object->find(array_key);
+  if (it == object->end() ||
+      it->second.kind != telemetry::JsonValue::Kind::kRaw)
+    return std::nullopt;
+  return telemetry::parse_json_array_of_objects(it->second.text);
+}
+
+std::int64_t row_int(const std::map<std::string, telemetry::JsonValue>& row,
+                     const char* key) {
+  auto it = row.find(key);
+  if (it == row.end()) return 0;
+  return it->second.integer;
+}
+
+bool merge_syscall_profiles(const MergeOptions& options) {
+  struct Sums {
+    std::uint64_t executions = 0, signal_new = 0, implications = 0;
+  };
+  std::map<int, Sums> by_nr;  // ordered: canonical ascending-nr output
+  for (const fs::path& dir : options.worker_dirs) {
+    auto rows = load_json_rows(dir / "syscall_profile.json", "syscalls");
+    if (!rows) continue;
+    for (const auto& row : *rows) {
+      Sums& s = by_nr[static_cast<int>(row_int(row, "nr"))];
+      s.executions += static_cast<std::uint64_t>(row_int(row, "executions"));
+      s.signal_new += static_cast<std::uint64_t>(row_int(row, "signal_new"));
+      s.implications +=
+          static_cast<std::uint64_t>(row_int(row, "implications"));
+    }
+  }
+  std::string array = "[";
+  bool first = true;
+  for (const auto& [nr, s] : by_nr) {
+    telemetry::JsonDict d;
+    d.set("nr", nr)
+        .set("name", kernel::sysno_name(nr))
+        .set("executions", s.executions)
+        .set("signal_new", s.signal_new)
+        .set("implications", s.implications);
+    if (!first) array += ",";
+    first = false;
+    array += d.to_string();
+  }
+  array += "]";
+  telemetry::JsonDict doc;
+  doc.set_raw("syscalls", array);
+  return write_file(options.workdir / "syscall_profile.json",
+                    doc.to_string() + "\n");
+}
+
+bool merge_mutation_efficacy(const MergeOptions& options) {
+  struct Sums {
+    std::uint64_t attempts = 0, accepted = 0, executions = 0,
+                  novel_signal = 0, violations = 0, corpus_inserts = 0;
+  };
+  // Canonical key order = OriginOp enum order, the order every per-worker
+  // file already lists (MutationEfficacy::rows iterates the enum).
+  std::vector<Sums> by_op(static_cast<std::size_t>(feedback::kNumOriginOps));
+  for (const fs::path& dir : options.worker_dirs) {
+    auto rows = load_json_rows(dir / "mutation_efficacy.json", "ops");
+    if (!rows) continue;
+    for (const auto& row : *rows) {
+      auto it = row.find("op");
+      if (it == row.end()) continue;
+      auto op = feedback::origin_op_from_name(it->second.text);
+      if (!op) continue;
+      Sums& s = by_op[static_cast<std::size_t>(*op)];
+      s.attempts += static_cast<std::uint64_t>(row_int(row, "attempts"));
+      s.accepted += static_cast<std::uint64_t>(row_int(row, "accepted"));
+      s.executions += static_cast<std::uint64_t>(row_int(row, "executions"));
+      s.novel_signal +=
+          static_cast<std::uint64_t>(row_int(row, "novel_signal"));
+      s.violations += static_cast<std::uint64_t>(row_int(row, "violations"));
+      s.corpus_inserts +=
+          static_cast<std::uint64_t>(row_int(row, "corpus_inserts"));
+    }
+  }
+  std::string array = "[";
+  for (int i = 0; i < feedback::kNumOriginOps; ++i) {
+    const Sums& s = by_op[static_cast<std::size_t>(i)];
+    telemetry::JsonDict d;
+    d.set("op", feedback::origin_op_name(static_cast<feedback::OriginOp>(i)))
+        .set("attempts", s.attempts)
+        .set("accepted", s.accepted)
+        .set("executions", s.executions)
+        .set("novel_signal", s.novel_signal)
+        .set("violations", s.violations)
+        .set("corpus_inserts", s.corpus_inserts);
+    if (i) array += ",";
+    array += d.to_string();
+  }
+  array += "]";
+  telemetry::JsonDict doc;
+  doc.set_raw("ops", array);
+  return write_file(options.workdir / "mutation_efficacy.json",
+                    doc.to_string() + "\n");
+}
+
+// --- timeseries ---------------------------------------------------------------
+
+bool merge_timeseries(const MergeOptions& options) {
+  std::ofstream out(options.workdir / "timeseries.jsonl", std::ios::trunc);
+  if (!out) return false;
+  for (const fs::path& dir : options.worker_dirs) {
+    const int worker = worker_id_of(dir);
+    std::ifstream in(dir / "timeseries.jsonl");
+    if (!in) continue;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      // Each sample line already carries "shard":k from the recorder; the
+      // merge adds the fleet dimension explicitly.
+      if (line.back() == '}')
+        line = line.substr(0, line.size() - 1) + ",\"worker\":" +
+               std::to_string(worker) + "}";
+      out << line << "\n";
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool merge_workdir(const MergeOptions& options) {
+  TORPEDO_CHECK(options.ledger != nullptr && options.manifest != nullptr);
+  std::error_code ec;
+  fs::create_directories(options.workdir, ec);
+
+  // Merged corpus: the ledger's committed stream, deduplicated (it already
+  // is — commit order makes the fold deterministic) with signals intact.
+  feedback::Corpus corpus;
+  for (const feedback::CorpusLedger::Committed& c :
+       options.ledger->committed())
+    corpus.add(c.entry.program, c.entry.signal, c.entry.best_score,
+               c.entry.lineage);
+  core::save_corpus(options.workdir / "corpus.txt", corpus);
+
+  bool ok = merge_reports(options, corpus.size());
+  merge_bundles(options);
+
+  // campaign.json must exist before triage_workdir recomputes clusters (it
+  // reads the runtime name from it).
+  core::CampaignManifest manifest = options.manifest->defaults;
+  manifest.fleet_workers = options.manifest->workers;
+  core::save_campaign_manifest(options.workdir / "campaign.json", manifest);
+
+  fs::remove(options.workdir / "clusters.json", ec);
+  if (auto triaged = triage::triage_workdir(options.workdir)) {
+    triage::save_clusters(options.workdir / "clusters.json", *triaged);
+  } else {
+    // Empty campaign: an empty-but-present clusters.json, like `torpedo run`
+    // writes for a run with no findings.
+    triage::TriageResult empty =
+        triage::ClusterEngine().cluster({});
+    empty.runtime = manifest.runtime;
+    triage::save_clusters(options.workdir / "clusters.json", empty);
+  }
+
+  ok = merge_syscall_profiles(options) && ok;
+  ok = merge_mutation_efficacy(options) && ok;
+  ok = merge_timeseries(options) && ok;
+  return ok;
+}
+
+}  // namespace torpedo::fleet

@@ -1,0 +1,52 @@
+// Fleet workdir merge: folds N per-worker workdirs into one merged workdir
+// with the exact artifact byte formats `torpedo report`, `stats`, and `diff`
+// already consume — a fleet campaign's output is indistinguishable from a
+// big sharded run's.
+//
+// Sources of truth:
+//   * corpus.txt       rebuilt from the coordinator's CorpusLedger, not the
+//                      worker files: every entry passed through the ledger
+//                      (workers publish after every batch including the
+//                      last), and the wire codec preserves the coverage
+//                      signal that a corpus.txt round-trip would lose.
+//   * report.txt       block-level merge of the worker reports: summed
+//                      header, finding blocks worker-major, crash blocks
+//                      deduplicated by message (ShardedCampaign::merge's
+//                      policy at the file level).
+//   * violations/      bundle directories copied worker-major and renumbered
+//                      (bundle.json ids and report.md titles rewritten).
+//   * clusters.json    recomputed over the merged bundles via
+//                      triage_workdir — same clustering the in-process
+//                      sharded path gets.
+//   * profile/efficacy per-key counter sums in canonical key order.
+//   * timeseries.jsonl worker-major concatenation; every line gains a
+//                      "worker" field.
+//   * campaign.json    the fleet defaults manifest with fleet_workers > 0,
+//                      which routes `torpedo selftest --replay` to the fleet
+//                      regeneration path.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "feedback/corpus_hub.h"
+#include "fleet/manifest.h"
+
+namespace torpedo::fleet {
+
+struct MergeOptions {
+  std::filesystem::path workdir;  // merged root; workers live underneath
+  // Completed workers' directories in worker-id order (the directory name
+  // is the worker id). Failed workers are excluded — their artifacts are
+  // partial — but their published corpus survives through the ledger.
+  std::vector<std::filesystem::path> worker_dirs;
+  const feedback::CorpusLedger* ledger = nullptr;
+  const Manifest* manifest = nullptr;
+};
+
+// Writes the merged artifact set into options.workdir. Missing per-worker
+// files are tolerated (skipped); returns false only when a merged artifact
+// cannot be written.
+bool merge_workdir(const MergeOptions& options);
+
+}  // namespace torpedo::fleet

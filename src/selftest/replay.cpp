@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/campaign.h"
 #include "core/minimize.h"
@@ -14,6 +15,8 @@
 #include "exec/executor.h"
 #include "feedback/mutation_efficacy.h"
 #include "feedback/syscall_profile.h"
+#include "fleet/coordinator.h"
+#include "fleet/manifest.h"
 #include "telemetry/timeseries.h"
 #include "triage/cluster.h"
 #include "prog/program.h"
@@ -226,7 +229,28 @@ namespace {
 // Re-executes the recorded campaign and writes the artifact stack (the same
 // files `torpedo run --workdir` writes) into `scratch`.
 void regenerate(const core::CampaignManifest& manifest,
-                const fs::path& scratch) {
+                const fs::path& workdir, const fs::path& scratch) {
+  // Fleet merged workdir: re-run the whole fleet from the recorded
+  // experiment matrix. Fork mode (empty worker_binary) keeps the replay
+  // independent of any binary path; the coordinator's merge then writes the
+  // same artifact stack into the scratch root.
+  if (manifest.fleet_workers > 0) {
+    auto fleet_manifest = fleet::load_manifest(workdir / "fleet.json");
+    if (!fleet_manifest)
+      throw std::runtime_error("fleet workdir without fleet.json: " +
+                               workdir.string());
+    fleet::FleetConfig fleet_config;
+    fleet_config.manifest = std::move(*fleet_manifest);
+    fleet_config.workdir = scratch;
+    fleet::Coordinator coordinator(std::move(fleet_config));
+    const fleet::Coordinator::Result fleet_result = coordinator.run();
+    if (!fleet_result.ok)
+      throw std::runtime_error(
+          format("fleet replay incomplete: %d/%d workers completed",
+                 fleet_result.completed,
+                 fleet_result.completed + fleet_result.failed));
+    return;
+  }
   const core::CampaignConfig config = manifest.to_config();
   core::CampaignReport report;
   feedback::SyscallProfile profile;
@@ -349,7 +373,7 @@ ReplayResult replay_workdir(const ReplayOptions& options) {
   fs::create_directories(scratch);
 
   try {
-    regenerate(*manifest, scratch);
+    regenerate(*manifest, options.workdir, scratch);
   } catch (const std::exception& e) {
     result.error = std::string("replay execution failed: ") + e.what();
     return result;

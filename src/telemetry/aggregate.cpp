@@ -1,0 +1,105 @@
+#include "telemetry/aggregate.h"
+
+#include <map>
+
+namespace torpedo::telemetry {
+
+namespace {
+
+// Metric name of one sample line: everything before the label set / value.
+std::string_view sample_name(std::string_view line) {
+  const std::size_t brace = line.find('{');
+  const std::size_t space = line.find(' ');
+  return line.substr(0, std::min(brace, space));
+}
+
+// "# HELP name text" / "# TYPE name kind" -> name.
+std::string_view comment_name(std::string_view line) {
+  // line starts with "# HELP " or "# TYPE " (7 chars).
+  std::string_view rest = line.substr(7);
+  const std::size_t space = rest.find(' ');
+  return rest.substr(0, space);
+}
+
+std::string relabel(std::string_view line, int worker) {
+  const std::string tag = "worker=\"" + std::to_string(worker) + "\"";
+  const std::size_t brace = line.find('{');
+  const std::size_t space = line.find(' ');
+  if (brace != std::string_view::npos && brace < space) {
+    // name{labels} value -> name{worker="k",labels} value
+    std::string out(line.substr(0, brace + 1));
+    out += tag;
+    if (line[brace + 1] != '}') out += ",";
+    out += line.substr(brace + 1);
+    return out;
+  }
+  // name value -> name{worker="k"} value
+  const std::string_view name = sample_name(line);
+  std::string out(name);
+  out += "{" + tag + "}";
+  out += line.substr(name.size());
+  return out;
+}
+
+}  // namespace
+
+std::string aggregate_expositions(
+    const std::vector<std::pair<int, std::string>>& workers) {
+  struct Family {
+    std::string help;  // full "# HELP ..." line (first seen)
+    std::string type;  // full "# TYPE ..." line (first seen)
+    std::vector<std::string> samples;
+  };
+  std::vector<std::string> order;  // family names, first-seen
+  std::map<std::string, Family, std::less<>> families;
+
+  auto family = [&](std::string_view name) -> Family& {
+    auto it = families.find(name);
+    if (it == families.end()) {
+      order.emplace_back(name);
+      it = families.emplace(std::string(name), Family{}).first;
+    }
+    return it->second;
+  };
+
+  for (const auto& [worker, text] : workers) {
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string_view line(text.data() + pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (line.rfind("# HELP ", 0) == 0) {
+        Family& f = family(comment_name(line));
+        if (f.help.empty()) f.help = std::string(line);
+      } else if (line.rfind("# TYPE ", 0) == 0) {
+        Family& f = family(comment_name(line));
+        if (f.type.empty()) f.type = std::string(line);
+      } else if (line[0] == '#') {
+        // Other comments: drop (nothing in-repo emits any).
+      } else {
+        // A sample whose family never had a TYPE line still aggregates,
+        // keyed by its own metric name.
+        family(sample_name(line)).samples.push_back(relabel(line, worker));
+      }
+    }
+  }
+
+  std::string out;
+  for (const std::string& name : order) {
+    const Family& f = families.find(name)->second;
+    if (!f.help.empty()) out += f.help + "\n";
+    if (!f.type.empty()) out += f.type + "\n";
+    for (const std::string& s : f.samples) out += s + "\n";
+  }
+  return out;
+}
+
+std::string_view http_body(std::string_view response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  if (split == std::string_view::npos) return {};
+  return response.substr(split + 4);
+}
+
+}  // namespace torpedo::telemetry

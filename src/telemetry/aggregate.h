@@ -1,0 +1,33 @@
+// Multi-process metrics aggregation.
+//
+// A fleet coordinator (fleet/coordinator.h) fronts N worker processes, each
+// serving its own Prometheus exposition on an ephemeral port. Operators
+// want one scrape target, not N: the coordinator scrapes every live worker
+// and re-exposes the union with a {worker="k"} label on every sample, the
+// process-level analogue of MonitorServer::add_shard's {shard="k"} series.
+//
+// aggregate_expositions() is pure text → text so it is testable without
+// sockets: families (# HELP/# TYPE) are emitted once, in first-seen order,
+// with every member sample re-labeled; samples keep their original labels
+// after the injected worker label. Input order fixes output order — feed
+// workers ascending and the merged exposition is deterministic for a given
+// set of inputs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace torpedo::telemetry {
+
+// (worker id, full exposition text) -> one merged exposition.
+std::string aggregate_expositions(
+    const std::vector<std::pair<int, std::string>>& workers);
+
+// The body of an http_get() response (everything after the blank line), or
+// "" when the response is malformed/empty. The coordinator scrapes workers
+// with http_get, which returns the raw response including headers.
+std::string_view http_body(std::string_view response);
+
+}  // namespace torpedo::telemetry

@@ -159,6 +159,7 @@ void HeartbeatWriter::stamp(Nanos sim_ns, int batch, int round,
       .set("round", round)
       .set("executions", executions)
       .set("stamps", stamps_);
+  if (monitor_port_ >= 0) d.set("monitor_port", monitor_port_);
   const std::filesystem::path tmp = path_.string() + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
@@ -547,6 +548,9 @@ std::string MonitorServer::status_json() const {
   JsonDict out = status_ != nullptr ? status_->to_json() : JsonDict{};
   if (status_ == nullptr)
     out.set("wall_ns", wall_now_ns());
+  // The actual bound port: with --monitor-port 0 (ephemeral, the
+  // multi-process default) this is how scrapers learn the real address.
+  out.set("monitor_port", port_);
   out.set("monitor_requests", requests());
   if (watchdog_ != nullptr) {
     out.set("stalled", watchdog_->stalled())

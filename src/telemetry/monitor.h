@@ -127,8 +127,15 @@ class HeartbeatWriter {
   explicit HeartbeatWriter(std::filesystem::path path);
 
   // One stamp: {"sim_ns":..,"wall_ns":..,"batch":..,"round":..,
-  // "executions":..,"stamps":..}.
+  // "executions":..,"stamps":..[,"monitor_port":..]}.
   void stamp(Nanos sim_ns, int batch, int round, std::uint64_t executions);
+
+  // Records the actual bound monitor port (set after MonitorServer::start()
+  // resolves an ephemeral --monitor-port 0). Stamped into every subsequent
+  // heartbeat so an external reader — the fleet coordinator, an operator —
+  // can discover where this process's /metrics lives without guessing.
+  void set_monitor_port(int port) { monitor_port_ = port; }
+  int monitor_port() const { return monitor_port_; }
 
   const std::filesystem::path& path() const { return path_; }
   std::uint64_t stamps() const { return stamps_; }
@@ -136,6 +143,7 @@ class HeartbeatWriter {
  private:
   std::filesystem::path path_;
   std::uint64_t stamps_ = 0;
+  int monitor_port_ = -1;  // < 0: no monitor, field omitted
 };
 
 // --- Watchdog -----------------------------------------------------------------

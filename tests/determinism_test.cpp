@@ -17,6 +17,8 @@
 #include "core/provenance.h"
 #include "core/sharded.h"
 #include "core/workdir.h"
+#include "fleet/coordinator.h"
+#include "fleet/manifest.h"
 #include "feedback/mutation_efficacy.h"
 #include "feedback/syscall_profile.h"
 #include "kernel/syscalls.h"
@@ -166,6 +168,46 @@ TEST(Determinism, ShardedCampaignIsByteIdentical) {
   run_workdir(a, 2, false);
   run_workdir(b, 2, false);
   expect_identical_trees(a, b);
+}
+
+// One fork-mode fleet run: a coordinator plus two forked worker processes
+// exchanging corpus entries over the Unix socket, merged into `dir`.
+void run_fleet_workdir(const fs::path& dir) {
+  fleet::Manifest manifest;
+  manifest.workers = 2;
+  manifest.defaults.batches = 2;
+  manifest.defaults.num_executors = 2;
+  manifest.defaults.round_duration = 50 * kMillisecond;
+  manifest.defaults.num_seeds = 6;
+  manifest.defaults.seed = 0xD0D0;
+  fleet::FleetConfig config;
+  config.manifest = std::move(manifest);
+  config.workdir = dir;  // empty worker_binary => fork mode
+  fleet::Coordinator coordinator(std::move(config));
+  ASSERT_TRUE(coordinator.run().ok);
+}
+
+TEST(Determinism, FleetCampaignIsByteIdentical) {
+  const fs::path a = fresh_dir("torpedo-golden-fleet-a");
+  const fs::path b = fresh_dir("torpedo-golden-fleet-b");
+  run_fleet_workdir(a);
+  run_fleet_workdir(b);
+
+  // Same file set, byte-identical contents — except the two wall-clock
+  // bearers: fleet_status.json (run timing snapshot) and the per-worker
+  // heartbeats, whose wall_ns stamp is intentionally non-deterministic.
+  const std::vector<std::string> files = file_list(a);
+  ASSERT_EQ(files, file_list(b));
+  EXPECT_FALSE(slurp(a / "report.txt").empty());
+  for (const std::string& rel : files) {
+    if (rel == "fleet_status.json") continue;
+    if (rel.size() >= 14 &&
+        rel.compare(rel.size() - 14, 14, "heartbeat.json") == 0) {
+      EXPECT_EQ(heartbeat_minus_wall(a / rel), heartbeat_minus_wall(b / rel));
+      continue;
+    }
+    EXPECT_EQ(slurp(a / rel), slurp(b / rel)) << rel;
+  }
 }
 
 }  // namespace

@@ -45,6 +45,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/campaign.h"
 #include "core/provenance.h"
 #include "core/seeds.h"
@@ -52,6 +54,9 @@
 #include "core/workdir.h"
 #include "feedback/mutation_efficacy.h"
 #include "feedback/syscall_profile.h"
+#include "fleet/coordinator.h"
+#include "fleet/manifest.h"
+#include "fleet/worker.h"
 #include "selftest/harness.h"
 #include "selftest/replay.h"
 #include "telemetry/monitor.h"
@@ -77,6 +82,9 @@ struct FlagSpec {
   bool is_switch;          // true: takes no value
   const char* value_name;  // "N", "DIR", ... (nullptr for switches)
   const char* help;
+  // Parsed but omitted from --help: internal plumbing flags (the fleet
+  // coordinator's worker-mode handshake), not user surface.
+  bool hidden = false;
 };
 
 struct SubcommandSpec {
@@ -112,6 +120,40 @@ const std::vector<SubcommandSpec>& subcommands() {
            {"no-corpus-sync", true, nullptr, "isolate shard corpora"},
            {"snapshot-exec", true, nullptr, "snapshot fast path (default)"},
            {"no-snapshot-exec", true, nullptr, "cold boot per program"},
+           // Fleet worker mode: set by the coordinator's fork/exec, never by
+           // hand. The worker re-derives its exact config from the fleet
+           // manifest, so no campaign flag round-trips lossily through the
+           // command line.
+           {"fleet-socket", false, "PATH", "coordinator socket", true},
+           {"fleet-worker", false, "K", "worker index", true},
+           {"fleet-manifest", false, "FILE", "fleet manifest", true},
+       }},
+      {"fleet", "",
+       "distributed campaign: coordinator + N worker processes trading "
+       "corpus over a socket; merged workdir",
+       {
+           {"workers", false, "N", "worker processes (default 2)"},
+           {"manifest", false, "FILE",
+            "experiment-matrix manifest (overrides the flags below)"},
+           {"workdir", false, "DIR", "merged workdir (required)"},
+           {"max-restarts", false, "N",
+            "restarts per crashed worker (default 2)"},
+           {"monitor-port", false, "N",
+            "coordinator /metrics aggregation + /fleet status"},
+           {"worker-monitor", true, nullptr,
+            "give each worker an ephemeral /metrics port"},
+           {"stall-seconds", false, "S",
+            "heartbeat age marking a worker stalled (default 60)"},
+           {"runtime", false, "NAME", "runc|crun|runsc|kata (default runc)"},
+           {"batches", false, "N", "fuzzing batches per worker"},
+           {"executors", false, "N", "parallel executors per round"},
+           {"round-seconds", false, "S", "observer round duration"},
+           {"num-seeds", false, "N", "seed programs to generate"},
+           {"seeds-dir", false, "DIR", "load .prog seed files from DIR"},
+           {"seed", false, "N", "base RNG seed (worker k gets a mix)"},
+           {"snapshot-exec", true, nullptr, "snapshot fast path (default)"},
+           {"no-snapshot-exec", true, nullptr, "cold boot per program"},
+           {"v", true, nullptr, "verbose logging"},
        }},
       {"exec", "FILE.prog",
        "manual execution of one serialized program: one observed round plus "
@@ -187,6 +229,7 @@ int subcommand_help(const SubcommandSpec& spec) {
   if (!spec.flags.empty()) {
     std::printf("\nflags:\n");
     for (const FlagSpec& flag : spec.flags) {
+      if (flag.hidden) continue;
       std::string left = std::string("--") + flag.name;
       if (!flag.is_switch && flag.value_name != nullptr)
         left += std::string(" ") + flag.value_name;
@@ -450,6 +493,10 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
                    mon_config.port);
       return 1;
     }
+    // Ephemeral-port discovery, as in the sequential path: the bound port
+    // lands in every shard's heartbeat stamps.
+    for (telemetry::HeartbeatWriter& hb : heartbeats)
+      hb.set_monitor_port(monitor->port());
     std::printf("monitor: http://127.0.0.1:%d/metrics (and /status, "
                 "/healthz, /findings, /clusters; per-shard series under "
                 "{shard=\"k\"})\n",
@@ -591,10 +638,49 @@ int cmd_run_sharded(const Args& args, const core::CampaignConfig& config,
   return 0;
 }
 
+// `torpedo run --fleet-socket ...`: this process is one worker of a fleet
+// coordinator's campaign. Everything about the campaign comes from the fleet
+// manifest (the coordinator wrote it next to the merged workdir), so the
+// worker runs the exact config the coordinator's replay will re-derive.
+int cmd_run_fleet_worker(const Args& args, const std::string& socket_path) {
+  const auto manifest_path = args.get("fleet-manifest");
+  const auto workdir = args.get("workdir");
+  if (!manifest_path || !workdir || !args.has("fleet-worker")) {
+    std::fprintf(stderr, "--fleet-socket requires --fleet-worker, "
+                 "--fleet-manifest and --workdir\n");
+    return 2;
+  }
+  auto manifest = fleet::load_manifest(*manifest_path);
+  if (!manifest) {
+    std::fprintf(stderr, "cannot load fleet manifest %s\n",
+                 manifest_path->c_str());
+    return 1;
+  }
+  const int worker = static_cast<int>(args.num("fleet-worker", 0));
+  if (worker < 0 || worker >= manifest->workers) {
+    std::fprintf(stderr, "worker index %d out of range (fleet of %d)\n",
+                 worker, manifest->workers);
+    return 2;
+  }
+  fleet::WorkerOptions options;
+  options.worker_id = worker;
+  options.socket_path = socket_path;
+  options.config = manifest->worker_config(worker);
+  options.workdir = *workdir;
+  options.seeds_dir = manifest->defaults.seeds_dir;
+  options.cpuset = manifest->worker_cpuset(worker);
+  if (args.has("monitor-port"))
+    options.monitor_port = static_cast<int>(args.num("monitor-port", 0));
+  options.verbose = args.has("v");
+  return fleet::worker_main(options);
+}
+
 int cmd_run(const Args& args) {
+  if (args.has("v")) set_log_level(LogLevel::kInfo);
+  if (auto socket_path = args.get("fleet-socket"))
+    return cmd_run_fleet_worker(args, *socket_path);
   auto config = campaign_config(args);
   if (!config) return 2;
-  if (args.has("v")) set_log_level(LogLevel::kInfo);
 
   // --shards N forks off into the sharded driver; --shards 1 (the default)
   // stays on this exact code path, artifacts byte-identical to before the
@@ -685,6 +771,9 @@ int cmd_run(const Args& args) {
                    mon_config.port);
       return 1;
     }
+    // --monitor-port 0 binds an ephemeral port; record the actual port in
+    // every heartbeat stamp so external tooling can discover the endpoint.
+    if (heartbeat) heartbeat->set_monitor_port(monitor->port());
     std::printf("monitor: http://127.0.0.1:%d/metrics (and /status, "
                 "/healthz, /findings, /clusters)\n",
                 monitor->port());
@@ -1591,6 +1680,103 @@ int cmd_selftest(const Args& args) {
   return result.passed ? 0 : 1;
 }
 
+// `torpedo fleet`: the coordinator process. Builds the experiment-matrix
+// manifest (from --manifest or the campaign flags), spawns N `torpedo run
+// --fleet-socket ...` workers, drives the socket epoch barrier, restarts
+// crashed workers, and merges the per-worker workdirs.
+int cmd_fleet(const Args& args) {
+  if (args.has("v")) set_log_level(LogLevel::kInfo);
+  const auto workdir = args.get("workdir");
+  if (!workdir) {
+    std::fprintf(stderr, "torpedo fleet requires --workdir DIR\n");
+    return 2;
+  }
+
+  fleet::Manifest manifest;
+  if (auto file = args.get("manifest")) {
+    auto loaded = fleet::load_manifest(*file);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load fleet manifest %s\n", file->c_str());
+      return 1;
+    }
+    manifest = std::move(*loaded);
+    if (args.has("workers"))
+      manifest.workers = static_cast<int>(args.num("workers", 2));
+  } else {
+    auto config = campaign_config(args);
+    if (!config) return 2;
+    manifest.workers = static_cast<int>(args.num("workers", 2));
+    manifest.defaults = core::CampaignManifest::from_config(*config);
+    if (auto seeds_dir = args.get("seeds-dir"))
+      manifest.defaults.seeds_dir = *seeds_dir;
+  }
+  if (args.has("max-restarts"))
+    manifest.max_restarts = static_cast<int>(args.num("max-restarts", 2));
+  if (manifest.workers < 1) {
+    std::fprintf(stderr, "--workers must be >= 1\n");
+    return 2;
+  }
+
+  fleet::FleetConfig config;
+  config.manifest = std::move(manifest);
+  config.workdir = *workdir;
+  {
+    char self[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+    if (n <= 0) {
+      std::fprintf(stderr, "cannot resolve /proc/self/exe\n");
+      return 1;
+    }
+    self[n] = '\0';
+    config.worker_binary = self;
+  }
+  if (args.has("worker-monitor")) config.worker_monitor_port = 0;
+  if (args.has("monitor-port"))
+    config.coordinator_monitor_port =
+        static_cast<int>(args.num("monitor-port", 0));
+  if (args.has("stall-seconds"))
+    config.stall_budget_wall_ns = static_cast<Nanos>(
+        args.num("stall-seconds", 60)) * kSecond;
+  config.verbose = args.has("v");
+
+  std::printf("fleet: %d workers x %d batches, runtime=%s, max-restarts=%d, "
+              "workdir=%s\n",
+              config.manifest.workers, config.manifest.defaults.batches,
+              config.manifest.defaults.runtime.c_str(),
+              config.manifest.max_restarts, workdir->c_str());
+
+  fleet::Coordinator coordinator(std::move(config));
+  const fleet::Coordinator::Result result = coordinator.run();
+
+  for (const fleet::WorkerStatus& st : coordinator.workers())
+    std::printf("worker %d: %s rounds=%d executions=%llu corpus=%llu "
+                "findings=%llu crashes=%llu restarts=%d\n",
+                st.id, std::string(fleet::worker_state_name(st.state)).c_str(),
+                st.rounds, static_cast<unsigned long long>(st.executions),
+                static_cast<unsigned long long>(st.corpus),
+                static_cast<unsigned long long>(st.findings),
+                static_cast<unsigned long long>(st.crashes), st.restarts);
+  const feedback::CorpusLedger::Stats& hub = coordinator.ledger().stats();
+  std::printf("hub: epochs=%llu published=%llu unique=%llu merged=%llu "
+              "pulled=%llu denylist=%zu\n",
+              static_cast<unsigned long long>(hub.epochs),
+              static_cast<unsigned long long>(hub.published),
+              static_cast<unsigned long long>(hub.unique),
+              static_cast<unsigned long long>(hub.merged),
+              static_cast<unsigned long long>(hub.pulled),
+              hub.denylist_size);
+  std::printf("fleet %s: %d/%d workers completed, %d restart%s, "
+              "%llu executions, merge %.1f ms\n",
+              result.ok ? "done" : "FAILED", result.completed,
+              result.completed + result.failed, result.restarts,
+              result.restarts == 1 ? "" : "s",
+              static_cast<unsigned long long>(result.executions),
+              static_cast<double>(result.merge_wall_ns) / 1e6);
+  std::printf("merged workdir: %s (fleet_status.json, fleet.json, and the "
+              "standard campaign artifacts)\n", workdir->c_str());
+  return result.ok ? 0 : 1;
+}
+
 int cmd_seeds(const Args& args) {
   const std::string out = args.get("out").value_or("seeds");
   const std::size_t count =
@@ -1622,6 +1808,7 @@ int main(int argc, char** argv) {
   if (!args) return 2;
   if (args->help) return subcommand_help(*spec);
   if (command == "run") return cmd_run(*args);
+  if (command == "fleet") return cmd_fleet(*args);
   if (command == "exec") return cmd_exec(*args);
   if (command == "seeds") return cmd_seeds(*args);
   if (command == "report") return cmd_report(*args);
